@@ -1,0 +1,82 @@
+// Command torture regenerates the paper's Fig. 10: the DGC torture test
+// (§5.3) at full scale — 6 401 activities over 128 machines exchanging
+// references for ten minutes, then collected by the DGC. It prints a
+// summary plus the idle/collected time series as CSV.
+//
+// Fig. 10(a):  torture -ttb 30s  -tta 150s
+// Fig. 10(b):  torture -ttb 300s -tta 1500s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/torture"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ttb      = flag.Duration("ttb", 30*time.Second, "TimeToBeat (paper: 30s / 300s)")
+		tta      = flag.Duration("tta", 150*time.Second, "TimeToAlone (paper: 150s / 1500s)")
+		machines = flag.Int("machines", 128, "number of machines")
+		slaves   = flag.Int("slaves", 50, "slaves per machine")
+		active   = flag.Duration("active", 600*time.Second, "reference-exchange phase duration")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		csvPath  = flag.String("csv", "", "write the Fig. 10 curve CSV to this file (default: stdout)")
+	)
+	flag.Parse()
+
+	params := torture.PaperParams(*ttb, *tta)
+	params.Machines = *machines
+	params.SlavesPerMachine = *slaves
+	params.ActiveFor = *active
+	params.Seed = *seed
+
+	fmt.Printf("torture: %d machines x %d slaves + master = %d activities, TTB=%v TTA=%v\n",
+		params.Machines, params.SlavesPerMachine,
+		params.Machines*params.SlavesPerMachine+1, params.TTB, params.TTA)
+	start := time.Now()
+	res := torture.Run(params)
+	fmt.Printf("simulated in %v wall time\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("collected all:      %v\n", res.CollectedAll)
+	fmt.Printf("last collection at: %v (paper Fig. 10a: ~t+1400..2000s after the 600s phase)\n", res.LastCollectedAt)
+	fmt.Printf("DGC traffic:        %s in %d messages\n", metrics.Bytes(res.Traffic.DGCBytes), res.Traffic.DGCMessages)
+	fmt.Printf("app traffic:        %s in %d messages\n", metrics.Bytes(res.Traffic.AppBytes), res.Traffic.AppMessages)
+	fmt.Printf("termination mix:    %v\n\n", res.Reasons)
+
+	rec := metrics.NewRecorder()
+	for _, s := range res.Samples {
+		rec.Record("idle", s.T, float64(s.Idle))
+		rec.Record("collected", s.T, float64(s.Collected))
+	}
+	out := os.Stdout
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				log.Println(cerr)
+			}
+		}()
+		out = f
+		fmt.Println("curve CSV written to", *csvPath)
+	} else {
+		fmt.Println("curve CSV (idle & collected activities over time):")
+	}
+	return rec.WriteCSV(out, "idle", "collected")
+}

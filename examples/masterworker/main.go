@@ -1,0 +1,144 @@
+// Command masterworker runs the paper's motivating deployment shape: a
+// master activity farming work units out to workers on several nodes and
+// folding their results, with *automatic termination* — once the result
+// has been read and the client lets go, the whole master/worker graph
+// (which is cyclic: the master references the workers and every worker
+// references the master for its callbacks) vanishes through the DGC
+// instead of requiring an explicit shutdown protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"repro"
+)
+
+const (
+	workers  = 6
+	segments = 48 // work units: numeric integration segments
+)
+
+// workerBehavior integrates f(x) = 4/(1+x²) over a segment (the classic
+// π-by-quadrature microbenchmark).
+func workerBehavior(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
+	if method == "meet" {
+		// Hold a reference back to the master: the master/worker graph is
+		// now a distributed cycle, collectable only by the complete DGC.
+		ctx.Store("home", args)
+		return repro.Null(), nil
+	}
+	if method != "integrate" {
+		return repro.Null(), fmt.Errorf("unknown method %q", method)
+	}
+	lo := args.Get("lo").AsFloat()
+	hi := args.Get("hi").AsFloat()
+	const steps = 200_000
+	h := (hi - lo) / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		x := lo + (float64(i)+0.5)*h
+		sum += 4 / (1 + x*x) * h
+	}
+	return repro.Float(sum), nil
+}
+
+// masterBehavior owns the worker pool and serves "compute".
+func masterBehavior(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
+	switch method {
+	case "adopt":
+		ctx.Store("pool", args) // the master now references every worker
+		for i := 0; i < args.Len(); i++ {
+			if err := ctx.Send(args.At(i), "meet", ctx.Self()); err != nil {
+				return repro.Null(), err
+			}
+		}
+		return repro.Int(int64(args.Len())), nil
+	case "compute":
+		pool := ctx.Load("pool")
+		if pool.Len() == 0 {
+			return repro.Null(), fmt.Errorf("no workers adopted")
+		}
+		futs := make([]*repro.Future, 0, segments)
+		for s := 0; s < segments; s++ {
+			w := pool.At(s % pool.Len())
+			fut, err := ctx.Call(w, "integrate", repro.Dict(map[string]repro.Value{
+				"lo": repro.Float(float64(s) / segments),
+				"hi": repro.Float(float64(s+1) / segments),
+			}))
+			if err != nil {
+				return repro.Null(), err
+			}
+			futs = append(futs, fut)
+		}
+		var pi float64
+		for _, fut := range futs {
+			v, err := fut.Wait(time.Minute)
+			if err != nil {
+				return repro.Null(), err
+			}
+			pi += v.AsFloat()
+		}
+		return repro.Float(pi), nil
+	default:
+		return repro.Null(), fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	env := repro.NewEnv(repro.Config{})
+	defer env.Close()
+
+	// One node for the master, the workers spread over three more.
+	masterNode := env.NewNode()
+	workerNodes := []*repro.Node{env.NewNode(), env.NewNode(), env.NewNode()}
+
+	master := masterNode.NewActive("master", repro.BehaviorFunc(masterBehavior))
+	refs := make([]repro.Value, workers)
+	handles := make([]*repro.Handle, workers)
+	for i := 0; i < workers; i++ {
+		handles[i] = workerNodes[i%len(workerNodes)].NewActive(
+			fmt.Sprintf("worker-%d", i), repro.BehaviorFunc(workerBehavior))
+		refs[i] = handles[i].Ref()
+	}
+
+	if _, err := master.CallSync("adopt", repro.List(refs...), 10*time.Second); err != nil {
+		return fmt.Errorf("adopt: %w", err)
+	}
+	// The deployer's own worker references are no longer needed: the
+	// master holds the pool now.
+	for _, h := range handles {
+		h.Release()
+	}
+
+	start := time.Now()
+	out, err := master.CallSync("compute", repro.Null(), time.Minute)
+	if err != nil {
+		return fmt.Errorf("compute: %w", err)
+	}
+	pi := out.AsFloat()
+	fmt.Printf("π ≈ %.12f  (error %.2e, %d segments on %d workers, %v)\n",
+		pi, math.Abs(pi-math.Pi), segments, workers, time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("\nreleasing the master — no explicit shutdown of any worker")
+	master.Release()
+	took, err := env.WaitCollected(0, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	st := env.Stats()
+	fmt.Printf("master + %d workers reclaimed automatically in %v: %v\n",
+		workers, took.Round(time.Millisecond), st.Collected)
+	return nil
+}

@@ -1,0 +1,107 @@
+package active
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// TestCrashOrphansAreCollected: activities referenced only from a crashed
+// node stop hearing heartbeats and collect themselves acyclically after
+// TTA (§4.2: a crash is silence).
+func TestCrashOrphansAreCollected(t *testing.T) {
+	e := testEnv(t)
+	n1, n2 := e.NewNode(), e.NewNode()
+
+	// b lives on n2; its only referencer will be an activity on n1.
+	hb := n2.NewActive("b", relay{})
+	ha := n1.NewActive("a", relay{})
+	if _, err := ha.CallSync("set:peer", hb.Ref(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hb.Release() // now only a (via its state) and ha pin anything
+	time.Sleep(100 * time.Millisecond)
+	if e.LiveActivities() != 2 {
+		t.Fatalf("setup: live = %d, want 2", e.LiveActivities())
+	}
+
+	// The machine hosting a dies without a goodbye.
+	n1.Crash()
+
+	// b hears nothing for TTA and self-destructs; the env no longer
+	// counts the crashed node's activities.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.LiveActivities() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := e.LiveActivities(); got != 0 {
+		t.Fatalf("live = %d after crash + TTA, want 0", got)
+	}
+	st := e.Stats()
+	if st.Collected[core.ReasonAcyclic] < 1 {
+		t.Fatalf("no acyclic collection recorded: %+v", st.Collected)
+	}
+}
+
+// TestCrashSurvivorsKeepWorking: the rest of the system is unaffected by
+// a crashed node; heartbeats toward it fail silently.
+func TestCrashSurvivorsKeepWorking(t *testing.T) {
+	e := testEnv(t)
+	n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
+	victim := n1.NewActive("victim", relay{})
+	survivor := n2.NewActive("survivor", relay{})
+	defer survivor.Release()
+
+	// The survivor references the victim, so after the crash it keeps
+	// heartbeating into the void — which must be harmless.
+	if _, err := survivor.CallSync("set:peer", victim.Ref(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n1.Crash()
+	time.Sleep(100 * time.Millisecond)
+
+	// Still serving requests from a third node.
+	h3, err := n3.HandleFor(survivor.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h3.Release()
+	got, err := h3.CallSync("ping", wire.Null(), 5*time.Second)
+	if err != nil || got.AsInt() != 1 {
+		t.Fatalf("survivor broken after peer crash: %v %v", got, err)
+	}
+
+	// Calls toward the crashed node fail fast instead of hanging.
+	hv, err := n3.HandleFor(victim.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hv.Release()
+	if _, err := hv.Call("ping", wire.Null()); err == nil {
+		t.Fatal("call to a crashed node must fail")
+	}
+}
+
+// TestCrashDoesNotCollectLiveRemotes: a live (handle-pinned) activity on
+// a surviving node must not be affected by losing a referencer to a
+// crash — it simply expires the referencer and lives on.
+func TestCrashDoesNotCollectLiveRemotes(t *testing.T) {
+	e := testEnv(t)
+	n1, n2 := e.NewNode(), e.NewNode()
+	hb := n2.NewActive("kept", relay{})
+	defer hb.Release() // pinned throughout
+	ha := n1.NewActive("a", relay{})
+	if _, err := ha.CallSync("set:peer", hb.Ref(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n1.Crash()
+	time.Sleep(150 * time.Millisecond) // several TTAs
+	if e.LiveActivities() != 1 {
+		t.Fatalf("live = %d, want the pinned activity to survive", e.LiveActivities())
+	}
+}

@@ -1,0 +1,110 @@
+package active
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// runDriver is the node's DGC driver goroutine: every TTB it runs a local
+// heap sweep (which fires the weak-tag edge removals of §2.2) and then the
+// collector broadcast of every hosted activity (Algorithm 2). Broadcasts
+// go out in parallel, as §4.2 prescribes, so one slow peer cannot delay
+// the rest of the beat.
+func (n *Node) runDriver() {
+	defer n.wg.Done()
+	if n.env.cfg.DisableDGC {
+		// Baseline mode: only the local heap is collected.
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-n.env.cfg.Clock.After(n.env.cfg.TTB):
+				n.heap.Collect()
+			}
+		}
+	}
+	// With adaptive beats (§7.1) the driver wakes at the fastest permitted
+	// period and beats each activity at its own adapted pace.
+	wake := n.env.cfg.TTB
+	if n.env.cfg.Adaptive.Enabled && n.env.cfg.Adaptive.MinTTB < wake {
+		wake = n.env.cfg.Adaptive.MinTTB
+	}
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.env.cfg.Clock.After(wake):
+		}
+		n.beat()
+	}
+}
+
+// beat runs one driver iteration: a local sweep plus the broadcast of
+// every activity whose beat is due.
+func (n *Node) beat() {
+	n.heap.Collect()
+	now := n.env.cfg.Clock.Now()
+
+	var broadcasts sync.WaitGroup
+	for _, ao := range n.snapshotActivities() {
+		if ao.nextBeat.After(now) {
+			continue
+		}
+		res := ao.collector.Tick(now)
+		next := res.NextBeat
+		if next <= 0 {
+			next = n.env.cfg.TTB
+		}
+		// Schedule slightly early so driver-wake jitter cannot make the
+		// deadline miss a whole wake period.
+		ao.nextBeat = now.Add(next - next/8)
+		switch {
+		case res.Terminated:
+			n.destroy(ao, res.Reason)
+			continue
+		case ao.dummy && ao.wantStop.Load() && len(res.Messages) == 0:
+			// A released handle whose edge drop has been fully broadcast:
+			// the dummy has no referenced activities left and can go.
+			n.destroy(ao, core.ReasonNone)
+			continue
+		}
+		for _, ob := range res.Messages {
+			broadcasts.Add(1)
+			go func(ao *ActiveObject, ob core.Outbound) {
+				defer broadcasts.Done()
+				n.sendDGC(ao, ob)
+			}(ao, ob)
+		}
+	}
+	broadcasts.Wait()
+}
+
+// sendDGC performs one DGC message/response exchange with the node hosting
+// the referenced activity. The response rides back on the same connection
+// (§2.2: no connectivity needed from referenced to referencer). An empty
+// response (target gone) or a transport error is ignored: the TTA
+// machinery owns all failure handling.
+func (n *Node) sendDGC(ao *ActiveObject, ob core.Outbound) {
+	payload := encodeDGCPayload(ob.To, ob.Msg)
+	respBytes, err := n.endpoint.Call(ob.To.Node, simnet.ClassDGC, payload)
+	if err != nil || len(respBytes) == 0 {
+		return
+	}
+	resp, err := core.DecodeResponse(respBytes)
+	if err != nil {
+		return
+	}
+	ao.collector.HandleResponse(ob.To, resp, n.env.cfg.Clock.Now())
+}
+
+// CollectNow forces one synchronous local heap sweep plus DGC beat on this
+// node (useful in tests to avoid waiting for the ticker).
+func (n *Node) CollectNow() {
+	if n.env.cfg.DisableDGC {
+		n.heap.Collect()
+		return
+	}
+	n.beat()
+}

@@ -1,0 +1,289 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Env errors.
+var (
+	// ErrEnvClosed indicates the environment has been shut down.
+	ErrEnvClosed = errors.New("active: environment closed")
+	// ErrUnknownName indicates a registry lookup failure.
+	ErrUnknownName = errors.New("active: unknown registered name")
+	// ErrUnknownActivity indicates the activity does not exist (anymore).
+	ErrUnknownActivity = errors.New("active: unknown activity")
+	// ErrNotARef indicates a value that should have been a remote
+	// reference was not.
+	ErrNotARef = errors.New("active: value is not a reference")
+)
+
+// Config parameterizes an Env.
+type Config struct {
+	// TTB is the DGC heartbeat period. Defaults to 30ms (the paper's 30s
+	// compressed ×1000; see DESIGN.md §3).
+	TTB time.Duration
+	// TTA is the TimeToAlone. Defaults to 2*TTB + MaxComm + TTB/2,
+	// satisfying the §3.1 formula.
+	TTA time.Duration
+	// Clock provides time. Defaults to the real clock.
+	Clock vclock.Clock
+	// Latency is the one-way network latency function (see simnet).
+	Latency func(src, dst ids.NodeID) time.Duration
+	// Reachable restricts connectivity (see simnet).
+	Reachable func(src, dst ids.NodeID) bool
+	// MaxComm bounds one-way communication time for the TTA formula.
+	MaxComm time.Duration
+	// DisableDGC turns the distributed garbage collector off entirely
+	// (the paper's "No DGC" baseline runs): no heartbeats, no automatic
+	// termination; local heap sweeps still run.
+	DisableDGC bool
+	// DisableConsensusPropagation ablates the §4.3 dying-wave
+	// optimization.
+	DisableConsensusPropagation bool
+	// Adaptive enables the §7.1 dynamic per-activity beat period; the
+	// driver then wakes every Adaptive.MinTTB and beats each activity at
+	// its own adapted pace.
+	Adaptive core.Adaptive
+	// MinHeightTree enables the §7.2 shallow-spanning-tree extension.
+	MinHeightTree bool
+	// OnEvent receives DGC trace events from every collector.
+	OnEvent func(core.Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+	if c.TTB == 0 {
+		c.TTB = 30 * time.Millisecond
+	}
+	if c.TTA == 0 {
+		c.TTA = 2*c.TTB + c.MaxComm + c.TTB/2
+	}
+	return c
+}
+
+// Stats summarizes an environment's DGC activity.
+type Stats struct {
+	// Created is the total number of activities ever created (dummy
+	// referencer handles excluded).
+	Created int
+	// Live is the number of activities currently alive (dummies excluded).
+	Live int
+	// Collected maps termination reasons to counts.
+	Collected map[core.Reason]int
+}
+
+// Env is one simulated distributed system: a set of nodes sharing a
+// network, a registry and DGC parameters.
+type Env struct {
+	cfg     Config
+	net     *simnet.Network
+	nodeGen ids.NodeGenerator
+
+	mu      sync.Mutex
+	nodes   map[ids.NodeID]*Node
+	names   map[string]ids.ActivityID
+	created int
+	reaped  map[core.Reason]int
+	closed  bool
+}
+
+// NewEnv creates an environment. Close it when done.
+func NewEnv(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	e := &Env{
+		cfg:    cfg,
+		nodes:  make(map[ids.NodeID]*Node),
+		names:  make(map[string]ids.ActivityID),
+		reaped: make(map[core.Reason]int),
+	}
+	e.net = simnet.New(simnet.Config{
+		Clock:     cfg.Clock,
+		Latency:   cfg.Latency,
+		Reachable: cfg.Reachable,
+		MaxComm:   cfg.MaxComm,
+	})
+	return e
+}
+
+// Config returns the environment's effective configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Network exposes the underlying network (for traffic accounting).
+func (e *Env) Network() *simnet.Network { return e.net }
+
+// Clock returns the environment clock.
+func (e *Env) Clock() vclock.Clock { return e.cfg.Clock }
+
+// NewNode creates a process in the distributed system and starts its DGC
+// driver.
+func (e *Env) NewNode() *Node {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		panic("active: NewNode on closed Env")
+	}
+	id := e.nodeGen.Next()
+	n := newNode(e, id)
+	e.nodes[id] = n
+	n.start()
+	return n
+}
+
+// node returns the node hosting the given node ID.
+func (e *Env) node(id ids.NodeID) (*Node, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.nodes[id]
+	return n, ok
+}
+
+// activity resolves an activity ID to its live object.
+func (e *Env) activity(id ids.ActivityID) (*ActiveObject, bool) {
+	n, ok := e.node(id.Node)
+	if !ok {
+		return nil, false
+	}
+	return n.activity(id)
+}
+
+// RegisterName publishes ref in the registry under name. A registered
+// activity is a DGC root (§4.1): anyone can look it up at any time, so it
+// is never considered idle.
+func (e *Env) RegisterName(name string, ref wire.Value) error {
+	target, ok := ref.AsRef()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotARef, ref)
+	}
+	ao, ok := e.activity(target)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownActivity, target)
+	}
+	e.mu.Lock()
+	e.names[name] = target
+	e.mu.Unlock()
+	ao.registered.Store(true)
+	return nil
+}
+
+// Unregister removes a name from the registry. The activity loses its root
+// status (unless registered under another name) and becomes collectable
+// when unreferenced and idle.
+func (e *Env) Unregister(name string) {
+	e.mu.Lock()
+	target, ok := e.names[name]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.names, name)
+	stillRegistered := false
+	for _, other := range e.names {
+		if other == target {
+			stillRegistered = true
+			break
+		}
+	}
+	e.mu.Unlock()
+	if stillRegistered {
+		return
+	}
+	if ao, okAO := e.activity(target); okAO {
+		ao.registered.Store(false)
+	}
+}
+
+// Lookup resolves a registered name to a reference value.
+func (e *Env) Lookup(name string) (wire.Value, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	target, ok := e.names[name]
+	if !ok {
+		return wire.Null(), fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	return wire.Ref(target), nil
+}
+
+// Stats returns a snapshot of activity counts.
+func (e *Env) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{Created: e.created, Collected: make(map[core.Reason]int, len(e.reaped))}
+	for r, c := range e.reaped {
+		st.Collected[r] += c
+	}
+	for _, n := range e.nodes {
+		st.Live += n.liveCount()
+	}
+	return st
+}
+
+// LiveActivities returns the number of live activities (dummy handles
+// excluded).
+func (e *Env) LiveActivities() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int
+	for _, n := range e.nodes {
+		total += n.liveCount()
+	}
+	return total
+}
+
+// WaitCollected polls until at most want activities remain live, or
+// timeout (on the environment clock) elapses. It returns the time it took.
+func (e *Env) WaitCollected(want int, timeout time.Duration) (time.Duration, error) {
+	start := e.cfg.Clock.Now()
+	for {
+		if e.LiveActivities() <= want {
+			return e.cfg.Clock.Now().Sub(start), nil
+		}
+		if e.cfg.Clock.Now().Sub(start) > timeout {
+			return 0, fmt.Errorf("active: %d activities still live after %v (want <= %d)",
+				e.LiveActivities(), timeout, want)
+		}
+		e.cfg.Clock.Sleep(e.cfg.TTB / 4)
+	}
+}
+
+func (e *Env) noteCreated() {
+	e.mu.Lock()
+	e.created++
+	e.mu.Unlock()
+}
+
+func (e *Env) noteCollected(reason core.Reason) {
+	e.mu.Lock()
+	e.reaped[reason]++
+	e.mu.Unlock()
+}
+
+// Close stops all nodes and the network. Pending futures fail with
+// ErrEnvClosed.
+func (e *Env) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	nodes := make([]*Node, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		nodes = append(nodes, n)
+	}
+	e.mu.Unlock()
+	for _, n := range nodes {
+		n.shutdown()
+	}
+	e.net.Close()
+}

@@ -1,0 +1,184 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/localgc"
+	"repro/internal/wire"
+)
+
+// Future errors.
+var (
+	// ErrRemoteFailure wraps an error string returned by the callee's
+	// behavior.
+	ErrRemoteFailure = errors.New("active: remote behavior failed")
+	// ErrFutureTimeout indicates Wait gave up.
+	ErrFutureTimeout = errors.New("active: future wait timed out")
+	// ErrOwnerTerminated indicates the calling activity was garbage
+	// collected before the result arrived; per the paper's reference
+	// orientation (§4.1), a collected caller simply loses the update.
+	ErrOwnerTerminated = errors.New("active: future owner terminated")
+)
+
+// Future is the placeholder returned by an asynchronous call (§4.1). The
+// caller blocks only when it touches the value ("wait-by-necessity"); an
+// active object waiting on a future counts as busy, since waiting can only
+// happen while serving a request.
+type Future struct {
+	id    FutureID
+	owner ids.ActivityID
+	node  *Node
+
+	mu       sync.Mutex
+	done     chan struct{}
+	resolved bool
+	val      wire.Value
+	err      error
+	// valueRoot pins refs inside the value in the owner's heap until the
+	// value is consumed by Wait (or the owner dies).
+	valueRoot   localgc.RootID
+	hasValRoot  bool
+	rootDropped bool
+}
+
+func newFuture(node *Node, id FutureID, owner ids.ActivityID) *Future {
+	return &Future{id: id, owner: owner, node: node, done: make(chan struct{})}
+}
+
+// ID returns the future's identity (mostly for tests and tracing).
+func (f *Future) ID() FutureID { return f.id }
+
+func (f *Future) resolve(val wire.Value, root localgc.RootID, hasRoot bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.resolved {
+		return
+	}
+	f.resolved = true
+	f.val = val
+	f.err = err
+	f.valueRoot = root
+	f.hasValRoot = hasRoot
+	close(f.done)
+}
+
+// fail resolves the future with an error (owner terminated, shutdown).
+func (f *Future) fail(err error) {
+	f.resolve(wire.Null(), 0, false, err)
+}
+
+// Done returns a channel closed when the future is resolved.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// TryGet returns the value if the future is already resolved.
+func (f *Future) TryGet() (wire.Value, error, bool) {
+	select {
+	case <-f.done:
+		v, err := f.consume()
+		return v, err, true
+	default:
+		return wire.Null(), nil, false
+	}
+}
+
+// Wait blocks until the future resolves or timeout elapses (0 means wait
+// forever). Consuming the value releases the heap pin that was keeping the
+// value's references alive on behalf of this future.
+func (f *Future) Wait(timeout time.Duration) (wire.Value, error) {
+	if timeout <= 0 {
+		<-f.done
+		return f.consume()
+	}
+	select {
+	case <-f.done:
+		return f.consume()
+	case <-f.node.env.cfg.Clock.After(timeout):
+		return wire.Null(), fmt.Errorf("%w after %v", ErrFutureTimeout, timeout)
+	}
+}
+
+func (f *Future) consume() (wire.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hasValRoot && !f.rootDropped {
+		f.node.heap.RemoveRoot(f.valueRoot)
+		f.rootDropped = true
+	}
+	return f.val, f.err
+}
+
+// Discard releases the future's heap pin without reading the value. Safe
+// to call at any time, any number of times.
+func (f *Future) Discard() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.resolved && f.hasValRoot && !f.rootDropped {
+		f.node.heap.RemoveRoot(f.valueRoot)
+		f.rootDropped = true
+	}
+}
+
+// futureTable tracks the pending futures of one node.
+type futureTable struct {
+	mu      sync.Mutex
+	nextSeq uint32
+	pending map[uint32]*Future
+}
+
+func newFutureTable() *futureTable {
+	return &futureTable{pending: make(map[uint32]*Future)}
+}
+
+func (t *futureTable) create(node *Node, owner ids.ActivityID) *Future {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextSeq++
+	f := newFuture(node, FutureID{Node: node.id, Seq: t.nextSeq}, owner)
+	t.pending[t.nextSeq] = f
+	return f
+}
+
+func (t *futureTable) take(seq uint32) (*Future, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.pending[seq]
+	if ok {
+		delete(t.pending, seq)
+	}
+	return f, ok
+}
+
+// failOwned resolves with err every pending future owned by owner
+// (called when an activity terminates).
+func (t *futureTable) failOwned(owner ids.ActivityID, err error) {
+	t.mu.Lock()
+	var owned []*Future
+	for seq, f := range t.pending {
+		if f.owner == owner {
+			owned = append(owned, f)
+			delete(t.pending, seq)
+		}
+	}
+	t.mu.Unlock()
+	for _, f := range owned {
+		f.fail(err)
+	}
+}
+
+// failAll resolves every pending future with err (node shutdown).
+func (t *futureTable) failAll(err error) {
+	t.mu.Lock()
+	all := make([]*Future, 0, len(t.pending))
+	for seq, f := range t.pending {
+		all = append(all, f)
+		delete(t.pending, seq)
+	}
+	t.mu.Unlock()
+	for _, f := range all {
+		f.fail(err)
+	}
+}

@@ -1,0 +1,109 @@
+package active
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/localgc"
+	"repro/internal/wire"
+)
+
+// Handle lets non-active code (a main function, a test, a benchmark)
+// reference and call an activity. The middleware backs each handle with a
+// dummy activity (§4.1): it has no behavior and is permanently busy, so it
+// acts as a DGC root keeping the target alive — and it heartbeats the
+// target like any referencer would. Releasing the handle drops that edge
+// and lets the DGC reclaim the target once it is otherwise garbage.
+type Handle struct {
+	dummy    *ActiveObject
+	target   wire.Value
+	stubRoot localgc.RootID
+	released atomic.Bool
+}
+
+// NewActive creates an activity running b on this node and returns a
+// handle referencing it.
+func (n *Node) NewActive(name string, b Behavior) *Handle {
+	ao := n.newActivity(name, b, false)
+	h, err := n.HandleFor(wire.Ref(ao.id))
+	if err != nil {
+		// The activity was created above and cannot be gone.
+		panic(fmt.Sprintf("active: HandleFor on fresh activity: %v", err))
+	}
+	return h
+}
+
+// HandleFor wraps an existing reference value (e.g. from Env.Lookup) in a
+// handle anchored on this node.
+func (n *Node) HandleFor(ref wire.Value) (*Handle, error) {
+	target, ok := ref.AsRef()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotARef, ref)
+	}
+	dummy := n.newActivity("handle:"+target.String(), nil, true)
+	now := n.env.cfg.Clock.Now()
+	dummy.collector.AddReferenced(target, now)
+	_, root := n.heap.NewStubRooted(dummy.id, target)
+	return &Handle{dummy: dummy, target: ref, stubRoot: root}, nil
+}
+
+// Ref returns the reference value this handle holds. Embedding it in call
+// arguments shares the reference with the callee.
+func (h *Handle) Ref() wire.Value { return h.target }
+
+// Node returns the node anchoring the handle.
+func (h *Handle) Node() *Node { return h.dummy.node }
+
+// Call performs an asynchronous method call on the target and returns a
+// future.
+func (h *Handle) Call(method string, args wire.Value) (*Future, error) {
+	if h.released.Load() {
+		return nil, fmt.Errorf("active: call through a released handle")
+	}
+	ctx := &Context{ao: h.dummy}
+	return ctx.Call(h.target, method, args)
+}
+
+// Send performs a one-way asynchronous call on the target.
+func (h *Handle) Send(method string, args wire.Value) error {
+	if h.released.Load() {
+		return fmt.Errorf("active: send through a released handle")
+	}
+	ctx := &Context{ao: h.dummy}
+	return ctx.Send(h.target, method, args)
+}
+
+// CallSync is Call followed by Wait.
+func (h *Handle) CallSync(method string, args wire.Value, timeout time.Duration) (wire.Value, error) {
+	fut, err := h.Call(method, args)
+	if err != nil {
+		return wire.Null(), err
+	}
+	return fut.Wait(timeout)
+}
+
+// Release drops the handle's reference: the dummy root stops pinning the
+// target, which becomes collectable once otherwise garbage. The dummy
+// itself is destroyed by the driver after its edge drop has been
+// broadcast.
+func (h *Handle) Release() {
+	if h.released.Swap(true) {
+		return
+	}
+	h.dummy.node.heap.RemoveRoot(h.stubRoot)
+	h.dummy.wantStop.Store(true) // picked up by the driver for dummies
+}
+
+// Terminate explicitly destroys the target activity (the paper's NAS
+// baseline uses explicit termination). The handle is released as a side
+// effect.
+func (h *Handle) Terminate() {
+	if tid, ok := h.target.AsRef(); ok {
+		if ao, alive := h.dummy.node.env.activity(tid); alive {
+			ao.node.destroy(ao, core.ReasonNone)
+		}
+	}
+	h.Release()
+}

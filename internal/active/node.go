@@ -1,0 +1,279 @@
+package active
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/localgc"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Node is one process (address space) of the distributed system: it hosts
+// activities, a local heap with its tracing collector, a future table, and
+// the DGC driver goroutine.
+type Node struct {
+	env      *Env
+	id       ids.NodeID
+	gen      *ids.Generator
+	heap     *localgc.Heap
+	endpoint *simnet.Endpoint
+	futures  *futureTable
+
+	mu     sync.Mutex
+	aos    map[ids.ActivityID]*ActiveObject
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ simnet.Handler = (*Node)(nil)
+
+func newNode(e *Env, id ids.NodeID) *Node {
+	n := &Node{
+		env:     e,
+		id:      id,
+		gen:     ids.NewGenerator(id),
+		futures: newFutureTable(),
+		aos:     make(map[ids.ActivityID]*ActiveObject),
+		stop:    make(chan struct{}),
+	}
+	n.heap = localgc.New(n.onTagDeath)
+	n.endpoint = e.net.Register(id, n)
+	return n
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ids.NodeID { return n.id }
+
+// Heap exposes the node's local heap (used by tests and metrics).
+func (n *Node) Heap() *localgc.Heap { return n.heap }
+
+func (n *Node) start() {
+	n.wg.Add(1)
+	go n.runDriver()
+}
+
+// activity returns the live activity with the given ID on this node.
+func (n *Node) activity(id ids.ActivityID) (*ActiveObject, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ao, ok := n.aos[id]
+	return ao, ok
+}
+
+// liveCount counts live non-dummy activities.
+func (n *Node) liveCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var c int
+	for _, ao := range n.aos {
+		if !ao.dummy {
+			c++
+		}
+	}
+	return c
+}
+
+// snapshotActivities returns all live activities (dummies included: they
+// participate in the DGC as referencers).
+func (n *Node) snapshotActivities() []*ActiveObject {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*ActiveObject, 0, len(n.aos))
+	for _, ao := range n.aos {
+		out = append(out, ao)
+	}
+	return out
+}
+
+// onTagDeath is the localgc callback: activity owner no longer holds any
+// stub for target — remove the reference-graph edge (§2.2). A guard
+// against the re-intern race: if a fresh tag exists again, the edge was
+// re-created concurrently and must stay.
+func (n *Node) onTagDeath(d localgc.TagDeath) {
+	if n.heap.HasTag(d.Owner, d.Target) {
+		return
+	}
+	if ao, ok := n.activity(d.Owner); ok {
+		ao.collector.LostReferenced(d.Target, n.env.cfg.Clock.Now())
+	}
+}
+
+// HandleOneWay implements simnet.Handler: application requests and future
+// updates.
+func (n *Node) HandleOneWay(from ids.NodeID, class simnet.Class, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case envRequest:
+		n.deliverRequest(payload)
+	case envFutureUpdate:
+		n.deliverFutureUpdate(payload)
+	default:
+		// Malformed traffic is dropped, as a real transport would.
+	}
+}
+
+// HandleCall implements simnet.Handler: DGC message → DGC response
+// exchanges. An empty response means the target activity is gone; the
+// sender's driver ignores it (the paper omits error handling; silence is
+// indistinguishable from a slow beat and is handled by the TTA machinery).
+func (n *Node) HandleCall(from ids.NodeID, class simnet.Class, payload []byte) []byte {
+	target, msg, err := decodeDGCPayload(payload)
+	if err != nil {
+		return nil
+	}
+	ao, ok := n.activity(target)
+	if !ok {
+		return nil
+	}
+	resp := ao.collector.HandleMessage(msg, n.env.cfg.Clock.Now())
+	return core.EncodeResponse(resp)
+}
+
+// deliverRequest decodes an application request, binds the reference-graph
+// hook to the recipient, roots the arguments for the duration of the
+// service, and enqueues the request.
+func (n *Node) deliverRequest(payload []byte) {
+	req, rawArgs, err := decodeRequestHeader(payload)
+	if err != nil {
+		return
+	}
+	ao, ok := n.activity(req.Target)
+	if !ok {
+		// The callee is gone (collected or explicitly terminated). If the
+		// caller expects a result, fail its future so it does not block
+		// forever.
+		if !req.Future.IsZero() {
+			n.sendFutureUpdate(req.Future, futureUpdate{
+				Future: req.Future,
+				Failed: true,
+				Err:    ErrUnknownActivity.Error(),
+			})
+		}
+		return
+	}
+	now := n.env.cfg.Clock.Now()
+	dec := wire.Decoder{OnRef: func(t ids.ActivityID) {
+		ao.collector.AddReferenced(t, now)
+	}}
+	args, err := dec.Decode(rawArgs)
+	if err != nil {
+		return
+	}
+	req.Args = args
+	// Root the arguments in the recipient's heap for the lifetime of the
+	// request: stubs inside them keep the remote references alive until
+	// the service completes (then only state-stored stubs survive).
+	_, root := n.heap.InternRooted(ao.id, args)
+	ao.enqueue(&queuedRequest{req: req, argsRoot: root})
+}
+
+// deliverFutureUpdate resolves a pending future with the callee's result.
+func (n *Node) deliverFutureUpdate(payload []byte) {
+	u, rawValue, err := decodeFutureUpdateHeader(payload)
+	if err != nil {
+		return
+	}
+	fut, ok := n.futures.take(u.Future.Seq)
+	if !ok {
+		return // caller terminated or duplicate update
+	}
+	owner, ownerAlive := n.activity(fut.owner)
+	if !ownerAlive {
+		fut.fail(ErrOwnerTerminated)
+		return
+	}
+	now := n.env.cfg.Clock.Now()
+	dec := wire.Decoder{OnRef: func(t ids.ActivityID) {
+		owner.collector.AddReferenced(t, now)
+	}}
+	value, err := dec.Decode(rawValue)
+	if err != nil {
+		fut.fail(err)
+		return
+	}
+	if u.Failed {
+		fut.fail(newRemoteFailure(u.Err))
+		return
+	}
+	_, root := n.heap.InternRooted(owner.id, value)
+	fut.resolve(value, root, true, nil)
+}
+
+// sendFutureUpdate ships a result back to the caller's node.
+func (n *Node) sendFutureUpdate(to FutureID, u futureUpdate) {
+	payload := encodeFutureUpdate(u)
+	// Errors (unreachable, closed) drop the update: per §4.1, a missing
+	// future update cannot wake anything and is acceptable for garbage.
+	_ = n.endpoint.Send(to.Node, simnet.ClassFuture, payload)
+}
+
+// sendRequest ships an application request to the target's node.
+func (n *Node) sendRequest(req request) error {
+	return n.endpoint.Send(req.Target.Node, simnet.ClassApp, encodeRequest(req))
+}
+
+// destroy removes an activity: stops its service loop, releases its heap
+// roots, fails futures it owns, and records the collection.
+func (n *Node) destroy(ao *ActiveObject, reason core.Reason) {
+	n.mu.Lock()
+	if _, ok := n.aos[ao.id]; !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.aos, ao.id)
+	n.mu.Unlock()
+
+	ao.terminated.Store(true)
+	ao.collector.Terminate(n.env.cfg.Clock.Now())
+	ao.queue.close(n.heap)
+	ao.releaseAllRoots(n.heap)
+	n.futures.failOwned(ao.id, ErrOwnerTerminated)
+	if !ao.dummy {
+		n.env.noteCollected(reason)
+	}
+}
+
+// Crash simulates the machine failing: the node vanishes from the
+// network without any cleanup protocol. Per §4.2 the DGC cannot
+// distinguish this from slowness — peers referencing the crashed
+// activities keep heartbeating into the void, while activities that were
+// referenced only from the crashed node stop hearing beats and collect
+// themselves acyclically after TTA. Pending calls toward the node fail
+// or time out.
+func (n *Node) Crash() {
+	n.env.mu.Lock()
+	delete(n.env.nodes, n.id)
+	n.env.mu.Unlock()
+	n.env.net.Deregister(n.id)
+	n.shutdown()
+}
+
+// shutdown stops the node: driver, service loops, futures.
+func (n *Node) shutdown() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	aos := make([]*ActiveObject, 0, len(n.aos))
+	for _, ao := range n.aos {
+		aos = append(aos, ao)
+	}
+	n.aos = make(map[ids.ActivityID]*ActiveObject)
+	n.mu.Unlock()
+
+	close(n.stop)
+	for _, ao := range aos {
+		ao.terminated.Store(true)
+		ao.queue.close(n.heap)
+	}
+	n.futures.failAll(ErrEnvClosed)
+	n.wg.Wait()
+}

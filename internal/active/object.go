@@ -1,0 +1,411 @@
+package active
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/localgc"
+	"repro/internal/wire"
+)
+
+// Behavior is the application code of an activity. Serve is called by the
+// activity's own goroutine, one request at a time (the active-object model
+// is single-threaded per activity). It may perform asynchronous calls
+// through the Context and wait on their futures: waiting happens during a
+// service, so a waiting activity is busy, never idle (§4.1).
+type Behavior interface {
+	Serve(ctx *Context, method string, args wire.Value) (wire.Value, error)
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(ctx *Context, method string, args wire.Value) (wire.Value, error)
+
+// Serve implements Behavior.
+func (f BehaviorFunc) Serve(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+	return f(ctx, method, args)
+}
+
+func newRemoteFailure(msg string) error {
+	return fmt.Errorf("%w: %s", ErrRemoteFailure, msg)
+}
+
+// queuedRequest is one pending request plus the heap root pinning its
+// arguments for the duration of the service.
+type queuedRequest struct {
+	req      request
+	argsRoot localgc.RootID
+}
+
+// requestQueue is the activity's unbounded FIFO request queue. It also
+// owns the idleness flag: the transitions "queue became non-empty ⇒ busy"
+// and "queue drained after service ⇒ idle" are made under the queue lock
+// so the DGC never observes an activity idle while work is pending.
+type requestQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*queuedRequest
+	closed bool
+	idle   *atomic.Bool
+}
+
+func newRequestQueue(idle *atomic.Bool) *requestQueue {
+	q := &requestQueue{idle: idle}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *requestQueue) push(item *queuedRequest) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, item)
+	q.idle.Store(false)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next request; ok is false when the queue is closed.
+func (q *requestQueue) pop() (*queuedRequest, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// markIdleIfEmpty flips the idleness flag when no request is pending;
+// returns whether the activity just became idle.
+func (q *requestQueue) markIdleIfEmpty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 && !q.closed {
+		q.idle.Store(true)
+		return true
+	}
+	return false
+}
+
+// close drains the queue, releasing pinned argument roots, and wakes the
+// service loop so it can exit.
+func (q *requestQueue) close(heap *localgc.Heap) {
+	q.mu.Lock()
+	items := q.items
+	q.items = nil
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	for _, it := range items {
+		heap.RemoveRoot(it.argsRoot)
+	}
+}
+
+// ActiveObject is one activity: identity, behavior, request queue, service
+// goroutine, DGC collector, and its heap roots.
+type ActiveObject struct {
+	node     *Node
+	id       ids.ActivityID
+	name     string
+	behavior Behavior
+	// dummy marks the referencer stand-in created for non-active code
+	// (§4.1): no activity, never idle, acts as a DGC root.
+	dummy bool
+
+	collector *core.Collector
+	queue     *requestQueue
+	idleFlag  atomic.Bool
+	// registered marks a registry root (§4.1): never idle.
+	registered atomic.Bool
+	terminated atomic.Bool
+	// wantStop is set by Context.TerminateSelf: the service loop asks the
+	// node to destroy the activity after the current request.
+	wantStop atomic.Bool
+
+	// nextBeat is when the driver should tick this activity next; it is
+	// only touched by the node's driver goroutine.
+	nextBeat time.Time
+
+	// rootsMu guards the heap roots owned by this activity.
+	rootsMu    sync.Mutex
+	stateRoots map[string]stateEntry
+	extraRoots map[localgc.RootID]struct{}
+}
+
+// stateEntry is one pinned state value: the heap cell and its root.
+type stateEntry struct {
+	obj  localgc.ObjRef
+	root localgc.RootID
+}
+
+// newActivity creates (and starts, unless dummy) an activity on the node.
+func (n *Node) newActivity(name string, b Behavior, dummy bool) *ActiveObject {
+	ao := &ActiveObject{
+		node:       n,
+		name:       name,
+		behavior:   b,
+		dummy:      dummy,
+		stateRoots: make(map[string]stateEntry),
+		extraRoots: make(map[localgc.RootID]struct{}),
+	}
+	ao.id = n.gen.Next()
+	ao.queue = newRequestQueue(&ao.idleFlag)
+	// A fresh activity is idle until its first request.
+	ao.idleFlag.Store(true)
+	cfg := core.Config{
+		TTB:                         n.env.cfg.TTB,
+		TTA:                         n.env.cfg.TTA,
+		DisableConsensusPropagation: n.env.cfg.DisableConsensusPropagation,
+		Adaptive:                    n.env.cfg.Adaptive,
+		MinHeightTree:               n.env.cfg.MinHeightTree,
+		OnEvent:                     n.env.cfg.OnEvent,
+	}
+	ao.collector = core.New(ao.id, cfg, ao.isIdle, n.env.cfg.Clock.Now())
+
+	n.mu.Lock()
+	n.aos[ao.id] = ao
+	n.mu.Unlock()
+
+	if !dummy {
+		n.env.noteCreated()
+		n.wg.Add(1)
+		go ao.serveLoop()
+	}
+	return ao
+}
+
+// ID returns the activity identifier.
+func (ao *ActiveObject) ID() ids.ActivityID { return ao.id }
+
+// Name returns the activity's (informational) name.
+func (ao *ActiveObject) Name() string { return ao.name }
+
+// Collector exposes the DGC state machine (used by tests and metrics).
+func (ao *ActiveObject) Collector() *core.Collector { return ao.collector }
+
+// isIdle is the middleware's idleness notion fed to the collector (§4.1):
+// dummy referencer handles and registered activities are permanent roots.
+func (ao *ActiveObject) isIdle() bool {
+	if ao.dummy || ao.registered.Load() {
+		return false
+	}
+	return ao.idleFlag.Load()
+}
+
+// enqueue delivers a request to the activity.
+func (ao *ActiveObject) enqueue(item *queuedRequest) {
+	if !ao.queue.push(item) {
+		// Queue closed: the activity died between lookup and delivery.
+		ao.node.heap.RemoveRoot(item.argsRoot)
+		if !item.req.Future.IsZero() {
+			ao.node.sendFutureUpdate(item.req.Future, futureUpdate{
+				Future: item.req.Future,
+				Failed: true,
+				Err:    ErrUnknownActivity.Error(),
+			})
+		}
+	}
+}
+
+// serveLoop is the activity's thread: serve requests one at a time; after
+// draining the queue, report idleness to the DGC (clock increment occasion
+// #1).
+func (ao *ActiveObject) serveLoop() {
+	defer ao.node.wg.Done()
+	for {
+		item, ok := ao.queue.pop()
+		if !ok {
+			return
+		}
+		ao.serveOne(item)
+		if ao.wantStop.Load() {
+			ao.node.destroy(ao, core.ReasonNone)
+			return
+		}
+		if ao.queue.markIdleIfEmpty() {
+			ao.collector.BecomeIdle(ao.node.env.cfg.Clock.Now())
+		}
+	}
+}
+
+func (ao *ActiveObject) serveOne(item *queuedRequest) {
+	ctx := &Context{ao: ao}
+	result, err := ao.behavior.Serve(ctx, item.req.Method, item.req.Args)
+	ctx.releaseTransients()
+	ao.node.heap.RemoveRoot(item.argsRoot)
+	if item.req.Future.IsZero() {
+		return
+	}
+	u := futureUpdate{Future: item.req.Future}
+	if err != nil {
+		u.Failed = true
+		u.Err = err.Error()
+	} else {
+		u.Value = result
+	}
+	ao.node.sendFutureUpdate(item.req.Future, u)
+}
+
+// releaseAllRoots drops every heap root owned by the activity; the next
+// sweep then reclaims its whole object graph, firing tag deaths.
+func (ao *ActiveObject) releaseAllRoots(heap *localgc.Heap) {
+	ao.rootsMu.Lock()
+	defer ao.rootsMu.Unlock()
+	for _, e := range ao.stateRoots {
+		heap.RemoveRoot(e.root)
+	}
+	ao.stateRoots = make(map[string]stateEntry)
+	for r := range ao.extraRoots {
+		heap.RemoveRoot(r)
+	}
+	ao.extraRoots = make(map[localgc.RootID]struct{})
+}
+
+// Context is the API surface available to a Behavior during one service.
+type Context struct {
+	ao *ActiveObject
+	// transientRoots pin values allocated during this service (e.g.
+	// freshly spawned activity stubs) until the service ends.
+	transientRoots []localgc.RootID
+}
+
+// Self returns a reference value designating this activity, suitable for
+// embedding in arguments or results.
+func (c *Context) Self() wire.Value { return wire.Ref(c.ao.id) }
+
+// ID returns this activity's identifier.
+func (c *Context) ID() ids.ActivityID { return c.ao.id }
+
+// NodeID returns the hosting node's identifier.
+func (c *Context) NodeID() ids.NodeID { return c.ao.node.id }
+
+func (c *Context) releaseTransients() {
+	for _, r := range c.transientRoots {
+		c.ao.node.heap.RemoveRoot(r)
+	}
+	c.transientRoots = nil
+}
+
+// Call performs an asynchronous method call on target (a reference value)
+// and returns a future for its result.
+func (c *Context) Call(target wire.Value, method string, args wire.Value) (*Future, error) {
+	tid, ok := target.AsRef()
+	if !ok {
+		return nil, fmt.Errorf("%w: Call target %v", ErrNotARef, target)
+	}
+	fut := c.ao.node.futures.create(c.ao.node, c.ao.id)
+	req := request{
+		Target: tid,
+		Sender: c.ao.id,
+		Future: fut.ID(),
+		Method: method,
+		Args:   args,
+	}
+	if err := c.ao.node.sendRequest(req); err != nil {
+		c.ao.node.futures.take(fut.ID().Seq)
+		return nil, err
+	}
+	return fut, nil
+}
+
+// Send performs a one-way asynchronous call (no future, no result).
+func (c *Context) Send(target wire.Value, method string, args wire.Value) error {
+	tid, ok := target.AsRef()
+	if !ok {
+		return fmt.Errorf("%w: Send target %v", ErrNotARef, target)
+	}
+	req := request{
+		Target: tid,
+		Sender: c.ao.id,
+		Method: method,
+		Args:   args,
+	}
+	return c.ao.node.sendRequest(req)
+}
+
+// Spawn creates a new activity on this node and returns a reference to it.
+// The reference is pinned until the end of the current service; Store it
+// to keep it alive longer.
+func (c *Context) Spawn(name string, b Behavior) wire.Value {
+	child := c.ao.node.newActivity(name, b, false)
+	now := c.ao.node.env.cfg.Clock.Now()
+	c.ao.collector.AddReferenced(child.id, now)
+	_, root := c.ao.node.heap.NewStubRooted(c.ao.id, child.id)
+	c.transientRoots = append(c.transientRoots, root)
+	return wire.Ref(child.id)
+}
+
+// Store saves a value in the activity's persistent state. References
+// inside it keep their targets alive in the reference graph. Storing a
+// value under an existing key replaces (and unpins) the previous value.
+func (c *Context) Store(key string, v wire.Value) {
+	heap := c.ao.node.heap
+	obj, root := heap.InternRooted(c.ao.id, v)
+	c.ao.rootsMu.Lock()
+	old, had := c.ao.stateRoots[key]
+	c.ao.stateRoots[key] = stateEntry{obj: obj, root: root}
+	c.ao.rootsMu.Unlock()
+	if had {
+		heap.RemoveRoot(old.root)
+	}
+}
+
+// Load reads a value from the activity's persistent state (null if
+// absent).
+func (c *Context) Load(key string) wire.Value {
+	c.ao.rootsMu.Lock()
+	e, ok := c.ao.stateRoots[key]
+	c.ao.rootsMu.Unlock()
+	if !ok {
+		return wire.Null()
+	}
+	return c.ao.node.heap.Materialize(e.obj)
+}
+
+// Delete removes a state entry; stubs it was pinning become collectable at
+// the next local sweep (firing LostReferenced as the paper's weak tag
+// mechanism would).
+func (c *Context) Delete(key string) {
+	c.ao.rootsMu.Lock()
+	e, ok := c.ao.stateRoots[key]
+	if ok {
+		delete(c.ao.stateRoots, key)
+	}
+	c.ao.rootsMu.Unlock()
+	if ok {
+		c.ao.node.heap.RemoveRoot(e.root)
+	}
+}
+
+// Lookup resolves a registered name through the environment registry.
+func (c *Context) Lookup(name string) (wire.Value, error) {
+	v, err := c.ao.node.env.Lookup(name)
+	if err != nil {
+		return wire.Null(), err
+	}
+	// Looking a name up hands this activity a reference: record the edge
+	// exactly as a deserialization would.
+	target, _ := v.AsRef()
+	now := c.ao.node.env.cfg.Clock.Now()
+	c.ao.collector.AddReferenced(target, now)
+	_, root := c.ao.node.heap.NewStubRooted(c.ao.id, target)
+	c.transientRoots = append(c.transientRoots, root)
+	return v, nil
+}
+
+// TerminateSelf requests explicit termination of this activity after the
+// current request completes (the no-DGC baselines' explicit-termination
+// path).
+func (c *Context) TerminateSelf() {
+	c.ao.wantStop.Store(true)
+}

@@ -1,0 +1,173 @@
+// Package active is the live active-object runtime: the Go equivalent of
+// the ProActive middleware the paper implements its DGC in (§4.1).
+//
+// An active object is a remotely accessible object with its own thread
+// (goroutine) and request queue. Method calls are asynchronous and return a
+// future. Every value crossing an activity boundary goes through the wire
+// codec, enforcing the no-sharing property and giving the DGC its
+// deserialization hook. Each node (process) owns a localgc.Heap whose stub
+// tags feed edge-removal events to the per-activity core.Collector, and a
+// driver goroutine broadcasts DGC messages every TTB.
+package active
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Envelope kinds for node-to-node payloads.
+const (
+	envRequest byte = iota + 1
+	envFutureUpdate
+)
+
+// FutureID identifies a future on its owning node. The zero value means
+// "no future expected" (one-way call).
+type FutureID struct {
+	Node ids.NodeID
+	Seq  uint32
+}
+
+// IsZero reports whether no future is expected.
+func (f FutureID) IsZero() bool { return f == FutureID{} }
+
+// request is the application-level request envelope.
+type request struct {
+	// Target is the activity being called.
+	Target ids.ActivityID
+	// Sender is the calling activity (an active object or a dummy handle).
+	Sender ids.ActivityID
+	// Future is where the result should be delivered (zero for one-way).
+	Future FutureID
+	// Method is the behavior method name.
+	Method string
+	// Args is the deep-copied argument value.
+	Args wire.Value
+}
+
+// errBadEnvelope reports a malformed node-to-node payload.
+var errBadEnvelope = errors.New("active: malformed envelope")
+
+func encodeRequest(req request) []byte {
+	buf := make([]byte, 0, 64+wire.EncodedSize(req.Args))
+	buf = append(buf, envRequest)
+	buf = appendActivityID(buf, req.Target)
+	buf = appendActivityID(buf, req.Sender)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Future.Node))
+	buf = binary.LittleEndian.AppendUint32(buf, req.Future.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Method)))
+	buf = append(buf, req.Method...)
+	buf = wire.Encode(buf, req.Args)
+	return buf
+}
+
+// decodeRequest decodes a request envelope. The wire decoding of Args is
+// done by the caller (node.deliverRequest) so that the OnRef hook can be
+// bound to the recipient activity; here only the header is parsed and the
+// raw args bytes returned.
+func decodeRequestHeader(buf []byte) (request, []byte, error) {
+	if len(buf) < 1+8+8+8+4 || buf[0] != envRequest {
+		return request{}, nil, fmt.Errorf("%w: request header", errBadEnvelope)
+	}
+	buf = buf[1:]
+	var req request
+	req.Target, buf = readActivityID(buf)
+	req.Sender, buf = readActivityID(buf)
+	req.Future.Node = ids.NodeID(binary.LittleEndian.Uint32(buf))
+	req.Future.Seq = binary.LittleEndian.Uint32(buf[4:])
+	buf = buf[8:]
+	mlen := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint32(len(buf)) < mlen {
+		return request{}, nil, fmt.Errorf("%w: truncated method", errBadEnvelope)
+	}
+	req.Method = string(buf[:mlen])
+	return req, buf[mlen:], nil
+}
+
+// futureUpdate is the result envelope flowing callee → caller over the
+// connection already established by the request (§4.1 "Reference
+// Orientation": it never creates a reference edge and never wakes an idle
+// activity).
+type futureUpdate struct {
+	Future FutureID
+	// Failed indicates the behavior returned an error instead of a value.
+	Failed bool
+	// Err is the error text when Failed.
+	Err string
+	// Value is the result (raw bytes decoded at the caller for the OnRef
+	// hook).
+	Value wire.Value
+}
+
+func encodeFutureUpdate(u futureUpdate) []byte {
+	buf := make([]byte, 0, 32+wire.EncodedSize(u.Value))
+	buf = append(buf, envFutureUpdate)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(u.Future.Node))
+	buf = binary.LittleEndian.AppendUint32(buf, u.Future.Seq)
+	if u.Failed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.Err)))
+	buf = append(buf, u.Err...)
+	buf = wire.Encode(buf, u.Value)
+	return buf
+}
+
+func decodeFutureUpdateHeader(buf []byte) (futureUpdate, []byte, error) {
+	if len(buf) < 1+8+1+4 || buf[0] != envFutureUpdate {
+		return futureUpdate{}, nil, fmt.Errorf("%w: future header", errBadEnvelope)
+	}
+	buf = buf[1:]
+	var u futureUpdate
+	u.Future.Node = ids.NodeID(binary.LittleEndian.Uint32(buf))
+	u.Future.Seq = binary.LittleEndian.Uint32(buf[4:])
+	buf = buf[8:]
+	u.Failed = buf[0] != 0
+	buf = buf[1:]
+	elen := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint32(len(buf)) < elen {
+		return futureUpdate{}, nil, fmt.Errorf("%w: truncated error", errBadEnvelope)
+	}
+	u.Err = string(buf[:elen])
+	return u, buf[elen:], nil
+}
+
+// dgcPayload is the DGC exchange envelope: target activity + fixed-size
+// core.Message; the core.Response (or nothing, if the target is gone)
+// rides back on the same connection.
+func encodeDGCPayload(target ids.ActivityID, msg core.Message) []byte {
+	buf := make([]byte, 0, 8+core.MessageWireSize)
+	buf = appendActivityID(buf, target)
+	return append(buf, core.EncodeMessage(msg)...)
+}
+
+func decodeDGCPayload(buf []byte) (ids.ActivityID, core.Message, error) {
+	if len(buf) < 8+core.MessageWireSize {
+		return ids.Nil, core.Message{}, fmt.Errorf("%w: dgc payload", errBadEnvelope)
+	}
+	target, rest := readActivityID(buf)
+	msg, err := core.DecodeMessage(rest)
+	return target, msg, err
+}
+
+func appendActivityID(buf []byte, id ids.ActivityID) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Node))
+	return binary.LittleEndian.AppendUint32(buf, id.Seq)
+}
+
+func readActivityID(buf []byte) (ids.ActivityID, []byte) {
+	id := ids.ActivityID{
+		Node: ids.NodeID(binary.LittleEndian.Uint32(buf)),
+		Seq:  binary.LittleEndian.Uint32(buf[4:]),
+	}
+	return id, buf[8:]
+}

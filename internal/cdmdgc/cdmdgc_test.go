@@ -1,0 +1,119 @@
+package cdmdgc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func cfg() Config {
+	return Config{
+		DetectEvery: 30 * time.Second,
+		HopLatency:  10 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+func id(seq uint32) ids.ActivityID { return ids.ActivityID{Node: 1, Seq: seq} }
+
+func ring(w *World, n int) []*Activity {
+	acts := make([]*Activity, n)
+	for i := range acts {
+		acts[i] = w.NewActivity(id(uint32(i + 1)))
+	}
+	for i := range acts {
+		acts[i].Link(acts[(i+1)%n])
+	}
+	return acts
+}
+
+func TestCycleCollected(t *testing.T) {
+	w := NewWorld(cfg())
+	acts := ring(w, 6)
+	w.RunFor(10 * time.Minute)
+	for i, a := range acts {
+		if !a.Terminated() {
+			t.Fatalf("ring member %d not collected", i)
+		}
+	}
+	if w.Collected() != 6 {
+		t.Fatalf("collected = %d", w.Collected())
+	}
+}
+
+func TestBusyMemberVetoes(t *testing.T) {
+	w := NewWorld(cfg())
+	acts := ring(w, 5)
+	acts[2].SetBusy()
+	w.RunFor(time.Hour)
+	for i, a := range acts {
+		if a.Terminated() {
+			t.Fatalf("live ring member %d collected", i)
+		}
+	}
+	acts[2].SetIdle()
+	w.RunFor(30 * time.Minute)
+	if w.Collected() != 5 {
+		t.Fatalf("ring not collected after veto lifted: %d", w.Collected())
+	}
+}
+
+func TestBusyExternalReferencerVetoes(t *testing.T) {
+	w := NewWorld(cfg())
+	acts := ring(w, 3)
+	root := w.NewActivity(id(99))
+	root.SetBusy()
+	root.Link(acts[0])
+	w.RunFor(time.Hour)
+	if w.Collected() != 0 {
+		t.Fatal("cycle referenced by busy root collected")
+	}
+	root.Unlink(acts[0])
+	w.RunFor(30 * time.Minute)
+	if w.Collected() != 3 {
+		t.Fatalf("cycle not collected after root dropped: %d", w.Collected())
+	}
+}
+
+func TestMessageSizeGrowsWithCycle(t *testing.T) {
+	max := func(n int) int {
+		w := NewWorld(cfg())
+		ring(w, n)
+		w.RunFor(time.Hour)
+		if w.Collected() != n {
+			t.Fatalf("ring of %d not collected", n)
+		}
+		return w.MaxCDMBytes
+	}
+	m8 := max(8)
+	m64 := max(64)
+	if m64 <= m8 {
+		t.Fatalf("CDM size did not grow with the cycle: %d vs %d", m8, m64)
+	}
+	// Linear growth: a 64-ring CDM carries ~64 IDs ≈ 8× a ~8-ring one.
+	if m64 < 4*m8 {
+		t.Fatalf("CDM growth sub-linear?! %d vs %d", m8, m64)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	m := &CDM{
+		Originator: id(1),
+		Visited:    map[ids.ActivityID]bool{id(1): true, id(2): true},
+		Deps:       map[ids.ActivityID]bool{id(3): true},
+	}
+	if got := m.WireSize(); got != 16+8*3 {
+		t.Fatalf("WireSize = %d, want 40", got)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	w := NewWorld(cfg())
+	w.NewActivity(id(2))
+	w.NewActivity(id(1))
+	got := w.SortedIDs()
+	if len(got) != 2 || !got[0].Less(got[1]) {
+		t.Fatalf("SortedIDs = %v", got)
+	}
+}

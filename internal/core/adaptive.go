@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Adaptive implements the paper's §7.1 future-work proposal: dynamically
+// adjusting the broadcast period per activity — "augment the broadcasting
+// frequency when some garbage is suspected, i.e. when an active object
+// gets a parent and some of its referencers agree with the consensus, or
+// lower it when the distributed system is highly loaded".
+//
+// Safety constraint: an activity expires silent referencers after its own
+// TTA, while its referencers beat at *their* chosen periods — so the
+// slowest permitted beat must still satisfy the §3.1 deadline formula
+// against every receiver's TTA: TTA > 2·MaxTTB + MaxComm. Validate
+// enforces it. Speeding up is always safe.
+type Adaptive struct {
+	// Enabled turns adaptation on.
+	Enabled bool
+	// MinTTB is the fastest beat, used while garbage is suspected.
+	MinTTB time.Duration
+	// MaxTTB is the slowest beat, used while the activity is busy (the
+	// system is loaded and the graph around a busy activity cannot be
+	// garbage anyway).
+	MaxTTB time.Duration
+}
+
+// Validate checks the adaptive bounds against the base configuration and
+// the communication bound.
+func (a Adaptive) Validate(base Config, maxComm time.Duration) error {
+	if !a.Enabled {
+		return nil
+	}
+	if a.MinTTB <= 0 || a.MaxTTB < a.MinTTB {
+		return fmt.Errorf("core: adaptive bounds invalid: min=%v max=%v", a.MinTTB, a.MaxTTB)
+	}
+	if a.MinTTB > base.TTB || a.MaxTTB < base.TTB {
+		return fmt.Errorf("core: adaptive bounds must bracket the base TTB (%v): min=%v max=%v",
+			base.TTB, a.MinTTB, a.MaxTTB)
+	}
+	if lim := 2*a.MaxTTB + maxComm; base.TTA <= lim {
+		return fmt.Errorf("core: TTA (%v) must exceed 2*MaxTTB+MaxComm (%v) or slow beats starve receivers",
+			base.TTA, lim)
+	}
+	return nil
+}
+
+// suspectsGarbageLocked is the §7.1 trigger: the activity is idle and
+// either joined a reverse spanning tree (it has a parent) or is an
+// originator with at least one referencer already agreeing on its clock.
+func (c *Collector) suspectsGarbageLocked(idle bool) bool {
+	if !idle {
+		return false
+	}
+	if !c.parent.IsNil() {
+		return true
+	}
+	if c.clock.Owner != c.id {
+		return false
+	}
+	for _, r := range c.referencers {
+		if r.hasMessage && r.consensus && r.clock.Equal(c.clock) {
+			return true
+		}
+	}
+	return false
+}
+
+// nextBeatLocked picks the period until the next broadcast.
+func (c *Collector) nextBeatLocked(idle bool) time.Duration {
+	a := c.cfg.Adaptive
+	if !a.Enabled {
+		return c.cfg.TTB
+	}
+	switch {
+	case c.suspectsGarbageLocked(idle):
+		return a.MinTTB
+	case !idle:
+		return a.MaxTTB
+	default:
+		return c.cfg.TTB
+	}
+}

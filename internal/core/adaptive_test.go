@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lamport"
+)
+
+func adaptiveCfg() Config {
+	return Config{
+		TTB: 60 * time.Second,
+		TTA: 300 * time.Second,
+		Adaptive: Adaptive{
+			Enabled: true,
+			MinTTB:  15 * time.Second,
+			MaxTTB:  120 * time.Second,
+		},
+	}
+}
+
+func TestAdaptiveValidate(t *testing.T) {
+	cfg := adaptiveCfg()
+	if err := cfg.Adaptive.Validate(cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Disabled adaptives always validate.
+	if err := (Adaptive{}).Validate(cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg.Adaptive
+	bad.MaxTTB = 10 * time.Second // below min
+	if err := bad.Validate(cfg, 0); err == nil {
+		t.Fatal("max < min accepted")
+	}
+	bad = cfg.Adaptive
+	bad.MinTTB = 90 * time.Second // does not bracket base TTB
+	bad.MaxTTB = 120 * time.Second
+	if err := bad.Validate(cfg, 0); err == nil {
+		t.Fatal("min above base TTB accepted")
+	}
+	bad = cfg.Adaptive
+	bad.MaxTTB = 200 * time.Second // 2*200 > TTA=300
+	if err := bad.Validate(cfg, 0); err == nil {
+		t.Fatal("TTA-violating MaxTTB accepted")
+	}
+	// MaxComm participates in the bound.
+	if err := cfg.Adaptive.Validate(cfg, 100*time.Second); err == nil {
+		t.Fatal("2*120+100 > 300 must be rejected")
+	}
+}
+
+func TestNextBeatDefaultsWithoutAdaptive(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := Config{TTB: testTTB, TTA: testTTA}
+	c := New(id(1), cfg, func() bool { return true }, now)
+	res := c.Tick(now)
+	if res.NextBeat != testTTB {
+		t.Fatalf("NextBeat = %v, want base TTB", res.NextBeat)
+	}
+}
+
+func TestNextBeatSlowsWhenBusy(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := adaptiveCfg()
+	c := New(id(1), cfg, func() bool { return false }, now)
+	res := c.Tick(now)
+	if res.NextBeat != cfg.Adaptive.MaxTTB {
+		t.Fatalf("busy NextBeat = %v, want MaxTTB %v", res.NextBeat, cfg.Adaptive.MaxTTB)
+	}
+}
+
+func TestNextBeatBaseWhenIdleUnsuspecting(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := adaptiveCfg()
+	c := New(id(1), cfg, func() bool { return true }, now)
+	res := c.Tick(now)
+	if res.NextBeat != cfg.TTB {
+		t.Fatalf("idle NextBeat = %v, want base %v", res.NextBeat, cfg.TTB)
+	}
+}
+
+func TestNextBeatFastWhenParentAdopted(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := adaptiveCfg()
+	c := New(id(1), cfg, func() bool { return true }, now)
+	c.AddReferenced(id(2), now)
+	// Adopt a foreign clock and then a parent for it.
+	high := lamport.Clock{Value: 9, Owner: id(2)}
+	c.HandleMessage(Message{Sender: id(2), Clock: high}, now)
+	c.HandleResponse(id(2), Response{Clock: high, HasParent: true}, now)
+	if c.Parent().IsNil() {
+		t.Fatal("setup: parent expected")
+	}
+	res := c.Tick(now)
+	if res.NextBeat != cfg.Adaptive.MinTTB {
+		t.Fatalf("suspecting NextBeat = %v, want MinTTB %v", res.NextBeat, cfg.Adaptive.MinTTB)
+	}
+}
+
+func TestNextBeatFastWhenOwnerSeesAgreement(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := adaptiveCfg()
+	c := New(id(1), cfg, func() bool { return true }, now)
+	// One referencer agrees with our own clock, another does not (if all
+	// agreed, the consensus itself would fire instead of mere suspicion).
+	c.HandleMessage(Message{Sender: id(3), Clock: c.Clock(), Consensus: true}, now)
+	c.HandleMessage(Message{Sender: id(4), Clock: c.Clock(), Consensus: false}, now)
+	res := c.Tick(now)
+	if res.NextBeat != cfg.Adaptive.MinTTB {
+		t.Fatalf("owner-with-partial-agreement NextBeat = %v, want MinTTB", res.NextBeat)
+	}
+}
+
+func TestNextBeatDuringDying(t *testing.T) {
+	g := newGraph(t)
+	g.cfg.Adaptive = Adaptive{Enabled: true, MinTTB: testTTB / 2, MaxTTB: testTTB}
+	a := id(1)
+	g.add(a)
+	g.link(a, a) // self-cycle: reaches consensus quickly
+	var sawDying bool
+	for i := 0; i < 40 && !sawDying; i++ {
+		g.now = g.now.Add(testTTB)
+		res := g.collectors[a].Tick(g.now)
+		if res.EnteredDying {
+			sawDying = true
+			if res.NextBeat != testTTB {
+				t.Fatalf("entered-dying NextBeat = %v, want TTB", res.NextBeat)
+			}
+		}
+		for _, ob := range res.Messages {
+			resp := g.collectors[a].HandleMessage(ob.Msg, g.now)
+			g.collectors[a].HandleResponse(ob.To, resp, g.now)
+		}
+	}
+	if !sawDying {
+		t.Fatal("self-cycle never reached consensus")
+	}
+	// While dying, NextBeat stays at TTB and no messages are sent.
+	res := g.collectors[a].Tick(g.now.Add(testTTB))
+	if len(res.Messages) != 0 || res.NextBeat != testTTB {
+		t.Fatalf("dying tick = %+v", res)
+	}
+}
+
+// TestAdaptiveStillCollectsAndIsSafe reruns core scenarios under adaptive
+// beats: the harness ticks at fixed TTB (a legal schedule: every activity
+// may beat at least that often), so only algorithm behaviour can differ.
+func TestAdaptiveStillCollectsAndIsSafe(t *testing.T) {
+	g := newGraph(t)
+	g.cfg.Adaptive = Adaptive{Enabled: true, MinTTB: testTTB / 2, MaxTTB: testTTB}
+	a, b, c, root := id(1), id(2), id(3), id(4)
+	g.add(a)
+	g.add(b)
+	g.add(c)
+	g.addBusy(root)
+	g.link(a, b)
+	g.link(b, c)
+	g.link(c, a)
+	g.link(root, a)
+	g.run(20)
+	if !g.noneCollected(a, b, c) {
+		t.Fatal("live cycle collected under adaptive beats")
+	}
+	g.drop(root, a)
+	g.run(3 * stepsFor(3))
+	if !g.allCollected(a, b, c) {
+		t.Fatal("garbage cycle not collected under adaptive beats")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// graph is a synchronous, single-threaded test harness: every step advances
+// time by TTB, ticks all live collectors in ID order, and delivers each DGC
+// message and its response instantly. It models the paper's protocol with
+// MaxComm = 0 and perfectly aligned beats, which is the easiest regime to
+// reason about scenario outcomes in; the DES harness (internal/sim) covers
+// skewed beats and real latencies.
+type graph struct {
+	t          *testing.T
+	cfg        Config
+	now        time.Time
+	collectors map[ids.ActivityID]*Collector
+	idle       map[ids.ActivityID]bool
+	terminated map[ids.ActivityID]Reason
+	order      []ids.ActivityID
+	events     []Event
+}
+
+const (
+	testTTB = 30 * time.Second
+	testTTA = 61 * time.Second // the paper's NAS setting: TTA > 2*TTB (+MaxComm=0)
+)
+
+func newGraph(t *testing.T) *graph {
+	t.Helper()
+	g := &graph{
+		t:          t,
+		now:        time.Unix(0, 0),
+		collectors: make(map[ids.ActivityID]*Collector),
+		idle:       make(map[ids.ActivityID]bool),
+		terminated: make(map[ids.ActivityID]Reason),
+	}
+	g.cfg = Config{
+		TTB:     testTTB,
+		TTA:     testTTA,
+		OnEvent: func(ev Event) { g.events = append(g.events, ev) },
+	}
+	return g
+}
+
+// add creates an activity. Activities start idle unless marked busy later;
+// creation counts as having just become idle.
+func (g *graph) add(id ids.ActivityID) *Collector {
+	g.t.Helper()
+	c := New(id, g.cfg, func() bool { return g.idle[id] }, g.now)
+	g.collectors[id] = c
+	g.idle[id] = true
+	g.order = append(g.order, id)
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i].Less(g.order[j]) })
+	return c
+}
+
+// addBusy creates a permanently busy activity (a root or an active one).
+func (g *graph) addBusy(id ids.ActivityID) *Collector {
+	c := g.add(id)
+	g.idle[id] = false
+	return c
+}
+
+// link records "from references to" as if from had deserialized a stub.
+func (g *graph) link(from, to ids.ActivityID) {
+	g.collectors[from].AddReferenced(to, g.now)
+}
+
+// drop simulates the local GC reclaiming from's last stub of to.
+func (g *graph) drop(from, to ids.ActivityID) {
+	g.collectors[from].LostReferenced(to, g.now)
+}
+
+// setIdle flips an activity's business; transitioning busy→idle triggers
+// the BecomeIdle clock increment, as the middleware would.
+func (g *graph) setIdle(id ids.ActivityID, idle bool) {
+	was := g.idle[id]
+	g.idle[id] = idle
+	if !was && idle {
+		g.collectors[id].BecomeIdle(g.now)
+	}
+}
+
+// kill simulates a crash / explicit termination: the activity simply stops
+// participating.
+func (g *graph) kill(id ids.ActivityID) {
+	g.collectors[id].Terminate(g.now)
+	g.terminated[id] = ReasonAcyclic
+}
+
+// step advances one TTB and runs one synchronized beat.
+func (g *graph) step() {
+	g.t.Helper()
+	g.now = g.now.Add(testTTB)
+	for _, id := range g.order {
+		if g.terminated[id] != ReasonNone {
+			continue
+		}
+		c := g.collectors[id]
+		res := c.Tick(g.now)
+		if res.Terminated {
+			g.terminated[id] = res.Reason
+			continue
+		}
+		for _, ob := range res.Messages {
+			dst, ok := g.collectors[ob.To]
+			if !ok || g.terminated[ob.To] != ReasonNone {
+				continue // unreachable / destroyed: no response
+			}
+			resp := dst.HandleMessage(ob.Msg, g.now)
+			c.HandleResponse(ob.To, resp, g.now)
+		}
+	}
+}
+
+// run performs n steps.
+func (g *graph) run(n int) {
+	g.t.Helper()
+	for i := 0; i < n; i++ {
+		g.step()
+	}
+}
+
+// collected reports whether id has terminated.
+func (g *graph) collected(id ids.ActivityID) bool {
+	return g.terminated[id] != ReasonNone
+}
+
+// allCollected reports whether every listed activity has terminated.
+func (g *graph) allCollected(idsList ...ids.ActivityID) bool {
+	for _, id := range idsList {
+		if !g.collected(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// noneCollected reports whether none of the listed activities terminated.
+func (g *graph) noneCollected(idsList ...ids.ActivityID) bool {
+	for _, id := range idsList {
+		if g.collected(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// id is a test helper building activity IDs on node 1.
+func id(seq uint32) ids.ActivityID {
+	return ids.ActivityID{Node: 1, Seq: seq}
+}
+
+// stepsFor returns a generous step budget for detecting and fully
+// collecting garbage in a graph of the given spanning-tree height:
+// O(h·TTB) + TTA (paper §4.3), with slack for harness quantization.
+func stepsFor(h int) int {
+	detect := 3*h + 6
+	collect := int(testTTA/testTTB) + 2
+	return detect + collect
+}

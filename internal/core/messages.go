@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution: the complete
+// distributed garbage collector for activities (Caromel, Chazarain, Henrio,
+// Middleware 2007).
+//
+// The collector is an engine-agnostic state machine: one Collector instance
+// per activity, driven by the middleware through five entry points —
+//
+//   - Tick(now): the periodic TTB broadcast (Algorithm 2);
+//   - HandleMessage(msg, now): reception of a DGC message (Algorithm 3),
+//     returning the DGC response that rides back on the same connection;
+//   - HandleResponse(from, resp, now): reception of a DGC response
+//     (Algorithm 4);
+//   - BecomeIdle(now): the activity's service queue drained (clock
+//     increment occasion #1, §3.2);
+//   - AddReferenced/LostReferenced: reference-graph edge creation (stub
+//     deserialized) and deletion (stub tag died at a local collection;
+//     clock increment occasion #3).
+//
+// Clock increment occasion #2 — loss of a referencer — is detected inside
+// Tick when a referencer has been silent for TTA.
+//
+// The same state machine is driven by the live goroutine runtime
+// (internal/active) and by the deterministic discrete-event harness
+// (internal/sim); see DESIGN.md §6.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/lamport"
+)
+
+// Message is a DGC message, sent every TTB from a referencer to each of its
+// referenced activities (§3.2 "DGC Messages and Responses"). It is fixed
+// size, which the paper's complexity analysis (§4.3) relies on.
+type Message struct {
+	// Sender identifies the referencer. The recipient stores it in its
+	// referencer list; it is never used to open a connection back.
+	Sender ids.ActivityID
+	// Clock is the sender's view of the final activity clock.
+	Clock lamport.Clock
+	// Consensus is the sender's acceptance of the final activity clock it
+	// received in the previous DGC response from this destination.
+	Consensus bool
+}
+
+// Response is a DGC response, returned synchronously to each DGC message
+// over the same connection.
+type Response struct {
+	// Clock is the responder's consensus candidate. It is never used to
+	// update the receiver's own clock (Fig. 4) — only to build consensus.
+	Clock lamport.Clock
+	// HasParent reports that the responder has a spanning-tree parent or
+	// is itself the clock owner, i.e. that adopting the responder as
+	// parent keeps the reverse spanning tree rooted at the originator.
+	HasParent bool
+	// ConsensusReached propagates the termination wave: the responder has
+	// learned that a consensus was reached on its current clock and is
+	// waiting to die (the §4.3 optimization).
+	ConsensusReached bool
+	// Depth is the responder's distance to the originator along the
+	// reverse spanning tree (0 for the clock owner). Only meaningful when
+	// HasParent; used by the §7.2 minimal-height extension to re-adopt
+	// shallower parents.
+	Depth uint32
+}
+
+// ErrShortBuffer indicates a DGC payload that cannot hold a full message or
+// response.
+var ErrShortBuffer = errors.New("core: short DGC payload")
+
+// Wire sizes: fixed-size little-endian encoding, matching the paper's
+// "fixed size" claim for DGC traffic.
+const (
+	// MessageWireSize is the encoded size of a Message in bytes.
+	MessageWireSize = 4 + 4 + 8 + 4 + 4 + 1
+	// ResponseWireSize is the encoded size of a Response in bytes.
+	ResponseWireSize = 8 + 4 + 4 + 1 + 1 + 4
+)
+
+func putActivityID(dst []byte, id ids.ActivityID) {
+	binary.LittleEndian.PutUint32(dst[0:], uint32(id.Node))
+	binary.LittleEndian.PutUint32(dst[4:], id.Seq)
+}
+
+func getActivityID(src []byte) ids.ActivityID {
+	return ids.ActivityID{
+		Node: ids.NodeID(binary.LittleEndian.Uint32(src[0:])),
+		Seq:  binary.LittleEndian.Uint32(src[4:]),
+	}
+}
+
+func putClock(dst []byte, c lamport.Clock) {
+	binary.LittleEndian.PutUint64(dst[0:], c.Value)
+	putActivityID(dst[8:], c.Owner)
+}
+
+func getClock(src []byte) lamport.Clock {
+	return lamport.Clock{
+		Value: binary.LittleEndian.Uint64(src[0:]),
+		Owner: getActivityID(src[8:]),
+	}
+}
+
+func putBool(dst []byte, b bool) {
+	if b {
+		dst[0] = 1
+	} else {
+		dst[0] = 0
+	}
+}
+
+// EncodeMessage serializes m into a fresh buffer of MessageWireSize bytes.
+func EncodeMessage(m Message) []byte {
+	buf := make([]byte, MessageWireSize)
+	putActivityID(buf[0:], m.Sender)
+	putClock(buf[8:], m.Clock)
+	putBool(buf[24:], m.Consensus)
+	return buf
+}
+
+// DecodeMessage is the inverse of EncodeMessage.
+func DecodeMessage(buf []byte) (Message, error) {
+	if len(buf) < MessageWireSize {
+		return Message{}, fmt.Errorf("%w: message needs %d bytes, got %d", ErrShortBuffer, MessageWireSize, len(buf))
+	}
+	return Message{
+		Sender:    getActivityID(buf[0:]),
+		Clock:     getClock(buf[8:]),
+		Consensus: buf[24] != 0,
+	}, nil
+}
+
+// EncodeResponse serializes r into a fresh buffer of ResponseWireSize
+// bytes.
+func EncodeResponse(r Response) []byte {
+	buf := make([]byte, ResponseWireSize)
+	putClock(buf[0:], r.Clock)
+	putBool(buf[16:], r.HasParent)
+	putBool(buf[17:], r.ConsensusReached)
+	binary.LittleEndian.PutUint32(buf[18:], r.Depth)
+	return buf
+}
+
+// DecodeResponse is the inverse of EncodeResponse.
+func DecodeResponse(buf []byte) (Response, error) {
+	if len(buf) < ResponseWireSize {
+		return Response{}, fmt.Errorf("%w: response needs %d bytes, got %d", ErrShortBuffer, ResponseWireSize, len(buf))
+	}
+	return Response{
+		Clock:            getClock(buf[0:]),
+		HasParent:        buf[16] != 0,
+		ConsensusReached: buf[17] != 0,
+		Depth:            binary.LittleEndian.Uint32(buf[18:]),
+	}, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/lamport"
+)
+
+func randomActivityID(r *rand.Rand) ids.ActivityID {
+	return ids.ActivityID{Node: ids.NodeID(r.Uint32()), Seq: r.Uint32()}
+}
+
+// TestMessageCodecProperty: every message round-trips through the fixed-
+// size codec.
+func TestMessageCodecProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(Message{
+				Sender:    randomActivityID(r),
+				Clock:     lamport.Clock{Value: r.Uint64(), Owner: randomActivityID(r)},
+				Consensus: r.Intn(2) == 0,
+			})
+		},
+	}
+	prop := func(m Message) bool {
+		got, err := DecodeMessage(EncodeMessage(m))
+		return err == nil && got == m
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResponseCodecProperty: every response round-trips, including the
+// §7.2 depth field.
+func TestResponseCodecProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(Response{
+				Clock:            lamport.Clock{Value: r.Uint64(), Owner: randomActivityID(r)},
+				HasParent:        r.Intn(2) == 0,
+				ConsensusReached: r.Intn(2) == 0,
+				Depth:            r.Uint32(),
+			})
+		},
+	}
+	prop := func(resp Response) bool {
+		got, err := DecodeResponse(EncodeResponse(resp))
+		return err == nil && got == resp
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

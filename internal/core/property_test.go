@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// shadow mirrors the reference graph and busy set maintained by a random
+// scenario, providing the ground-truth Garbage predicate of §3:
+// Garbage(x) ⇔ every y with y →* x (including x) is idle.
+type shadow struct {
+	edges map[ids.ActivityID]map[ids.ActivityID]bool // from → to
+	busy  map[ids.ActivityID]bool
+	all   []ids.ActivityID
+}
+
+func newShadow(all []ids.ActivityID) *shadow {
+	s := &shadow{
+		edges: make(map[ids.ActivityID]map[ids.ActivityID]bool),
+		busy:  make(map[ids.ActivityID]bool),
+		all:   all,
+	}
+	for _, id := range all {
+		s.edges[id] = make(map[ids.ActivityID]bool)
+	}
+	return s
+}
+
+// live returns the set of activities reachable from a busy activity by
+// following reference edges forward (a busy activity is live itself).
+func (s *shadow) live() map[ids.ActivityID]bool {
+	liveSet := make(map[ids.ActivityID]bool)
+	var stack []ids.ActivityID
+	for id, b := range s.busy {
+		if b {
+			liveSet[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for to := range s.edges[cur] {
+			if !liveSet[to] {
+				liveSet[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return liveSet
+}
+
+// TestRandomGraphSafetyAndLiveness drives random reference graphs through
+// random model-legal mutations and checks the two DGC meta-invariants:
+//
+//   - safety: an activity that is live (reachable from a busy activity) is
+//     never collected;
+//   - liveness: once mutations stop, every garbage activity is collected
+//     within O(h·TTB) + TTA.
+//
+// Legal mutations preserve the paper's model: edges are only created by a
+// busy holder of the reference handing it to an activity it references
+// (serving the request flips the recipient busy→idle, ticking its clock);
+// edges are dropped at any time (local GC); busy activities may become
+// idle; idle activities never spontaneously become busy.
+func TestRandomGraphSafetyAndLiveness(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		r := rand.New(rand.NewSource(seed))
+		g := newGraph(t)
+
+		n := 3 + r.Intn(9)
+		all := make([]ids.ActivityID, n)
+		for i := 0; i < n; i++ {
+			all[i] = id(uint32(i + 1))
+		}
+		s := newShadow(all)
+		for _, x := range all {
+			if r.Intn(3) == 0 { // ~1/3 busy
+				g.addBusy(x)
+				s.busy[x] = true
+			} else {
+				g.add(x)
+				s.busy[x] = false
+			}
+		}
+		// Random initial edges, density ~0.25.
+		for _, from := range all {
+			for _, to := range all {
+				if r.Intn(4) == 0 {
+					g.link(from, to)
+					s.edges[from][to] = true
+				}
+			}
+		}
+
+		checkSafety := func(step int) {
+			t.Helper()
+			liveSet := s.live()
+			for _, x := range all {
+				if liveSet[x] && g.collected(x) {
+					t.Fatalf("seed %d step %d: SAFETY violated: live %v collected (%v)",
+						seed, step, x, g.terminated[x])
+				}
+			}
+		}
+
+		// Mutation phase.
+		for step := 0; step < 30; step++ {
+			g.step()
+			switch r.Intn(4) {
+			case 0: // drop a random edge
+				from := all[r.Intn(n)]
+				for to := range s.edges[from] {
+					if !g.collected(from) {
+						g.drop(from, to)
+						delete(s.edges[from], to)
+					}
+					break
+				}
+			case 1: // a busy activity goes idle
+				x := all[r.Intn(n)]
+				if s.busy[x] {
+					s.busy[x] = false
+					g.setIdle(x, true)
+				}
+			case 2: // a busy holder gives a reference to an activity it references
+				giver := all[r.Intn(n)]
+				if s.busy[giver] && !g.collected(giver) {
+					var tos []ids.ActivityID
+					for to := range s.edges[giver] {
+						tos = append(tos, to)
+					}
+					if len(tos) >= 2 {
+						recipient, given := tos[r.Intn(len(tos))], tos[r.Intn(len(tos))]
+						if recipient != giver && !g.collected(recipient) {
+							g.link(recipient, given)
+							s.edges[recipient][given] = true
+							// Serving the request ticks the recipient's
+							// clock when it goes idle again.
+							if !s.busy[recipient] {
+								g.collectors[recipient].BecomeIdle(g.now)
+							}
+						}
+					}
+				}
+			default: // no mutation this step
+			}
+			checkSafety(step)
+		}
+
+		// Quiescent phase: liveness. Budget: detection O(h·TTB) with h ≤ n,
+		// plus TTA for the dying wait, for every peeling layer (worst case
+		// chains of cycles peel sequentially).
+		quiet := n * stepsFor(n)
+		for step := 0; step < quiet; step++ {
+			g.step()
+			checkSafety(1000 + step)
+		}
+		liveSet := s.live()
+		for _, x := range all {
+			if !liveSet[x] && !g.collected(x) {
+				t.Fatalf("seed %d: LIVENESS violated: garbage %v not collected after %d quiet steps (%v)",
+					seed, quiet, x, g.collectors[x])
+			}
+		}
+	}
+}
+
+// TestAllIdleGraphFullyCollected: with no busy activity at all, everything
+// is garbage and must be collected, whatever the topology.
+func TestAllIdleGraphFullyCollected(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := newGraph(t)
+		n := 2 + r.Intn(10)
+		all := make([]ids.ActivityID, n)
+		for i := range all {
+			all[i] = id(uint32(i + 1))
+			g.add(all[i])
+		}
+		for _, from := range all {
+			for _, to := range all {
+				if r.Intn(3) == 0 {
+					g.link(from, to)
+				}
+			}
+		}
+		g.run(n * stepsFor(n))
+		if !g.allCollected(all...) {
+			for _, x := range all {
+				if !g.collected(x) {
+					t.Logf("seed %d: %v survives: %v", seed, x, g.collectors[x])
+				}
+			}
+			t.Fatalf("seed %d: all-idle graph not fully collected", seed)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package des is a deterministic discrete-event simulation engine. The
+// paper-scale experiments (6 401 activities, tens of thousands of simulated
+// seconds, Fig. 10) run on it: virtual time makes them exact and fast, and
+// seeded randomness makes them reproducible run-to-run.
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a single-threaded event loop over virtual time. It is NOT safe
+// for concurrent use: all scheduled functions run on the caller's
+// goroutine inside Step/Run*.
+type Engine struct {
+	now    time.Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// New creates an engine positioned at start, with seeded randomness.
+func New(start time.Time, seed int64) *Engine {
+	return &Engine{now: start, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at time t. Scheduling in the past runs at the current
+// time (never rewinds the clock). Events with equal times run in
+// scheduling order.
+func (e *Engine) At(t time.Time, fn func()) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn after delay d.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step runs the next event; it reports false when no event is pending.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events up to and including time t, then sets the clock
+// to t.
+func (e *Engine) RunUntil(t time.Time) {
+	for len(e.events) > 0 && !e.events[0].at.After(t) {
+		e.Step()
+	}
+	if e.now.Before(t) {
+		e.now = t
+	}
+}
+
+// RunFor executes events for a span of virtual time.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+// Run executes events until none remain (use with care: periodic
+// reschedulers never drain).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,140 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func start() time.Time { return time.Unix(0, 0) }
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(start(), 1)
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := e.Now(); !got.Equal(start().Add(3 * time.Second)) {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestEqualTimesRunInScheduleOrder(t *testing.T) {
+	e := New(start(), 1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(start(), 1)
+	var fired []time.Time
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.After(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired %d times", len(fired))
+	}
+	if got := fired[1].Sub(fired[0]); got != time.Second {
+		t.Fatalf("nested delay = %v", got)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New(start(), 1)
+	e.RunUntil(start().Add(time.Minute))
+	var at time.Time
+	e.At(start(), func() { at = e.Now() }) // in the past
+	e.Run()
+	if !at.Equal(start().Add(time.Minute)) {
+		t.Fatalf("past event ran at %v", at)
+	}
+	e.After(-time.Second, func() {}) // negative delay: clamped, must not panic
+	e.Run()
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := New(start(), 1)
+	var fired []int
+	e.After(1*time.Second, func() { fired = append(fired, 1) })
+	e.After(5*time.Second, func() { fired = append(fired, 5) })
+	e.RunUntil(start().Add(3 * time.Second))
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want only the 1s event", fired)
+	}
+	if !e.Now().Equal(start().Add(3 * time.Second)) {
+		t.Fatalf("Now = %v, want clamped to boundary", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.RunFor(10 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v after RunFor", fired)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New(start(), 1)
+	if e.Step() {
+		t.Fatal("Step on empty engine = true")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []int {
+		e := New(start(), seed)
+		var out []int
+		// A self-rescheduling process with random delays.
+		var tick func()
+		count := 0
+		tick = func() {
+			count++
+			out = append(out, int(e.Now().Unix()))
+			if count < 50 {
+				e.After(time.Duration(1+e.Rand().Intn(10))*time.Second, tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+		return out
+	}
+	a := trace(42)
+	b := trace(42)
+	c := trace(43)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}

@@ -1,0 +1,159 @@
+// Package grid models the Grid'5000 deployment of the paper's §5.1: three
+// sites (Bordeaux, Sophia, Rennes) with the measured intra- and inter-site
+// round-trip latencies, and 128 nodes split 49/39/40.
+package grid
+
+import (
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Site is one cluster.
+type Site struct {
+	// Name identifies the site.
+	Name string
+	// Nodes is the number of machines at the site.
+	Nodes int
+	// IntraRTT is the measured round-trip latency inside the site.
+	IntraRTT time.Duration
+}
+
+// Topology is a multi-site deployment: nodes are numbered 1..NumNodes()
+// and assigned to sites in contiguous blocks.
+type Topology struct {
+	sites    []Site
+	interRTT map[[2]string]time.Duration
+	siteOf   []int // node index (0-based) → site index
+}
+
+// New builds a topology. interRTT keys are unordered site-name pairs
+// (stored both ways).
+func New(sites []Site, interRTT map[[2]string]time.Duration) *Topology {
+	t := &Topology{
+		sites:    make([]Site, len(sites)),
+		interRTT: make(map[[2]string]time.Duration, 2*len(interRTT)),
+	}
+	copy(t.sites, sites)
+	for k, v := range interRTT {
+		t.interRTT[k] = v
+		t.interRTT[[2]string{k[1], k[0]}] = v
+	}
+	for i, s := range sites {
+		for j := 0; j < s.Nodes; j++ {
+			t.siteOf = append(t.siteOf, i)
+		}
+	}
+	return t
+}
+
+// Grid5000 returns the paper's testbed (§5.1): Bordeaux (49 nodes, RTT
+// 0.2ms), Sophia (39 nodes, RTT 0.1ms), Rennes (40 nodes, RTT 0.1ms);
+// inter-site RTTs 8ms Rennes–Bordeaux, 10ms Bordeaux–Sophia, 20ms
+// Rennes–Sophia.
+func Grid5000() *Topology {
+	return New(
+		[]Site{
+			{Name: "bordeaux", Nodes: 49, IntraRTT: 200 * time.Microsecond},
+			{Name: "sophia", Nodes: 39, IntraRTT: 100 * time.Microsecond},
+			{Name: "rennes", Nodes: 40, IntraRTT: 100 * time.Microsecond},
+		},
+		map[[2]string]time.Duration{
+			{"rennes", "bordeaux"}: 8 * time.Millisecond,
+			{"bordeaux", "sophia"}: 10 * time.Millisecond,
+			{"rennes", "sophia"}:   20 * time.Millisecond,
+		},
+	)
+}
+
+// NumNodes returns the total number of nodes.
+func (t *Topology) NumNodes() int { return len(t.siteOf) }
+
+// SiteOf returns the site name hosting node (nodes are 1-based; unknown
+// nodes map to the first site).
+func (t *Topology) SiteOf(node ids.NodeID) string {
+	i := int(node) - 1
+	if i < 0 || i >= len(t.siteOf) {
+		i = 0
+	}
+	return t.sites[t.siteOf[i]].Name
+}
+
+// RTT returns the round-trip latency between two nodes.
+func (t *Topology) RTT(a, b ids.NodeID) time.Duration {
+	ia, ib := t.siteIndex(a), t.siteIndex(b)
+	if ia == ib {
+		return t.sites[ia].IntraRTT
+	}
+	return t.interRTT[[2]string{t.sites[ia].Name, t.sites[ib].Name}]
+}
+
+// Latency returns the one-way latency between two nodes (RTT/2), the form
+// the transports consume.
+func (t *Topology) Latency(a, b ids.NodeID) time.Duration {
+	if a == b {
+		return 0
+	}
+	return t.RTT(a, b) / 2
+}
+
+// MaxComm returns an upper bound on one-way communication time across the
+// topology, for the TTA > 2·TTB + MaxComm formula (§3.1).
+func (t *Topology) MaxComm() time.Duration {
+	var max time.Duration
+	for i := range t.sites {
+		if r := t.sites[i].IntraRTT / 2; r > max {
+			max = r
+		}
+		for j := range t.sites {
+			if i == j {
+				continue
+			}
+			if r := t.interRTT[[2]string{t.sites[i].Name, t.sites[j].Name}] / 2; r > max {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+func (t *Topology) siteIndex(node ids.NodeID) int {
+	i := int(node) - 1
+	if i < 0 || i >= len(t.siteOf) {
+		return 0
+	}
+	return t.siteOf[i]
+}
+
+// RoundRobin assigns m activities to the topology's nodes round-robin (the
+// paper's NAS deployment, §5.2). The result maps activity index → node ID
+// (1-based).
+func (t *Topology) RoundRobin(m int) []ids.NodeID {
+	out := make([]ids.NodeID, m)
+	n := t.NumNodes()
+	for i := 0; i < m; i++ {
+		out[i] = ids.NodeID(i%n + 1)
+	}
+	return out
+}
+
+// Scaled returns a topology with every node count divided by factor (at
+// least one node per site), for laptop-scale versions of the paper runs.
+func (t *Topology) Scaled(factor int) *Topology {
+	if factor < 1 {
+		factor = 1
+	}
+	sites := make([]Site, len(t.sites))
+	copy(sites, t.sites)
+	for i := range sites {
+		sites[i].Nodes = (sites[i].Nodes + factor - 1) / factor
+		if sites[i].Nodes < 1 {
+			sites[i].Nodes = 1
+		}
+	}
+	inter := make(map[[2]string]time.Duration, len(t.interRTT))
+	for k, v := range t.interRTT {
+		inter[k] = v
+	}
+	return New(sites, inter)
+}

@@ -1,0 +1,117 @@
+package grid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func TestGrid5000Shape(t *testing.T) {
+	topo := Grid5000()
+	if got := topo.NumNodes(); got != 128 {
+		t.Fatalf("NumNodes = %d, want 128 (49+39+40)", got)
+	}
+	if s := topo.SiteOf(1); s != "bordeaux" {
+		t.Fatalf("SiteOf(1) = %q", s)
+	}
+	if s := topo.SiteOf(49); s != "bordeaux" {
+		t.Fatalf("SiteOf(49) = %q", s)
+	}
+	if s := topo.SiteOf(50); s != "sophia" {
+		t.Fatalf("SiteOf(50) = %q", s)
+	}
+	if s := topo.SiteOf(88); s != "sophia" {
+		t.Fatalf("SiteOf(88) = %q", s)
+	}
+	if s := topo.SiteOf(89); s != "rennes" {
+		t.Fatalf("SiteOf(89) = %q", s)
+	}
+	if s := topo.SiteOf(128); s != "rennes" {
+		t.Fatalf("SiteOf(128) = %q", s)
+	}
+}
+
+func TestGrid5000RTTs(t *testing.T) {
+	topo := Grid5000()
+	tests := []struct {
+		a, b ids.NodeID
+		want time.Duration
+	}{
+		{1, 2, 200 * time.Microsecond},   // intra-Bordeaux
+		{50, 51, 100 * time.Microsecond}, // intra-Sophia
+		{89, 90, 100 * time.Microsecond}, // intra-Rennes
+		{1, 89, 8 * time.Millisecond},    // Bordeaux–Rennes
+		{1, 50, 10 * time.Millisecond},   // Bordeaux–Sophia
+		{89, 50, 20 * time.Millisecond},  // Rennes–Sophia
+	}
+	for _, tt := range tests {
+		if got := topo.RTT(tt.a, tt.b); got != tt.want {
+			t.Errorf("RTT(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := topo.RTT(tt.b, tt.a); got != tt.want {
+			t.Errorf("RTT(%v, %v) = %v, want %v (symmetry)", tt.b, tt.a, got, tt.want)
+		}
+		if got := topo.Latency(tt.a, tt.b); got != tt.want/2 {
+			t.Errorf("Latency(%v, %v) = %v, want RTT/2", tt.a, tt.b, got)
+		}
+	}
+	if got := topo.Latency(5, 5); got != 0 {
+		t.Errorf("self latency = %v, want 0", got)
+	}
+}
+
+func TestMaxComm(t *testing.T) {
+	topo := Grid5000()
+	if got := topo.MaxComm(); got != 10*time.Millisecond { // half of the 20ms Rennes–Sophia RTT
+		t.Fatalf("MaxComm = %v, want 10ms", got)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	topo := Grid5000()
+	placement := topo.RoundRobin(256)
+	if len(placement) != 256 {
+		t.Fatalf("len = %d", len(placement))
+	}
+	if placement[0] != 1 || placement[127] != 128 || placement[128] != 1 {
+		t.Fatalf("round-robin wrong: %v %v %v", placement[0], placement[127], placement[128])
+	}
+	counts := map[ids.NodeID]int{}
+	for _, n := range placement {
+		counts[n]++
+	}
+	for n, c := range counts {
+		if c != 2 {
+			t.Fatalf("node %v got %d activities, want 2", n, c)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	topo := Grid5000().Scaled(8)
+	// ceil(49/8)=7, ceil(39/8)=5, ceil(40/8)=5 → 17 nodes.
+	if got := topo.NumNodes(); got != 17 {
+		t.Fatalf("scaled NumNodes = %d, want 17", got)
+	}
+	// Latencies survive scaling.
+	if got := topo.RTT(1, ids.NodeID(topo.NumNodes())); got == 0 {
+		t.Fatal("scaled inter-site RTT must be nonzero")
+	}
+	if Grid5000().Scaled(0).NumNodes() != 128 {
+		t.Fatal("factor < 1 must clamp to 1")
+	}
+	if Grid5000().Scaled(10_000).NumNodes() != 3 {
+		t.Fatal("huge factor must keep one node per site")
+	}
+}
+
+func TestUnknownNodeFallsBack(t *testing.T) {
+	topo := Grid5000()
+	if s := topo.SiteOf(0); s != "bordeaux" {
+		t.Fatalf("SiteOf(0) = %q", s)
+	}
+	if s := topo.SiteOf(999); s != "bordeaux" {
+		t.Fatalf("SiteOf(999) = %q", s)
+	}
+}

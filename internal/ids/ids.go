@@ -1,0 +1,103 @@
+// Package ids defines the identifiers used across the distributed system:
+// node identifiers, activity identifiers, and generators for both.
+//
+// Activity identifiers are totally ordered. The order is used by the
+// distributed garbage collector to break ties between activity clocks with
+// equal values (the paper's "named" Lamport clock, §3.2), so it must be a
+// strict total order that every process computes identically.
+package ids
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// NodeID identifies a process (an address space) in the distributed system.
+// The paper calls these JVMs; the simulation calls them nodes.
+type NodeID uint32
+
+// String implements fmt.Stringer.
+func (n NodeID) String() string {
+	return fmt.Sprintf("node-%d", uint32(n))
+}
+
+// ActivityID uniquely identifies an active object in the whole distributed
+// system. It is comparable (usable as a map key) and totally ordered via
+// Less. The zero value is reserved as "no activity" (see Nil).
+type ActivityID struct {
+	// Node is the process on which the activity was created. Activities do
+	// not migrate in this model, so Node is also where the activity lives.
+	Node NodeID
+	// Seq is the per-node creation sequence number, starting at 1.
+	Seq uint32
+}
+
+// Nil is the zero ActivityID, meaning "no activity".
+var Nil ActivityID
+
+// IsNil reports whether the identifier is the reserved zero value.
+func (a ActivityID) IsNil() bool {
+	return a == ActivityID{}
+}
+
+// Less defines the global total order on activity identifiers.
+func (a ActivityID) Less(b ActivityID) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Seq < b.Seq
+}
+
+// Compare returns -1, 0 or +1 following the same order as Less.
+func (a ActivityID) Compare(b ActivityID) int {
+	switch {
+	case a == b:
+		return 0
+	case a.Less(b):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// String implements fmt.Stringer. Examples: "A2.7" is the 7th activity
+// created on node 2.
+func (a ActivityID) String() string {
+	if a.IsNil() {
+		return "A<nil>"
+	}
+	return fmt.Sprintf("A%d.%d", uint32(a.Node), a.Seq)
+}
+
+// Generator hands out fresh activity identifiers for one node. It is safe
+// for concurrent use.
+type Generator struct {
+	node NodeID
+	next atomic.Uint32
+}
+
+// NewGenerator returns a generator producing identifiers scoped to node.
+func NewGenerator(node NodeID) *Generator {
+	return &Generator{node: node}
+}
+
+// Node returns the node the generator allocates for.
+func (g *Generator) Node() NodeID {
+	return g.node
+}
+
+// Next returns a fresh, never-before-returned activity identifier.
+func (g *Generator) Next() ActivityID {
+	return ActivityID{Node: g.node, Seq: g.next.Add(1)}
+}
+
+// NodeGenerator hands out fresh node identifiers. It is safe for concurrent
+// use.
+type NodeGenerator struct {
+	next atomic.Uint32
+}
+
+// Next returns a fresh node identifier (starting at 1; 0 is reserved).
+func (g *NodeGenerator) Next() NodeID {
+	return NodeID(g.next.Add(1))
+}

@@ -1,0 +1,145 @@
+package ids
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilActivityID(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false, want true")
+	}
+	id := ActivityID{Node: 1, Seq: 1}
+	if id.IsNil() {
+		t.Fatalf("%v.IsNil() = true, want false", id)
+	}
+}
+
+func TestActivityIDString(t *testing.T) {
+	tests := []struct {
+		id   ActivityID
+		want string
+	}{
+		{ActivityID{}, "A<nil>"},
+		{ActivityID{Node: 2, Seq: 7}, "A2.7"},
+		{ActivityID{Node: 1, Seq: 1}, "A1.1"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(3).String(); got != "node-3" {
+		t.Errorf("NodeID(3).String() = %q, want %q", got, "node-3")
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	// Irreflexive, asymmetric, transitive, total: checked on random triples.
+	prop := func(a, b, c ActivityID) bool {
+		if a.Less(a) {
+			return false // irreflexive
+		}
+		if a.Less(b) && b.Less(a) {
+			return false // asymmetric
+		}
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false // total
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false // transitive
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	prop := func(a, b ActivityID) bool {
+		c := a.Compare(b)
+		switch {
+		case a == b:
+			return c == 0
+		case a.Less(b):
+			return c == -1
+		default:
+			return c == 1
+		}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessOrdersByNodeFirst(t *testing.T) {
+	a := ActivityID{Node: 1, Seq: 100}
+	b := ActivityID{Node: 2, Seq: 1}
+	if !a.Less(b) {
+		t.Errorf("want %v < %v (node dominates seq)", a, b)
+	}
+}
+
+func TestGeneratorUnique(t *testing.T) {
+	g := NewGenerator(4)
+	if g.Node() != 4 {
+		t.Fatalf("g.Node() = %v, want 4", g.Node())
+	}
+	const n = 1000
+	seen := make(map[ActivityID]bool, n)
+	for i := 0; i < n; i++ {
+		id := g.Next()
+		if id.Node != 4 {
+			t.Fatalf("id.Node = %v, want 4", id.Node)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGeneratorConcurrent(t *testing.T) {
+	g := NewGenerator(1)
+	const workers, per = 8, 500
+	var mu sync.Mutex
+	all := make([]ActivityID, 0, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ActivityID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("duplicate id %v under concurrency", all[i])
+		}
+	}
+}
+
+func TestNodeGenerator(t *testing.T) {
+	var g NodeGenerator
+	first := g.Next()
+	if first != 1 {
+		t.Fatalf("first node id = %v, want 1 (0 is reserved)", first)
+	}
+	if g.Next() == first {
+		t.Fatal("node generator returned duplicate")
+	}
+}

@@ -1,0 +1,74 @@
+// Package lamport implements the named Lamport "activity clock" of the
+// paper's §3.2: a logical clock whose value is tagged with the identifier
+// of the activity that last incremented it (the clock's owner).
+//
+// The owner tag yields a strict total order: clocks compare first by value
+// and then by owner identifier. The distributed garbage collector uses this
+// order to merge clocks (an activity adopts any strictly greater clock seen
+// in a DGC message) and uses ownership to decide which activity may break a
+// garbage cycle (only the idle owner of the agreed-upon "final activity
+// clock" may).
+package lamport
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// Clock is a named Lamport logical clock. The zero value is the minimal
+// clock (value 0, nil owner) and is valid.
+type Clock struct {
+	// Value is the logical time.
+	Value uint64
+	// Owner identifies the activity that performed the increment producing
+	// this value. It breaks ties between equal values.
+	Owner ids.ActivityID
+}
+
+// Tick returns the clock obtained when owner increments c:
+// ID:Value becomes owner:Value+1 (paper §3.2, "Activity Clock").
+func (c Clock) Tick(owner ids.ActivityID) Clock {
+	return Clock{Value: c.Value + 1, Owner: owner}
+}
+
+// Less reports whether c is strictly smaller than o: by value first, then
+// by owner identifier.
+func (c Clock) Less(o Clock) bool {
+	if c.Value != o.Value {
+		return c.Value < o.Value
+	}
+	return c.Owner.Less(o.Owner)
+}
+
+// Equal reports whether the two clocks are identical (same value and same
+// owner). Two clocks with equal values but different owners are NOT equal;
+// the consensus requires exact agreement.
+func (c Clock) Equal(o Clock) bool {
+	return c == o
+}
+
+// Max returns the greater of the two clocks under the total order.
+func Max(a, b Clock) Clock {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// Merge returns the clock an activity should hold after observing o while
+// holding c: the maximum of the two. It also reports whether the result
+// differs from c (i.e. whether the observation advanced the clock), which
+// is the condition under which the collector must drop its spanning-tree
+// parent (Algorithm 3).
+func Merge(c, o Clock) (Clock, bool) {
+	if c.Less(o) {
+		return o, true
+	}
+	return c, false
+}
+
+// String implements fmt.Stringer, matching the paper's "A:9" notation.
+func (c Clock) String() string {
+	return fmt.Sprintf("%s:%d", c.Owner, c.Value)
+}

@@ -1,0 +1,139 @@
+package lamport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+var (
+	aid = ids.ActivityID{Node: 1, Seq: 1}
+	bid = ids.ActivityID{Node: 1, Seq: 2}
+	cid = ids.ActivityID{Node: 2, Seq: 1}
+)
+
+func TestZeroClockIsMinimal(t *testing.T) {
+	var zero Clock
+	prop := func(c Clock) bool {
+		return !c.Less(zero) || c == zero
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTickIncrementsAndOwns(t *testing.T) {
+	c := Clock{Value: 8, Owner: aid}
+	got := c.Tick(bid)
+	want := Clock{Value: 9, Owner: bid}
+	if got != want {
+		t.Fatalf("Tick = %v, want %v", got, want)
+	}
+	if !c.Less(got) {
+		t.Fatal("tick must produce a strictly greater clock")
+	}
+}
+
+func TestTickFromFigure5(t *testing.T) {
+	// Paper Fig. 5: B holds A:8; after losing referencer A it increments to
+	// B:9.
+	c := Clock{Value: 8, Owner: aid}
+	got := c.Tick(bid)
+	if got.Value != 9 || got.Owner != bid {
+		t.Fatalf("got %v, want %v:9", got, bid)
+	}
+}
+
+func TestLessValueDominatesOwner(t *testing.T) {
+	lo := Clock{Value: 3, Owner: cid}
+	hi := Clock{Value: 4, Owner: aid}
+	if !lo.Less(hi) {
+		t.Fatalf("want %v < %v (value dominates)", lo, hi)
+	}
+}
+
+func TestLessTieBrokenByOwner(t *testing.T) {
+	x := Clock{Value: 5, Owner: aid}
+	y := Clock{Value: 5, Owner: bid}
+	if !x.Less(y) {
+		t.Fatalf("want %v < %v (owner breaks tie)", x, y)
+	}
+	if y.Less(x) {
+		t.Fatal("order must be asymmetric")
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	prop := func(a, b, c Clock) bool {
+		if a.Less(a) {
+			return false
+		}
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualRequiresSameOwner(t *testing.T) {
+	x := Clock{Value: 5, Owner: aid}
+	y := Clock{Value: 5, Owner: bid}
+	if x.Equal(y) {
+		t.Fatal("clocks with different owners must not be equal")
+	}
+	if !x.Equal(x) {
+		t.Fatal("clock must equal itself")
+	}
+}
+
+func TestMaxAndMerge(t *testing.T) {
+	lo := Clock{Value: 1, Owner: aid}
+	hi := Clock{Value: 2, Owner: bid}
+	if Max(lo, hi) != hi || Max(hi, lo) != hi {
+		t.Fatal("Max must return the greater clock regardless of order")
+	}
+	merged, advanced := Merge(lo, hi)
+	if merged != hi || !advanced {
+		t.Fatalf("Merge(lo, hi) = %v, %v; want hi, true", merged, advanced)
+	}
+	merged, advanced = Merge(hi, lo)
+	if merged != hi || advanced {
+		t.Fatalf("Merge(hi, lo) = %v, %v; want hi, false", merged, advanced)
+	}
+	merged, advanced = Merge(hi, hi)
+	if merged != hi || advanced {
+		t.Fatal("Merge with itself must not report advancement")
+	}
+}
+
+func TestMergeProperties(t *testing.T) {
+	prop := func(a, b Clock) bool {
+		m, adv := Merge(a, b)
+		// m is an upper bound of both.
+		if m.Less(a) || m.Less(b) {
+			return false
+		}
+		// advancement iff strictly greater than a.
+		return adv == a.Less(m)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Clock{Value: 9, Owner: bid}
+	if got, want := c.String(), "A1.2:9"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

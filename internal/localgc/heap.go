@@ -1,0 +1,391 @@
+// Package localgc simulates the per-process local garbage collector the
+// paper builds the reference graph on top of (§2.2), without requiring any
+// cooperation from the host language runtime — exactly the constraint the
+// paper works under with the JVM.
+//
+// The heap stores passive objects (cells) owned by the activities of one
+// process. References to remote activities are materialized as stub cells.
+// All stubs held by one activity for the same remote target share a single
+// tag cell; the DGC keeps a weak reference to the tag, so the local
+// collection of *all* such stubs — and only that — is observable as the tag
+// dying at the next sweep. This reproduces the paper's "common tag + weak
+// reference" optimization verbatim.
+//
+// The no-sharing property (§2.1) is enforced at interning time: every cell
+// records its owning activity and values are deep-copied across activity
+// boundaries by the wire codec before they ever reach the heap.
+package localgc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// ObjRef is a handle to a heap cell. The zero ObjRef is "nil pointer".
+type ObjRef uint64
+
+// RootID names a GC root registration.
+type RootID uint64
+
+// cellKind discriminates the heap cell variants.
+type cellKind uint8
+
+const (
+	kindScalar cellKind = iota + 1
+	kindList
+	kindDict
+	kindStub
+	kindTag
+)
+
+// cell is one passive object.
+type cell struct {
+	kind  cellKind
+	owner ids.ActivityID
+	// scalar payload (kindScalar only).
+	scalar wire.Value
+	// children for lists; also the single tag child for stubs.
+	children []ObjRef
+	// keys parallel to children (kindDict only).
+	keys []string
+	// stub target (kindStub); tag identity (kindTag shares owner+target).
+	target ids.ActivityID
+	marked bool
+}
+
+// TagDeath reports that activity Owner no longer holds any stub for Target:
+// the shared tag cell died at a local collection.
+type TagDeath struct {
+	Owner  ids.ActivityID
+	Target ids.ActivityID
+}
+
+// Stats summarizes a collection.
+type Stats struct {
+	// Live is the number of cells surviving the sweep.
+	Live int
+	// Freed is the number of cells reclaimed by the sweep.
+	Freed int
+	// TagDeaths lists the (owner, target) stub tags that died.
+	TagDeaths []TagDeath
+}
+
+type tagKey struct {
+	owner  ids.ActivityID
+	target ids.ActivityID
+}
+
+// Heap is the object heap of one process. It is safe for concurrent use.
+type Heap struct {
+	mu       sync.Mutex
+	cells    map[ObjRef]*cell
+	nextObj  ObjRef
+	roots    map[RootID]ObjRef
+	nextRoot RootID
+	tags     map[tagKey]ObjRef
+	weaks    map[ObjRef][]*Weak
+
+	// onTagDeath, if set, is invoked (outside the heap lock) once per tag
+	// death at the end of each collection. The DGC driver subscribes here.
+	onTagDeath func(TagDeath)
+}
+
+// New returns an empty heap. onTagDeath may be nil.
+func New(onTagDeath func(TagDeath)) *Heap {
+	return &Heap{
+		cells:      make(map[ObjRef]*cell),
+		roots:      make(map[RootID]ObjRef),
+		tags:       make(map[tagKey]ObjRef),
+		weaks:      make(map[ObjRef][]*Weak),
+		onTagDeath: onTagDeath,
+	}
+}
+
+func (h *Heap) alloc(c *cell) ObjRef {
+	h.nextObj++
+	ref := h.nextObj
+	h.cells[ref] = c
+	return ref
+}
+
+// Intern deep-copies the value graph v into heap cells owned by owner and
+// returns the root cell. Every wire.Ref in v becomes a stub cell whose tag
+// is shared with all other stubs of the same (owner, target) pair.
+func (h *Heap) Intern(owner ids.ActivityID, v wire.Value) ObjRef {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.intern(owner, v)
+}
+
+func (h *Heap) intern(owner ids.ActivityID, v wire.Value) ObjRef {
+	switch v.Kind() {
+	case wire.KindList:
+		children := make([]ObjRef, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			children[i] = h.intern(owner, v.At(i))
+		}
+		return h.alloc(&cell{kind: kindList, owner: owner, children: children})
+	case wire.KindDict:
+		keys := v.Keys()
+		children := make([]ObjRef, len(keys))
+		for i, k := range keys {
+			children[i] = h.intern(owner, v.Get(k))
+		}
+		return h.alloc(&cell{kind: kindDict, owner: owner, keys: keys, children: children})
+	case wire.KindRef:
+		target, _ := v.AsRef()
+		return h.internStub(owner, target)
+	default:
+		return h.alloc(&cell{kind: kindScalar, owner: owner, scalar: v})
+	}
+}
+
+func (h *Heap) internStub(owner, target ids.ActivityID) ObjRef {
+	key := tagKey{owner: owner, target: target}
+	tag, ok := h.tags[key]
+	if !ok {
+		tag = h.alloc(&cell{kind: kindTag, owner: owner, target: target})
+		h.tags[key] = tag
+	}
+	return h.alloc(&cell{
+		kind:     kindStub,
+		owner:    owner,
+		target:   target,
+		children: []ObjRef{tag},
+	})
+}
+
+// NewStub allocates a bare stub cell for owner designating target, sharing
+// the (owner, target) tag. The runtime uses it for stubs that exist outside
+// any interned value (e.g. a reference held by the service loop itself).
+func (h *Heap) NewStub(owner, target ids.ActivityID) ObjRef {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.internStub(owner, target)
+}
+
+// InternRooted interns v (like Intern) and registers the resulting cell as
+// a root in the same critical section, so a concurrent Collect can never
+// observe the cell unrooted.
+func (h *Heap) InternRooted(owner ids.ActivityID, v wire.Value) (ObjRef, RootID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ref := h.intern(owner, v)
+	h.nextRoot++
+	h.roots[h.nextRoot] = ref
+	return ref, h.nextRoot
+}
+
+// NewStubRooted allocates a stub (like NewStub) and roots it atomically.
+func (h *Heap) NewStubRooted(owner, target ids.ActivityID) (ObjRef, RootID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ref := h.internStub(owner, target)
+	h.nextRoot++
+	h.roots[h.nextRoot] = ref
+	return ref, h.nextRoot
+}
+
+// Materialize rebuilds the wire value stored at ref. Stubs materialize as
+// wire.Ref values. Materializing the zero ObjRef or a freed cell yields
+// null.
+func (h *Heap) Materialize(ref ObjRef) wire.Value {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.materialize(ref)
+}
+
+func (h *Heap) materialize(ref ObjRef) wire.Value {
+	c, ok := h.cells[ref]
+	if !ok {
+		return wire.Null()
+	}
+	switch c.kind {
+	case kindScalar:
+		return c.scalar
+	case kindList:
+		elems := make([]wire.Value, len(c.children))
+		for i, ch := range c.children {
+			elems[i] = h.materialize(ch)
+		}
+		return wire.List(elems...)
+	case kindDict:
+		m := make(map[string]wire.Value, len(c.keys))
+		for i, k := range c.keys {
+			m[k] = h.materialize(c.children[i])
+		}
+		return wire.Dict(m)
+	case kindStub:
+		return wire.Ref(c.target)
+	default: // kindTag has no value representation
+		return wire.Null()
+	}
+}
+
+// AddRoot registers ref as a GC root and returns a handle to remove it.
+func (h *Heap) AddRoot(ref ObjRef) RootID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextRoot++
+	id := h.nextRoot
+	h.roots[id] = ref
+	return id
+}
+
+// RemoveRoot drops a root registration. Removing an unknown root is a
+// no-op.
+func (h *Heap) RemoveRoot(id RootID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.roots, id)
+}
+
+// Weak is a weak reference to a heap cell: it does not keep the cell alive
+// and observes its collection. This is the mechanism the DGC uses to watch
+// stub tags (§2.2).
+type Weak struct {
+	mu    sync.Mutex
+	alive bool
+}
+
+// Alive reports whether the referent still exists.
+func (w *Weak) Alive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive
+}
+
+func (w *Weak) kill() {
+	w.mu.Lock()
+	w.alive = false
+	w.mu.Unlock()
+}
+
+// NewWeak returns a weak reference to ref. If ref does not exist the weak
+// reference is born dead.
+func (h *Heap) NewWeak(ref ObjRef) *Weak {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := &Weak{}
+	if _, ok := h.cells[ref]; !ok {
+		return w
+	}
+	w.alive = true
+	h.weaks[ref] = append(h.weaks[ref], w)
+	return w
+}
+
+// TagFor returns the tag cell shared by owner's stubs of target, creating
+// it if needed. The DGC driver takes a weak reference to it.
+func (h *Heap) TagFor(owner, target ids.ActivityID) ObjRef {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := tagKey{owner: owner, target: target}
+	tag, ok := h.tags[key]
+	if !ok {
+		tag = h.alloc(&cell{kind: kindTag, owner: owner, target: target})
+		h.tags[key] = tag
+	}
+	return tag
+}
+
+// Collect runs a stop-the-world mark-and-sweep and returns its statistics.
+// Tag-death callbacks fire after the sweep, outside the heap lock.
+func (h *Heap) Collect() Stats {
+	h.mu.Lock()
+
+	// Mark.
+	for _, c := range h.cells {
+		c.marked = false
+	}
+	stack := make([]ObjRef, 0, len(h.roots))
+	for _, ref := range h.roots {
+		stack = append(stack, ref)
+	}
+	for len(stack) > 0 {
+		ref := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c, ok := h.cells[ref]
+		if !ok || c.marked {
+			continue
+		}
+		c.marked = true
+		stack = append(stack, c.children...)
+	}
+
+	// Sweep.
+	var st Stats
+	for ref, c := range h.cells {
+		if c.marked {
+			st.Live++
+			continue
+		}
+		st.Freed++
+		delete(h.cells, ref)
+		for _, w := range h.weaks[ref] {
+			w.kill()
+		}
+		delete(h.weaks, ref)
+		if c.kind == kindTag {
+			key := tagKey{owner: c.owner, target: c.target}
+			delete(h.tags, key)
+			st.TagDeaths = append(st.TagDeaths, TagDeath{Owner: c.owner, Target: c.target})
+		}
+	}
+	cb := h.onTagDeath
+	h.mu.Unlock()
+
+	if cb != nil {
+		for _, d := range st.TagDeaths {
+			cb(d)
+		}
+	}
+	return st
+}
+
+// NumCells returns the current number of cells (for tests and metrics).
+func (h *Heap) NumCells() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.cells)
+}
+
+// NumRoots returns the current number of registered roots.
+func (h *Heap) NumRoots() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.roots)
+}
+
+// HasTag reports whether owner currently holds a live tag for target, i.e.
+// whether at least one stub (owner → target) existed at the last sweep.
+func (h *Heap) HasTag(owner, target ids.ActivityID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.tags[tagKey{owner: owner, target: target}]
+	return ok
+}
+
+// StubTargets returns the distinct remote targets for which owner holds at
+// least one live tag, in unspecified order.
+func (h *Heap) StubTargets(owner ids.ActivityID) []ids.ActivityID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []ids.ActivityID
+	for key := range h.tags {
+		if key.owner == owner {
+			out = append(out, key.target)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a summary for debugging.
+func (h *Heap) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return fmt.Sprintf("heap{cells=%d roots=%d tags=%d}", len(h.cells), len(h.roots), len(h.tags))
+}

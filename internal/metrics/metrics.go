@@ -1,0 +1,210 @@
+// Package metrics provides the measurement plumbing of the evaluation
+// harness: time-series recording (Fig. 10's idle/collected curves), byte
+// formatting, and aligned table rendering for the Fig. 8/9 style reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one time-series sample.
+type Point struct {
+	// T is the offset from the start of the experiment.
+	T time.Duration
+	// V is the sampled value.
+	V float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Last returns the most recent value (0 when empty).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Recorder accumulates named time series.
+type Recorder struct {
+	series map[string]*Series
+	names  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Record appends a sample to the named series (created on first use).
+func (r *Recorder) Record(name string, t time.Duration, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Get returns the named series (nil if absent).
+func (r *Recorder) Get(name string) *Series {
+	return r.series[name]
+}
+
+// Names returns the recorded series names, sorted.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// WriteCSV renders the selected series (all when names is empty) as CSV
+// with a time column in seconds. Series are aligned on the union of their
+// timestamps; missing values are left empty.
+func (r *Recorder) WriteCSV(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		names = r.Names()
+	}
+	ts := make(map[time.Duration]bool)
+	for _, n := range names {
+		s := r.series[n]
+		if s == nil {
+			continue
+		}
+		for _, p := range s.Points {
+			ts[p.T] = true
+		}
+	}
+	order := make([]time.Duration, 0, len(ts))
+	for t := range ts {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	if _, err := fmt.Fprintf(w, "seconds,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	// Index points per series for lookup.
+	idx := make(map[string]map[time.Duration]float64, len(names))
+	for _, n := range names {
+		m := make(map[time.Duration]float64)
+		if s := r.series[n]; s != nil {
+			for _, p := range s.Points {
+				m[p.T] = p.V
+			}
+		}
+		idx[n] = m
+	}
+	for _, t := range order {
+		cells := make([]string, 0, len(names)+1)
+		cells = append(cells, fmt.Sprintf("%.1f", t.Seconds()))
+		for _, n := range names {
+			if v, ok := idx[n][t]; ok {
+				cells = append(cells, formatFloat(v))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Bytes renders a byte count in the paper's MB (10^6) convention.
+func Bytes(n uint64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2f GB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2f MB", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.2f KB", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Percent renders an overhead ratio the way the paper's tables do.
+func Percent(with, without float64) string {
+	if without == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f %%", (with-without)/without*100)
+}
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	Header []string
+	rows   [][]string
+}
+
+// AddRow appends a row (stringifying each cell with %v).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, w2 := range widths {
+		total += w2 + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

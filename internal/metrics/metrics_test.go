@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Record("idle", 0, 1)
+	r.Record("idle", time.Second, 2)
+	r.Record("collected", time.Second, 1)
+	if got := r.Get("idle").Last(); got != 2 {
+		t.Fatalf("Last = %v", got)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "collected" || got[1] != "idle" {
+		t.Fatalf("Names = %v", got)
+	}
+	if r.Get("missing") != nil {
+		t.Fatal("missing series must be nil")
+	}
+	var empty Series
+	if empty.Last() != 0 {
+		t.Fatal("empty series Last must be 0")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	r.Record("a", 2*time.Second, 3)
+	r.Record("b", 2*time.Second, 10)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "seconds,a,b\n0.0,1,\n2.0,3,10\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+	// Selecting one series.
+	sb.Reset()
+	if err := r.WriteCSV(&sb, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "seconds,a\n") {
+		t.Fatalf("selected CSV = %q", sb.String())
+	}
+}
+
+func TestBytes(t *testing.T) {
+	tests := []struct {
+		n    uint64
+		want string
+	}{
+		{512, "512 B"},
+		{2_048, "2.05 KB"},
+		{1_699_000_000 / 1000, "1.70 MB"},
+		{2_063_000_000, "2.06 GB"},
+	}
+	for _, tt := range tests {
+		if got := Bytes(tt.n); got != tt.want {
+			t.Errorf("Bytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	// The paper's EP row: 717.92 vs 69.75 → 929.28 %.
+	if got := Percent(717.92, 69.75); got != "929.28 %" {
+		t.Fatalf("Percent = %q, want the paper's 929.28 %%", got)
+	}
+	if got := Percent(3190.00, 3529.45); got != "-9.62 %" {
+		t.Fatalf("Percent = %q, want the paper's -9.62 %%", got)
+	}
+	if got := Percent(1, 0); got != "n/a" {
+		t.Fatalf("Percent by zero = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.Header = []string{"Kernel", "No DGC", "DGC", "Overhead"}
+	tb.AddRow("CG", "194351.81 MB", "223639.83 MB", "15.07 %")
+	tb.AddRow("EP", "69.75 MB", "717.92 MB", "929.28 %")
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Kernel") || !strings.Contains(lines[2], "CG") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	// Columns aligned: "No DGC" column starts at the same offset in every
+	// row.
+	col := strings.Index(lines[0], "No DGC")
+	if !strings.HasPrefix(lines[2][col:], "194351.81") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}

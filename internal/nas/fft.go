@@ -1,0 +1,102 @@
+package nas
+
+import (
+	"math"
+	"math/bits"
+)
+
+// FFT1D computes the in-place radix-2 Cooley–Tukey FFT of x (whose length
+// must be a power of two). dir is +1 for forward, -1 for inverse; the
+// inverse includes the 1/n scaling so that FFT1D(FFT1D(x, 1), -1) == x.
+func FFT1D(x []complex128, dir int) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("nas: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	sign := float64(dir)
+	for size := 2; size <= n; size <<= 1 {
+		ang := sign * -2 * math.Pi / float64(size)
+		wn := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wn
+			}
+		}
+	}
+	if dir < 0 {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// fftPlanesXY applies a 2-D FFT (x then y direction) to each consecutive
+// nx×ny plane of data, in place.
+func fftPlanesXY(data []complex128, nx, ny, dir int) {
+	planeSize := nx * ny
+	col := make([]complex128, ny)
+	for base := 0; base+planeSize <= len(data); base += planeSize {
+		plane := data[base : base+planeSize]
+		// Rows (x-direction) are contiguous.
+		for y := 0; y < ny; y++ {
+			FFT1D(plane[y*nx:(y+1)*nx], dir)
+		}
+		// Columns (y-direction) are strided.
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				col[y] = plane[y*nx+x]
+			}
+			FFT1D(col, dir)
+			for y := 0; y < ny; y++ {
+				plane[y*nx+x] = col[y]
+			}
+		}
+	}
+}
+
+// fftPencilsZ applies a 1-D FFT to each consecutive run of nz elements
+// (z-pencils laid out contiguously), in place.
+func fftPencilsZ(data []complex128, nz, dir int) {
+	for base := 0; base+nz <= len(data); base += nz {
+		FFT1D(data[base:base+nz], dir)
+	}
+}
+
+// complexToFloats flattens complex data into interleaved (re, im) floats
+// for the wire codec.
+func complexToFloats(x []complex128) []float64 {
+	out := make([]float64, 2*len(x))
+	for i, c := range x {
+		out[2*i] = real(c)
+		out[2*i+1] = imag(c)
+	}
+	return out
+}
+
+// floatsToComplex is the inverse of complexToFloats.
+func floatsToComplex(f []float64) []complex128 {
+	out := make([]complex128, len(f)/2)
+	for i := range out {
+		out[i] = complex(f[2*i], f[2*i+1])
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package nas
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// --- NAS random generator ---------------------------------------------------
+
+func TestLCGRange(t *testing.T) {
+	r := NewLCG(DefaultSeed)
+	for i := 0; i < 10_000; i++ {
+		v := r.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("LCG value %v out of (0,1)", v)
+		}
+	}
+}
+
+func TestLCGSkipMatchesSequential(t *testing.T) {
+	seq := NewLCG(DefaultSeed)
+	for i := 0; i < 1000; i++ {
+		seq.Next()
+	}
+	want := seq.Next()
+
+	skip := NewLCG(DefaultSeed)
+	skip.Skip(1000)
+	if got := skip.Next(); got != want {
+		t.Fatalf("Skip(1000) diverged: %v vs %v", got, want)
+	}
+}
+
+func TestLCGSkipZeroAndComposition(t *testing.T) {
+	a := NewLCG(DefaultSeed)
+	a.Skip(0)
+	b := NewLCG(DefaultSeed)
+	if a.Next() != b.Next() {
+		t.Fatal("Skip(0) changed the stream")
+	}
+	// Skip(m+n) == Skip(m);Skip(n).
+	c := NewLCG(DefaultSeed)
+	c.Skip(123 + 456)
+	d := NewLCG(DefaultSeed)
+	d.Skip(123)
+	d.Skip(456)
+	if c.Next() != d.Next() {
+		t.Fatal("Skip is not additive")
+	}
+}
+
+func TestLCGUniformity(t *testing.T) {
+	r := NewLCG(DefaultSeed)
+	const n = 100_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Next()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+// --- FFT --------------------------------------------------------------------
+
+func TestFFT1DKnownValues(t *testing.T) {
+	// FFT of a constant signal is an impulse at frequency 0.
+	x := []complex128{1, 1, 1, 1}
+	FFT1D(x, 1)
+	want := []complex128{4, 0, 0, 0}
+	for i := range x {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("FFT(ones)[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// FFT of an impulse is constant.
+	y := []complex128{1, 0, 0, 0}
+	FFT1D(y, 1)
+	for i := range y {
+		if cmplx.Abs(y[i]-1) > 1e-12 {
+			t.Fatalf("FFT(impulse)[%d] = %v, want 1", i, y[i])
+		}
+	}
+}
+
+func TestFFT1DRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT1D(x, 1)
+		FFT1D(x, -1)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round-trip error at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFT1DParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 128
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	FFT1D(x, 1)
+	var freqEnergy float64
+	for i := range x {
+		freqEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if math.Abs(freqEnergy/float64(n)-timeEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", freqEnergy/float64(n), timeEnergy)
+	}
+}
+
+func TestFFT1DRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFT1D accepted length 3")
+		}
+	}()
+	FFT1D(make([]complex128, 3), 1)
+}
+
+func TestComplexFloatsRoundTrip(t *testing.T) {
+	x := []complex128{complex(1, 2), complex(-3, 4.5)}
+	got := floatsToComplex(complexToFloats(x))
+	if len(got) != len(x) || got[0] != x[0] || got[1] != x[1] {
+		t.Fatalf("round-trip = %v", got)
+	}
+}
+
+func TestFFTPlanesAndPencilsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	nx, ny, nz := 8, 4, 4
+	data := make([]complex128, nx*ny*nz)
+	orig := make([]complex128, len(data))
+	for i := range data {
+		data[i] = complex(r.NormFloat64(), r.NormFloat64())
+		orig[i] = data[i]
+	}
+	fftPlanesXY(data, nx, ny, 1)
+	fftPlanesXY(data, nx, ny, -1)
+	fftPencilsZ(data, nz, 1)
+	fftPencilsZ(data, nz, -1)
+	for i := range data {
+		if cmplx.Abs(data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("plane/pencil round-trip error at %d", i)
+		}
+	}
+}
+
+// --- Row partitioning ---------------------------------------------------------
+
+func TestRowRangeCoversAllRows(t *testing.T) {
+	for _, tc := range []struct{ n, np int }{{10, 3}, {128, 4}, {7, 7}, {5, 8}} {
+		covered := make([]bool, tc.n)
+		prevHi := 0
+		for rank := 0; rank < tc.np; rank++ {
+			lo, hi := rowRange(tc.n, tc.np, rank)
+			if lo != prevHi {
+				t.Fatalf("n=%d np=%d rank=%d: gap (lo=%d, prevHi=%d)", tc.n, tc.np, rank, lo, prevHi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i] = true
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("n=%d np=%d: rows end at %d", tc.n, tc.np, prevHi)
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("n=%d np=%d: row %d uncovered", tc.n, tc.np, i)
+			}
+		}
+	}
+}
+
+func TestCountOffdiags(t *testing.T) {
+	// Interior row: 4 neighbours; corner row 0: only +1 and +stride.
+	if got := countOffdiags(50, 100, 10); got != 4 {
+		t.Fatalf("interior = %d, want 4", got)
+	}
+	if got := countOffdiags(0, 100, 10); got != 2 {
+		t.Fatalf("row 0 = %d, want 2", got)
+	}
+	if got := countOffdiags(99, 100, 10); got != 2 {
+		t.Fatalf("last row = %d, want 2", got)
+	}
+	// Stride 1 duplicates the ±1 neighbours; the convention counts them
+	// with multiplicity, matching matvec's accumulation (the matrix entry
+	// is then -2, still symmetric and diagonally dominated).
+	if got := countOffdiags(5, 100, 1); got != 4 {
+		t.Fatalf("stride-1 interior = %d, want 4 (multiplicity convention)", got)
+	}
+}

@@ -1,0 +1,62 @@
+// Package nas implements the NAS Parallel Benchmark kernels the paper
+// evaluates with (§5.2): CG (conjugate gradient, communication heavy), EP
+// (embarrassingly parallel, almost no communication) and FT (3-D FFT,
+// all-exchange heavy) — written against the active-object runtime so that,
+// as in the paper's ProActive implementation, every activity ends up
+// referencing every other activity and the whole application graph is
+// cyclic garbage once the result is out.
+//
+// The kernels use the genuine NAS algorithms at reduced problem classes;
+// DESIGN.md §3 records the substitution. Their numeric cores (the NAS
+// linear congruential generator with skip-ahead, the radix-2 FFT) are
+// real, so results are verifiable and independent of the worker count.
+package nas
+
+// The NAS pseudorandom generator: x_{k+1} = a·x_k mod 2^46 with
+// a = 5^13, returning doubles in (0,1). Because 2^46 divides 2^64,
+// wrapping 64-bit multiplication followed by a 46-bit mask computes the
+// product modulo 2^46 exactly.
+const (
+	lcgA   uint64 = 1220703125 // 5^13
+	mask46 uint64 = 1<<46 - 1
+	// DefaultSeed is the NAS benchmark seed (271828183).
+	DefaultSeed uint64 = 271828183
+	r46                = 1.0 / (1 << 46)
+)
+
+// LCG is the NAS random stream. The zero value is invalid; use NewLCG.
+type LCG struct {
+	x uint64
+}
+
+// NewLCG returns a stream positioned at seed.
+func NewLCG(seed uint64) *LCG {
+	return &LCG{x: seed & mask46}
+}
+
+// Next returns the next double in (0, 1).
+func (r *LCG) Next() float64 {
+	r.x = (r.x * lcgA) & mask46
+	return float64(r.x) * r46
+}
+
+// Skip advances the stream by n steps in O(log n) (the NAS EP seed-jump),
+// so workers can draw disjoint blocks of the same global sequence.
+func (r *LCG) Skip(n uint64) {
+	r.x = (r.x * powMod46(lcgA, n)) & mask46
+}
+
+// powMod46 computes a^n mod 2^46 by binary powering on wrapping 64-bit
+// multiplication.
+func powMod46(a, n uint64) uint64 {
+	result := uint64(1)
+	base := a & mask46
+	for n > 0 {
+		if n&1 == 1 {
+			result = (result * base) & mask46
+		}
+		base = (base * base) & mask46
+		n >>= 1
+	}
+	return result
+}

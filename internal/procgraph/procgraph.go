@@ -1,0 +1,253 @@
+// Package procgraph implements the paper's §4.1 "Process Graph" variant:
+// when the no-sharing property is not available, the reference graph
+// cannot be built per activity without stopping threads or modifying the
+// local GC, so the DGC runs on the coarser graph of address spaces —
+// formula (2): every activity-level edge x→y lifts to a process-level
+// edge Proc(x)→Proc(y).
+//
+// The same core.Collector drives it: one collector per process, whose
+// "activity" is the whole address space — idle iff every hosted activity
+// is idle, terminated ⇒ the whole process' activities are destroyed. The
+// documented cost of the coarsening is precision: a garbage cycle
+// spanning processes that also host live activities is never collected
+// (tested side by side with the fine-grained collector).
+package procgraph
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ids"
+)
+
+// Config parameterizes a process-graph world. TTB/TTA have the same
+// meaning as for the fine-grained collector.
+type Config struct {
+	TTB  time.Duration
+	TTA  time.Duration
+	Seed int64
+	// Latency is the one-way inter-process latency (nil = zero).
+	Latency func(a, b ids.NodeID) time.Duration
+	// OnEvent receives the process-level collector events.
+	OnEvent func(core.Event)
+}
+
+// World simulates processes hosting activities, collected at process
+// granularity.
+type World struct {
+	eng   *des.Engine
+	cfg   Config
+	procs map[ids.NodeID]*Process
+}
+
+// NewWorld creates an empty world.
+func NewWorld(cfg Config) *World {
+	return &World{
+		eng:   des.New(time.Unix(0, 0), cfg.Seed),
+		cfg:   cfg,
+		procs: make(map[ids.NodeID]*Process),
+	}
+}
+
+// Engine exposes the event engine.
+func (w *World) Engine() *des.Engine { return w.eng }
+
+// RunFor advances virtual time.
+func (w *World) RunFor(d time.Duration) { w.eng.RunFor(d) }
+
+// Process is one address space. Its DGC identity is the reserved
+// activity (node, seq=1).
+type Process struct {
+	w         *World
+	id        ids.NodeID
+	collector *core.Collector
+	acts      map[uint32]*Activity
+	nextSeq   uint32
+	// outEdges counts activity-level edges per destination process; the
+	// process edge exists while the count is positive (formula (2)).
+	outEdges   map[ids.NodeID]int
+	terminated bool
+}
+
+// NewProcess creates a process and starts its beat.
+func (w *World) NewProcess(id ids.NodeID) *Process {
+	p := &Process{
+		w:        w,
+		id:       id,
+		acts:     make(map[uint32]*Activity),
+		outEdges: make(map[ids.NodeID]int),
+	}
+	cfg := core.Config{TTB: w.cfg.TTB, TTA: w.cfg.TTA, OnEvent: w.cfg.OnEvent}
+	p.collector = core.New(procActivityID(id), cfg, p.allIdle, w.eng.Now())
+	w.procs[id] = p
+	phase := time.Duration(w.eng.Rand().Int63n(int64(w.cfg.TTB) + 1))
+	w.eng.After(phase, p.beat)
+	return p
+}
+
+// procActivityID is the reserved DGC identity of a process.
+func procActivityID(node ids.NodeID) ids.ActivityID {
+	return ids.ActivityID{Node: node, Seq: 1}
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() ids.NodeID { return p.id }
+
+// Terminated reports whether the whole process was collected.
+func (p *Process) Terminated() bool { return p.terminated }
+
+// Collector exposes the process-level collector.
+func (p *Process) Collector() *core.Collector { return p.collector }
+
+// allIdle is the process' idleness: every hosted activity idle.
+func (p *Process) allIdle() bool {
+	for _, a := range p.acts {
+		if !a.idle {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Process) beat() {
+	if p.terminated {
+		return
+	}
+	w := p.w
+	res := p.collector.Tick(w.eng.Now())
+	if res.Terminated {
+		// The whole address space goes: every hosted activity with it.
+		p.terminated = true
+		for _, a := range p.acts {
+			a.terminated = true
+		}
+		return
+	}
+	for _, ob := range res.Messages {
+		ob := ob
+		dst, ok := w.procs[ob.To.Node]
+		if !ok {
+			continue
+		}
+		w.eng.After(w.latency(p.id, dst.id), func() {
+			if dst.terminated {
+				return
+			}
+			resp := dst.collector.HandleMessage(ob.Msg, w.eng.Now())
+			w.eng.After(w.latency(dst.id, p.id), func() {
+				if !p.terminated {
+					p.collector.HandleResponse(ob.To, resp, w.eng.Now())
+				}
+			})
+		})
+	}
+	next := res.NextBeat
+	if next <= 0 {
+		next = w.cfg.TTB
+	}
+	w.eng.After(next, p.beat)
+}
+
+func (w *World) latency(a, b ids.NodeID) time.Duration {
+	if a == b || w.cfg.Latency == nil {
+		return 0
+	}
+	return w.cfg.Latency(a, b)
+}
+
+// Activity is one activity hosted by a process. Only its idleness and its
+// outgoing activity-level edges matter: the DGC itself never sees it.
+type Activity struct {
+	proc       *Process
+	seq        uint32
+	idle       bool
+	terminated bool
+	// refs counts outgoing edges per target activity (global id), to lift
+	// and unlift process edges correctly.
+	refs map[ids.ActivityID]int
+}
+
+// NewActivity creates an idle activity in the process.
+func (p *Process) NewActivity() *Activity {
+	p.nextSeq++
+	a := &Activity{proc: p, seq: p.nextSeq, idle: true, refs: make(map[ids.ActivityID]int)}
+	p.acts[a.seq] = a
+	return a
+}
+
+// GlobalID returns the activity's identity (distinct from the process'
+// reserved seq 1: activities start at seq 2).
+func (a *Activity) GlobalID() ids.ActivityID {
+	return ids.ActivityID{Node: a.proc.id, Seq: a.seq + 1}
+}
+
+// Terminated reports whether the activity's process was collected.
+func (a *Activity) Terminated() bool { return a.terminated }
+
+// SetBusy / SetIdle flip the activity's idleness. The process becomes
+// idle only when all activities are; becoming idle increments the
+// process-level clock (occasion #1 lifted to the process).
+func (a *Activity) SetBusy() { a.idle = false }
+
+// SetIdle marks the activity idle and, if this makes the whole process
+// idle, performs the process-level clock increment.
+func (a *Activity) SetIdle() {
+	if a.idle || a.terminated {
+		return
+	}
+	a.idle = true
+	if a.proc.allIdle() {
+		a.proc.collector.BecomeIdle(a.proc.w.eng.Now())
+	}
+}
+
+// Link records an activity-level edge a→target and lifts it to the
+// process graph if it is the first edge toward that process.
+func (a *Activity) Link(target *Activity) {
+	if a.terminated {
+		return
+	}
+	a.refs[target.GlobalID()]++
+	if target.proc == a.proc {
+		return // intra-process edges never reach the DGC
+	}
+	p := a.proc
+	p.outEdges[target.proc.id]++
+	if p.outEdges[target.proc.id] == 1 {
+		p.collector.AddReferenced(procActivityID(target.proc.id), p.w.eng.Now())
+	}
+}
+
+// Unlink removes an activity-level edge and unlifts the process edge when
+// it was the last one (the stub-tag death at process granularity).
+func (a *Activity) Unlink(target *Activity) {
+	gid := target.GlobalID()
+	if a.refs[gid] == 0 {
+		return
+	}
+	a.refs[gid]--
+	if a.refs[gid] == 0 {
+		delete(a.refs, gid)
+	}
+	if target.proc == a.proc {
+		return
+	}
+	p := a.proc
+	p.outEdges[target.proc.id]--
+	if p.outEdges[target.proc.id] == 0 {
+		delete(p.outEdges, target.proc.id)
+		p.collector.LostReferenced(procActivityID(target.proc.id), p.w.eng.Now())
+	}
+}
+
+// CollectedProcesses returns how many processes terminated.
+func (w *World) CollectedProcesses() int {
+	var n int
+	for _, p := range w.procs {
+		if p.terminated {
+			n++
+		}
+	}
+	return n
+}

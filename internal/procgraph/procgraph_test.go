@@ -1,0 +1,161 @@
+package procgraph
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func cfg() Config {
+	return Config{
+		TTB:  30 * time.Second,
+		TTA:  150 * time.Second,
+		Seed: 1,
+	}
+}
+
+func TestWholeProcessAcyclicCollected(t *testing.T) {
+	w := NewWorld(cfg())
+	p := w.NewProcess(1)
+	a := p.NewActivity()
+	b := p.NewActivity()
+	a.Link(b) // intra-process only
+	w.RunFor(20 * time.Minute)
+	if !p.Terminated() || !a.Terminated() || !b.Terminated() {
+		t.Fatal("fully idle unreferenced process not collected")
+	}
+}
+
+func TestBusyActivityPinsWholeProcess(t *testing.T) {
+	w := NewWorld(cfg())
+	p := w.NewProcess(1)
+	a := p.NewActivity()
+	busy := p.NewActivity()
+	busy.SetBusy()
+	_ = a
+	w.RunFor(time.Hour)
+	if p.Terminated() {
+		t.Fatal("process with a busy activity collected")
+	}
+	busy.SetIdle()
+	w.RunFor(20 * time.Minute)
+	if !p.Terminated() {
+		t.Fatal("process not collected once every activity idle")
+	}
+}
+
+func TestCrossProcessCycleCollected(t *testing.T) {
+	// Activities x ∈ P1, y ∈ P2 with x→y and y→x: a process-level
+	// 2-cycle, fully idle: collected by the lifted algorithm.
+	w := NewWorld(cfg())
+	p1 := w.NewProcess(1)
+	p2 := w.NewProcess(2)
+	x := p1.NewActivity()
+	y := p2.NewActivity()
+	x.Link(y)
+	y.Link(x)
+	w.RunFor(30 * time.Minute)
+	if !p1.Terminated() || !p2.Terminated() {
+		t.Fatalf("idle cross-process cycle not collected: p1=%v p2=%v",
+			p1.Collector(), p2.Collector())
+	}
+}
+
+func TestEdgeLiftingCounts(t *testing.T) {
+	// Two activity edges toward the same process lift to ONE process
+	// edge; it persists until both are dropped (formula (2)).
+	w := NewWorld(cfg())
+	p1 := w.NewProcess(1)
+	p2 := w.NewProcess(2)
+	x1 := p1.NewActivity()
+	x2 := p1.NewActivity()
+	y := p2.NewActivity()
+	x1.Link(y)
+	x2.Link(y)
+	// Let at least one beat pass: before the mandatory first DGC message,
+	// a dropped edge would be retained by the §3.1 must-send-once rule.
+	w.RunFor(2 * time.Minute)
+	if got := p1.Collector().Referenced(); len(got) != 1 {
+		t.Fatalf("process edges = %v, want 1 lifted edge", got)
+	}
+	x1.Unlink(y)
+	if got := p1.Collector().Referenced(); len(got) != 1 {
+		t.Fatal("process edge dropped while an activity edge remains")
+	}
+	x2.Unlink(y)
+	if got := p1.Collector().Referenced(); len(got) != 0 {
+		t.Fatalf("process edge survived both drops: %v", got)
+	}
+	// Unlinking a non-existent edge is a no-op.
+	x2.Unlink(y)
+}
+
+// TestPrecisionLossVsReferenceGraph is the §4.1 limitation, demonstrated
+// side by side: a garbage activity cycle spanning two processes, one of
+// which also hosts an unrelated *live* activity.
+//
+//   - Process graph: the live activity keeps its whole process busy, so
+//     the (lifted) cycle never satisfies the Garbage property — leaked.
+//   - Reference graph (internal/sim): the same shape is collected,
+//     because the no-sharing property lets the DGC see that the live
+//     activity is not part of the cycle's referencer closure.
+func TestPrecisionLossVsReferenceGraph(t *testing.T) {
+	// Process-graph run.
+	pw := NewWorld(cfg())
+	p1 := pw.NewProcess(1)
+	p2 := pw.NewProcess(2)
+	x := p1.NewActivity()
+	y := p2.NewActivity()
+	x.Link(y)
+	y.Link(x)
+	liveOne := p1.NewActivity() // unrelated but co-located, permanently busy
+	liveOne.SetBusy()
+	pw.RunFor(4 * time.Hour)
+	if p1.Terminated() || p2.Terminated() {
+		t.Fatal("process graph collected a process hosting a live activity")
+	}
+
+	// Fine-grained run of the same shape.
+	sw := sim.NewWorld(sim.Config{TTB: 30 * time.Second, TTA: 150 * time.Second, Seed: 1})
+	sx := sw.NewActivity(1)
+	sy := sw.NewActivity(2)
+	sx.Link(sy.ID())
+	sy.Link(sx.ID())
+	sLive := sw.NewActivity(1) // same node as sx
+	sLive.SetBusy()
+	sw.RunFor(4 * time.Hour)
+	if !sx.Terminated() || !sy.Terminated() {
+		t.Fatal("reference graph failed to collect the garbage cycle")
+	}
+	if sLive.Terminated() {
+		t.Fatal("live activity collected")
+	}
+}
+
+func TestProcessCollectionIsAllOrNothing(t *testing.T) {
+	w := NewWorld(cfg())
+	p := w.NewProcess(1)
+	acts := make([]*Activity, 5)
+	for i := range acts {
+		acts[i] = p.NewActivity()
+	}
+	w.RunFor(20 * time.Minute)
+	if w.CollectedProcesses() != 1 {
+		t.Fatal("process not collected")
+	}
+	for i, a := range acts {
+		if !a.Terminated() {
+			t.Fatalf("activity %d survived its process", i)
+		}
+	}
+}
+
+func TestGlobalIDsDistinctFromProcessIdentity(t *testing.T) {
+	w := NewWorld(cfg())
+	p := w.NewProcess(3)
+	a := p.NewActivity()
+	if a.GlobalID() == procActivityID(3) {
+		t.Fatal("activity identity collides with the process' reserved DGC identity")
+	}
+}

@@ -1,0 +1,179 @@
+// Package rmidgc implements the comparison baseline: a reference-listing
+// distributed garbage collector in the style of Java/RMI (Birrell's
+// network objects), the most deployed DGC at the time of the paper (§1).
+//
+// Every referencer of an activity holds a lease and renews it
+// periodically ("dirty" calls); the activity is collected when it is idle
+// and every lease has expired ("clean" or silence). This collects exactly
+// the acyclic garbage — reference listing is structurally unable to
+// collect distributed cycles, which is the gap the paper's algorithm
+// closes. The benchmark BenchmarkBaselineRMICycleLeak quantifies the leak.
+package rmidgc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Config parameterizes a baseline collector.
+type Config struct {
+	// LeaseDuration is how long a referencer's lease lasts (RMI's
+	// java.rmi.dgc.leaseValue, 1 minute by default then 1 hour, §4.2).
+	LeaseDuration time.Duration
+	// RenewEvery is the renewal period; RMI renews at half the lease.
+	RenewEvery time.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RenewEvery <= 0 || c.LeaseDuration <= 0 {
+		return fmt.Errorf("rmidgc: periods must be positive: %+v", c)
+	}
+	if c.RenewEvery >= c.LeaseDuration {
+		return fmt.Errorf("rmidgc: RenewEvery (%v) must be below LeaseDuration (%v)",
+			c.RenewEvery, c.LeaseDuration)
+	}
+	return nil
+}
+
+// Dirty is a lease renewal message from a referencer.
+type Dirty struct {
+	Sender ids.ActivityID
+}
+
+// Clean is an explicit lease drop (the referencer's stub died).
+type Clean struct {
+	Sender ids.ActivityID
+}
+
+// Outbound is one scheduled renewal.
+type Outbound struct {
+	To    ids.ActivityID
+	Dirty Dirty
+}
+
+// DirtyWireSize is the renewal payload size (sender + target headers),
+// for traffic accounting comparable with the complete DGC's messages.
+const DirtyWireSize = 16
+
+// Collector is the per-activity baseline state machine.
+type Collector struct {
+	id   ids.ActivityID
+	cfg  Config
+	idle func() bool
+
+	mu         sync.Mutex
+	leases     map[ids.ActivityID]time.Time // referencer → expiry
+	referenced map[ids.ActivityID]struct{}
+	lastRenew  time.Time
+	created    time.Time
+	terminated bool
+}
+
+// New creates a baseline collector for activity id.
+func New(id ids.ActivityID, cfg Config, idle func() bool, now time.Time) *Collector {
+	return &Collector{
+		id:         id,
+		cfg:        cfg,
+		idle:       idle,
+		leases:     make(map[ids.ActivityID]time.Time),
+		referenced: make(map[ids.ActivityID]struct{}),
+		created:    now,
+	}
+}
+
+// ID returns the owning activity.
+func (c *Collector) ID() ids.ActivityID { return c.id }
+
+// AddReferenced records a new outgoing reference (stub deserialized).
+func (c *Collector) AddReferenced(target ids.ActivityID, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.referenced[target] = struct{}{}
+}
+
+// LostReferenced drops an outgoing reference; the baseline sends an
+// explicit clean on the next tick by simply not renewing anymore (RMI
+// sends clean calls; silence has the same effect within one lease).
+func (c *Collector) LostReferenced(target ids.ActivityID, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.referenced, target)
+}
+
+// HandleDirty processes a lease renewal.
+func (c *Collector) HandleDirty(d Dirty, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.terminated {
+		return
+	}
+	c.leases[d.Sender] = now.Add(c.cfg.LeaseDuration)
+}
+
+// HandleClean processes an explicit lease drop.
+func (c *Collector) HandleClean(cl Clean, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.leases, cl.Sender)
+}
+
+// TickResult is the outcome of one renewal period.
+type TickResult struct {
+	// Renewals are the dirty calls to send.
+	Renewals []Outbound
+	// Terminated reports the activity became collectable and was
+	// destroyed: idle, no live lease, and past its initial grace period.
+	Terminated bool
+}
+
+// Tick expires leases, decides termination, and schedules renewals.
+func (c *Collector) Tick(now time.Time) TickResult {
+	idle := c.idle()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.terminated {
+		return TickResult{Terminated: true}
+	}
+	for ref, expiry := range c.leases {
+		if now.After(expiry) {
+			delete(c.leases, ref)
+		}
+	}
+	// Initial grace: a fresh activity lives one lease before the empty
+	// lease set may collect it (RMI exports start with an implicit lease).
+	pastGrace := now.Sub(c.created) > c.cfg.LeaseDuration
+	if idle && pastGrace && len(c.leases) == 0 {
+		c.terminated = true
+		return TickResult{Terminated: true}
+	}
+	out := make([]Outbound, 0, len(c.referenced))
+	for target := range c.referenced {
+		out = append(out, Outbound{To: target, Dirty: Dirty{Sender: c.id}})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To.Less(out[j].To) })
+	return TickResult{Renewals: out}
+}
+
+// Terminated reports whether the activity was collected.
+func (c *Collector) Terminated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.terminated
+}
+
+// Leases returns the current lease holders, sorted (for tests).
+func (c *Collector) Leases() []ids.ActivityID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ids.ActivityID, 0, len(c.leases))
+	for id := range c.leases {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,144 @@
+package rmidgc
+
+import (
+	"testing"
+	"time"
+)
+
+func cfg() Config {
+	return Config{
+		LeaseDuration: 60 * time.Second,
+		RenewEvery:    30 * time.Second,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{LeaseDuration: time.Second, RenewEvery: time.Second}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("renew >= lease must be rejected")
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+}
+
+func TestAcyclicCollected(t *testing.T) {
+	w := NewWorld(cfg(), 1, nil)
+	a := w.NewActivity(1)
+	w.RunFor(5 * time.Minute)
+	if !a.Terminated() {
+		t.Fatal("unreferenced idle activity not collected by the baseline")
+	}
+}
+
+func TestLeaseKeepsAlive(t *testing.T) {
+	w := NewWorld(cfg(), 1, nil)
+	root := w.NewActivity(1)
+	root.SetBusy()
+	b := w.NewActivity(2)
+	root.Link(b.ID())
+	w.RunFor(30 * time.Minute)
+	if b.Terminated() {
+		t.Fatal("leased activity collected")
+	}
+	if got := b.collector.Leases(); len(got) != 1 || got[0] != root.ID() {
+		t.Fatalf("leases = %v", got)
+	}
+	root.Unlink(b.ID())
+	w.RunFor(10 * time.Minute)
+	if !b.Terminated() {
+		t.Fatal("activity not collected after lease lapsed")
+	}
+}
+
+func TestBusyNeverCollected(t *testing.T) {
+	w := NewWorld(cfg(), 1, nil)
+	a := w.NewActivity(1)
+	a.SetBusy()
+	w.RunFor(time.Hour)
+	if a.Terminated() {
+		t.Fatal("busy activity collected")
+	}
+}
+
+func TestChainCollectedInOrder(t *testing.T) {
+	w := NewWorld(cfg(), 1, nil)
+	a := w.NewActivity(1)
+	b := w.NewActivity(2)
+	c := w.NewActivity(3)
+	root := w.NewActivity(4)
+	root.SetBusy()
+	root.Link(a.ID())
+	a.Link(b.ID())
+	b.Link(c.ID())
+	w.RunFor(10 * time.Minute)
+	if a.Terminated() || b.Terminated() || c.Terminated() {
+		t.Fatal("live chain collected")
+	}
+	root.Unlink(a.ID())
+	w.RunFor(30 * time.Minute)
+	if !a.Terminated() || !b.Terminated() || !c.Terminated() {
+		t.Fatalf("chain not fully collected: %v %v %v", a.Terminated(), b.Terminated(), c.Terminated())
+	}
+}
+
+// TestCycleLeaks is the defining limitation of reference listing (§1): an
+// unreachable cycle renews its own leases forever.
+func TestCycleLeaks(t *testing.T) {
+	w := NewWorld(cfg(), 1, nil)
+	a := w.NewActivity(1)
+	b := w.NewActivity(2)
+	a.Link(b.ID())
+	b.Link(a.ID())
+	w.RunFor(4 * time.Hour)
+	if a.Terminated() || b.Terminated() {
+		t.Fatal("baseline collected a cycle: reference listing cannot do that")
+	}
+	if w.Live() != 2 || w.Collected() != 0 {
+		t.Fatalf("live=%d collected=%d", w.Live(), w.Collected())
+	}
+	// And it keeps paying renewal traffic for the leak forever.
+	if w.DirtyBytes == 0 {
+		t.Fatal("no renewal traffic for the leaked cycle")
+	}
+}
+
+func TestTerminatedStopsParticipating(t *testing.T) {
+	w := NewWorld(cfg(), 1, nil)
+	a := w.NewActivity(1)
+	w.RunFor(5 * time.Minute)
+	if !a.Terminated() {
+		t.Fatal("setup: a must be collected")
+	}
+	res := a.collector.Tick(w.eng.Now())
+	if !res.Terminated || len(res.Renewals) != 0 {
+		t.Fatal("terminated collector must stay terminated and silent")
+	}
+	// Late messages are ignored.
+	a.collector.HandleDirty(Dirty{Sender: a.ID()}, w.eng.Now())
+	if got := a.collector.Leases(); len(got) != 0 {
+		t.Fatalf("late dirty accepted: %v", got)
+	}
+}
+
+func TestHandleClean(t *testing.T) {
+	w := NewWorld(cfg(), 1, nil)
+	root := w.NewActivity(1)
+	root.SetBusy()
+	b := w.NewActivity(2)
+	root.Link(b.ID())
+	w.RunFor(2 * time.Minute)
+	if len(b.collector.Leases()) != 1 {
+		t.Fatal("setup: lease expected")
+	}
+	// An explicit clean drops the lease immediately.
+	b.collector.HandleClean(Clean{Sender: root.ID()}, w.eng.Now())
+	root.Unlink(b.ID())
+	w.RunFor(10 * time.Minute)
+	if !b.Terminated() {
+		t.Fatal("activity not collected after clean + silence")
+	}
+}

@@ -1,0 +1,125 @@
+package rmidgc
+
+import (
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ids"
+)
+
+// World is a small DES harness for the baseline, mirroring internal/sim's
+// shape so the leak benchmark can run both side by side.
+type World struct {
+	eng  *des.Engine
+	cfg  Config
+	gens map[ids.NodeID]*ids.Generator
+	acts map[ids.ActivityID]*Activity
+	all  []*Activity
+
+	collected int
+	// DirtyBytes counts cross-node renewal traffic.
+	DirtyBytes uint64
+	latency    func(a, b ids.NodeID) time.Duration
+}
+
+// Activity is one simulated active object under the baseline collector.
+type Activity struct {
+	w          *World
+	id         ids.ActivityID
+	node       ids.NodeID
+	idle       bool
+	collector  *Collector
+	terminated bool
+}
+
+// NewWorld creates a baseline world.
+func NewWorld(cfg Config, seed int64, latency func(a, b ids.NodeID) time.Duration) *World {
+	return &World{
+		eng:     des.New(time.Unix(0, 0), seed),
+		cfg:     cfg,
+		gens:    make(map[ids.NodeID]*ids.Generator),
+		acts:    make(map[ids.ActivityID]*Activity),
+		latency: latency,
+	}
+}
+
+// NewActivity creates an idle activity on node.
+func (w *World) NewActivity(node ids.NodeID) *Activity {
+	gen, ok := w.gens[node]
+	if !ok {
+		gen = ids.NewGenerator(node)
+		w.gens[node] = gen
+	}
+	a := &Activity{w: w, node: node, idle: true}
+	a.id = gen.Next()
+	a.collector = New(a.id, w.cfg, func() bool { return a.idle }, w.eng.Now())
+	w.acts[a.id] = a
+	w.all = append(w.all, a)
+	phase := time.Duration(w.eng.Rand().Int63n(int64(w.cfg.RenewEvery) + 1))
+	w.eng.After(phase, a.tick)
+	return a
+}
+
+// ID returns the activity identifier.
+func (a *Activity) ID() ids.ActivityID { return a.id }
+
+// Terminated reports collection.
+func (a *Activity) Terminated() bool { return a.terminated }
+
+// SetBusy pins the activity busy.
+func (a *Activity) SetBusy() { a.idle = false }
+
+// SetIdle makes the activity idle.
+func (a *Activity) SetIdle() { a.idle = true }
+
+// Link records a reference.
+func (a *Activity) Link(target ids.ActivityID) {
+	a.collector.AddReferenced(target, a.w.eng.Now())
+}
+
+// Unlink drops a reference.
+func (a *Activity) Unlink(target ids.ActivityID) {
+	a.collector.LostReferenced(target, a.w.eng.Now())
+}
+
+func (a *Activity) tick() {
+	if a.terminated {
+		return
+	}
+	w := a.w
+	res := a.collector.Tick(w.eng.Now())
+	if res.Terminated {
+		a.terminated = true
+		w.collected++
+		return
+	}
+	for _, ob := range res.Renewals {
+		ob := ob
+		dst, ok := w.acts[ob.To]
+		if !ok {
+			continue
+		}
+		if dst.node != a.node {
+			w.DirtyBytes += DirtyWireSize
+		}
+		var lat time.Duration
+		if w.latency != nil && dst.node != a.node {
+			lat = w.latency(a.node, dst.node)
+		}
+		w.eng.After(lat, func() {
+			if !dst.terminated {
+				dst.collector.HandleDirty(ob.Dirty, w.eng.Now())
+			}
+		})
+	}
+	w.eng.After(w.cfg.RenewEvery, a.tick)
+}
+
+// RunFor advances virtual time.
+func (w *World) RunFor(d time.Duration) { w.eng.RunFor(d) }
+
+// Collected returns the number of collected activities.
+func (w *World) Collected() int { return w.collected }
+
+// Live returns the number of surviving activities.
+func (w *World) Live() int { return len(w.all) - w.collected }

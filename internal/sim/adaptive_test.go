@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// buildRing creates an idle n-ring spread over 8 nodes.
+func buildRing(w *World, n int) []*Activity {
+	ring := make([]*Activity, n)
+	for i := range ring {
+		ring[i] = w.NewActivity(ids.NodeID(i%8 + 1))
+	}
+	for i := range ring {
+		ring[i].Link(ring[(i+1)%n].ID())
+	}
+	return ring
+}
+
+// TestAdaptiveBeatsCollectFasterThanBase: with §7.1 adaptation enabled,
+// garbage suspicion accelerates the consensus traversal, so a garbage
+// ring collects in less virtual time than under the fixed base beat —
+// while a busy activity's beat slows down, saving messages.
+func TestAdaptiveBeatsCollectFasterThanBase(t *testing.T) {
+	const n = 16
+	run := func(adaptive bool) time.Duration {
+		cfg := Config{
+			TTB:  60 * time.Second,
+			TTA:  300 * time.Second,
+			Seed: 5,
+		}
+		if adaptive {
+			cfg.Adaptive = core.Adaptive{
+				Enabled: true,
+				MinTTB:  15 * time.Second,
+				MaxTTB:  60 * time.Second,
+			}
+			base := core.Config{TTB: cfg.TTB, TTA: cfg.TTA}
+			if err := cfg.Adaptive.Validate(base, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := NewWorld(cfg)
+		ring := buildRing(w, n)
+		_ = ring
+		ok, took := w.RunUntilCollected(n, 24*time.Hour)
+		if !ok {
+			t.Fatalf("ring not collected (adaptive=%v)", adaptive)
+		}
+		return took
+	}
+	fixed := run(false)
+	adapted := run(true)
+	if adapted >= fixed {
+		t.Fatalf("adaptive (%v) not faster than fixed (%v)", adapted, fixed)
+	}
+}
+
+// TestAdaptiveBusySlowsBeat: a busy activity under adaptation sends
+// fewer heartbeats per unit time than under the fixed beat.
+func TestAdaptiveBusySlowsBeat(t *testing.T) {
+	count := func(adaptive bool) uint64 {
+		cfg := Config{TTB: 60 * time.Second, TTA: 300 * time.Second, Seed: 2}
+		if adaptive {
+			cfg.Adaptive = core.Adaptive{Enabled: true, MinTTB: 15 * time.Second, MaxTTB: 120 * time.Second}
+		}
+		w := NewWorld(cfg)
+		busy := w.NewActivity(1)
+		busy.SetBusy()
+		target := w.NewActivity(2)
+		busy.Link(target.ID())
+		w.RunFor(4 * time.Hour)
+		if target.Terminated() {
+			t.Fatal("referenced activity collected while busy root beats (even slowly)")
+		}
+		return w.Traffic().DGCMessages
+	}
+	fixed := count(false)
+	adapted := count(true)
+	if adapted >= fixed {
+		t.Fatalf("adaptive busy beat not cheaper: %d vs %d messages", adapted, fixed)
+	}
+}
+
+// TestAdaptiveSafetyUnderMutation reruns a mutation scenario with
+// adaptation on: the live cycle must survive, the garbage must go.
+func TestAdaptiveSafetyUnderMutation(t *testing.T) {
+	cfg := Config{
+		TTB:  60 * time.Second,
+		TTA:  300 * time.Second,
+		Seed: 11,
+		Adaptive: core.Adaptive{
+			Enabled: true,
+			MinTTB:  15 * time.Second,
+			MaxTTB:  120 * time.Second,
+		},
+	}
+	w := NewWorld(cfg)
+	root := w.NewActivity(1)
+	root.SetBusy()
+	a := w.NewActivity(2)
+	b := w.NewActivity(3)
+	a.Link(b.ID())
+	b.Link(a.ID())
+	root.Link(a.ID())
+	w.RunFor(2 * time.Hour)
+	if a.Terminated() || b.Terminated() {
+		t.Fatal("live cycle collected under adaptive beats")
+	}
+	root.Unlink(a.ID())
+	w.RunFor(4 * time.Hour)
+	if !a.Terminated() || !b.Terminated() {
+		t.Fatal("garbage cycle not collected under adaptive beats")
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// treeHeight walks parent chains at the end of a run and returns the
+// maximum depth observed (0 = owner only).
+func treeHeight(acts []*Activity) int {
+	byID := make(map[ids.ActivityID]*Activity, len(acts))
+	for _, a := range acts {
+		byID[a.ID()] = a
+	}
+	max := 0
+	for _, a := range acts {
+		depth := 0
+		cur := a
+		seen := map[ids.ActivityID]bool{}
+		for !cur.Collector().Parent().IsNil() && !seen[cur.ID()] {
+			seen[cur.ID()] = true
+			next, ok := byID[cur.Collector().Parent()]
+			if !ok {
+				break
+			}
+			cur = next
+			depth++
+		}
+		if depth > max {
+			max = depth
+		}
+	}
+	return max
+}
+
+// completeGraph builds an idle complete reference graph of n activities.
+func completeGraph(w *World, n int) []*Activity {
+	acts := make([]*Activity, n)
+	for i := range acts {
+		acts[i] = w.NewActivity(ids.NodeID(i%8 + 1))
+	}
+	for i := range acts {
+		for j := range acts {
+			if i != j {
+				acts[i].Link(acts[j].ID())
+			}
+		}
+	}
+	return acts
+}
+
+// TestMinHeightTreeConvergesToDepthOne: in a complete graph every member
+// references the clock owner directly, so under the §7.2 extension every
+// non-owner must end up with the owner as parent (depth 1).
+func TestMinHeightTreeConvergesToDepthOne(t *testing.T) {
+	w := NewWorld(Config{
+		TTB:           30 * time.Second,
+		TTA:           150 * time.Second,
+		Seed:          4,
+		MinHeightTree: true,
+	})
+	acts := completeGraph(w, 10)
+	ok, _ := w.RunUntilCollected(len(acts), 4*time.Hour)
+	if !ok {
+		t.Fatalf("complete graph not collected: %d", w.Collected())
+	}
+	// Identify the final owner.
+	owner := acts[0].Collector().Clock().Owner
+	for _, a := range acts {
+		p := a.Collector().Parent()
+		if a.ID() == owner {
+			if !p.IsNil() {
+				t.Fatalf("owner %v has parent %v", owner, p)
+			}
+			continue
+		}
+		if p != owner {
+			t.Fatalf("member %v parent = %v, want the owner %v (depth 1)", a.ID(), p, owner)
+		}
+	}
+	if h := treeHeight(acts); h != 1 {
+		t.Fatalf("tree height = %d, want 1", h)
+	}
+}
+
+// TestMinHeightTreeStillSafeAndLive: the re-parenting must not break
+// collection or safety on mixed graphs.
+func TestMinHeightTreeStillSafeAndLive(t *testing.T) {
+	w := NewWorld(Config{
+		TTB:           30 * time.Second,
+		TTA:           150 * time.Second,
+		Seed:          9,
+		MinHeightTree: true,
+	})
+	root := w.NewActivity(1)
+	root.SetBusy()
+	cycle := buildRing(w, 8)
+	extra := w.NewActivity(2)
+	extra.Link(cycle[0].ID())
+	cycle[0].Link(extra.ID())
+	root.Link(cycle[3].ID())
+	w.RunFor(2 * time.Hour)
+	for i, a := range cycle {
+		if a.Terminated() {
+			t.Fatalf("live cycle member %d collected under min-height trees", i)
+		}
+	}
+	root.Unlink(cycle[3].ID())
+	w.RunFor(4 * time.Hour)
+	for i, a := range cycle {
+		if !a.Terminated() {
+			t.Fatalf("garbage cycle member %d not collected under min-height trees", i)
+		}
+	}
+	if !extra.Terminated() {
+		t.Fatal("attached garbage not collected")
+	}
+}
+
+// TestMinHeightFasterOnDenseGraphs compares detection latency on a dense
+// graph: shallower trees shorten the conjunction path to the originator,
+// so collection completes in no more beats than with fastest-response
+// adoption (usually fewer).
+func TestMinHeightFasterOnDenseGraphs(t *testing.T) {
+	run := func(minHeight bool) time.Duration {
+		var worst time.Duration
+		for seed := int64(1); seed <= 5; seed++ {
+			w := NewWorld(Config{
+				TTB:           30 * time.Second,
+				TTA:           150 * time.Second,
+				Seed:          seed,
+				MinHeightTree: minHeight,
+			})
+			acts := completeGraph(w, 16)
+			ok, took := w.RunUntilCollected(len(acts), 8*time.Hour)
+			if !ok {
+				t.Fatal("not collected")
+			}
+			if took > worst {
+				worst = took
+			}
+		}
+		return worst
+	}
+	base := run(false)
+	shallow := run(true)
+	if shallow > base {
+		t.Fatalf("min-height trees slower on dense graph: %v vs %v", shallow, base)
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/ids"
+)
+
+// TestAsyncRandomGraphSafetyAndLiveness is the asynchronous counterpart
+// of core's synchronous property test: random reference graphs over the
+// Grid'5000 latency matrix, unsynchronized beats, random model-legal
+// mutations spread over virtual time. Invariants:
+//
+//   - safety: an activity reachable from a pinned-busy activity is never
+//     collected;
+//   - liveness: once mutations stop, every garbage activity is collected.
+//
+// Mutations follow the paper's model: only a busy holder of a reference
+// can hand it to an activity it references (the §3.1 hand-off, performed
+// through an actual Request so the recipient serves it and ticks its
+// clock); edges drop at any time; busy activities may go idle; idle ones
+// never spontaneously wake.
+func TestAsyncRandomGraphSafetyAndLiveness(t *testing.T) {
+	topo := grid.Grid5000()
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		w := NewWorld(Config{
+			TTB:     30 * time.Second,
+			TTA:     150 * time.Second,
+			Seed:    seed,
+			Latency: topo.Latency,
+		})
+
+		n := 4 + r.Intn(10)
+		acts := make([]*Activity, n)
+		busy := make([]bool, n)
+		edges := make([]map[int]int, n) // multiset of edges i→j
+		for i := range acts {
+			acts[i] = w.NewActivity(ids.NodeID(r.Intn(topo.NumNodes()) + 1))
+			edges[i] = make(map[int]int)
+			if r.Intn(3) == 0 {
+				acts[i].SetBusy()
+				busy[i] = true
+			}
+		}
+		link := func(i, j int) {
+			acts[i].Link(acts[j].ID())
+			edges[i][j]++
+		}
+		unlink := func(i, j int) {
+			if edges[i][j] == 0 {
+				return
+			}
+			edges[i][j]--
+			if edges[i][j] == 0 {
+				delete(edges[i], j)
+				acts[i].Unlink(acts[j].ID())
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Intn(4) == 0 {
+					link(i, j)
+				}
+			}
+		}
+
+		live := func() map[int]bool {
+			out := make(map[int]bool)
+			var stack []int
+			for i, b := range busy {
+				if b {
+					out[i] = true
+					stack = append(stack, i)
+				}
+			}
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for to := range edges[cur] {
+					if !out[to] {
+						out[to] = true
+						stack = append(stack, to)
+					}
+				}
+			}
+			return out
+		}
+		checkSafety := func(phase string) {
+			t.Helper()
+			liveSet := live()
+			for i, a := range acts {
+				if liveSet[i] && a.Terminated() {
+					t.Fatalf("seed %d %s: SAFETY violated: live activity %d collected (%v)",
+						seed, phase, i, a.Reason())
+				}
+			}
+		}
+
+		// Mutation phase: ~40 virtual minutes with scattered events.
+		for step := 0; step < 25; step++ {
+			w.RunFor(time.Duration(30+r.Intn(90)) * time.Second)
+			switch r.Intn(4) {
+			case 0: // drop a random edge
+				i := r.Intn(n)
+				for j := range edges[i] {
+					unlink(i, j)
+					break
+				}
+			case 1: // a busy activity goes idle
+				i := r.Intn(n)
+				if busy[i] {
+					busy[i] = false
+					acts[i].SetIdle()
+				}
+			case 2: // busy holder hands a reference to an activity it references
+				giver := r.Intn(n)
+				if busy[giver] && !acts[giver].Terminated() {
+					var outs []int
+					for j := range edges[giver] {
+						outs = append(outs, j)
+					}
+					if len(outs) >= 2 {
+						recipient := outs[r.Intn(len(outs))]
+						given := outs[r.Intn(len(outs))]
+						if recipient != giver && !acts[recipient].Terminated() {
+							rec, gv := recipient, given
+							w.Request(acts[giver], acts[rec], 64, func() {
+								if !acts[rec].Terminated() {
+									acts[rec].Link(acts[gv].ID())
+								}
+							})
+							edges[rec][gv]++
+						}
+					}
+				}
+			default:
+			}
+			checkSafety("mutating")
+		}
+
+		// Quiescent phase: everything garbage must go.
+		w.RunFor(time.Duration(n) * 20 * time.Minute)
+		checkSafety("quiescent")
+		liveSet := live()
+		for i, a := range acts {
+			if !liveSet[i] && !a.Terminated() {
+				t.Fatalf("seed %d: LIVENESS violated: garbage %d not collected (%v)",
+					seed, i, a.Collector())
+			}
+		}
+	}
+}

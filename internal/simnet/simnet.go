@@ -1,0 +1,405 @@
+// Package simnet provides the in-memory network substrate the live runtime
+// communicates over. It reproduces the properties the paper's algorithm
+// depends on and the instrumentation its evaluation uses:
+//
+//   - FIFO ordered delivery per (source, destination) pair, like the TCP
+//     connections of RMI ("DGC messages and responses cannot race with
+//     application messages as they are sent over the same FIFO connection",
+//     §3.2);
+//   - request/response exchange over the connection opened by the caller,
+//     so a referenced activity never needs connectivity back to its
+//     referencers (firewall/NAT asymmetry, §2.2);
+//   - configurable one-way latency derived from a per-site RTT matrix
+//     (§5.1) with an explicit MaxComm upper bound for the TTA formula;
+//   - payload byte accounting per traffic class, the stand-in for the
+//     paper's instrumented SOCKS proxy (§5): intra-process messages are
+//     delivered directly and not accounted, as in the paper.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/vclock"
+)
+
+// Class partitions traffic for accounting, mirroring how the paper
+// separates application payload from DGC overhead.
+type Class uint8
+
+// Traffic classes.
+const (
+	// ClassApp is application traffic: requests and their payloads.
+	ClassApp Class = iota + 1
+	// ClassDGC is DGC messages and DGC responses.
+	ClassDGC
+	// ClassFuture is future-update traffic (results flowing back).
+	ClassFuture
+	numClasses = 3
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassApp:
+		return "app"
+	case ClassDGC:
+		return "dgc"
+	case ClassFuture:
+		return "future"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Errors returned by the transport.
+var (
+	// ErrUnreachable indicates the reachability rules forbid src → dst.
+	ErrUnreachable = errors.New("simnet: destination unreachable")
+	// ErrUnknownNode indicates the destination was never registered.
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	// ErrClosed indicates the network has been shut down.
+	ErrClosed = errors.New("simnet: network closed")
+)
+
+// Handler receives traffic on behalf of a node.
+type Handler interface {
+	// HandleOneWay processes a one-way message.
+	HandleOneWay(from ids.NodeID, class Class, payload []byte)
+	// HandleCall processes a request/response exchange and returns the
+	// response payload, which travels back over the same connection.
+	HandleCall(from ids.NodeID, class Class, payload []byte) []byte
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Clock provides time; defaults to the real clock.
+	Clock vclock.Clock
+	// Latency returns the one-way latency between two distinct nodes.
+	// Defaults to zero latency. Intra-node delivery is always immediate.
+	Latency func(src, dst ids.NodeID) time.Duration
+	// Reachable reports whether src may open a connection to dst. Defaults
+	// to full reachability. Replies are always allowed back over an
+	// established exchange.
+	Reachable func(src, dst ids.NodeID) bool
+	// MaxComm is an upper bound on one-way communication time, used by the
+	// DGC deadline formula. If zero, it is taken as the maximum of Latency
+	// over registered node pairs at the time MaxComm() is called.
+	MaxComm time.Duration
+}
+
+// Counters is a snapshot of accounted traffic.
+type Counters struct {
+	// Bytes maps each class to total payload bytes (both directions of
+	// calls included).
+	Bytes map[Class]uint64
+	// Messages maps each class to the number of payloads transferred.
+	Messages map[Class]uint64
+}
+
+// Total returns the total accounted bytes across classes.
+func (c Counters) Total() uint64 {
+	var t uint64
+	for _, b := range c.Bytes {
+		t += b
+	}
+	return t
+}
+
+// Network is the shared medium. Create with New, attach nodes with
+// Register, stop with Close.
+type Network struct {
+	cfg Config
+
+	mu     sync.Mutex
+	nodes  map[ids.NodeID]Handler
+	queues map[pairKey]*pairQueue
+	closed bool
+	wg     sync.WaitGroup
+
+	statsMu  sync.Mutex
+	bytes    [numClasses + 1]uint64
+	messages [numClasses + 1]uint64
+}
+
+type pairKey struct {
+	src, dst ids.NodeID
+}
+
+// New creates a network.
+func New(cfg Config) *Network {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = func(_, _ ids.NodeID) time.Duration { return 0 }
+	}
+	if cfg.Reachable == nil {
+		cfg.Reachable = func(_, _ ids.NodeID) bool { return true }
+	}
+	return &Network{
+		cfg:    cfg,
+		nodes:  make(map[ids.NodeID]Handler),
+		queues: make(map[pairKey]*pairQueue),
+	}
+}
+
+// MaxComm returns the configured or derived upper bound on one-way
+// communication time.
+func (n *Network) MaxComm() time.Duration {
+	if n.cfg.MaxComm > 0 {
+		return n.cfg.MaxComm
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var max time.Duration
+	for a := range n.nodes {
+		for b := range n.nodes {
+			if a == b {
+				continue
+			}
+			if l := n.cfg.Latency(a, b); l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
+// Register attaches a handler for node and returns its endpoint. Replacing
+// an existing registration is allowed (used when a node restarts in tests).
+func (n *Network) Register(node ids.NodeID, h Handler) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[node] = h
+	return &Endpoint{net: n, node: node}
+}
+
+// Deregister detaches a node: subsequent traffic toward it fails with
+// ErrUnknownNode. Used to simulate machine crashes (§4.2: an undetected
+// failure is indistinguishable from silence for the DGC).
+func (n *Network) Deregister(node ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, node)
+}
+
+// Close stops delivery and waits for in-flight queue goroutines to drain.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, q := range n.queues {
+		q.close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Snapshot returns the accounted traffic so far.
+func (n *Network) Snapshot() Counters {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	c := Counters{Bytes: make(map[Class]uint64), Messages: make(map[Class]uint64)}
+	for cls := Class(1); cls <= numClasses; cls++ {
+		c.Bytes[cls] = n.bytes[cls]
+		c.Messages[cls] = n.messages[cls]
+	}
+	return c
+}
+
+// ResetCounters zeroes the traffic counters (used between benchmark
+// phases).
+func (n *Network) ResetCounters() {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	for i := range n.bytes {
+		n.bytes[i] = 0
+		n.messages[i] = 0
+	}
+}
+
+func (n *Network) account(class Class, size int) {
+	n.statsMu.Lock()
+	n.bytes[class] += uint64(size)
+	n.messages[class]++
+	n.statsMu.Unlock()
+}
+
+func (n *Network) handlerFor(node ids.NodeID) (Handler, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	h, ok := n.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownNode, node)
+	}
+	return h, nil
+}
+
+func (n *Network) queueFor(src, dst ids.NodeID) (*pairQueue, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	key := pairKey{src: src, dst: dst}
+	q, ok := n.queues[key]
+	if !ok {
+		q = newPairQueue()
+		n.queues[key] = q
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			q.run(n.cfg.Clock)
+		}()
+	}
+	return q, nil
+}
+
+// Endpoint is a node's attachment point to the network.
+type Endpoint struct {
+	net  *Network
+	node ids.NodeID
+}
+
+// Node returns the endpoint's node identifier.
+func (e *Endpoint) Node() ids.NodeID { return e.node }
+
+// Send transmits a one-way message to dst with FIFO ordering relative to
+// all other traffic from this node to dst.
+func (e *Endpoint) Send(dst ids.NodeID, class Class, payload []byte) error {
+	h, err := e.net.handlerFor(dst)
+	if err != nil {
+		return err
+	}
+	if e.node == dst {
+		// Intra-process: direct delivery, not accounted (paper §5).
+		h.HandleOneWay(e.node, class, payload)
+		return nil
+	}
+	if !e.net.cfg.Reachable(e.node, dst) {
+		return fmt.Errorf("%w: %v -> %v", ErrUnreachable, e.node, dst)
+	}
+	e.net.account(class, len(payload))
+	q, err := e.net.queueFor(e.node, dst)
+	if err != nil {
+		return err
+	}
+	deliverAt := e.net.cfg.Clock.Now().Add(e.net.cfg.Latency(e.node, dst))
+	return q.push(item{
+		deliverAt: deliverAt,
+		fn:        func() { h.HandleOneWay(e.node, class, payload) },
+	})
+}
+
+// Call performs a request/response exchange with dst. The response travels
+// back over the same logical connection, so it is permitted even when the
+// reachability rules forbid dst → src connections.
+func (e *Endpoint) Call(dst ids.NodeID, class Class, payload []byte) ([]byte, error) {
+	h, err := e.net.handlerFor(dst)
+	if err != nil {
+		return nil, err
+	}
+	if e.node == dst {
+		return h.HandleCall(e.node, class, payload), nil
+	}
+	if !e.net.cfg.Reachable(e.node, dst) {
+		return nil, fmt.Errorf("%w: %v -> %v", ErrUnreachable, e.node, dst)
+	}
+	e.net.account(class, len(payload))
+	q, err := e.net.queueFor(e.node, dst)
+	if err != nil {
+		return nil, err
+	}
+	type result struct {
+		resp []byte
+	}
+	done := make(chan result, 1)
+	deliverAt := e.net.cfg.Clock.Now().Add(e.net.cfg.Latency(e.node, dst))
+	err = q.push(item{
+		deliverAt: deliverAt,
+		fn: func() {
+			resp := h.HandleCall(e.node, class, payload)
+			done <- result{resp: resp}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := <-done
+	// The response pays the return latency on the same connection.
+	if l := e.net.cfg.Latency(dst, e.node); l > 0 {
+		e.net.cfg.Clock.Sleep(l)
+	}
+	e.net.account(class, len(r.resp))
+	return r.resp, nil
+}
+
+// item is one queued delivery.
+type item struct {
+	deliverAt time.Time
+	fn        func()
+}
+
+// pairQueue delivers items for one ordered node pair in FIFO order, each no
+// earlier than its deliverAt time.
+type pairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []item
+	closed bool
+}
+
+func newPairQueue() *pairQueue {
+	q := &pairQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *pairQueue) push(it item) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, it)
+	q.cond.Signal()
+	return nil
+}
+
+func (q *pairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *pairQueue) run(clock vclock.Clock) {
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.items) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		it := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+
+		if wait := it.deliverAt.Sub(clock.Now()); wait > 0 {
+			clock.Sleep(wait)
+		}
+		it.fn()
+	}
+}

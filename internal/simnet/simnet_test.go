@@ -1,0 +1,322 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// recorder is a test handler recording deliveries.
+type recorder struct {
+	mu     sync.Mutex
+	oneWay []string
+	calls  []string
+	reply  []byte
+}
+
+func (r *recorder) HandleOneWay(from ids.NodeID, class Class, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.oneWay = append(r.oneWay, string(payload))
+}
+
+func (r *recorder) HandleCall(from ids.NodeID, class Class, payload []byte) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, string(payload))
+	return r.reply
+}
+
+func (r *recorder) received() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.oneWay))
+	copy(out, r.oneWay)
+	return out
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+func TestSendDelivers(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var rec recorder
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	if err := ep.Send(2, ClassApp, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(rec.received()) == 1 })
+	if rec.received()[0] != "hi" {
+		t.Fatalf("received %v", rec.received())
+	}
+}
+
+func TestSendFIFOOrder(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var rec recorder
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := ep.Send(2, ClassApp, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(rec.received()) == k })
+	got := rec.received()
+	for i := 0; i < k; i++ {
+		if got[i] != string([]byte{byte(i)}) {
+			t.Fatalf("out-of-order delivery at %d", i)
+		}
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	rec := recorder{reply: []byte("pong")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	resp, err := ep.Call(2, ClassDGC, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pong" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestIntraNodeDirectAndUnaccounted(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	rec := recorder{reply: []byte("r")}
+	ep := n.Register(1, &rec)
+	if err := ep.Send(1, ClassApp, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Call(1, ClassDGC, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	// Intra-node delivery is synchronous.
+	if len(rec.received()) != 1 {
+		t.Fatal("intra-node Send must deliver synchronously")
+	}
+	if total := n.Snapshot().Total(); total != 0 {
+		t.Fatalf("intra-node traffic was accounted: %d bytes", total)
+	}
+}
+
+func TestAccountingPerClass(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	rec := recorder{reply: []byte("12345")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	if err := ep.Send(2, ClassApp, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Call(2, ClassDGC, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	snap := n.Snapshot()
+	if snap.Bytes[ClassApp] != 100 {
+		t.Fatalf("app bytes = %d, want 100", snap.Bytes[ClassApp])
+	}
+	if snap.Bytes[ClassDGC] != 15 { // 10 out + 5 back
+		t.Fatalf("dgc bytes = %d, want 15", snap.Bytes[ClassDGC])
+	}
+	if snap.Messages[ClassDGC] != 2 {
+		t.Fatalf("dgc messages = %d, want 2 (msg + response)", snap.Messages[ClassDGC])
+	}
+	if snap.Total() != 115 {
+		t.Fatalf("total = %d, want 115", snap.Total())
+	}
+	n.ResetCounters()
+	if n.Snapshot().Total() != 0 {
+		t.Fatal("ResetCounters did not zero counters")
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	ep := n.Register(1, &recorder{})
+	if err := ep.Send(99, ClassApp, nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if _, err := ep.Call(99, ClassApp, nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestReachabilityRules(t *testing.T) {
+	// Node 2 is behind a NAT: only 1 → 2 connections are allowed.
+	n := New(Config{
+		Reachable: func(src, dst ids.NodeID) bool {
+			return !(src == 2 && dst == 1)
+		},
+	})
+	defer n.Close()
+	rec1 := recorder{reply: []byte("r1")}
+	rec2 := recorder{reply: []byte("r2")}
+	ep1 := n.Register(1, &rec1)
+	ep2 := n.Register(2, &rec2)
+
+	// Forward direction works, including the response riding back.
+	resp, err := ep1.Call(2, ClassDGC, []byte("m"))
+	if err != nil || string(resp) != "r2" {
+		t.Fatalf("forward call failed: %v %q", err, resp)
+	}
+	// Reverse direction is blocked.
+	if err := ep2.Send(1, ClassApp, []byte("x")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if _, err := ep2.Call(1, ClassApp, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestLatencyAppliedToSend(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	n := New(Config{
+		Latency: func(_, _ ids.NodeID) time.Duration { return lat },
+	})
+	defer n.Close()
+	var rec recorder
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	start := time.Now()
+	if err := ep.Send(2, ClassApp, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(rec.received()) == 1 })
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("delivered after %v, want >= %v", elapsed, lat)
+	}
+}
+
+func TestCallPaysRoundTripLatency(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	n := New(Config{
+		Latency: func(_, _ ids.NodeID) time.Duration { return lat },
+	})
+	defer n.Close()
+	rec := recorder{reply: []byte("r")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	start := time.Now()
+	if _, err := ep.Call(2, ClassDGC, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*lat {
+		t.Fatalf("call took %v, want >= %v (RTT)", elapsed, 2*lat)
+	}
+}
+
+func TestMaxCommConfigured(t *testing.T) {
+	n := New(Config{MaxComm: 42 * time.Millisecond})
+	defer n.Close()
+	if got := n.MaxComm(); got != 42*time.Millisecond {
+		t.Fatalf("MaxComm = %v, want 42ms", got)
+	}
+}
+
+func TestMaxCommDerived(t *testing.T) {
+	n := New(Config{
+		Latency: func(src, dst ids.NodeID) time.Duration {
+			if src == 1 && dst == 2 {
+				return 7 * time.Millisecond
+			}
+			return time.Millisecond
+		},
+	})
+	defer n.Close()
+	n.Register(1, &recorder{})
+	n.Register(2, &recorder{})
+	if got := n.MaxComm(); got != 7*time.Millisecond {
+		t.Fatalf("MaxComm = %v, want 7ms", got)
+	}
+}
+
+func TestCloseRejectsTraffic(t *testing.T) {
+	n := New(Config{})
+	ep := n.Register(1, &recorder{})
+	n.Register(2, &recorder{})
+	n.Close()
+	if err := ep.Send(2, ClassApp, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Idempotent close.
+	n.Close()
+}
+
+func TestClassString(t *testing.T) {
+	if ClassApp.String() != "app" || ClassDGC.String() != "dgc" || ClassFuture.String() != "future" {
+		t.Fatal("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class must still format")
+	}
+}
+
+func TestConcurrentSendersDistinctPairs(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	var rec recorder
+	n.Register(10, &rec)
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep := n.Register(ids.NodeID(s+1), &recorder{})
+		wg.Add(1)
+		go func(ep *Endpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ep.Send(10, ClassApp, []byte{1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return len(rec.received()) == senders*per })
+}
+
+func TestDeregisterMakesNodeUnreachable(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	rec := recorder{reply: []byte("r")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	if _, err := ep.Call(2, ClassDGC, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	n.Deregister(2)
+	if err := ep.Send(2, ClassApp, []byte("x")); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Send after Deregister = %v, want ErrUnknownNode", err)
+	}
+	if _, err := ep.Call(2, ClassDGC, nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Call after Deregister = %v, want ErrUnknownNode", err)
+	}
+	// Re-registering revives the node (restart).
+	n.Register(2, &rec)
+	if _, err := ep.Call(2, ClassDGC, []byte("m")); err != nil {
+		t.Fatalf("Call after re-register = %v", err)
+	}
+}

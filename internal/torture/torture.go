@@ -1,0 +1,233 @@
+// Package torture implements the paper's §5.3 DGC stress test: a
+// master/slave application where slaves continuously exchange references
+// between themselves and the master for a fixed active phase (ten minutes
+// in the paper), building a large and very dynamic reference graph, then
+// all become idle — and the DGC must reclaim all 6 401 activities.
+//
+// The workload runs on the deterministic DES harness (internal/sim) at the
+// paper's full scale: 128 machines × 50 slaves + 1 master, TTB/TTA of
+// 30/150 s (Fig. 10a) or 300/1500 s (Fig. 10b).
+package torture
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/sim"
+)
+
+// Params configures a torture run. The zero value is not valid; use
+// PaperParams or fill every field.
+type Params struct {
+	// Machines is the number of nodes (the paper uses 128).
+	Machines int
+	// SlavesPerMachine is the number of slave activities per node (50).
+	SlavesPerMachine int
+	// ActiveFor is the reference-exchange phase duration (600 s).
+	ActiveFor time.Duration
+	// MeanIterationGap is the average pause between two exchange
+	// iterations of one slave.
+	MeanIterationGap time.Duration
+	// ServiceTime is how long serving one request keeps an activity busy.
+	ServiceTime time.Duration
+	// HeldRefs caps how many exchanged references one slave retains; the
+	// oldest is dropped beyond that (its stub dies at the next local
+	// collection).
+	HeldRefs int
+	// RequestBytes sizes the exchange request payload ("the only data
+	// exchanged ... consists in the remote references", §5.3).
+	RequestBytes int
+	// TTB, TTA are the DGC parameters.
+	TTB time.Duration
+	TTA time.Duration
+	// Seed drives the deterministic randomness.
+	Seed int64
+	// SampleEvery is the Fig. 10 curve sampling period.
+	SampleEvery time.Duration
+	// MaxRunFor bounds the total virtual time simulated.
+	MaxRunFor time.Duration
+}
+
+// PaperParams returns the full-scale Fig. 10 configuration for the given
+// TTB/TTA pair.
+func PaperParams(ttb, tta time.Duration) Params {
+	return Params{
+		Machines:         128,
+		SlavesPerMachine: 50,
+		ActiveFor:        600 * time.Second,
+		MeanIterationGap: 30 * time.Second,
+		ServiceTime:      50 * time.Millisecond,
+		HeldRefs:         3,
+		RequestBytes:     64,
+		TTB:              ttb,
+		TTA:              tta,
+		Seed:             1,
+		SampleEvery:      10 * time.Second,
+		MaxRunFor:        24 * time.Hour,
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Total is the number of activities (slaves + master).
+	Total int
+	// CollectedAll reports whether everything was reclaimed.
+	CollectedAll bool
+	// LastCollectedAt is the virtual time of the final termination.
+	LastCollectedAt time.Duration
+	// Traffic is the accounted inter-node traffic.
+	Traffic sim.Traffic
+	// Samples is the idle/collected curve (Fig. 10).
+	Samples []sim.Sample
+	// Reasons counts terminations per reason.
+	Reasons map[core.Reason]int
+}
+
+// slave is the scripted behaviour state of one activity.
+type slave struct {
+	act *sim.Activity
+	// held maps a referenced peer to the number of live stubs; the edge is
+	// dropped when the count reaches zero (the shared-tag rule, §2.2).
+	held map[ids.ActivityID]int
+	// order is the FIFO of held references for eviction.
+	order []ids.ActivityID
+	cap   int
+}
+
+func newSlave(act *sim.Activity, capacity int) *slave {
+	return &slave{act: act, held: make(map[ids.ActivityID]int), cap: capacity}
+}
+
+// hold acquires a reference (deserialization: Link) and evicts beyond
+// capacity.
+func (s *slave) hold(target ids.ActivityID) {
+	if s.act.Terminated() {
+		return
+	}
+	s.act.Link(target)
+	s.held[target]++
+	s.order = append(s.order, target)
+	for len(s.order) > s.cap {
+		old := s.order[0]
+		s.order = s.order[1:]
+		s.held[old]--
+		if s.held[old] == 0 {
+			delete(s.held, old)
+			s.act.Unlink(old)
+		}
+	}
+}
+
+// pick returns a random currently-held reference.
+func (s *slave) pick(rnd func(int) int) (ids.ActivityID, bool) {
+	if len(s.order) == 0 {
+		return ids.Nil, false
+	}
+	return s.order[rnd(len(s.order))], true
+}
+
+// Run executes the torture workload and returns its result.
+func Run(p Params) Result {
+	topo := grid.Grid5000()
+	w := sim.NewWorld(sim.Config{
+		TTB:         p.TTB,
+		TTA:         p.TTA,
+		Seed:        p.Seed,
+		Latency:     topo.Latency,
+		SampleEvery: p.SampleEvery,
+	})
+	eng := w.Engine()
+	rnd := eng.Rand()
+
+	// The master lives on node 1; slaves are spread over all machines.
+	master := w.NewActivity(1)
+	master.SetServiceTime(p.ServiceTime)
+	masterState := newSlave(master, p.HeldRefs*64) // the master retains many more refs
+
+	total := p.Machines * p.SlavesPerMachine
+	slaves := make([]*slave, total)
+	for i := 0; i < total; i++ {
+		node := ids.NodeID(i%p.Machines + 1)
+		act := w.NewActivity(node)
+		act.SetServiceTime(p.ServiceTime)
+		slaves[i] = newSlave(act, p.HeldRefs)
+	}
+
+	// Initial graph: the master references every slave (it created them);
+	// every slave references the master and its ring successor, so no
+	// slave can be wrongly orphaned mid-run.
+	for i, s := range slaves {
+		masterState.hold(s.act.ID())
+		s.hold(master.ID())
+		s.hold(slaves[(i+1)%total].act.ID())
+	}
+
+	// Exchange iterations: each slave periodically sends one of its held
+	// references to another held peer (or the master), which then holds
+	// it. The initiating slave is made busy through a self-request, as a
+	// real initiation would be.
+	states := make(map[ids.ActivityID]*slave, total+1)
+	states[master.ID()] = masterState
+	for _, s := range slaves {
+		states[s.act.ID()] = s
+	}
+	start := eng.Now()
+	var schedule func(s *slave)
+	schedule = func(s *slave) {
+		gap := time.Duration(float64(p.MeanIterationGap) * (0.5 + rnd.Float64()))
+		eng.After(gap, func() {
+			if eng.Now().Sub(start) >= p.ActiveFor || s.act.Terminated() {
+				return
+			}
+			// The iteration itself keeps the slave busy for one service.
+			w.Request(s.act, s.act, 0, func() {
+				dest, ok1 := s.pick(rnd.Intn)
+				given, ok2 := s.pick(rnd.Intn)
+				if ok1 && ok2 {
+					destState, known := states[dest]
+					if known && !destState.act.Terminated() {
+						w.Request(s.act, destState.act, p.RequestBytes, func() {
+							destState.hold(given)
+						})
+					}
+				}
+			})
+			schedule(s)
+		})
+	}
+	for _, s := range slaves {
+		schedule(s)
+	}
+
+	w.StartSampling()
+	want := total + 1
+	ok, _ := w.RunUntilCollected(want, p.MaxRunFor)
+	// Let the sampler record the tail of the curve.
+	w.RunFor(2 * p.TTA)
+
+	res := Result{
+		Total:        want,
+		CollectedAll: ok,
+		Traffic:      w.Traffic(),
+		Samples:      w.Samples(),
+		Reasons:      w.CollectedBy(),
+	}
+	if ok {
+		// The last sample where Collected increased bounds the final
+		// termination time.
+		for _, s := range w.Samples() {
+			if s.Collected > 0 {
+				res.LastCollectedAt = s.T
+			}
+		}
+		for i := len(res.Samples) - 1; i > 0; i-- {
+			if res.Samples[i].Collected > res.Samples[i-1].Collected {
+				res.LastCollectedAt = res.Samples[i].T
+				break
+			}
+		}
+	}
+	return res
+}

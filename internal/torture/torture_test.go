@@ -1,0 +1,116 @@
+package torture
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// smallParams is a laptop-scale torture run: 8 machines × 4 slaves, 2
+// minutes of exchanges.
+func smallParams() Params {
+	return Params{
+		Machines:         8,
+		SlavesPerMachine: 4,
+		ActiveFor:        2 * time.Minute,
+		MeanIterationGap: 10 * time.Second,
+		ServiceTime:      50 * time.Millisecond,
+		HeldRefs:         3,
+		RequestBytes:     64,
+		TTB:              30 * time.Second,
+		TTA:              150 * time.Second,
+		Seed:             1,
+		SampleEvery:      10 * time.Second,
+		MaxRunFor:        4 * time.Hour,
+	}
+}
+
+func TestSmallTortureFullyCollected(t *testing.T) {
+	res := Run(smallParams())
+	if res.Total != 33 {
+		t.Fatalf("total = %d, want 33", res.Total)
+	}
+	if !res.CollectedAll {
+		t.Fatalf("not fully collected: reasons=%v", res.Reasons)
+	}
+	// Everything dies after the active phase, within detection + wave +
+	// dying-grace time.
+	if res.LastCollectedAt < 2*time.Minute {
+		t.Fatalf("collection finished before the active phase ended: %v", res.LastCollectedAt)
+	}
+	if res.LastCollectedAt > 30*time.Minute {
+		t.Fatalf("collection took too long: %v", res.LastCollectedAt)
+	}
+	// The master/slave graph contains cycles (master ↔ slaves, ring):
+	// cyclic collection must have participated.
+	cyclic := res.Reasons[core.ReasonCyclic] + res.Reasons[core.ReasonNotified]
+	if cyclic == 0 {
+		t.Fatalf("no cyclic collections in a cyclic graph: %v", res.Reasons)
+	}
+	if res.Traffic.DGCBytes == 0 || res.Traffic.AppBytes == 0 {
+		t.Fatalf("traffic not accounted: %+v", res.Traffic)
+	}
+}
+
+func TestTortureCurveShape(t *testing.T) {
+	res := Run(smallParams())
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Idle count must ramp up as slaves finish, then drop to zero as
+	// collection completes (Fig. 10 shape).
+	var peakIdle, lastIdle int
+	for _, s := range res.Samples {
+		if s.Idle > peakIdle {
+			peakIdle = s.Idle
+		}
+		lastIdle = s.Idle
+	}
+	if peakIdle < res.Total/2 {
+		t.Fatalf("idle peak = %d, want a ramp toward %d", peakIdle, res.Total)
+	}
+	if lastIdle != 0 {
+		t.Fatalf("idle count at end = %d, want 0", lastIdle)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Collected != res.Total {
+		t.Fatalf("final collected = %d, want %d", last.Collected, res.Total)
+	}
+}
+
+func TestTortureDeterministic(t *testing.T) {
+	a := Run(smallParams())
+	b := Run(smallParams())
+	if a.Traffic != b.Traffic || a.LastCollectedAt != b.LastCollectedAt {
+		t.Fatalf("non-deterministic torture: %+v vs %+v", a.Traffic, b.Traffic)
+	}
+}
+
+func TestSlowerBeatSlowerCollection(t *testing.T) {
+	fast := smallParams()
+	slow := smallParams()
+	slow.TTB = 300 * time.Second
+	slow.TTA = 1500 * time.Second
+	slow.SampleEvery = 60 * time.Second
+	fr := Run(fast)
+	sr := Run(slow)
+	if !fr.CollectedAll || !sr.CollectedAll {
+		t.Fatalf("runs incomplete: fast=%v slow=%v", fr.CollectedAll, sr.CollectedAll)
+	}
+	// Fig. 10(a) vs 10(b): the 10× slower beat stretches collection by
+	// roughly an order of magnitude.
+	if sr.LastCollectedAt < 2*fr.LastCollectedAt {
+		t.Fatalf("slow beat not slower: fast=%v slow=%v", fr.LastCollectedAt, sr.LastCollectedAt)
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams(30*time.Second, 150*time.Second)
+	if p.Machines != 128 || p.SlavesPerMachine != 50 {
+		t.Fatalf("paper scale wrong: %+v", p)
+	}
+	if p.Machines*p.SlavesPerMachine+1 != 6401 {
+		t.Fatal("paper total must be 6401")
+	}
+}

@@ -1,0 +1,163 @@
+// Package vclock abstracts time so that the same code can run against the
+// wall clock, a scaled wall clock (live benchmarks compress the paper's
+// 30-second TTB into tens of milliseconds), or a manually driven clock used
+// by deterministic tests.
+//
+// The DGC algorithm only depends on duration *ratios* (TTA > 2·TTB +
+// MaxComm), so uniform scaling preserves every race the formula guards
+// against; see DESIGN.md §3.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source the runtime needs.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once d
+	// has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Manual is a test clock driven explicitly through Advance. Timers fire
+// synchronously inside Advance, in deadline order. The zero value is not
+// usable; call NewManual.
+type Manual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+type manualTimer struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a manual clock positioned at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &manualTimer{deadline: m.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- m.now
+		return t.ch
+	}
+	m.timers = append(m.timers, t)
+	return t.ch
+}
+
+// Sleep implements Clock. Sleep on a manual clock blocks until some other
+// goroutine advances the clock past the deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	<-m.After(d)
+}
+
+// Advance moves the clock forward by d, firing expired timers in deadline
+// order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var fire []*manualTimer
+	rest := m.timers[:0]
+	for _, t := range m.timers {
+		if !t.deadline.After(now) {
+			fire = append(fire, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	m.timers = rest
+	m.mu.Unlock()
+
+	for i := 1; i < len(fire); i++ {
+		for j := i; j > 0 && fire[j].deadline.Before(fire[j-1].deadline); j-- {
+			fire[j], fire[j-1] = fire[j-1], fire[j]
+		}
+	}
+	for _, t := range fire {
+		t.ch <- now
+	}
+}
+
+// Pending returns the number of timers that have not fired yet. Useful for
+// test assertions.
+func (m *Manual) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.timers)
+}
+
+// Scaled is a wall clock whose durations are divided by Factor: a Sleep of
+// 30s with Factor 1000 sleeps 30ms. Now reports wall time re-expanded by
+// Factor from the clock's origin so that elapsed durations measured with
+// Now are in "paper seconds".
+type Scaled struct {
+	origin time.Time
+	factor int64
+}
+
+var _ Clock = (*Scaled)(nil)
+
+// NewScaled returns a clock that runs factor times faster than wall time.
+// factor must be >= 1.
+func NewScaled(factor int64) *Scaled {
+	if factor < 1 {
+		factor = 1
+	}
+	return &Scaled{origin: time.Now(), factor: factor}
+}
+
+// Now implements Clock; it returns the origin plus the scaled elapsed time.
+func (s *Scaled) Now() time.Time {
+	return s.origin.Add(time.Since(s.origin) * time.Duration(s.factor))
+}
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	real := d / time.Duration(s.factor)
+	out := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(real)
+		out <- s.Now()
+	}()
+	return out
+}
+
+// Sleep implements Clock.
+func (s *Scaled) Sleep(d time.Duration) {
+	time.Sleep(d / time.Duration(s.factor))
+}

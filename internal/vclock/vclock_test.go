@@ -1,0 +1,133 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonic(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	var c Real
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 1s")
+	}
+}
+
+func TestManualNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if got := m.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	m.Advance(3 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now() after advance = %v, want %v", got, start.Add(3*time.Second))
+	}
+}
+
+func TestManualAfterFiresInOrder(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	c2 := m.After(2 * time.Second)
+	c1 := m.After(1 * time.Second)
+	if m.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", m.Pending())
+	}
+	m.Advance(90 * time.Second)
+	t1 := <-c1
+	t2 := <-c2
+	if t1 != t2 {
+		// Both fire at the advanced "now"; they must at least both fire.
+		t.Logf("fire times differ: %v vs %v (acceptable)", t1, t2)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("Pending() = %d after firing, want 0", m.Pending())
+	}
+}
+
+func TestManualAfterPartialAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	c1 := m.After(1 * time.Second)
+	c5 := m.After(5 * time.Second)
+	m.Advance(2 * time.Second)
+	select {
+	case <-c1:
+	default:
+		t.Fatal("1s timer did not fire after 2s advance")
+	}
+	select {
+	case <-c5:
+		t.Fatal("5s timer fired after only 2s advance")
+	default:
+	}
+	m.Advance(10 * time.Second)
+	select {
+	case <-c5:
+	default:
+		t.Fatal("5s timer did not fire after 12s total advance")
+	}
+}
+
+func TestManualAfterZeroFiresImmediately(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestManualSleepUnblocksOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer.
+	deadline := time.Now().Add(time.Second)
+	for m.Pending() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestScaledCompressesSleep(t *testing.T) {
+	s := NewScaled(1000)
+	start := time.Now()
+	s.Sleep(time.Second) // should take ~1ms of wall time
+	if wall := time.Since(start); wall > 500*time.Millisecond {
+		t.Fatalf("scaled Sleep(1s) took %v of wall time, want ≪ 500ms", wall)
+	}
+}
+
+func TestScaledNowExpandsElapsed(t *testing.T) {
+	s := NewScaled(1000)
+	a := s.Now()
+	time.Sleep(5 * time.Millisecond)
+	b := s.Now()
+	if elapsed := b.Sub(a); elapsed < 1*time.Second {
+		t.Fatalf("scaled elapsed = %v, want >= 1s (5ms wall x1000)", elapsed)
+	}
+}
+
+func TestScaledFactorClamped(t *testing.T) {
+	s := NewScaled(0)
+	if s.factor != 1 {
+		t.Fatalf("factor = %d, want clamped to 1", s.factor)
+	}
+}

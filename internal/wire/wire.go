@@ -1,0 +1,614 @@
+// Package wire defines the closed value model exchanged between activities
+// and its binary codec.
+//
+// Every communication between active objects — local or remote — goes
+// through a serialization and deserialization step (paper §2.1, footnote 1).
+// This is what makes the no-sharing property hold by construction: a value
+// crossing an activity boundary is always a deep copy, so no passive object
+// (including stubs of remote activities) is ever shared between two
+// activities.
+//
+// The decoder exposes the hook the paper's §2.2 builds the reference graph
+// on: every Ref decoded on behalf of a recipient activity is reported
+// through Decoder.OnRef, and the middleware records "recipient references
+// Ref.Target" in response.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Kind enumerates the value kinds of the model.
+type Kind uint8
+
+// Value kinds. They start at 1 so that a zero tag byte is invalid and
+// corruption is detected early.
+const (
+	KindNull Kind = iota + 1
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindList
+	KindDict
+	KindRef
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindList:
+		return "list"
+	case KindDict:
+		return "dict"
+	case KindRef:
+		return "ref"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a node of the closed value model. Exactly the fields relevant to
+// Kind are meaningful. Construct values with the helper constructors; the
+// zero Value is the null value.
+type Value struct {
+	kind  Kind
+	b     bool
+	i     int64
+	f     float64
+	s     string
+	bytes []byte
+	list  []Value
+	dict  map[string]Value
+	ref   ids.ActivityID
+}
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bytes returns a byte-blob value. The slice is copied to keep values
+// immutable at boundaries.
+func Bytes(v []byte) Value {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return Value{kind: KindBytes, bytes: cp}
+}
+
+// Floats packs a []float64 into a byte-blob value without copying each
+// element into a separate Value. This is how the NAS kernels ship vectors.
+func Floats(v []float64) Value {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	return Value{kind: KindBytes, bytes: buf}
+}
+
+// List returns a list value. The slice is copied.
+func List(elems ...Value) Value {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	return Value{kind: KindList, list: cp}
+}
+
+// Dict returns a dictionary value. The map is copied.
+func Dict(m map[string]Value) Value {
+	cp := make(map[string]Value, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return Value{kind: KindDict, dict: cp}
+}
+
+// Ref returns a remote-reference value (a stub) designating target.
+func Ref(target ids.ActivityID) Value {
+	return Value{kind: KindRef, ref: target}
+}
+
+// Kind returns the value's kind. The zero Value reports KindNull.
+func (v Value) Kind() Kind {
+	if v.kind == 0 {
+		return KindNull
+	}
+	return v.kind
+}
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.Kind() == KindNull }
+
+// AsBool returns the boolean payload (false if not a bool).
+func (v Value) AsBool() bool { return v.kind == KindBool && v.b }
+
+// AsInt returns the integer payload (0 if not an int).
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload (0 if not a float).
+func (v Value) AsFloat() float64 {
+	if v.kind != KindFloat {
+		return 0
+	}
+	return v.f
+}
+
+// AsString returns the string payload ("" if not a string).
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		return ""
+	}
+	return v.s
+}
+
+// AsBytes returns the blob payload (nil if not bytes). The returned slice
+// must not be mutated.
+func (v Value) AsBytes() []byte {
+	if v.kind != KindBytes {
+		return nil
+	}
+	return v.bytes
+}
+
+// AsFloats unpacks a blob created by Floats. It returns nil if the value is
+// not a blob or its size is not a multiple of 8.
+func (v Value) AsFloats() []float64 {
+	if v.kind != KindBytes || len(v.bytes)%8 != 0 {
+		return nil
+	}
+	out := make([]float64, len(v.bytes)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(v.bytes[8*i:]))
+	}
+	return out
+}
+
+// Len returns the number of elements of a list or dict, the byte length of
+// a blob or string, and 0 otherwise.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindList:
+		return len(v.list)
+	case KindDict:
+		return len(v.dict)
+	case KindBytes:
+		return len(v.bytes)
+	case KindString:
+		return len(v.s)
+	default:
+		return 0
+	}
+}
+
+// At returns the i-th element of a list (null if out of range or not a
+// list).
+func (v Value) At(i int) Value {
+	if v.kind != KindList || i < 0 || i >= len(v.list) {
+		return Null()
+	}
+	return v.list[i]
+}
+
+// Get returns the dict entry for key (null if absent or not a dict).
+func (v Value) Get(key string) Value {
+	if v.kind != KindDict {
+		return Null()
+	}
+	return v.dict[key]
+}
+
+// Keys returns the sorted keys of a dict (nil otherwise).
+func (v Value) Keys() []string {
+	if v.kind != KindDict {
+		return nil
+	}
+	keys := make([]string, 0, len(v.dict))
+	for k := range v.dict {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AsRef returns the target of a reference value and whether the value is a
+// reference.
+func (v Value) AsRef() (ids.ActivityID, bool) {
+	if v.kind != KindRef {
+		return ids.Nil, false
+	}
+	return v.ref, true
+}
+
+// Refs appends to dst the targets of every reference reachable from v
+// (including v itself) and returns the extended slice. Order is
+// deterministic: depth-first, list order, sorted dict keys.
+func (v Value) Refs(dst []ids.ActivityID) []ids.ActivityID {
+	switch v.kind {
+	case KindRef:
+		return append(dst, v.ref)
+	case KindList:
+		for _, e := range v.list {
+			dst = e.Refs(dst)
+		}
+		return dst
+	case KindDict:
+		for _, k := range v.Keys() {
+			dst = v.dict[k].Refs(dst)
+		}
+		return dst
+	default:
+		return dst
+	}
+}
+
+// Equal reports deep structural equality.
+func (v Value) Equal(o Value) bool {
+	if v.Kind() != o.Kind() {
+		return false
+	}
+	switch v.Kind() {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString:
+		return v.s == o.s
+	case KindBytes:
+		if len(v.bytes) != len(o.bytes) {
+			return false
+		}
+		for i := range v.bytes {
+			if v.bytes[i] != o.bytes[i] {
+				return false
+			}
+		}
+		return true
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindDict:
+		if len(v.dict) != len(o.dict) {
+			return false
+		}
+		for k, e := range v.dict {
+			oe, ok := o.dict[k]
+			if !ok || !e.Equal(oe) {
+				return false
+			}
+		}
+		return true
+	case KindRef:
+		return v.ref == o.ref
+	default:
+		return false
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (v Value) String() string {
+	switch v.Kind() {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return fmt.Sprintf("%t", v.b)
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case KindString:
+		return fmt.Sprintf("%q", v.s)
+	case KindBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.bytes))
+	case KindList:
+		return fmt.Sprintf("list[%d]", len(v.list))
+	case KindDict:
+		return fmt.Sprintf("dict[%d]", len(v.dict))
+	case KindRef:
+		return fmt.Sprintf("ref(%s)", v.ref)
+	default:
+		return "invalid"
+	}
+}
+
+// Errors returned by the decoder.
+var (
+	// ErrTruncated indicates the buffer ended inside a value.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrBadTag indicates an unknown kind tag.
+	ErrBadTag = errors.New("wire: invalid kind tag")
+	// ErrTrailing indicates bytes remain after the top-level value.
+	ErrTrailing = errors.New("wire: trailing bytes after value")
+	// ErrTooDeep indicates nesting beyond the decoder limit.
+	ErrTooDeep = errors.New("wire: value nesting too deep")
+)
+
+// maxDepth bounds decoder recursion to keep hostile or corrupted inputs
+// from exhausting the stack.
+const maxDepth = 64
+
+// Encode appends the serialized form of v to dst and returns the extended
+// slice.
+func Encode(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case KindNull:
+	case KindBool:
+		if v.b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindBytes:
+		dst = binary.AppendUvarint(dst, uint64(len(v.bytes)))
+		dst = append(dst, v.bytes...)
+	case KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.list)))
+		for _, e := range v.list {
+			dst = Encode(dst, e)
+		}
+	case KindDict:
+		dst = binary.AppendUvarint(dst, uint64(len(v.dict)))
+		for _, k := range v.Keys() {
+			dst = binary.AppendUvarint(dst, uint64(len(k)))
+			dst = append(dst, k...)
+			dst = Encode(dst, v.dict[k])
+		}
+	case KindRef:
+		dst = binary.AppendUvarint(dst, uint64(v.ref.Node))
+		dst = binary.AppendUvarint(dst, uint64(v.ref.Seq))
+	}
+	return dst
+}
+
+// EncodedSize returns the number of bytes Encode would produce for v. This
+// is the quantity the traffic accounting measures.
+func EncodedSize(v Value) int {
+	// Encoding into a scratch buffer is simple and still cheap relative to
+	// network simulation; sizes of hot-path blobs dominate and are O(1) to
+	// compute, so take a fast path for them.
+	switch v.Kind() {
+	case KindBytes:
+		return 1 + uvarintLen(uint64(len(v.bytes))) + len(v.bytes)
+	case KindString:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	default:
+		return len(Encode(nil, v))
+	}
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// Decoder decodes values and reports decoded references through OnRef,
+// which is the reference-graph construction hook of the paper's §2.2.
+type Decoder struct {
+	// OnRef, if non-nil, is invoked once per decoded Ref value with its
+	// target, in decoding order.
+	OnRef func(target ids.ActivityID)
+}
+
+// Decode decodes a single value from buf, which must contain exactly one
+// value.
+func (d *Decoder) Decode(buf []byte) (Value, error) {
+	v, rest, err := d.decode(buf, 0)
+	if err != nil {
+		return Null(), err
+	}
+	if len(rest) != 0 {
+		return Null(), fmt.Errorf("%w: %d bytes", ErrTrailing, len(rest))
+	}
+	return v, nil
+}
+
+// DecodePrefix decodes one value from the front of buf and returns the
+// remaining bytes.
+func (d *Decoder) DecodePrefix(buf []byte) (Value, []byte, error) {
+	return d.decode(buf, 0)
+}
+
+func (d *Decoder) decode(buf []byte, depth int) (Value, []byte, error) {
+	if depth > maxDepth {
+		return Null(), nil, ErrTooDeep
+	}
+	if len(buf) == 0 {
+		return Null(), nil, ErrTruncated
+	}
+	kind := Kind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case KindNull:
+		return Null(), buf, nil
+	case KindBool:
+		if len(buf) < 1 {
+			return Null(), nil, ErrTruncated
+		}
+		return Bool(buf[0] != 0), buf[1:], nil
+	case KindInt:
+		i, n := binary.Varint(buf)
+		if n <= 0 {
+			return Null(), nil, ErrTruncated
+		}
+		return Int(i), buf[n:], nil
+	case KindFloat:
+		if len(buf) < 8 {
+			return Null(), nil, ErrTruncated
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		return Float(f), buf[8:], nil
+	case KindString:
+		s, rest, err := decodeLenPrefixed(buf)
+		if err != nil {
+			return Null(), nil, err
+		}
+		return String(string(s)), rest, nil
+	case KindBytes:
+		b, rest, err := decodeLenPrefixed(buf)
+		if err != nil {
+			return Null(), nil, err
+		}
+		return Bytes(b), rest, nil
+	case KindList:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Null(), nil, ErrTruncated
+		}
+		buf = buf[sz:]
+		if n > uint64(len(buf)) {
+			// Each element needs at least one byte; reject absurd counts
+			// before allocating.
+			return Null(), nil, ErrTruncated
+		}
+		elems := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var (
+				e   Value
+				err error
+			)
+			e, buf, err = d.decode(buf, depth+1)
+			if err != nil {
+				return Null(), nil, err
+			}
+			elems = append(elems, e)
+		}
+		return Value{kind: KindList, list: elems}, buf, nil
+	case KindDict:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Null(), nil, ErrTruncated
+		}
+		buf = buf[sz:]
+		if n > uint64(len(buf)) {
+			return Null(), nil, ErrTruncated
+		}
+		m := make(map[string]Value, n)
+		for i := uint64(0); i < n; i++ {
+			k, rest, err := decodeLenPrefixed(buf)
+			if err != nil {
+				return Null(), nil, err
+			}
+			buf = rest
+			var e Value
+			e, buf, err = d.decode(buf, depth+1)
+			if err != nil {
+				return Null(), nil, err
+			}
+			m[string(k)] = e
+		}
+		return Value{kind: KindDict, dict: m}, buf, nil
+	case KindRef:
+		node, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Null(), nil, ErrTruncated
+		}
+		buf = buf[sz:]
+		seq, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Null(), nil, ErrTruncated
+		}
+		buf = buf[sz:]
+		target := ids.ActivityID{Node: ids.NodeID(node), Seq: uint32(seq)}
+		if d.OnRef != nil {
+			d.OnRef(target)
+		}
+		return Ref(target), buf, nil
+	default:
+		return Null(), nil, fmt.Errorf("%w: %d", ErrBadTag, uint8(kind))
+	}
+}
+
+func decodeLenPrefixed(buf []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	buf = buf[sz:]
+	if n > uint64(len(buf)) {
+		return nil, nil, ErrTruncated
+	}
+	return buf[:n], buf[n:], nil
+}
+
+// DeepCopy returns a structurally independent copy of v. Transferring a
+// value between two activities on the same node uses DeepCopy instead of a
+// full encode/decode round-trip: it preserves the no-sharing property
+// (paper §2.1) without paying for serialization, matching the paper's
+// intra-JVM pass-by-reference of DGC messages being exempt from traffic
+// accounting (§5).
+func DeepCopy(v Value) Value {
+	switch v.Kind() {
+	case KindBytes:
+		return Bytes(v.bytes)
+	case KindList:
+		cp := make([]Value, len(v.list))
+		for i, e := range v.list {
+			cp[i] = DeepCopy(e)
+		}
+		return Value{kind: KindList, list: cp}
+	case KindDict:
+		cp := make(map[string]Value, len(v.dict))
+		for k, e := range v.dict {
+			cp[k] = DeepCopy(e)
+		}
+		return Value{kind: KindDict, dict: cp}
+	default:
+		// Scalars and refs are immutable value types.
+		return v
+	}
+}

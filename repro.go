@@ -1,0 +1,151 @@
+// Package repro is a complete distributed garbage collector (DGC) for
+// activities, reproducing Caromel, Chazarain & Henrio, "Garbage Collecting
+// the Grid: A Complete DGC for Activities" (Middleware 2007).
+//
+// The package offers the middleware the paper builds on — an active-object
+// runtime with asynchronous calls and futures — with the paper's DGC wired
+// in: acyclic garbage is reclaimed by heartbeat reference listing
+// (TTB/TTA), and cyclic garbage by a consensus on a named Lamport
+// "activity clock" over a reverse spanning tree, needing no connectivity
+// beyond what the application already has.
+//
+// Quickstart:
+//
+//	env := repro.NewEnv(repro.Config{})
+//	defer env.Close()
+//	node := env.NewNode()
+//	h := node.NewActive("echo", repro.BehaviorFunc(
+//		func(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
+//			return args, nil
+//		}))
+//	out, _ := h.CallSync("echo", repro.String("hi"), time.Second)
+//	h.Release() // the activity is garbage now; the DGC reclaims it
+//
+// Activities form reference graphs through the values they exchange:
+// storing a reference (Context.Store) creates an edge, dropping it
+// (Context.Delete, or simply not storing it) lets the local collector
+// reclaim the stub and the DGC remove the edge. Cycles — including
+// distributed ones — are collected once every activity in the cycle's
+// referencer closure is idle, which is the paper's Garbage property.
+//
+// The deeper machinery lives in internal packages: internal/core is the
+// collector state machine (Algorithms 1–4), internal/active the live
+// goroutine runtime, internal/sim a deterministic discrete-event harness
+// at paper scale, internal/nas and internal/torture the evaluation
+// workloads. See DESIGN.md for the full inventory and EXPERIMENTS.md for
+// the paper-vs-measured record.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/active"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation.
+type (
+	// Config parameterizes an environment (TTB, TTA, clock, topology).
+	Config = active.Config
+	// Env is one distributed system: nodes, network, registry, DGC.
+	Env = active.Env
+	// Node is one process hosting activities.
+	Node = active.Node
+	// Handle lets non-active code reference and call an activity; it acts
+	// as a DGC root until released.
+	Handle = active.Handle
+	// Future is the placeholder for an asynchronous call's result.
+	Future = active.Future
+	// Context is the API available to a Behavior during a service.
+	Context = active.Context
+	// Behavior is the application code of an activity.
+	Behavior = active.Behavior
+	// BehaviorFunc adapts a function to Behavior.
+	BehaviorFunc = active.BehaviorFunc
+	// Value is the closed value model exchanged between activities.
+	Value = wire.Value
+	// ActivityID identifies an activity.
+	ActivityID = ids.ActivityID
+	// NodeID identifies a node.
+	NodeID = ids.NodeID
+	// Stats summarizes collections.
+	Stats = active.Stats
+	// Event is a DGC trace event.
+	Event = core.Event
+	// Reason explains a termination.
+	Reason = core.Reason
+	// Topology models a multi-site grid deployment.
+	Topology = grid.Topology
+)
+
+// Termination reasons (see internal/core).
+const (
+	ReasonAcyclic  = core.ReasonAcyclic
+	ReasonCyclic   = core.ReasonCyclic
+	ReasonNotified = core.ReasonNotified
+)
+
+// NewEnv creates an environment. The zero Config gives a single-site,
+// zero-latency system with TTB = 30ms and a conforming TTA (the paper's
+// parameters compressed ×1000).
+func NewEnv(cfg Config) *Env {
+	return active.NewEnv(cfg)
+}
+
+// Grid5000 returns the paper's §5.1 testbed topology (128 nodes on three
+// sites with the measured RTTs); use Topology.Latency and
+// Topology.MaxComm in Config to deploy on it, and Topology.Scaled for
+// laptop-scale variants.
+func Grid5000() *Topology {
+	return grid.Grid5000()
+}
+
+// ScaledClock returns a clock running factor× faster than wall time, for
+// running paper-scale TTB/TTA values (30 s/61 s) in compressed time.
+func ScaledClock(factor int64) vclock.Clock {
+	return vclock.NewScaled(factor)
+}
+
+// Value constructors, re-exported from the wire model.
+
+// Null returns the null value.
+func Null() Value { return wire.Null() }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return wire.Bool(v) }
+
+// Int returns an integer value.
+func Int(v int64) Value { return wire.Int(v) }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return wire.Float(v) }
+
+// String returns a string value.
+func String(v string) Value { return wire.String(v) }
+
+// Bytes returns a byte-blob value.
+func Bytes(v []byte) Value { return wire.Bytes(v) }
+
+// Floats packs a []float64 into a blob value.
+func Floats(v []float64) Value { return wire.Floats(v) }
+
+// List returns a list value.
+func List(elems ...Value) Value { return wire.List(elems...) }
+
+// Dict returns a dictionary value.
+func Dict(m map[string]Value) Value { return wire.Dict(m) }
+
+// Ref returns a reference value designating an activity.
+func Ref(target ActivityID) Value { return wire.Ref(target) }
+
+// DefaultTTB and DefaultTTA are the compressed defaults used when Config
+// leaves them zero.
+const (
+	DefaultTTB = 30 * time.Millisecond
+	DefaultTTA = 75 * time.Millisecond
+)
