@@ -1,0 +1,38 @@
+GO ?= go
+
+# Tier-1 verification: everything a PR must keep green.
+.PHONY: verify
+verify: build vet fmt-check test
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt.
+.PHONY: fmt-check
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: bench
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Short fuzz pass over the wire codec (longer runs: raise FUZZTIME).
+FUZZTIME ?= 15s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzCodecDecodeUnmarshal -fuzztime $(FUZZTIME) ./internal/wire/
+
+.PHONY: examples
+examples:
+	@for ex in examples/*; do \
+		echo "== $$ex"; $(GO) run ./$$ex || exit 1; done

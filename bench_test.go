@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/cdmdgc"
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -507,6 +508,126 @@ func BenchmarkHeapSweep(b *testing.B) {
 			b.Fatal("rooted cells were freed")
 		}
 	}
+}
+
+// --- Dispatch-layer benchmarks (typed v2 API vs dynamic substrate) ----------
+
+// benchCallEnv returns an environment tuned for dispatch measurement: the
+// DGC is off so the numbers isolate the calling path (marshaling,
+// envelope codec, queueing, future resolution), not collection beats.
+func benchCallEnv(b *testing.B) *repro.Env {
+	b.Helper()
+	env := repro.NewEnv(repro.Config{DisableDGC: true})
+	b.Cleanup(env.Close)
+	return env
+}
+
+// benchReq/benchResp give the typed and dynamic benchmarks the same wire
+// shape (a three-entry dict in, a two-entry dict out) so the delta is the
+// reflection codec plus generic plumbing, nothing else.
+type benchReq struct {
+	A   int64  `wire:"a"`
+	B   int64  `wire:"b"`
+	Tag string `wire:"tag"`
+}
+
+type benchResp struct {
+	Sum int64  `wire:"sum"`
+	Tag string `wire:"tag"`
+}
+
+// BenchmarkDynamicCall measures a synchronous round-trip through the
+// stringly-typed v1 surface: hand-rolled wire.Value dicts and
+// switch-on-method-name dispatch.
+func BenchmarkDynamicCall(b *testing.B) {
+	env := benchCallEnv(b)
+	h := env.NewNode().NewActive("dyn", repro.BehaviorFunc(
+		func(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
+			switch method {
+			case "add":
+				return repro.Dict(map[string]repro.Value{
+					"sum": repro.Int(args.Get("a").AsInt() + args.Get("b").AsInt()),
+					"tag": args.Get("tag"),
+				}), nil
+			default:
+				return repro.Null(), fmt.Errorf("unknown method %q", method)
+			}
+		}))
+	defer h.Release()
+	args := repro.Dict(map[string]repro.Value{
+		"a": repro.Int(19), "b": repro.Int(23), "tag": repro.String("bench"),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := h.CallSync("add", args, 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Get("sum").AsInt() != 42 {
+			b.Fatalf("sum = %v", out.Get("sum"))
+		}
+	}
+}
+
+// BenchmarkTypedCall measures the same round-trip through the typed v2
+// surface: generic stub, struct⇄wire codec, typed future. The difference
+// to BenchmarkDynamicCall is the price of the typed façade.
+func BenchmarkTypedCall(b *testing.B) {
+	env := benchCallEnv(b)
+	h := env.NewNode().NewActive("typed", repro.NewService(
+		repro.Method("add", func(ctx *repro.Context, req benchReq) (benchResp, error) {
+			return benchResp{Sum: req.A + req.B, Tag: req.Tag}, nil
+		})))
+	defer h.Release()
+	stub := repro.NewStub[benchReq, benchResp](h, "add")
+	req := benchReq{A: 19, B: 23, Tag: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := stub.CallSync(req, 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Sum != 42 {
+			b.Fatalf("sum = %d", resp.Sum)
+		}
+	}
+}
+
+// BenchmarkGroupBroadcast measures the group fan-out path: one Broadcast
+// to 16 members across 4 nodes plus WaitAll on every reply.
+func BenchmarkGroupBroadcast(b *testing.B) {
+	env := benchCallEnv(b)
+	nodes := []*repro.Node{env.NewNode(), env.NewNode(), env.NewNode(), env.NewNode()}
+	svc := repro.NewService(
+		repro.Method("add", func(ctx *repro.Context, req benchReq) (benchResp, error) {
+			return benchResp{Sum: req.A + req.B, Tag: req.Tag}, nil
+		}))
+	const members = 16
+	handles := make([]*repro.Handle, members)
+	for i := range handles {
+		handles[i] = nodes[i%len(nodes)].NewActive(fmt.Sprintf("g-%d", i), svc)
+	}
+	g := repro.NewGroup[benchReq, benchResp]("add", handles...)
+	defer g.Release()
+	req := benchReq{A: 19, B: 23, Tag: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fg, err := g.Broadcast(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		replies, err := fg.WaitAll(30 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(replies) != members || replies[members-1].Sum != 42 {
+			b.Fatalf("replies = %v", replies)
+		}
+	}
+	b.ReportMetric(float64(members), "fanout")
 }
 
 // BenchmarkSimBeat measures the DES harness: one TTB of a 512-activity

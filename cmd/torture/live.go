@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+// exchangeReq is one torture exchange: a batch of peer references the
+// slave must hold (dropping its oldest beyond the cap) plus the §5.3
+// filler payload standing in for request data.
+type exchangeReq struct {
+	Peers   []repro.Value `wire:"peers"`
+	Payload []byte        `wire:"payload"`
+}
+
+// liveHeldRefs mirrors torture.Params.HeldRefs: how many exchanged
+// references one slave retains.
+const liveHeldRefs = 3
+
+// slaveService stores the last liveHeldRefs peer references it was handed
+// — the continuously churning reference graph of §5.3 — and reports how
+// many it currently holds.
+func slaveService() *repro.Service {
+	return repro.NewService(
+		repro.Method("exchange", func(ctx *repro.Context, req exchangeReq) (int64, error) {
+			held := ctx.Load("held")
+			refs := make([]repro.Value, 0, held.Len()+len(req.Peers))
+			for i := 0; i < held.Len(); i++ {
+				refs = append(refs, held.At(i))
+			}
+			refs = append(refs, req.Peers...)
+			if len(refs) > liveHeldRefs {
+				refs = refs[len(refs)-liveHeldRefs:] // oldest stubs die at next sweep
+			}
+			ctx.Store("held", repro.List(refs...))
+			return int64(len(refs)), nil
+		}),
+	)
+}
+
+// runLive is the typed-API live-runtime torture: the same workload shape
+// as the DES reproduction (slaves continuously exchanging references,
+// then everything going idle) but on real goroutines, driven through a
+// typed Group with Broadcast fan-outs, at compressed TTB/TTA.
+func runLive(machines, slavesPerMachine, rounds int, seed int64) error {
+	const (
+		liveTTB = 20 * time.Millisecond
+		liveTTA = 60 * time.Millisecond
+	)
+	env := repro.NewEnv(repro.Config{TTB: liveTTB, TTA: liveTTA})
+	defer env.Close()
+
+	nodes := make([]*repro.Node, machines)
+	for i := range nodes {
+		nodes[i] = env.NewNode()
+	}
+	total := machines * slavesPerMachine
+	fmt.Printf("live torture (typed API): %d nodes x %d slaves = %d activities, TTB=%v TTA=%v\n",
+		machines, slavesPerMachine, total, liveTTB, liveTTA)
+
+	handles := make([]*repro.Handle, 0, total)
+	for m, node := range nodes {
+		for s := 0; s < slavesPerMachine; s++ {
+			handles = append(handles, node.NewActive(fmt.Sprintf("slave-%d-%d", m, s), slaveService()))
+		}
+	}
+	group := repro.NewGroup[exchangeReq, int64]("exchange", handles...)
+
+	// Active phase: every round broadcasts a fresh random peer batch to
+	// all slaves — each slave then references up to liveHeldRefs others,
+	// and the graph churns as old stubs die and new edges appear.
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		reqs := make([]exchangeReq, total)
+		for i := range reqs {
+			peers := make([]repro.Value, 1+rng.Intn(liveHeldRefs))
+			for j := range peers {
+				peers[j] = handles[rng.Intn(total)].Ref()
+			}
+			// One buffer per request: marshaling happens later, inside
+			// Scatter, so sharing a scratch buffer here would send every
+			// slave the same bytes.
+			payload := make([]byte, 64)
+			rng.Read(payload)
+			reqs[i] = exchangeReq{Peers: peers, Payload: payload}
+		}
+		fg, err := group.Scatter(reqs)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", r, err)
+		}
+		if _, err := fg.WaitAll(time.Minute); err != nil {
+			return fmt.Errorf("round %d: %w", r, err)
+		}
+	}
+	fmt.Printf("active phase: %d scatter rounds over the group in %v\n",
+		rounds, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("live activities before release: %d\n", env.LiveActivities())
+
+	// Idle phase: drop the only external roots. What remains is a large
+	// random reference graph — chains, trees and cycles — that the DGC
+	// must reclaim completely.
+	group.Release()
+	wall := time.Now()
+	took, err := env.WaitCollected(0, time.Minute)
+	if err != nil {
+		return fmt.Errorf("DGC incomplete: %w", err)
+	}
+	st := env.Stats()
+	fmt.Printf("all %d activities reclaimed in %v (wall %v)\n",
+		st.Created, took.Round(time.Millisecond), time.Since(wall).Round(time.Millisecond))
+	fmt.Printf("termination mix: %v\n", st.Collected)
+	return nil
+}

@@ -5,6 +5,13 @@
 //
 // Fig. 10(a):  torture -ttb 30s  -tta 150s
 // Fig. 10(b):  torture -ttb 300s -tta 1500s
+//
+// With -live, the same workload shape runs (at reduced scale and
+// compressed TTB/TTA) on the live goroutine runtime through the typed v2
+// API: slave services in a typed Group, reference exchange by Broadcast,
+// then a release and the real DGC reclaiming everything.
+//
+//	torture -live -live-machines 4 -live-slaves 16
 package main
 
 import (
@@ -35,8 +42,17 @@ func run() error {
 		active   = flag.Duration("active", 600*time.Second, "reference-exchange phase duration")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		csvPath  = flag.String("csv", "", "write the Fig. 10 curve CSV to this file (default: stdout)")
+
+		live         = flag.Bool("live", false, "run the live-runtime typed-API torture instead of the DES reproduction")
+		liveMachines = flag.Int("live-machines", 4, "live mode: number of nodes")
+		liveSlaves   = flag.Int("live-slaves", 16, "live mode: slaves per node")
+		liveRounds   = flag.Int("live-rounds", 8, "live mode: reference-exchange broadcast rounds")
 	)
 	flag.Parse()
+
+	if *live {
+		return runLive(*liveMachines, *liveSlaves, *liveRounds, *seed)
+	}
 
 	params := torture.PaperParams(*ttb, *tta)
 	params.Machines = *machines

@@ -3,7 +3,8 @@
 // Bordeaux, Sophia and Rennes), the paper's TTB = 30 s / TTA = 150 s, on
 // a 1000× compressed clock — so thirty paper-minutes fit in under two
 // wall-seconds. A chain of inter-site service dependencies ending in a
-// cross-site cycle is deployed, used, abandoned, and reclaimed.
+// cross-site cycle is deployed, health-checked with a typed group
+// broadcast, used, abandoned, and reclaimed.
 package main
 
 import (
@@ -14,6 +15,30 @@ import (
 
 	"repro"
 )
+
+// resolveService forwards "resolve" down a dependency chain.
+func resolveService() *repro.Service {
+	return repro.NewService(
+		repro.Method("depend", func(ctx *repro.Context, dep repro.Value) (struct{}, error) {
+			ctx.Store("dep", dep)
+			return struct{}{}, nil
+		}),
+		repro.Method("resolve", func(ctx *repro.Context, hops int64) (int64, error) {
+			dep := ctx.Load("dep")
+			if dep.IsNull() || hops <= 0 {
+				return hops, nil
+			}
+			fut, err := repro.CallTyped[int64](ctx, dep, "resolve", hops-1)
+			if err != nil {
+				return 0, err
+			}
+			return fut.Wait(10 * time.Minute)
+		}),
+		repro.Method("healthz", func(ctx *repro.Context, _ struct{}) (string, error) {
+			return "ok from " + ctx.ID().String(), nil
+		}),
+	)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -42,63 +67,56 @@ func run() error {
 		len(nodes), topo.MaxComm())
 	fmt.Printf("DGC: TTB=30s TTA=150s (paper values), clock x1000\n\n")
 
-	// A service that forwards "resolve" down a dependency chain.
-	service := repro.BehaviorFunc(
-		func(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
-			switch method {
-			case "depend":
-				ctx.Store("dep", args)
-				return repro.Null(), nil
-			case "resolve":
-				dep := ctx.Load("dep")
-				hops := args.AsInt()
-				if dep.IsNull() || hops <= 0 {
-					return repro.Int(hops), nil
-				}
-				fut, err := ctx.Call(dep, "resolve", repro.Int(hops-1))
-				if err != nil {
-					return repro.Null(), err
-				}
-				return fut.Wait(10 * time.Minute)
-			default:
-				return repro.Null(), fmt.Errorf("unknown method %q", method)
-			}
-		})
-
 	// Chain across sites: bordeaux → sophia → rennes → bordeaux → ... and
 	// close a cycle among the last three.
 	const chainLen = 6
 	handles := make([]*repro.Handle, chainLen)
 	for i := range handles {
 		node := nodes[(i*4)%len(nodes)] // hop across the site blocks
-		handles[i] = node.NewActive(fmt.Sprintf("svc-%d", i), service)
+		handles[i] = node.NewActive(fmt.Sprintf("svc-%d", i), resolveService())
 	}
 	for i := 0; i < chainLen-1; i++ {
-		if _, err := handles[i].CallSync("depend", handles[i+1].Ref(), 5*time.Minute); err != nil {
+		depend := repro.NewStub[repro.Value, struct{}](handles[i], "depend")
+		if _, err := depend.CallSync(handles[i+1].Ref(), 5*time.Minute); err != nil {
 			return err
 		}
 	}
 	// Feedback edge: the tail depends on the middle — a cross-site cycle.
-	if _, err := handles[chainLen-1].CallSync("depend", handles[chainLen/2].Ref(), 5*time.Minute); err != nil {
+	depend := repro.NewStub[repro.Value, struct{}](handles[chainLen-1], "depend")
+	if _, err := depend.CallSync(handles[chainLen/2].Ref(), 5*time.Minute); err != nil {
 		return err
 	}
+
+	// A typed group broadcast health-checks the whole deployment in one
+	// fan-out. The group takes ownership of the handles: releasing it
+	// below is what abandons the deployment.
+	group := repro.NewGroup[struct{}, string]("healthz", handles...)
+	fg, err := group.Broadcast(struct{}{})
+	if err != nil {
+		return err
+	}
+	replies, err := fg.WaitAll(10 * time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("health broadcast over %d services: %d ok (e.g. %q)\n",
+		group.Size(), len(replies), replies[0])
 
 	// Resolve down the chain, stopping before the feedback edge: the
 	// cross-site cycle exists purely as stored references (that is what
 	// the DGC must deal with), never as a call cycle — calling through it
 	// would be a classic active-object wait-by-necessity deadlock.
 	start := env.Clock().Now()
-	out, err := handles[0].CallSync("resolve", repro.Int(chainLen-1), 30*time.Minute)
+	resolve := repro.NewStub[int64, int64](handles[0], "resolve")
+	left, err := resolve.CallSync(chainLen-1, 30*time.Minute)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("resolve across the grid: %d hops left after the chain, took %v of grid time\n",
-		out.AsInt(), env.Clock().Now().Sub(start).Round(time.Second))
+		left, env.Clock().Now().Sub(start).Round(time.Second))
 
-	fmt.Println("\nabandoning the deployment (releasing all handles)")
-	for _, h := range handles {
-		h.Release()
-	}
+	fmt.Println("\nabandoning the deployment (releasing the group's handles)")
+	group.Release()
 	wall := time.Now()
 	took, err := env.WaitCollected(0, time.Hour)
 	if err != nil {

@@ -1,10 +1,11 @@
-// Command masterworker runs the paper's motivating deployment shape: a
-// master activity farming work units out to workers on several nodes and
-// folding their results, with *automatic termination* — once the result
-// has been read and the client lets go, the whole master/worker graph
-// (which is cyclic: the master references the workers and every worker
-// references the master for its callbacks) vanishes through the DGC
-// instead of requiring an explicit shutdown protocol.
+// Command masterworker runs the paper's motivating deployment shape on
+// the typed v2 API: a master activity farming work units out to workers
+// on several nodes and folding their results, with *automatic
+// termination* — once the result has been read and the client lets go,
+// the whole master/worker graph (which is cyclic: the master references
+// the workers and every worker references the master for its callbacks)
+// vanishes through the DGC instead of requiring an explicit shutdown
+// protocol.
 package main
 
 import (
@@ -22,70 +23,81 @@ const (
 	segments = 48 // work units: numeric integration segments
 )
 
-// workerBehavior integrates f(x) = 4/(1+x²) over a segment (the classic
-// π-by-quadrature microbenchmark).
-func workerBehavior(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
-	if method == "meet" {
-		// Hold a reference back to the master: the master/worker graph is
-		// now a distributed cycle, collectable only by the complete DGC.
-		ctx.Store("home", args)
-		return repro.Null(), nil
-	}
-	if method != "integrate" {
-		return repro.Null(), fmt.Errorf("unknown method %q", method)
-	}
-	lo := args.Get("lo").AsFloat()
-	hi := args.Get("hi").AsFloat()
-	const steps = 200_000
-	h := (hi - lo) / steps
-	var sum float64
-	for i := 0; i < steps; i++ {
-		x := lo + (float64(i)+0.5)*h
-		sum += 4 / (1 + x*x) * h
-	}
-	return repro.Float(sum), nil
+// segment is one work unit: integrate f(x) = 4/(1+x²) over [Lo, Hi] (the
+// classic π-by-quadrature microbenchmark).
+type segment struct {
+	Lo float64 `wire:"lo"`
+	Hi float64 `wire:"hi"`
 }
 
-// masterBehavior owns the worker pool and serves "compute".
-func masterBehavior(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
-	switch method {
-	case "adopt":
-		ctx.Store("pool", args) // the master now references every worker
-		for i := 0; i < args.Len(); i++ {
-			if err := ctx.Send(args.At(i), "meet", ctx.Self()); err != nil {
-				return repro.Null(), err
+// adoptReq hands the master its worker pool; the refs make the master
+// reference every worker in the DGC graph.
+type adoptReq struct {
+	Pool []repro.Value `wire:"pool"`
+}
+
+// workerService integrates segments and, on "meet", stores a reference
+// back to the master — closing the distributed master/worker cycle that
+// only a complete DGC can reclaim.
+func workerService() *repro.Service {
+	return repro.NewService(
+		repro.Method("meet", func(ctx *repro.Context, master repro.Value) (struct{}, error) {
+			ctx.Store("home", master)
+			return struct{}{}, nil
+		}),
+		repro.Method("integrate", func(ctx *repro.Context, seg segment) (float64, error) {
+			const steps = 200_000
+			h := (seg.Hi - seg.Lo) / steps
+			var sum float64
+			for i := 0; i < steps; i++ {
+				x := seg.Lo + (float64(i)+0.5)*h
+				sum += 4 / (1 + x*x) * h
 			}
-		}
-		return repro.Int(int64(args.Len())), nil
-	case "compute":
-		pool := ctx.Load("pool")
-		if pool.Len() == 0 {
-			return repro.Null(), fmt.Errorf("no workers adopted")
-		}
-		futs := make([]*repro.Future, 0, segments)
-		for s := 0; s < segments; s++ {
-			w := pool.At(s % pool.Len())
-			fut, err := ctx.Call(w, "integrate", repro.Dict(map[string]repro.Value{
-				"lo": repro.Float(float64(s) / segments),
-				"hi": repro.Float(float64(s+1) / segments),
-			}))
-			if err != nil {
-				return repro.Null(), err
+			return sum, nil
+		}),
+	)
+}
+
+// masterService owns the worker pool and serves "compute".
+func masterService() *repro.Service {
+	return repro.NewService(
+		repro.Method("adopt", func(ctx *repro.Context, req adoptReq) (int64, error) {
+			ctx.Store("pool", repro.List(req.Pool...))
+			for _, w := range req.Pool {
+				if err := repro.SendTyped(ctx, w, "meet", ctx.Self()); err != nil {
+					return 0, err
+				}
 			}
-			futs = append(futs, fut)
-		}
-		var pi float64
-		for _, fut := range futs {
-			v, err := fut.Wait(time.Minute)
-			if err != nil {
-				return repro.Null(), err
+			return int64(len(req.Pool)), nil
+		}),
+		repro.Method("compute", func(ctx *repro.Context, _ struct{}) (float64, error) {
+			pool := ctx.Load("pool")
+			if pool.Len() == 0 {
+				return 0, fmt.Errorf("no workers adopted")
 			}
-			pi += v.AsFloat()
-		}
-		return repro.Float(pi), nil
-	default:
-		return repro.Null(), fmt.Errorf("unknown method %q", method)
-	}
+			futs := make([]*repro.TypedFuture[float64], 0, segments)
+			for s := 0; s < segments; s++ {
+				w := pool.At(s % pool.Len())
+				fut, err := repro.CallTyped[float64](ctx, w, "integrate", segment{
+					Lo: float64(s) / segments,
+					Hi: float64(s+1) / segments,
+				})
+				if err != nil {
+					return 0, err
+				}
+				futs = append(futs, fut)
+			}
+			var pi float64
+			for _, fut := range futs {
+				part, err := fut.Wait(time.Minute)
+				if err != nil {
+					return 0, err
+				}
+				pi += part
+			}
+			return pi, nil
+		}),
+	)
 }
 
 func main() {
@@ -104,16 +116,17 @@ func run() error {
 	masterNode := env.NewNode()
 	workerNodes := []*repro.Node{env.NewNode(), env.NewNode(), env.NewNode()}
 
-	master := masterNode.NewActive("master", repro.BehaviorFunc(masterBehavior))
+	master := masterNode.NewActive("master", masterService())
 	refs := make([]repro.Value, workers)
 	handles := make([]*repro.Handle, workers)
 	for i := 0; i < workers; i++ {
 		handles[i] = workerNodes[i%len(workerNodes)].NewActive(
-			fmt.Sprintf("worker-%d", i), repro.BehaviorFunc(workerBehavior))
+			fmt.Sprintf("worker-%d", i), workerService())
 		refs[i] = handles[i].Ref()
 	}
 
-	if _, err := master.CallSync("adopt", repro.List(refs...), 10*time.Second); err != nil {
+	adopt := repro.NewStub[adoptReq, int64](master, "adopt")
+	if _, err := adopt.CallSync(adoptReq{Pool: refs}, 10*time.Second); err != nil {
 		return fmt.Errorf("adopt: %w", err)
 	}
 	// The deployer's own worker references are no longer needed: the
@@ -123,11 +136,11 @@ func run() error {
 	}
 
 	start := time.Now()
-	out, err := master.CallSync("compute", repro.Null(), time.Minute)
+	compute := repro.NewStub[struct{}, float64](master, "compute")
+	pi, err := compute.CallSync(struct{}{}, time.Minute)
 	if err != nil {
 		return fmt.Errorf("compute: %w", err)
 	}
-	pi := out.AsFloat()
 	fmt.Printf("π ≈ %.12f  (error %.2e, %d segments on %d workers, %v)\n",
 		pi, math.Abs(pi-math.Pi), segments, workers, time.Since(start).Round(time.Millisecond))
 

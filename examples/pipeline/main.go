@@ -1,8 +1,9 @@
-// Command pipeline builds a cyclic stream-processing topology: stages
-// forward items down the line and the last stage reports back to the
-// first (a feedback edge closing a distributed cycle). Such graphs are
-// exactly what reference-listing DGCs leak; here the whole ring is
-// reclaimed automatically once the stream ends and the client departs.
+// Command pipeline builds a cyclic stream-processing topology on the
+// typed v2 API: stages forward items down the line and the last stage
+// reports back to the first (a feedback edge closing a distributed
+// cycle). Such graphs are exactly what reference-listing DGCs leak; here
+// the whole ring is reclaimed automatically once the stream ends and the
+// client departs.
 package main
 
 import (
@@ -17,18 +18,24 @@ import (
 
 const stages = 4
 
-// stageBehavior uppercases/marks the payload and forwards it to the next
-// stage; the final stage accumulates into its state.
-func stageBehavior(name string) repro.BehaviorFunc {
-	return func(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
-		switch method {
-		case "wire":
-			// args: {next: ref, last: bool}
-			ctx.Store("next", args.Get("next"))
-			ctx.Store("last", args.Get("last"))
-			return repro.Null(), nil
-		case "item":
-			payload := args.AsString() + "→" + name
+// wireReq connects a stage to its successor.
+type wireReq struct {
+	Next repro.Value `wire:"next"`
+	Last bool        `wire:"last"`
+}
+
+// stageService tags the payload with the stage name and forwards it; the
+// final stage accumulates into its state and pings the head through the
+// feedback edge.
+func stageService(name string) *repro.Service {
+	return repro.NewService(
+		repro.Method("wire", func(ctx *repro.Context, req wireReq) (struct{}, error) {
+			ctx.Store("next", req.Next)
+			ctx.Store("last", repro.Bool(req.Last))
+			return struct{}{}, nil
+		}),
+		repro.Method("item", func(ctx *repro.Context, payload string) (struct{}, error) {
+			payload += "→" + name
 			if ctx.Load("last").AsBool() {
 				// Tail of the ring: record, and ping the head through the
 				// feedback edge to prove the cycle is live.
@@ -39,17 +46,22 @@ func stageBehavior(name string) repro.BehaviorFunc {
 				}
 				items = append(items, repro.String(payload))
 				ctx.Store("seen", repro.List(items...))
-				return repro.Null(), ctx.Send(ctx.Load("next"), "fed-back", repro.Null())
+				return struct{}{}, repro.SendTyped(ctx, ctx.Load("next"), "fed-back", struct{}{})
 			}
-			return repro.Null(), ctx.Send(ctx.Load("next"), "item", repro.String(payload))
-		case "fed-back":
-			return repro.Null(), nil
-		case "drain":
-			return ctx.Load("seen"), nil
-		default:
-			return repro.Null(), fmt.Errorf("unknown method %q", method)
-		}
-	}
+			return struct{}{}, repro.SendTyped(ctx, ctx.Load("next"), "item", payload)
+		}),
+		repro.Method("fed-back", func(ctx *repro.Context, _ struct{}) (struct{}, error) {
+			return struct{}{}, nil
+		}),
+		repro.Method("drain", func(ctx *repro.Context, _ struct{}) ([]string, error) {
+			seen := ctx.Load("seen")
+			out := make([]string, seen.Len())
+			for i := range out {
+				out[i] = seen.At(i).AsString()
+			}
+			return out, nil
+		}),
+	)
 }
 
 func main() {
@@ -68,38 +80,37 @@ func run() error {
 	for i := range handles {
 		node := env.NewNode()
 		handles[i] = node.NewActive(fmt.Sprintf("stage-%d", i),
-			stageBehavior(fmt.Sprintf("s%d", i)))
+			stageService(fmt.Sprintf("s%d", i)))
 	}
 	// Wire the ring: stage i → stage i+1, last stage → stage 0 (feedback).
 	for i, h := range handles {
+		wire := repro.NewStub[wireReq, struct{}](h, "wire")
 		next := handles[(i+1)%stages]
-		wireArgs := repro.Dict(map[string]repro.Value{
-			"next": next.Ref(),
-			"last": repro.Bool(i == stages-1),
-		})
-		if _, err := h.CallSync("wire", wireArgs, 5*time.Second); err != nil {
+		if _, err := wire.CallSync(wireReq{Next: next.Ref(), Last: i == stages-1}, 5*time.Second); err != nil {
 			return fmt.Errorf("wire: %w", err)
 		}
 	}
 
 	fmt.Printf("streaming items through a %d-stage ring with a feedback edge...\n", stages)
+	feed := repro.NewStub[string, struct{}](handles[0], "item")
 	for i := 0; i < 5; i++ {
-		if err := handles[0].Send("item", repro.String(fmt.Sprintf("item%d", i))); err != nil {
+		if err := feed.Send(fmt.Sprintf("item%d", i)); err != nil {
 			return err
 		}
 	}
 	// Give the stream a moment to drain, then read the tail.
 	time.Sleep(200 * time.Millisecond)
-	out, err := handles[stages-1].CallSync("drain", repro.Null(), 5*time.Second)
+	drain := repro.NewStub[struct{}, []string](handles[stages-1], "drain")
+	out, err := drain.CallSync(struct{}{}, 5*time.Second)
 	if err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Printf("tail stage saw %d items:\n", out.Len())
-	for i := 0; i < out.Len(); i++ {
-		fmt.Println("  ", out.At(i).AsString())
+	fmt.Printf("tail stage saw %d items:\n", len(out))
+	for _, item := range out {
+		fmt.Println("  ", item)
 	}
-	if out.Len() > 0 && !strings.Contains(out.At(0).AsString(), "s0→s1") {
-		return fmt.Errorf("pipeline order broken: %v", out.At(0))
+	if len(out) > 0 && !strings.Contains(out[0], "s0→s1") {
+		return fmt.Errorf("pipeline order broken: %v", out[0])
 	}
 
 	fmt.Println("\nstream over; detaching — the feedback ring is cyclic garbage now")

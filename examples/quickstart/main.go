@@ -1,7 +1,12 @@
-// Command quickstart shows the headline capability of the library: a
-// distributed cycle of activities that no code ever terminates explicitly,
-// reclaimed automatically by the complete DGC — something the RMI-style
-// reference-listing collectors structurally cannot do.
+// Command quickstart shows the headline capability of the library through
+// the typed v2 API: a distributed cycle of activities that no code ever
+// terminates explicitly, reclaimed automatically by the complete DGC —
+// something the RMI-style reference-listing collectors structurally
+// cannot do.
+//
+// It also makes one raw dynamic-dispatch call against the same service:
+// a *Service is a Behavior, so the stringly-typed wire substrate the
+// typed layer rides on remains fully usable.
 package main
 
 import (
@@ -12,6 +17,30 @@ import (
 
 	"repro"
 )
+
+// linkReq hands a member the reference to its successor. The wire.Value
+// ref travels as an explicit Ref node, so the deserialization hook
+// records the member→next edge in the DGC's reference graph.
+type linkReq struct {
+	Next repro.Value `wire:"next"`
+}
+
+type greetResp struct {
+	From string `wire:"from"`
+}
+
+// memberService declares the typed interface of one cycle member.
+func memberService() *repro.Service {
+	return repro.NewService(
+		repro.Method("link", func(ctx *repro.Context, req linkReq) (struct{}, error) {
+			ctx.Store("next", req.Next)
+			return struct{}{}, nil
+		}),
+		repro.Method("greet", func(ctx *repro.Context, _ struct{}) (greetResp, error) {
+			return greetResp{From: ctx.ID().String()}, nil
+		}),
+	)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -28,37 +57,33 @@ func run() error {
 	defer env.Close()
 	nodes := []*repro.Node{env.NewNode(), env.NewNode(), env.NewNode()}
 
-	// Each member stores a reference to the next under "next".
-	member := repro.BehaviorFunc(
-		func(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
-			switch method {
-			case "link":
-				ctx.Store("next", args)
-				return repro.Null(), nil
-			case "greet":
-				return repro.String("hello from " + ctx.ID().String()), nil
-			default:
-				return repro.Null(), fmt.Errorf("unknown method %q", method)
-			}
-		})
-
 	fmt.Println("creating a cycle of 3 activities across 3 nodes...")
 	handles := make([]*repro.Handle, 3)
 	for i := range handles {
-		handles[i] = nodes[i].NewActive(fmt.Sprintf("member-%d", i), member)
+		handles[i] = nodes[i].NewActive(fmt.Sprintf("member-%d", i), memberService())
 	}
 	for i, h := range handles {
+		link := repro.NewStub[linkReq, struct{}](h, "link")
 		next := handles[(i+1)%len(handles)]
-		if _, err := h.CallSync("link", next.Ref(), 5*time.Second); err != nil {
+		if _, err := link.CallSync(linkReq{Next: next.Ref()}, 5*time.Second); err != nil {
 			return fmt.Errorf("link: %w", err)
 		}
 	}
 
-	out, err := handles[0].CallSync("greet", repro.Null(), 5*time.Second)
+	greet := repro.NewStub[struct{}, greetResp](handles[0], "greet")
+	resp, err := greet.CallSync(struct{}{}, 5*time.Second)
 	if err != nil {
 		return fmt.Errorf("greet: %w", err)
 	}
-	fmt.Println("call through the public API:", out.AsString())
+	fmt.Println("typed call through the public API:", "hello from "+resp.From)
+
+	// The dynamic substrate still works against the same activity: raw
+	// method-name dispatch with hand-built wire values.
+	raw, err := handles[1].CallSync("greet", repro.Null(), 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dynamic greet: %w", err)
+	}
+	fmt.Println("dynamic call through the same service:", "hello from "+raw.Get("from").AsString())
 	fmt.Println("live activities:", env.LiveActivities())
 
 	fmt.Println("\nreleasing all external handles — the cycle is now garbage")

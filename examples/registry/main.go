@@ -1,10 +1,12 @@
-// Command registry demonstrates DGC roots (§4.1): a registered service is
-// never idle for the collector, so it survives with no referencers at all;
-// the moment it is unregistered it becomes ordinary garbage. It also shows
-// the dummy-referencer handles non-active code gets.
+// Command registry demonstrates DGC roots (§4.1) with a typed service: a
+// registered service is never idle for the collector, so it survives with
+// no referencers at all; the moment it is unregistered it becomes
+// ordinary garbage. It also shows the dummy-referencer handles non-active
+// code gets, and the released-handle sentinel of the hardened lifecycle.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -12,6 +14,21 @@ import (
 
 	"repro"
 )
+
+// counterService is a typed counter: "add" bumps by a delta and returns
+// the new total, "read" returns it.
+func counterService() *repro.Service {
+	return repro.NewService(
+		repro.Method("add", func(ctx *repro.Context, delta int64) (int64, error) {
+			n := ctx.Load("n").AsInt() + delta
+			ctx.Store("n", repro.Int(n))
+			return n, nil
+		}),
+		repro.Method("read", func(ctx *repro.Context, _ struct{}) (int64, error) {
+			return ctx.Load("n").AsInt(), nil
+		}),
+	)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -27,21 +44,7 @@ func run() error {
 	serverNode := env.NewNode()
 	clientNode := env.NewNode()
 
-	// A counter service, registered under a well-known name.
-	counter := repro.BehaviorFunc(
-		func(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
-			switch method {
-			case "add":
-				n := ctx.Load("n").AsInt() + args.AsInt()
-				ctx.Store("n", repro.Int(n))
-				return repro.Int(n), nil
-			case "read":
-				return ctx.Load("n"), nil
-			default:
-				return repro.Null(), fmt.Errorf("unknown method %q", method)
-			}
-		})
-	h := serverNode.NewActive("counter", counter)
+	h := serverNode.NewActive("counter", counterService())
 	if err := env.RegisterName("service/counter", h.Ref()); err != nil {
 		return err
 	}
@@ -53,7 +56,7 @@ func run() error {
 	fmt.Println("after many TTA periods with zero referencers, live activities:",
 		env.LiveActivities(), "(registry pins it)")
 
-	// A client discovers the service by name and uses it.
+	// A client discovers the service by name and types its methods.
 	ref, err := env.Lookup("service/counter")
 	if err != nil {
 		return err
@@ -62,14 +65,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	add := repro.NewStub[int64, int64](client, "add")
 	for i := int64(1); i <= 3; i++ {
-		out, err := client.CallSync("add", repro.Int(i), 5*time.Second)
+		total, err := add.CallSync(i, 5*time.Second)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("add(%d) → %d\n", i, out.AsInt())
+		fmt.Printf("add(%d) → %d\n", i, total)
 	}
 	client.Release()
+
+	// The hardened lifecycle: calling through the released handle fails
+	// with a sentinel instead of resurrecting the reference.
+	if _, err := add.CallSync(1, time.Second); errors.Is(err, repro.ErrHandleReleased) {
+		fmt.Println("call after Release correctly refused:", err)
+	} else {
+		return fmt.Errorf("released handle answered a call (err=%v)", err)
+	}
 
 	fmt.Println("\nunregistering — the service loses its root status")
 	env.Unregister("service/counter")

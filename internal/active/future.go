@@ -43,6 +43,9 @@ type Future struct {
 	valueRoot   localgc.RootID
 	hasValRoot  bool
 	rootDropped bool
+	// discarded marks a Discard that happened before resolution: the pin
+	// must then be dropped the moment resolve installs it.
+	discarded bool
 }
 
 func newFuture(node *Node, id FutureID, owner ids.ActivityID) *Future {
@@ -63,6 +66,10 @@ func (f *Future) resolve(val wire.Value, root localgc.RootID, hasRoot bool, err 
 	f.err = err
 	f.valueRoot = root
 	f.hasValRoot = hasRoot
+	if f.discarded && hasRoot {
+		f.node.heap.RemoveRoot(root)
+		f.rootDropped = true
+	}
 	close(f.done)
 }
 
@@ -112,10 +119,13 @@ func (f *Future) consume() (wire.Value, error) {
 }
 
 // Discard releases the future's heap pin without reading the value. Safe
-// to call at any time, any number of times.
+// to call at any time, any number of times — discarding an unresolved
+// future drops the pin as soon as the result arrives, so an abandoned
+// call can never pin its value's references for the owner's lifetime.
 func (f *Future) Discard() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.discarded = true
 	if f.resolved && f.hasValRoot && !f.rootDropped {
 		f.node.heap.RemoveRoot(f.valueRoot)
 		f.rootDropped = true

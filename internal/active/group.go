@@ -1,0 +1,242 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Group errors.
+var (
+	// ErrGroupArity indicates Scatter received a request count different
+	// from the group size.
+	ErrGroupArity = errors.New("active: scatter arity mismatch")
+	// ErrEmptyGroup indicates a group operation on zero members.
+	ErrEmptyGroup = errors.New("active: empty group")
+)
+
+// Group is a typed one-to-many handle: the ProActive group-communication
+// analogue. It fans one method out over N member activities — Broadcast
+// ships the same request to all, Scatter one request per member — and
+// returns a FutureGroup collecting the replies. Each member is pinned by
+// its own Handle (one dummy DGC root per member); Release drops all of
+// them at once, handing the whole fan-out reference graph to the DGC.
+type Group[Req, Resp any] struct {
+	method   string
+	members  []*Handle
+	released atomic.Bool
+}
+
+// NewGroup types the given handles' method into a group. The group takes
+// ownership of the handles: Group.Release releases them all.
+func NewGroup[Req, Resp any](method string, members ...*Handle) *Group[Req, Resp] {
+	return &Group[Req, Resp]{method: method, members: members}
+}
+
+// Size returns the number of members.
+func (g *Group[Req, Resp]) Size() int { return len(g.members) }
+
+// Member returns the i-th member's handle.
+func (g *Group[Req, Resp]) Member(i int) *Handle { return g.members[i] }
+
+// Stub returns a single-member typed stub for the i-th member.
+func (g *Group[Req, Resp]) Stub(i int) Stub[Req, Resp] {
+	return NewStub[Req, Resp](g.members[i], g.method)
+}
+
+// Broadcast sends the same request to every member and returns the future
+// group of their replies (in member order).
+func (g *Group[Req, Resp]) Broadcast(req Req, opts ...CallOption) (*FutureGroup[Resp], error) {
+	if len(g.members) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	args, err := wire.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return g.fanOut(func(int) wire.Value { return args }, opts)
+}
+
+// Scatter sends reqs[i] to member i; len(reqs) must equal Size.
+func (g *Group[Req, Resp]) Scatter(reqs []Req, opts ...CallOption) (*FutureGroup[Resp], error) {
+	if len(g.members) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	if len(reqs) != len(g.members) {
+		return nil, fmt.Errorf("%w: %d requests for %d members", ErrGroupArity, len(reqs), len(g.members))
+	}
+	argsPer := make([]wire.Value, len(reqs))
+	for i, req := range reqs {
+		args, err := wire.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("member %d: %w", i, err)
+		}
+		argsPer[i] = args
+	}
+	return g.fanOut(func(i int) wire.Value { return argsPer[i] }, opts)
+}
+
+// Send broadcasts a one-way request to every member.
+func (g *Group[Req, Resp]) Send(req Req) error {
+	if len(g.members) == 0 {
+		return ErrEmptyGroup
+	}
+	args, err := wire.Marshal(req)
+	if err != nil {
+		return err
+	}
+	for i, h := range g.members {
+		if err := h.Send(g.method, args); err != nil {
+			return fmt.Errorf("member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, opts []CallOption) (*FutureGroup[Resp], error) {
+	o := applyOptions(opts)
+	futs := make([]*TypedFuture[Resp], len(g.members))
+	for i, h := range g.members {
+		if o.noReply {
+			if err := h.Send(g.method, argsFor(i)); err != nil {
+				return nil, fmt.Errorf("member %d: %w", i, err)
+			}
+			futs[i] = &TypedFuture[Resp]{}
+			continue
+		}
+		fut, err := h.Call(g.method, argsFor(i))
+		if err != nil {
+			// Abort: drop the futures already in flight so their values do
+			// not stay pinned forever.
+			for _, tf := range futs[:i] {
+				tf.Discard()
+			}
+			return nil, fmt.Errorf("member %d: %w", i, err)
+		}
+		futs[i] = &TypedFuture[Resp]{fut: fut, timeout: o.timeout}
+	}
+	return &FutureGroup[Resp]{futs: futs}, nil
+}
+
+// Release releases every member handle (idempotent). The members become
+// ordinary DGC candidates: once nothing else references them, the whole
+// group is reclaimed — cyclically if the members ended up referencing
+// each other.
+func (g *Group[Req, Resp]) Release() {
+	if g.released.Swap(true) {
+		return
+	}
+	for _, h := range g.members {
+		h.Release()
+	}
+}
+
+// FutureGroup collects the typed futures of one group fan-out, in member
+// order.
+type FutureGroup[Resp any] struct {
+	futs []*TypedFuture[Resp]
+}
+
+// Len returns the number of member futures.
+func (fg *FutureGroup[Resp]) Len() int { return len(fg.futs) }
+
+// At returns the i-th member's future.
+func (fg *FutureGroup[Resp]) At(i int) *TypedFuture[Resp] { return fg.futs[i] }
+
+// clock returns the environment clock behind the member futures (nil when
+// every call was one-way — then nothing ever blocks anyway).
+func (fg *FutureGroup[Resp]) clock() vclock.Clock {
+	for _, f := range fg.futs {
+		if f.fut != nil {
+			return f.fut.node.env.cfg.Clock
+		}
+	}
+	return nil
+}
+
+// WaitAll waits for every member and returns the replies in member order.
+// timeout is the overall budget (0 = wait forever); on the first failure
+// the remaining futures are discarded and the error returned.
+func (fg *FutureGroup[Resp]) WaitAll(timeout time.Duration) ([]Resp, error) {
+	out := make([]Resp, len(fg.futs))
+	clk := fg.clock()
+	var start time.Time
+	if timeout > 0 && clk != nil {
+		start = clk.Now()
+	}
+	for i, f := range fg.futs {
+		budget := time.Duration(0)
+		if timeout > 0 && clk != nil {
+			budget = timeout - clk.Now().Sub(start)
+			if budget <= 0 {
+				fg.discardFrom(i)
+				return nil, fmt.Errorf("%w: group wait after %v (%d/%d resolved)",
+					ErrFutureTimeout, timeout, i, len(fg.futs))
+			}
+		}
+		resp, err := f.Wait(budget)
+		if err != nil {
+			fg.discardFrom(i + 1)
+			return nil, fmt.Errorf("member %d: %w", i, err)
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// WaitAny waits until any member resolves and returns its index and
+// reply. The other futures stay pending and consumable (call WaitAll, At
+// or Discard on them later). timeout 0 waits forever.
+func (fg *FutureGroup[Resp]) WaitAny(timeout time.Duration) (int, Resp, error) {
+	var zero Resp
+	if len(fg.futs) == 0 {
+		return -1, zero, ErrEmptyGroup
+	}
+	// Fast path: someone already resolved (or is one-way).
+	for i, f := range fg.futs {
+		select {
+		case <-f.Done():
+			resp, err := f.Wait(0)
+			return i, resp, err
+		default:
+		}
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	ready := make(chan int, len(fg.futs))
+	for i, f := range fg.futs {
+		go func(i int, done <-chan struct{}) {
+			select {
+			case <-done:
+				ready <- i
+			case <-stop:
+			}
+		}(i, f.Done())
+	}
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		if clk := fg.clock(); clk != nil {
+			timeoutCh = clk.After(timeout)
+		}
+	}
+	select {
+	case i := <-ready:
+		resp, err := fg.futs[i].Wait(0)
+		return i, resp, err
+	case <-timeoutCh:
+		return -1, zero, fmt.Errorf("%w: group wait-any after %v", ErrFutureTimeout, timeout)
+	}
+}
+
+// Discard releases every member future's heap pin without reading.
+func (fg *FutureGroup[Resp]) Discard() { fg.discardFrom(0) }
+
+func (fg *FutureGroup[Resp]) discardFrom(i int) {
+	for _, f := range fg.futs[i:] {
+		f.Discard()
+	}
+}

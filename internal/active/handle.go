@@ -1,6 +1,7 @@
 package active
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,11 @@ import (
 	"repro/internal/localgc"
 	"repro/internal/wire"
 )
+
+// ErrHandleReleased is returned by calls through a handle whose reference
+// has been dropped: the dummy root is gone (or going), so the middleware
+// must not fabricate a fresh edge to the target. Check with errors.Is.
+var ErrHandleReleased = errors.New("active: handle released")
 
 // Handle lets non-active code (a main function, a test, a benchmark)
 // reference and call an activity. The middleware backs each handle with a
@@ -60,7 +66,7 @@ func (h *Handle) Node() *Node { return h.dummy.node }
 // future.
 func (h *Handle) Call(method string, args wire.Value) (*Future, error) {
 	if h.released.Load() {
-		return nil, fmt.Errorf("active: call through a released handle")
+		return nil, fmt.Errorf("call %q: %w", method, ErrHandleReleased)
 	}
 	ctx := &Context{ao: h.dummy}
 	return ctx.Call(h.target, method, args)
@@ -69,7 +75,7 @@ func (h *Handle) Call(method string, args wire.Value) (*Future, error) {
 // Send performs a one-way asynchronous call on the target.
 func (h *Handle) Send(method string, args wire.Value) error {
 	if h.released.Load() {
-		return fmt.Errorf("active: send through a released handle")
+		return fmt.Errorf("send %q: %w", method, ErrHandleReleased)
 	}
 	ctx := &Context{ao: h.dummy}
 	return ctx.Send(h.target, method, args)
@@ -87,7 +93,7 @@ func (h *Handle) CallSync(method string, args wire.Value, timeout time.Duration)
 // Release drops the handle's reference: the dummy root stops pinning the
 // target, which becomes collectable once otherwise garbage. The dummy
 // itself is destroyed by the driver after its edge drop has been
-// broadcast.
+// broadcast. Release is an idempotent no-op on a released handle.
 func (h *Handle) Release() {
 	if h.released.Swap(true) {
 		return
@@ -98,8 +104,12 @@ func (h *Handle) Release() {
 
 // Terminate explicitly destroys the target activity (the paper's NAS
 // baseline uses explicit termination). The handle is released as a side
-// effect.
+// effect; on an already-released handle Terminate is a no-op, since the
+// handle no longer speaks for the target.
 func (h *Handle) Terminate() {
+	if h.released.Load() {
+		return
+	}
 	if tid, ok := h.target.AsRef(); ok {
 		if ao, alive := h.dummy.node.env.activity(tid); alive {
 			ao.node.destroy(ao, core.ReasonNone)

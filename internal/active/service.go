@@ -1,0 +1,93 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// ErrUnknownMethod is returned (to the caller, through the future) when a
+// Service is asked for a method it does not declare.
+var ErrUnknownMethod = errors.New("active: unknown service method")
+
+// ServiceMethod is one named, typed operation of a Service. Build them
+// with Method; the zero value is invalid.
+type ServiceMethod struct {
+	name    string
+	handler func(ctx *Context, args wire.Value) (wire.Value, error)
+}
+
+// Name returns the method's wire name.
+func (m ServiceMethod) Name() string { return m.name }
+
+// Method declares a typed service operation: on every call, the wire
+// arguments are unmarshaled into Req, fn runs, and its Resp is marshaled
+// back. Req and Resp follow the codec mapping of wire.Marshal — plain
+// structs with optional `wire` tags; embedded wire.Value or
+// ids.ActivityID fields carry remote references, keeping the DGC's
+// reference graph exact even through the typed façade.
+func Method[Req, Resp any](name string, fn func(ctx *Context, req Req) (Resp, error)) ServiceMethod {
+	if name == "" {
+		panic("active: Method with empty name")
+	}
+	return ServiceMethod{
+		name: name,
+		handler: func(ctx *Context, args wire.Value) (wire.Value, error) {
+			var req Req
+			if err := wire.Unmarshal(args, &req); err != nil {
+				return wire.Null(), fmt.Errorf("method %q: bad arguments: %w", name, err)
+			}
+			resp, err := fn(ctx, req)
+			if err != nil {
+				return wire.Null(), err
+			}
+			return wire.Marshal(resp)
+		},
+	}
+}
+
+// Service is a typed method registry implementing Behavior: the v2
+// replacement for hand-rolled switch-on-method-name dispatch. It is the
+// middleware analogue of a declared service interface — the set of
+// operations is enumerable (Methods), not an opaque string space.
+type Service struct {
+	methods map[string]ServiceMethod
+}
+
+// NewService builds a service from typed method descriptors. Duplicate
+// method names panic: a service's interface must be unambiguous at
+// construction time.
+func NewService(methods ...ServiceMethod) *Service {
+	s := &Service{methods: make(map[string]ServiceMethod, len(methods))}
+	for _, m := range methods {
+		if m.handler == nil {
+			panic("active: NewService with zero ServiceMethod")
+		}
+		if _, dup := s.methods[m.name]; dup {
+			panic(fmt.Sprintf("active: duplicate service method %q", m.name))
+		}
+		s.methods[m.name] = m
+	}
+	return s
+}
+
+// Methods returns the sorted names of the declared operations.
+func (s *Service) Methods() []string {
+	out := make([]string, 0, len(s.methods))
+	for name := range s.methods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Serve implements Behavior by dispatching to the declared method.
+func (s *Service) Serve(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+	m, ok := s.methods[method]
+	if !ok {
+		return wire.Null(), fmt.Errorf("%w: %q (service declares %v)", ErrUnknownMethod, method, s.Methods())
+	}
+	return m.handler(ctx, args)
+}

@@ -1,0 +1,202 @@
+package active
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// callOptions collects the per-call knobs of the typed API.
+type callOptions struct {
+	timeout time.Duration
+	noReply bool
+}
+
+// CallOption is a per-call option for the typed calling API.
+type CallOption func(*callOptions)
+
+// WithTimeout sets the call's default wait budget: Wait(0) and resolution
+// through FutureGroup then give up after d instead of blocking forever.
+func WithTimeout(d time.Duration) CallOption {
+	return func(o *callOptions) { o.timeout = d }
+}
+
+// WithNoReply turns the call into a one-way send: no future update flows
+// back (§4.1 — a reply that nobody awaits would only cost traffic). The
+// returned future is pre-resolved with the zero Resp.
+func WithNoReply() CallOption {
+	return func(o *callOptions) { o.noReply = true }
+}
+
+func applyOptions(opts []CallOption) callOptions {
+	var o callOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// closedChan is the Done channel of pre-resolved futures.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// TypedFuture wraps a Future and unmarshals its value into Resp on
+// consumption. A nil-backed TypedFuture (from a WithNoReply call) is
+// already resolved with the zero Resp.
+type TypedFuture[Resp any] struct {
+	fut *Future
+	// timeout is the default Wait budget installed by WithTimeout.
+	timeout time.Duration
+}
+
+// Typed wraps an untyped future. The wrapper does not take ownership:
+// consuming through either view releases the value's heap pin.
+func Typed[Resp any](fut *Future) *TypedFuture[Resp] {
+	return &TypedFuture[Resp]{fut: fut}
+}
+
+// Raw returns the underlying untyped future (nil for one-way calls).
+func (f *TypedFuture[Resp]) Raw() *Future { return f.fut }
+
+// Done returns a channel closed when the future is resolved.
+func (f *TypedFuture[Resp]) Done() <-chan struct{} {
+	if f.fut == nil {
+		return closedChan
+	}
+	return f.fut.Done()
+}
+
+// Wait blocks until the future resolves, unmarshals the result into Resp
+// and returns it. A zero timeout falls back to the WithTimeout option of
+// the call, and to waiting forever if none was given.
+func (f *TypedFuture[Resp]) Wait(timeout time.Duration) (Resp, error) {
+	var resp Resp
+	if f.fut == nil {
+		return resp, nil
+	}
+	if timeout <= 0 {
+		timeout = f.timeout
+	}
+	v, err := f.fut.Wait(timeout)
+	if err != nil {
+		return resp, err
+	}
+	if err := wire.Unmarshal(v, &resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// TryGet returns the unmarshaled value if the future is already resolved.
+func (f *TypedFuture[Resp]) TryGet() (Resp, error, bool) {
+	var resp Resp
+	if f.fut == nil {
+		return resp, nil, true
+	}
+	v, err, ok := f.fut.TryGet()
+	if !ok || err != nil {
+		return resp, err, ok
+	}
+	return resp, wire.Unmarshal(v, &resp), true
+}
+
+// Discard releases the future's heap pin without reading the value.
+func (f *TypedFuture[Resp]) Discard() {
+	if f.fut != nil {
+		f.fut.Discard()
+	}
+}
+
+// Stub is a typed, single-method view of an activity handle: the v2
+// calling surface replacing hand-rolled wire.Value plumbing. A service
+// with several operations gets one stub per operation, all sharing the
+// same underlying Handle (and thus one DGC root).
+type Stub[Req, Resp any] struct {
+	h      *Handle
+	method string
+}
+
+// NewStub types the given handle's method.
+func NewStub[Req, Resp any](h *Handle, method string) Stub[Req, Resp] {
+	return Stub[Req, Resp]{h: h, method: method}
+}
+
+// Handle returns the underlying untyped handle.
+func (s Stub[Req, Resp]) Handle() *Handle { return s.h }
+
+// Method returns the wire method name the stub calls.
+func (s Stub[Req, Resp]) Method() string { return s.method }
+
+// Call marshals req, performs the asynchronous call and returns a typed
+// future for the result.
+func (s Stub[Req, Resp]) Call(req Req, opts ...CallOption) (*TypedFuture[Resp], error) {
+	o := applyOptions(opts)
+	args, err := wire.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if o.noReply {
+		if err := s.h.Send(s.method, args); err != nil {
+			return nil, err
+		}
+		return &TypedFuture[Resp]{}, nil
+	}
+	fut, err := s.h.Call(s.method, args)
+	if err != nil {
+		return nil, err
+	}
+	return &TypedFuture[Resp]{fut: fut, timeout: o.timeout}, nil
+}
+
+// CallSync is Call followed by Wait.
+func (s Stub[Req, Resp]) CallSync(req Req, timeout time.Duration) (Resp, error) {
+	fut, err := s.Call(req)
+	if err != nil {
+		var zero Resp
+		return zero, err
+	}
+	return fut.Wait(timeout)
+}
+
+// Send performs a one-way, fire-and-forget call.
+func (s Stub[Req, Resp]) Send(req Req) error {
+	args, err := wire.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return s.h.Send(s.method, args)
+}
+
+// CallTyped is the in-behavior analogue of Stub.Call: an activity calling
+// another activity through a reference value it holds, with typed
+// marshaling at both ends.
+func CallTyped[Resp any](ctx *Context, target wire.Value, method string, req any, opts ...CallOption) (*TypedFuture[Resp], error) {
+	o := applyOptions(opts)
+	args, err := wire.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if o.noReply {
+		if err := ctx.Send(target, method, args); err != nil {
+			return nil, err
+		}
+		return &TypedFuture[Resp]{}, nil
+	}
+	fut, err := ctx.Call(target, method, args)
+	if err != nil {
+		return nil, err
+	}
+	return &TypedFuture[Resp]{fut: fut, timeout: o.timeout}, nil
+}
+
+// SendTyped is the in-behavior analogue of Stub.Send.
+func SendTyped(ctx *Context, target wire.Value, method string, req any) error {
+	args, err := wire.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return ctx.Send(target, method, args)
+}

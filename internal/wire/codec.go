@@ -1,0 +1,411 @@
+// Struct codec: a reflection bridge between Go values and the closed
+// value model.
+//
+// Marshal and Unmarshal let application code exchange plain Go structs
+// while everything on the wire remains the closed model of this package —
+// so the no-sharing property and the Decoder.OnRef reference-graph hook
+// (paper §2.1–§2.2) keep holding by construction. A remote reference never
+// hides inside an opaque blob: it is either an explicit wire.Value field
+// passed through verbatim, or an ids.ActivityID field mapped to a Ref
+// node, and in both cases the decoder sees it.
+//
+// The mapping:
+//
+//	bool                    ⇄ Bool
+//	int, int8..int64        ⇄ Int
+//	uint, uint8..uint64     ⇄ Int (marshal fails above MaxInt64)
+//	float32, float64        ⇄ Float
+//	string                  ⇄ String
+//	[]byte                  ⇄ Bytes
+//	[]float64               ⇄ Bytes (packed, as Floats — the NAS fast path)
+//	other slices, arrays    ⇄ List
+//	map[string]T            ⇄ Dict
+//	struct                  ⇄ Dict keyed by field name or `wire:"name"` tag
+//	pointer                 ⇄ Null when nil, else the element
+//	ids.ActivityID          ⇄ Ref
+//	wire.Value              ⇄ passed through verbatim
+//	any (unmarshal only)    ← nil, bool, int64, float64, string, []byte,
+//	                          []any, map[string]any, ids.ActivityID
+//
+// Struct tags follow the encoding/json convention: `wire:"name"` renames,
+// `wire:"-"` skips, `wire:",omitempty"` drops zero values on marshal.
+// Unexported fields are ignored. Embedded structs are encoded under their
+// type name like any other field (no flattening). A Null value
+// unmarshals into any target as its zero value, so Null() arguments from
+// dynamic callers satisfy typed no-argument methods.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// Codec errors.
+var (
+	// ErrMarshal indicates a Go value outside the closed model's reach.
+	ErrMarshal = errors.New("wire: unmarshalable Go value")
+	// ErrUnmarshal indicates a Value/Go-type mismatch.
+	ErrUnmarshal = errors.New("wire: cannot unmarshal")
+)
+
+var (
+	valueType      = reflect.TypeOf(Value{})
+	activityIDType = reflect.TypeOf(ids.ActivityID{})
+)
+
+// Marshal maps a Go value onto the closed value model.
+func Marshal(v any) (Value, error) {
+	if v == nil {
+		return Null(), nil
+	}
+	return marshalValue(reflect.ValueOf(v))
+}
+
+func marshalValue(rv reflect.Value) (Value, error) {
+	switch rv.Type() {
+	case valueType:
+		return rv.Interface().(Value), nil
+	case activityIDType:
+		return Ref(rv.Interface().(ids.ActivityID)), nil
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		return Bool(rv.Bool()), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return Int(rv.Int()), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		u := rv.Uint()
+		if u > math.MaxInt64 {
+			return Null(), fmt.Errorf("%w: %d overflows int64", ErrMarshal, u)
+		}
+		return Int(int64(u)), nil
+	case reflect.Float32, reflect.Float64:
+		return Float(rv.Float()), nil
+	case reflect.String:
+		return String(rv.String()), nil
+	case reflect.Slice:
+		switch rv.Type().Elem().Kind() {
+		case reflect.Uint8:
+			return Bytes(rv.Bytes()), nil
+		case reflect.Float64:
+			return Floats(rv.Convert(reflect.TypeOf([]float64(nil))).Interface().([]float64)), nil
+		}
+		return marshalList(rv)
+	case reflect.Array:
+		return marshalList(rv)
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return Null(), fmt.Errorf("%w: map key type %s (need string)", ErrMarshal, rv.Type().Key())
+		}
+		m := make(map[string]Value, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			ev, err := marshalValue(iter.Value())
+			if err != nil {
+				return Null(), err
+			}
+			m[iter.Key().String()] = ev
+		}
+		return Value{kind: KindDict, dict: m}, nil
+	case reflect.Struct:
+		fields := fieldsOf(rv.Type())
+		m := make(map[string]Value, len(fields))
+		for _, f := range fields {
+			fv := rv.Field(f.index)
+			if f.omitEmpty && fv.IsZero() {
+				continue
+			}
+			ev, err := marshalValue(fv)
+			if err != nil {
+				return Null(), fmt.Errorf("field %s: %w", f.name, err)
+			}
+			m[f.name] = ev
+		}
+		return Value{kind: KindDict, dict: m}, nil
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			return Null(), nil
+		}
+		return marshalValue(rv.Elem())
+	default:
+		return Null(), fmt.Errorf("%w: type %s", ErrMarshal, rv.Type())
+	}
+}
+
+func marshalList(rv reflect.Value) (Value, error) {
+	elems := make([]Value, rv.Len())
+	for i := range elems {
+		ev, err := marshalValue(rv.Index(i))
+		if err != nil {
+			return Null(), err
+		}
+		elems[i] = ev
+	}
+	return Value{kind: KindList, list: elems}, nil
+}
+
+// Unmarshal maps a Value back onto the Go value out points to. out must be
+// a non-nil pointer. Dict keys with no matching struct field are ignored;
+// struct fields with no matching key are left untouched.
+func Unmarshal(v Value, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("%w: target must be a non-nil pointer, got %T", ErrUnmarshal, out)
+	}
+	return unmarshalValue(v, rv.Elem())
+}
+
+func unmarshalValue(v Value, rv reflect.Value) error {
+	if v.IsNull() {
+		// Null is the universal zero: a dynamic caller's Null() arguments
+		// land in a typed method's zero Req, nil pointers/slices/maps
+		// round-trip, and absent never means "error".
+		rv.SetZero()
+		return nil
+	}
+	switch rv.Type() {
+	case valueType:
+		rv.Set(reflect.ValueOf(v))
+		return nil
+	case activityIDType:
+		target, ok := v.AsRef()
+		if !ok {
+			return mismatch(v, rv.Type())
+		}
+		rv.Set(reflect.ValueOf(target))
+		return nil
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		if v.Kind() != KindBool {
+			return mismatch(v, rv.Type())
+		}
+		rv.SetBool(v.AsBool())
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if v.Kind() != KindInt {
+			return mismatch(v, rv.Type())
+		}
+		if rv.OverflowInt(v.AsInt()) {
+			return fmt.Errorf("%w: %d overflows %s", ErrUnmarshal, v.AsInt(), rv.Type())
+		}
+		rv.SetInt(v.AsInt())
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		if v.Kind() != KindInt {
+			return mismatch(v, rv.Type())
+		}
+		i := v.AsInt()
+		if i < 0 || rv.OverflowUint(uint64(i)) {
+			return fmt.Errorf("%w: %d overflows %s", ErrUnmarshal, i, rv.Type())
+		}
+		rv.SetUint(uint64(i))
+		return nil
+	case reflect.Float32, reflect.Float64:
+		switch v.Kind() {
+		case KindFloat:
+			rv.SetFloat(v.AsFloat())
+		case KindInt:
+			rv.SetFloat(float64(v.AsInt()))
+		default:
+			return mismatch(v, rv.Type())
+		}
+		return nil
+	case reflect.String:
+		if v.Kind() != KindString {
+			return mismatch(v, rv.Type())
+		}
+		rv.SetString(v.AsString())
+		return nil
+	case reflect.Slice:
+		return unmarshalSlice(v, rv)
+	case reflect.Array:
+		if v.Kind() != KindList || v.Len() != rv.Len() {
+			return mismatch(v, rv.Type())
+		}
+		for i := 0; i < rv.Len(); i++ {
+			if err := unmarshalValue(v.At(i), rv.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return fmt.Errorf("%w: map key type %s (need string)", ErrUnmarshal, rv.Type().Key())
+		}
+		if v.Kind() != KindDict {
+			return mismatch(v, rv.Type())
+		}
+		m := reflect.MakeMapWithSize(rv.Type(), v.Len())
+		et := rv.Type().Elem()
+		for _, k := range v.Keys() {
+			ev := reflect.New(et).Elem()
+			if err := unmarshalValue(v.Get(k), ev); err != nil {
+				return fmt.Errorf("key %q: %w", k, err)
+			}
+			m.SetMapIndex(reflect.ValueOf(k).Convert(rv.Type().Key()), ev)
+		}
+		rv.Set(m)
+		return nil
+	case reflect.Struct:
+		if v.Kind() != KindDict {
+			return mismatch(v, rv.Type())
+		}
+		for _, f := range fieldsOf(rv.Type()) {
+			fv := v.Get(f.name)
+			if fv.IsNull() && v.dict != nil {
+				if _, present := v.dict[f.name]; !present {
+					continue
+				}
+			}
+			if err := unmarshalValue(fv, rv.Field(f.index)); err != nil {
+				return fmt.Errorf("field %s: %w", f.name, err)
+			}
+		}
+		return nil
+	case reflect.Pointer:
+		if rv.IsNil() {
+			rv.Set(reflect.New(rv.Type().Elem()))
+		}
+		return unmarshalValue(v, rv.Elem())
+	case reflect.Interface:
+		if rv.NumMethod() != 0 {
+			return fmt.Errorf("%w: non-empty interface %s", ErrUnmarshal, rv.Type())
+		}
+		got := toAny(v)
+		if got == nil {
+			rv.SetZero()
+			return nil
+		}
+		rv.Set(reflect.ValueOf(got))
+		return nil
+	default:
+		return fmt.Errorf("%w: type %s", ErrUnmarshal, rv.Type())
+	}
+}
+
+func unmarshalSlice(v Value, rv reflect.Value) error {
+	switch rv.Type().Elem().Kind() {
+	case reflect.Uint8:
+		if v.Kind() != KindBytes {
+			return mismatch(v, rv.Type())
+		}
+		b := v.AsBytes()
+		cp := reflect.MakeSlice(rv.Type(), len(b), len(b))
+		reflect.Copy(cp, reflect.ValueOf(b))
+		rv.Set(cp)
+		return nil
+	case reflect.Float64:
+		// The packed Floats fast path; a plain List of floats also works,
+		// so hand-built values remain readable.
+		if v.Kind() == KindBytes {
+			fs := v.AsFloats()
+			if fs == nil && v.Len() != 0 {
+				return fmt.Errorf("%w: blob of %d bytes is not a packed []float64", ErrUnmarshal, v.Len())
+			}
+			rv.Set(reflect.ValueOf(fs).Convert(rv.Type()))
+			return nil
+		}
+	}
+	if v.Kind() != KindList {
+		return mismatch(v, rv.Type())
+	}
+	out := reflect.MakeSlice(rv.Type(), v.Len(), v.Len())
+	for i := 0; i < v.Len(); i++ {
+		if err := unmarshalValue(v.At(i), out.Index(i)); err != nil {
+			return err
+		}
+	}
+	rv.Set(out)
+	return nil
+}
+
+// toAny maps a Value to its canonical dynamic Go form.
+func toAny(v Value) any {
+	switch v.Kind() {
+	case KindBool:
+		return v.AsBool()
+	case KindInt:
+		return v.AsInt()
+	case KindFloat:
+		return v.AsFloat()
+	case KindString:
+		return v.AsString()
+	case KindBytes:
+		cp := make([]byte, v.Len())
+		copy(cp, v.AsBytes())
+		return cp
+	case KindList:
+		out := make([]any, v.Len())
+		for i := range out {
+			out[i] = toAny(v.At(i))
+		}
+		return out
+	case KindDict:
+		out := make(map[string]any, v.Len())
+		for _, k := range v.Keys() {
+			out[k] = toAny(v.Get(k))
+		}
+		return out
+	case KindRef:
+		target, _ := v.AsRef()
+		return target
+	default:
+		return nil
+	}
+}
+
+func mismatch(v Value, t reflect.Type) error {
+	return fmt.Errorf("%w: %s value into %s", ErrUnmarshal, v.Kind(), t)
+}
+
+// fieldInfo describes one marshaled struct field.
+type fieldInfo struct {
+	name      string
+	index     int
+	omitEmpty bool
+}
+
+var fieldCache sync.Map // reflect.Type → []fieldInfo
+
+// fieldsOf returns the marshaled fields of a struct type, honoring wire
+// tags, with a per-type cache (dispatch benchmarks hit this on every
+// call).
+func fieldsOf(t reflect.Type) []fieldInfo {
+	if cached, ok := fieldCache.Load(t); ok {
+		return cached.([]fieldInfo)
+	}
+	fields := make([]fieldInfo, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		info := fieldInfo{name: f.Name, index: i}
+		if tag, ok := f.Tag.Lookup("wire"); ok {
+			name, opts, _ := strings.Cut(tag, ",")
+			if name == "-" && opts == "" {
+				continue
+			}
+			if name != "" {
+				info.name = name
+			}
+			for opts != "" {
+				var opt string
+				opt, opts, _ = strings.Cut(opts, ",")
+				if opt == "omitempty" {
+					info.omitEmpty = true
+				}
+			}
+		}
+		fields = append(fields, info)
+	}
+	fieldCache.Store(t, fields)
+	return fields
+}

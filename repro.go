@@ -9,17 +9,33 @@
 // "activity clock" over a reverse spanning tree, needing no connectivity
 // beyond what the application already has.
 //
-// Quickstart:
+// Quickstart (the typed v2 API):
+//
+//	type GreetReq struct{ Name string }
+//	type GreetResp struct{ Text string }
 //
 //	env := repro.NewEnv(repro.Config{})
 //	defer env.Close()
 //	node := env.NewNode()
-//	h := node.NewActive("echo", repro.BehaviorFunc(
-//		func(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
-//			return args, nil
-//		}))
-//	out, _ := h.CallSync("echo", repro.String("hi"), time.Second)
+//	h := node.NewActive("greeter", repro.NewService(
+//		repro.Method("greet", func(ctx *repro.Context, req GreetReq) (GreetResp, error) {
+//			return GreetResp{Text: "hello, " + req.Name}, nil
+//		})))
+//	stub := repro.NewStub[GreetReq, GreetResp](h, "greet")
+//	resp, _ := stub.CallSync(GreetReq{Name: "grid"}, time.Second)
 //	h.Release() // the activity is garbage now; the DGC reclaims it
+//
+// Stub.Call returns a TypedFuture resolving to the response struct;
+// NewGroup fans one method out over many activities (Broadcast/Scatter)
+// and collects the replies in a FutureGroup. Marshal/Unmarshal map Go
+// structs onto the closed wire value model, so remote references (Value
+// refs or ActivityID fields) always stay visible to the collector —
+// the typed façade cannot hide an edge from the DGC.
+//
+// The dynamic substrate remains available: a Behavior serves raw
+// (method string, args Value) pairs, Handle.Call/CallSync speak it, and
+// a *Service is itself a Behavior, so both surfaces interoperate on the
+// same activity.
 //
 // Activities form reference graphs through the values they exchange:
 // storing a reference (Context.Store) creates an edge, dropping it
@@ -81,7 +97,84 @@ type (
 	Reason = core.Reason
 	// Topology models a multi-site grid deployment.
 	Topology = grid.Topology
+	// Service is a typed method registry implementing Behavior.
+	Service = active.Service
+	// ServiceMethod is one declared, typed operation of a Service.
+	ServiceMethod = active.ServiceMethod
+	// CallOption is a per-call option of the typed API (WithTimeout,
+	// WithNoReply).
+	CallOption = active.CallOption
 )
+
+// Generic aliases of the typed calling surface.
+type (
+	// Stub is a typed, single-method view of a Handle.
+	Stub[Req, Resp any] = active.Stub[Req, Resp]
+	// TypedFuture resolves to an unmarshaled Resp.
+	TypedFuture[Resp any] = active.TypedFuture[Resp]
+	// Group is a typed one-to-many handle (Broadcast/Scatter).
+	Group[Req, Resp any] = active.Group[Req, Resp]
+	// FutureGroup collects the futures of one group fan-out.
+	FutureGroup[Resp any] = active.FutureGroup[Resp]
+)
+
+// Sentinel errors of the calling API (check with errors.Is).
+var (
+	// ErrHandleReleased reports a call through a released handle.
+	ErrHandleReleased = active.ErrHandleReleased
+	// ErrUnknownMethod reports a method a Service does not declare.
+	ErrUnknownMethod = active.ErrUnknownMethod
+	// ErrGroupArity reports a Scatter arity mismatch.
+	ErrGroupArity = active.ErrGroupArity
+	// ErrEmptyGroup reports a group operation on zero members.
+	ErrEmptyGroup = active.ErrEmptyGroup
+	// ErrFutureTimeout reports that a Wait gave up.
+	ErrFutureTimeout = active.ErrFutureTimeout
+	// ErrRemoteFailure wraps an error returned by a callee's behavior.
+	ErrRemoteFailure = active.ErrRemoteFailure
+)
+
+// Method declares a typed service operation; see active.Method.
+func Method[Req, Resp any](name string, fn func(ctx *Context, req Req) (Resp, error)) ServiceMethod {
+	return active.Method(name, fn)
+}
+
+// NewService builds a Service from typed method descriptors.
+func NewService(methods ...ServiceMethod) *Service {
+	return active.NewService(methods...)
+}
+
+// NewStub types the given handle's method.
+func NewStub[Req, Resp any](h *Handle, method string) Stub[Req, Resp] {
+	return active.NewStub[Req, Resp](h, method)
+}
+
+// NewGroup types the given handles' method into a one-to-many group.
+func NewGroup[Req, Resp any](method string, members ...*Handle) *Group[Req, Resp] {
+	return active.NewGroup[Req, Resp](method, members...)
+}
+
+// CallTyped performs a typed asynchronous call from inside a behavior.
+func CallTyped[Resp any](ctx *Context, target Value, method string, req any, opts ...CallOption) (*TypedFuture[Resp], error) {
+	return active.CallTyped[Resp](ctx, target, method, req, opts...)
+}
+
+// SendTyped performs a typed one-way call from inside a behavior.
+func SendTyped(ctx *Context, target Value, method string, req any) error {
+	return active.SendTyped(ctx, target, method, req)
+}
+
+// WithTimeout sets a per-call default wait budget.
+func WithTimeout(d time.Duration) CallOption { return active.WithTimeout(d) }
+
+// WithNoReply turns a call into a fire-and-forget send.
+func WithNoReply() CallOption { return active.WithNoReply() }
+
+// Marshal maps a Go value onto the closed wire value model.
+func Marshal(v any) (Value, error) { return wire.Marshal(v) }
+
+// Unmarshal maps a wire value back onto a Go value.
+func Unmarshal(v Value, out any) error { return wire.Unmarshal(v, out) }
 
 // Termination reasons (see internal/core).
 const (
