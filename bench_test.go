@@ -630,6 +630,120 @@ func BenchmarkGroupBroadcast(b *testing.B) {
 	b.ReportMetric(float64(members), "fanout")
 }
 
+// benchCrossNodeCall measures a synchronous typed round-trip where the
+// caller's handle is anchored on a different node than the callee, so
+// every request and future update actually traverses the environment's
+// transport (the same-node benchmarks above take the intra-node direct
+// path and never touch it).
+func benchCrossNodeCall(b *testing.B, env *repro.Env) {
+	b.Helper()
+	caller, callee := env.NewNode(), env.NewNode()
+	h := callee.NewActive("remote", repro.NewService(
+		repro.Method("add", func(ctx *repro.Context, req benchReq) (benchResp, error) {
+			return benchResp{Sum: req.A + req.B, Tag: req.Tag}, nil
+		})))
+	defer h.Release()
+	hc, err := caller.HandleFor(h.Ref())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hc.Release()
+	stub := repro.NewStub[benchReq, benchResp](hc, "add")
+	req := benchReq{A: 19, B: 23, Tag: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := stub.CallSync(req, 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Sum != 42 {
+			b.Fatalf("sum = %d", resp.Sum)
+		}
+	}
+}
+
+// BenchmarkCrossNodeCall is the simnet baseline of the cross-node
+// round-trip; BenchmarkTCPCall is the same exchange over real TCP.
+func BenchmarkCrossNodeCall(b *testing.B) {
+	benchCrossNodeCall(b, benchCallEnv(b))
+}
+
+// BenchmarkTCPCall measures the cross-node typed round-trip over the TCP
+// backend: both the request and the future update cross a real loopback
+// connection with length-prefixed framing.
+func BenchmarkTCPCall(b *testing.B) {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := repro.NewEnv(repro.Config{DisableDGC: true, Transport: tr})
+	b.Cleanup(env.Close)
+	benchCrossNodeCall(b, env)
+}
+
+// benchBroadcast measures a one-to-many Broadcast plus WaitAll where the
+// group handles are re-anchored on a dedicated caller node, so the fan-out
+// and every reply traverse the transport.
+func benchBroadcast(b *testing.B, env *repro.Env) {
+	b.Helper()
+	caller := env.NewNode()
+	nodes := []*repro.Node{env.NewNode(), env.NewNode(), env.NewNode(), env.NewNode()}
+	svc := repro.NewService(
+		repro.Method("add", func(ctx *repro.Context, req benchReq) (benchResp, error) {
+			return benchResp{Sum: req.A + req.B, Tag: req.Tag}, nil
+		}))
+	const members = 16
+	handles := make([]*repro.Handle, members)
+	for i := range handles {
+		local := nodes[i%len(nodes)].NewActive(fmt.Sprintf("g-%d", i), svc)
+		defer local.Release()
+		remote, err := caller.HandleFor(local.Ref())
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[i] = remote
+	}
+	g := repro.NewGroup[benchReq, benchResp]("add", handles...)
+	defer g.Release()
+	req := benchReq{A: 19, B: 23, Tag: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fg, err := g.Broadcast(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		replies, err := fg.WaitAll(30 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(replies) != members || replies[members-1].Sum != 42 {
+			b.Fatalf("replies = %v", replies)
+		}
+	}
+	b.ReportMetric(float64(members), "fanout")
+}
+
+// BenchmarkCrossNodeBroadcast is the simnet baseline of the cross-node
+// fan-out; BenchmarkTCPBroadcast is the same fan-out over real TCP.
+func BenchmarkCrossNodeBroadcast(b *testing.B) {
+	benchBroadcast(b, benchCallEnv(b))
+}
+
+// BenchmarkTCPBroadcast measures the 16-member cross-node Broadcast over
+// the TCP backend: 16 requests and 16 future updates per iteration, each
+// on its own persistent per-pair connection.
+func BenchmarkTCPBroadcast(b *testing.B) {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := repro.NewEnv(repro.Config{DisableDGC: true, Transport: tr})
+	b.Cleanup(env.Close)
+	benchBroadcast(b, env)
+}
+
 // BenchmarkSimBeat measures the DES harness: one TTB of a 512-activity
 // complete-ring world.
 func BenchmarkSimBeat(b *testing.B) {

@@ -45,12 +45,28 @@ func slaveService() *repro.Service {
 // as the DES reproduction (slaves continuously exchanging references,
 // then everything going idle) but on real goroutines, driven through a
 // typed Group with Broadcast fan-outs, at compressed TTB/TTA.
-func runLive(machines, slavesPerMachine, rounds int, seed int64) error {
+//
+// backend selects the network substrate: "sim" is the in-memory simnet,
+// "tcp" routes every cross-node byte — requests, future updates, DGC
+// beats — through real TCP connections on the loopback interface.
+func runLive(backend string, machines, slavesPerMachine, rounds int, seed int64) error {
 	const (
 		liveTTB = 20 * time.Millisecond
 		liveTTA = 60 * time.Millisecond
 	)
-	env := repro.NewEnv(repro.Config{TTB: liveTTB, TTA: liveTTA})
+	cfg := repro.Config{TTB: liveTTB, TTA: liveTTA}
+	switch backend {
+	case "sim":
+	case "tcp":
+		tr, err := repro.NewTCPTransport(repro.TCPConfig{})
+		if err != nil {
+			return err
+		}
+		cfg.Transport = tr
+	default:
+		return fmt.Errorf("unknown -transport %q (want sim or tcp)", backend)
+	}
+	env := repro.NewEnv(cfg)
 	defer env.Close()
 
 	nodes := make([]*repro.Node, machines)
@@ -58,8 +74,8 @@ func runLive(machines, slavesPerMachine, rounds int, seed int64) error {
 		nodes[i] = env.NewNode()
 	}
 	total := machines * slavesPerMachine
-	fmt.Printf("live torture (typed API): %d nodes x %d slaves = %d activities, TTB=%v TTA=%v\n",
-		machines, slavesPerMachine, total, liveTTB, liveTTA)
+	fmt.Printf("live torture (typed API, %s transport): %d nodes x %d slaves = %d activities, TTB=%v TTA=%v\n",
+		backend, machines, slavesPerMachine, total, liveTTB, liveTTA)
 
 	handles := make([]*repro.Handle, 0, total)
 	for m, node := range nodes {
@@ -113,5 +129,8 @@ func runLive(machines, slavesPerMachine, rounds int, seed int64) error {
 	fmt.Printf("all %d activities reclaimed in %v (wall %v)\n",
 		st.Created, took.Round(time.Millisecond), time.Since(wall).Round(time.Millisecond))
 	fmt.Printf("termination mix: %v\n", st.Collected)
+	snap := env.Network().Snapshot()
+	fmt.Printf("traffic: app=%dB dgc=%dB future=%dB over %s\n",
+		snap.Bytes[repro.ClassApp], snap.Bytes[repro.ClassDGC], snap.Bytes[repro.ClassFuture], backend)
 	return nil
 }

@@ -12,6 +12,11 @@
 // then a release and the real DGC reclaiming everything.
 //
 //	torture -live -live-machines 4 -live-slaves 16
+//
+// In live mode -transport selects the network substrate: the default
+// in-memory simnet, or real TCP connections on the loopback interface:
+//
+//	torture -live -transport tcp
 package main
 
 import (
@@ -44,6 +49,7 @@ func run() error {
 		csvPath  = flag.String("csv", "", "write the Fig. 10 curve CSV to this file (default: stdout)")
 
 		live         = flag.Bool("live", false, "run the live-runtime typed-API torture instead of the DES reproduction")
+		liveBackend  = flag.String("transport", "sim", "live mode: network substrate, sim (in-memory) or tcp (real loopback TCP)")
 		liveMachines = flag.Int("live-machines", 4, "live mode: number of nodes")
 		liveSlaves   = flag.Int("live-slaves", 16, "live mode: slaves per node")
 		liveRounds   = flag.Int("live-rounds", 8, "live mode: reference-exchange broadcast rounds")
@@ -51,7 +57,7 @@ func run() error {
 	flag.Parse()
 
 	if *live {
-		return runLive(*liveMachines, *liveSlaves, *liveRounds, *seed)
+		return runLive(*liveBackend, *liveMachines, *liveSlaves, *liveRounds, *seed)
 	}
 
 	params := torture.PaperParams(*ttb, *tta)

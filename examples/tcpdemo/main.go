@@ -1,0 +1,209 @@
+// Command tcpdemo runs the runtime multi-process: it re-executes itself
+// as a server process, then talks to it over real TCP connections — typed
+// calls, future updates and DGC heartbeats all crossing the process
+// boundary through the internal/tcpnet substrate.
+//
+// The choreography demonstrates the full cross-process DGC loop:
+//
+//  1. the server process creates a counter activity, publishes it in its
+//     registry (a DGC root, §4.1) and drops its own handle;
+//  2. the client process references the activity purely by identifier —
+//     the server's first node is agreed to be node 100, so the counter is
+//     A100.1 — and calls it through a typed stub;
+//  3. while the client holds its handle, its dummy activity heartbeats
+//     the server's counter across TCP every TTB;
+//  4. the client releases the handle and closes the server's stdin; the
+//     server unregisters the name, and with no referencer left the
+//     counter stops hearing beats, goes TTA-idle and collects itself.
+//
+// No step needed connectivity from the server back to the client beyond
+// the future updates: DGC responses ride the connections the client
+// opened (§2.2).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// serverFirstNode is the node-identifier range split: the client process
+// allocates nodes from 1, the server from 100. Both processes know it, so
+// the client can name the server's first activity without a lookup.
+const serverFirstNode = 100
+
+// counterID is the server's counter activity: the first activity created
+// on the server's first node.
+var counterID = repro.ActivityID{Node: serverFirstNode, Seq: 1}
+
+// addReq asks the counter to add N to its running total.
+type addReq struct {
+	N int64 `wire:"n"`
+}
+
+// counterService returns the typed service of the shared counter.
+func counterService() *repro.Service {
+	return repro.NewService(
+		repro.Method("add", func(ctx *repro.Context, req addReq) (int64, error) {
+			total := ctx.Load("total").AsInt() + req.N
+			ctx.Store("total", repro.Int(total))
+			return total, nil
+		}),
+	)
+}
+
+func main() {
+	log.SetFlags(0)
+	var err error
+	if os.Getenv("TCPDEMO_ROLE") == "server" {
+		err = runServer(os.Getenv("TCPDEMO_CLIENT_ADDR"))
+	} else {
+		err = runClient()
+	}
+	if err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+// runServer is the child process: it hosts the counter until its stdin
+// closes, then waits for the DGC to reclaim it.
+func runServer(clientAddr string) error {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{
+		// The client's nodes start at 1; its address is needed for the
+		// return path of future updates.
+		Peers: map[repro.NodeID]string{1: clientAddr},
+	})
+	if err != nil {
+		return err
+	}
+	env := repro.NewEnv(repro.Config{Transport: tr, FirstNode: serverFirstNode})
+	defer env.Close()
+
+	node := env.NewNode()
+	h := node.NewActive("counter", counterService())
+	if ref, _ := h.Ref().AsRef(); ref != counterID {
+		return fmt.Errorf("server: counter is %v, want %v", ref, counterID)
+	}
+	// Root the counter in the registry, then drop the local handle: from
+	// here on only the registration and remote referencers keep it alive.
+	if err := env.RegisterName("counter", h.Ref()); err != nil {
+		return err
+	}
+	h.Release()
+
+	// Tell the parent where we listen. It parses this exact line.
+	fmt.Printf("READY addr=%s\n", tr.Addr())
+
+	// Serve until the parent closes our stdin.
+	if _, err := io.Copy(io.Discard, os.Stdin); err != nil {
+		return err
+	}
+
+	// The client has released its handle. Unregister the root and watch
+	// the DGC reclaim the now-unreferenced counter.
+	env.Unregister("counter")
+	took, err := env.WaitCollected(0, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	snap := env.Network().Snapshot()
+	fmt.Printf("counter collected %v after unregister (reasons %v)\n",
+		took.Round(time.Millisecond), env.Stats().Collected)
+	fmt.Printf("server-side traffic: app=%dB dgc=%dB future=%dB\n",
+		snap.Bytes[repro.ClassApp], snap.Bytes[repro.ClassDGC], snap.Bytes[repro.ClassFuture])
+	return nil
+}
+
+// runClient is the parent process: it spawns the server, calls the
+// counter across TCP, then releases everything and reports both sides.
+func runClient() error {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
+	if err != nil {
+		return err
+	}
+	env := repro.NewEnv(repro.Config{Transport: tr})
+	defer env.Close()
+	node := env.NewNode()
+
+	// Re-execute ourselves as the server process.
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"TCPDEMO_ROLE=server",
+		"TCPDEMO_CLIENT_ADDR="+tr.Addr(),
+	)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// Wait for the server's READY line, then relay its further output.
+	lines := bufio.NewScanner(stdout)
+	var serverAddr string
+	for lines.Scan() {
+		if addr, ok := strings.CutPrefix(lines.Text(), "READY addr="); ok {
+			serverAddr = addr
+			break
+		}
+	}
+	if serverAddr == "" {
+		return fmt.Errorf("server never became ready")
+	}
+	relayed := make(chan struct{})
+	go func() {
+		defer close(relayed)
+		for lines.Scan() {
+			fmt.Println("[server]", lines.Text())
+		}
+	}()
+	tr.AddPeer(serverFirstNode, serverAddr)
+	fmt.Println("server process up at", serverAddr)
+
+	// Reference the server's counter purely by identifier and call it.
+	h, err := node.HandleFor(repro.Ref(counterID))
+	if err != nil {
+		return err
+	}
+	add := repro.NewStub[addReq, int64](h, "add")
+	for i := int64(1); i <= 4; i++ {
+		total, err := add.CallSync(addReq{N: i}, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("add(%d): %w", i, err)
+		}
+		fmt.Printf("add(%d) -> running total %d (computed in the server process)\n", i, total)
+	}
+
+	// Let a few heartbeats cross the wire, then drop the reference.
+	time.Sleep(100 * time.Millisecond)
+	snap := env.Network().Snapshot()
+	fmt.Printf("client-side traffic: app=%dB dgc=%dB future=%dB\n",
+		snap.Bytes[repro.ClassApp], snap.Bytes[repro.ClassDGC], snap.Bytes[repro.ClassFuture])
+	if snap.Bytes[repro.ClassDGC] == 0 {
+		return fmt.Errorf("no DGC heartbeats crossed the process boundary")
+	}
+	h.Release()
+	fmt.Println("handle released — signalling the server and awaiting collection")
+
+	// Closing stdin tells the server to unregister and collect.
+	if err := stdin.Close(); err != nil {
+		return err
+	}
+	<-relayed
+	return cmd.Wait()
+}

@@ -4,7 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // runDriver is the node's DGC driver goroutine: every TTB it runs a local
@@ -88,7 +88,7 @@ func (n *Node) beat() {
 // machinery owns all failure handling.
 func (n *Node) sendDGC(ao *ActiveObject, ob core.Outbound) {
 	payload := encodeDGCPayload(ob.To, ob.Msg)
-	respBytes, err := n.endpoint.Call(ob.To.Node, simnet.ClassDGC, payload)
+	respBytes, err := n.endpoint.Call(ob.To.Node, transport.ClassDGC, payload)
 	if err != nil || len(respBytes) == 0 {
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -34,14 +35,33 @@ type Config struct {
 	// TTA is the TimeToAlone. Defaults to 2*TTB + MaxComm + TTB/2,
 	// satisfying the §3.1 formula.
 	TTA time.Duration
-	// Clock provides time. Defaults to the real clock.
+	// Clock provides time. Defaults to the real clock. With a custom
+	// Transport the clock should stay real: a TCP substrate delivers on
+	// wall time regardless of what the environment clock reads.
 	Clock vclock.Clock
-	// Latency is the one-way network latency function (see simnet).
+	// Latency is the one-way network latency function (see simnet). It is
+	// only consulted when the environment builds its own simnet substrate,
+	// i.e. when Transport is nil.
 	Latency func(src, dst ids.NodeID) time.Duration
-	// Reachable restricts connectivity (see simnet).
+	// Reachable restricts connectivity (see simnet). Like Latency it only
+	// applies to the default simnet substrate; a custom Transport owns its
+	// own reachability rules.
 	Reachable func(src, dst ids.NodeID) bool
-	// MaxComm bounds one-way communication time for the TTA formula.
+	// MaxComm bounds one-way communication time for the TTA formula. If
+	// zero and a Transport is set, the transport's own MaxComm() is used.
 	MaxComm time.Duration
+	// Transport selects the network substrate the nodes communicate over.
+	// nil builds an in-memory simnet from Clock/Latency/Reachable/MaxComm;
+	// a non-nil value (e.g. a tcpnet.Network) is used as-is and those
+	// simnet-only fields are ignored. The environment takes ownership and
+	// closes the transport in Close.
+	Transport transport.Transport
+	// FirstNode offsets node identifier allocation: the first NewNode
+	// returns FirstNode, the second FirstNode+1, and so on. Several
+	// processes sharing a TCP substrate set disjoint ranges so their
+	// activity identifiers (and the DGC's total order on them) never
+	// collide. Zero means the default start, node 1.
+	FirstNode ids.NodeID
 	// DisableDGC turns the distributed garbage collector off entirely
 	// (the paper's "No DGC" baseline runs): no heartbeats, no automatic
 	// termination; local heap sweeps still run.
@@ -87,7 +107,7 @@ type Stats struct {
 // network, a registry and DGC parameters.
 type Env struct {
 	cfg     Config
-	net     *simnet.Network
+	net     transport.Transport
 	nodeGen ids.NodeGenerator
 
 	mu      sync.Mutex
@@ -100,6 +120,10 @@ type Env struct {
 
 // NewEnv creates an environment. Close it when done.
 func NewEnv(cfg Config) *Env {
+	if cfg.Transport != nil && cfg.MaxComm == 0 {
+		// Let the substrate's own bound feed the TTA formula.
+		cfg.MaxComm = cfg.Transport.MaxComm()
+	}
 	cfg = cfg.withDefaults()
 	e := &Env{
 		cfg:    cfg,
@@ -107,20 +131,27 @@ func NewEnv(cfg Config) *Env {
 		names:  make(map[string]ids.ActivityID),
 		reaped: make(map[core.Reason]int),
 	}
-	e.net = simnet.New(simnet.Config{
-		Clock:     cfg.Clock,
-		Latency:   cfg.Latency,
-		Reachable: cfg.Reachable,
-		MaxComm:   cfg.MaxComm,
-	})
+	if cfg.FirstNode > 1 {
+		e.nodeGen.SkipTo(cfg.FirstNode)
+	}
+	if cfg.Transport != nil {
+		e.net = cfg.Transport
+	} else {
+		e.net = simnet.New(simnet.Config{
+			Clock:     cfg.Clock,
+			Latency:   cfg.Latency,
+			Reachable: cfg.Reachable,
+			MaxComm:   cfg.MaxComm,
+		})
+	}
 	return e
 }
 
 // Config returns the environment's effective configuration.
 func (e *Env) Config() Config { return e.cfg }
 
-// Network exposes the underlying network (for traffic accounting).
-func (e *Env) Network() *simnet.Network { return e.net }
+// Network exposes the underlying transport (for traffic accounting).
+func (e *Env) Network() transport.Transport { return e.net }
 
 // Clock returns the environment clock.
 func (e *Env) Clock() vclock.Clock { return e.cfg.Clock }
@@ -268,8 +299,13 @@ func (e *Env) noteCollected(reason core.Reason) {
 	e.mu.Unlock()
 }
 
-// Close stops all nodes and the network. Pending futures fail with
-// ErrEnvClosed.
+// Close stops the network and all nodes. Pending futures fail with
+// ErrEnvClosed. The transport closes first: that fails any Call a driver
+// is blocked in (a TCP exchange against a hung peer would otherwise make
+// the driver — and this Close, which waits for it — hang forever), after
+// which the node shutdowns can join their goroutines. simnet drains
+// in-flight deliveries on Close, so nodes outliving the network briefly
+// is safe on either backend.
 func (e *Env) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -282,8 +318,8 @@ func (e *Env) Close() {
 		nodes = append(nodes, n)
 	}
 	e.mu.Unlock()
+	e.net.Close()
 	for _, n := range nodes {
 		n.shutdown()
 	}
-	e.net.Close()
 }

@@ -6,7 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/localgc"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -18,7 +18,7 @@ type Node struct {
 	id       ids.NodeID
 	gen      *ids.Generator
 	heap     *localgc.Heap
-	endpoint *simnet.Endpoint
+	endpoint transport.Endpoint
 	futures  *futureTable
 
 	mu     sync.Mutex
@@ -29,7 +29,7 @@ type Node struct {
 	wg   sync.WaitGroup
 }
 
-var _ simnet.Handler = (*Node)(nil)
+var _ transport.Handler = (*Node)(nil)
 
 func newNode(e *Env, id ids.NodeID) *Node {
 	n := &Node{
@@ -102,9 +102,9 @@ func (n *Node) onTagDeath(d localgc.TagDeath) {
 	}
 }
 
-// HandleOneWay implements simnet.Handler: application requests and future
+// HandleOneWay implements transport.Handler: application requests and future
 // updates.
-func (n *Node) HandleOneWay(from ids.NodeID, class simnet.Class, payload []byte) {
+func (n *Node) HandleOneWay(from ids.NodeID, class transport.Class, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
@@ -118,11 +118,11 @@ func (n *Node) HandleOneWay(from ids.NodeID, class simnet.Class, payload []byte)
 	}
 }
 
-// HandleCall implements simnet.Handler: DGC message → DGC response
+// HandleCall implements transport.Handler: DGC message → DGC response
 // exchanges. An empty response means the target activity is gone; the
 // sender's driver ignores it (the paper omits error handling; silence is
 // indistinguishable from a slow beat and is handled by the TTA machinery).
-func (n *Node) HandleCall(from ids.NodeID, class simnet.Class, payload []byte) []byte {
+func (n *Node) HandleCall(from ids.NodeID, class transport.Class, payload []byte) []byte {
 	target, msg, err := decodeDGCPayload(payload)
 	if err != nil {
 		return nil
@@ -210,12 +210,12 @@ func (n *Node) sendFutureUpdate(to FutureID, u futureUpdate) {
 	payload := encodeFutureUpdate(u)
 	// Errors (unreachable, closed) drop the update: per §4.1, a missing
 	// future update cannot wake anything and is acceptable for garbage.
-	_ = n.endpoint.Send(to.Node, simnet.ClassFuture, payload)
+	_ = n.endpoint.Send(to.Node, transport.ClassFuture, payload)
 }
 
 // sendRequest ships an application request to the target's node.
 func (n *Node) sendRequest(req request) error {
-	return n.endpoint.Send(req.Target.Node, simnet.ClassApp, encodeRequest(req))
+	return n.endpoint.Send(req.Target.Node, transport.ClassApp, encodeRequest(req))
 }
 
 // destroy removes an activity: stops its service loop, releases its heap

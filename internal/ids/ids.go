@@ -101,3 +101,20 @@ type NodeGenerator struct {
 func (g *NodeGenerator) Next() NodeID {
 	return NodeID(g.next.Add(1))
 }
+
+// SkipTo advances the generator so the next identifier returned by Next is
+// at least first. Processes sharing one network use disjoint ranges so
+// their identifiers (and the total order built on them) never collide.
+// SkipTo never moves the generator backwards.
+func (g *NodeGenerator) SkipTo(first NodeID) {
+	if first == 0 {
+		return
+	}
+	want := uint32(first) - 1
+	for {
+		cur := g.next.Load()
+		if cur >= want || g.next.CompareAndSwap(cur, want) {
+			return
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Package simnet provides the in-memory network substrate the live runtime
-// communicates over. It reproduces the properties the paper's algorithm
-// depends on and the instrumentation its evaluation uses:
+// communicates over: the simulation-grade implementation of the
+// transport.Transport contract. It reproduces the properties the paper's
+// algorithm depends on and the instrumentation its evaluation uses:
 //
 //   - FIFO ordered delivery per (source, destination) pair, like the TCP
 //     connections of RMI ("DGC messages and responses cannot race with
@@ -14,65 +15,48 @@
 //   - payload byte accounting per traffic class, the stand-in for the
 //     paper's instrumented SOCKS proxy (§5): intra-process messages are
 //     delivered directly and not accounted, as in the paper.
+//
+// The sibling internal/tcpnet implements the same contract over real TCP
+// connections; internal/active runs over either.
 package simnet
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
-// Class partitions traffic for accounting, mirroring how the paper
-// separates application payload from DGC overhead.
-type Class uint8
+// Class partitions traffic for accounting; see transport.Class.
+type Class = transport.Class
 
-// Traffic classes.
+// Traffic classes, re-exported from the transport contract.
 const (
 	// ClassApp is application traffic: requests and their payloads.
-	ClassApp Class = iota + 1
+	ClassApp = transport.ClassApp
 	// ClassDGC is DGC messages and DGC responses.
-	ClassDGC
+	ClassDGC = transport.ClassDGC
 	// ClassFuture is future-update traffic (results flowing back).
-	ClassFuture
-	numClasses = 3
+	ClassFuture = transport.ClassFuture
+	numClasses  = transport.NumClasses
 )
 
-// String implements fmt.Stringer.
-func (c Class) String() string {
-	switch c {
-	case ClassApp:
-		return "app"
-	case ClassDGC:
-		return "dgc"
-	case ClassFuture:
-		return "future"
-	default:
-		return fmt.Sprintf("class(%d)", uint8(c))
-	}
-}
-
-// Errors returned by the transport.
+// Errors returned by the network, shared with every transport backend so
+// callers can errors.Is without knowing the substrate.
 var (
 	// ErrUnreachable indicates the reachability rules forbid src → dst.
-	ErrUnreachable = errors.New("simnet: destination unreachable")
+	ErrUnreachable = transport.ErrUnreachable
 	// ErrUnknownNode indicates the destination was never registered.
-	ErrUnknownNode = errors.New("simnet: unknown node")
+	ErrUnknownNode = transport.ErrUnknownNode
 	// ErrClosed indicates the network has been shut down.
-	ErrClosed = errors.New("simnet: network closed")
+	ErrClosed = transport.ErrClosed
 )
 
-// Handler receives traffic on behalf of a node.
-type Handler interface {
-	// HandleOneWay processes a one-way message.
-	HandleOneWay(from ids.NodeID, class Class, payload []byte)
-	// HandleCall processes a request/response exchange and returns the
-	// response payload, which travels back over the same connection.
-	HandleCall(from ids.NodeID, class Class, payload []byte) []byte
-}
+// Handler receives traffic on behalf of a node; see transport.Handler.
+type Handler = transport.Handler
 
 // Config parameterizes a Network.
 type Config struct {
@@ -91,26 +75,11 @@ type Config struct {
 	MaxComm time.Duration
 }
 
-// Counters is a snapshot of accounted traffic.
-type Counters struct {
-	// Bytes maps each class to total payload bytes (both directions of
-	// calls included).
-	Bytes map[Class]uint64
-	// Messages maps each class to the number of payloads transferred.
-	Messages map[Class]uint64
-}
-
-// Total returns the total accounted bytes across classes.
-func (c Counters) Total() uint64 {
-	var t uint64
-	for _, b := range c.Bytes {
-		t += b
-	}
-	return t
-}
+// Counters is a snapshot of accounted traffic; see transport.Counters.
+type Counters = transport.Counters
 
 // Network is the shared medium. Create with New, attach nodes with
-// Register, stop with Close.
+// Register, stop with Close. It implements transport.Transport.
 type Network struct {
 	cfg Config
 
@@ -120,10 +89,10 @@ type Network struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	statsMu  sync.Mutex
-	bytes    [numClasses + 1]uint64
-	messages [numClasses + 1]uint64
+	counters transport.CounterSet
 }
+
+var _ transport.Transport = (*Network)(nil)
 
 type pairKey struct {
 	src, dst ids.NodeID
@@ -171,7 +140,7 @@ func (n *Network) MaxComm() time.Duration {
 
 // Register attaches a handler for node and returns its endpoint. Replacing
 // an existing registration is allowed (used when a node restarts in tests).
-func (n *Network) Register(node ids.NodeID, h Handler) *Endpoint {
+func (n *Network) Register(node ids.NodeID, h Handler) transport.Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.nodes[node] = h
@@ -204,32 +173,17 @@ func (n *Network) Close() {
 
 // Snapshot returns the accounted traffic so far.
 func (n *Network) Snapshot() Counters {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	c := Counters{Bytes: make(map[Class]uint64), Messages: make(map[Class]uint64)}
-	for cls := Class(1); cls <= numClasses; cls++ {
-		c.Bytes[cls] = n.bytes[cls]
-		c.Messages[cls] = n.messages[cls]
-	}
-	return c
+	return n.counters.Snapshot()
 }
 
 // ResetCounters zeroes the traffic counters (used between benchmark
 // phases).
 func (n *Network) ResetCounters() {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	for i := range n.bytes {
-		n.bytes[i] = 0
-		n.messages[i] = 0
-	}
+	n.counters.Reset()
 }
 
 func (n *Network) account(class Class, size int) {
-	n.statsMu.Lock()
-	n.bytes[class] += uint64(size)
-	n.messages[class]++
-	n.statsMu.Unlock()
+	n.counters.Account(class, size)
 }
 
 func (n *Network) handlerFor(node ids.NodeID) (Handler, error) {
@@ -265,7 +219,8 @@ func (n *Network) queueFor(src, dst ids.NodeID) (*pairQueue, error) {
 	return q, nil
 }
 
-// Endpoint is a node's attachment point to the network.
+// Endpoint is a node's attachment point to the network. It implements
+// transport.Endpoint.
 type Endpoint struct {
 	net  *Network
 	node ids.NodeID

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/transport"
 )
 
 // recorder is a test handler recording deliveries.
@@ -284,7 +285,7 @@ func TestConcurrentSendersDistinctPairs(t *testing.T) {
 	for s := 0; s < senders; s++ {
 		ep := n.Register(ids.NodeID(s+1), &recorder{})
 		wg.Add(1)
-		go func(ep *Endpoint) {
+		go func(ep transport.Endpoint) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				if err := ep.Send(10, ClassApp, []byte{1}); err != nil {

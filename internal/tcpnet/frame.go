@@ -1,0 +1,102 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// The wire framing: every message on a connection is one length-prefixed
+// frame (see WIRE.md for the normative description).
+//
+//	uint32  BE  length of everything after this field (= frameHeaderLen + len(payload))
+//	byte        frame type (frameOneWay | frameCall | frameResponse)
+//	byte        traffic class (transport.Class)
+//	byte        flags (frameResponse only; 0 otherwise)
+//	uint32  BE  source node
+//	uint32  BE  destination node
+//	uint64  BE  call sequence number (0 for one-way frames)
+//	bytes       payload (the runtime envelope; opaque to the transport)
+//
+// A call's response travels back over the same connection carrying the
+// call's sequence number, which is how responses reach a caller that the
+// callee could never connect to (§2.2 firewall asymmetry).
+const (
+	frameOneWay byte = iota + 1
+	frameCall
+	frameResponse
+)
+
+// Response flags.
+const (
+	// flagUnknownNode reports that the receiving process has no handler
+	// registered for the destination node.
+	flagUnknownNode byte = 1 << 0
+)
+
+// frameHeaderLen is the fixed header size after the length prefix.
+const frameHeaderLen = 1 + 1 + 1 + 4 + 4 + 8
+
+// maxFrameSize bounds a frame's declared length; larger frames indicate a
+// corrupt or hostile peer and kill the connection. Senders enforce the
+// matching maxPayloadSize bound up front, so an oversized payload is an
+// error at the caller, never a desynced stream at the receiver.
+const (
+	maxFrameSize   = 64 << 20
+	maxPayloadSize = maxFrameSize - frameHeaderLen
+)
+
+// frame is one decoded transport frame.
+type frame struct {
+	typ     byte
+	class   transport.Class
+	flags   byte
+	src     ids.NodeID
+	dst     ids.NodeID
+	seq     uint64
+	payload []byte
+}
+
+// appendFrame encodes f after buf, returning the extended slice.
+func appendFrame(buf []byte, f frame) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameHeaderLen+len(f.payload)))
+	buf = append(buf, f.typ, byte(f.class), f.flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.src))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.dst))
+	buf = binary.BigEndian.AppendUint64(buf, f.seq)
+	return append(buf, f.payload...)
+}
+
+// readFrame reads and decodes one frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < frameHeaderLen || n > maxFrameSize {
+		return frame{}, fmt.Errorf("tcpnet: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		typ:   buf[0],
+		class: transport.Class(buf[1]),
+		flags: buf[2],
+		src:   ids.NodeID(binary.BigEndian.Uint32(buf[3:])),
+		dst:   ids.NodeID(binary.BigEndian.Uint32(buf[7:])),
+		seq:   binary.BigEndian.Uint64(buf[11:]),
+	}
+	if n > frameHeaderLen {
+		f.payload = buf[frameHeaderLen:]
+	}
+	if f.typ < frameOneWay || f.typ > frameResponse {
+		return frame{}, fmt.Errorf("tcpnet: bad frame type %d", f.typ)
+	}
+	return f, nil
+}

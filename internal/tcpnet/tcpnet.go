@@ -1,0 +1,625 @@
+// Package tcpnet implements the transport.Transport contract over real
+// TCP connections, so the active-object runtime and its DGC run unchanged
+// across processes and machines.
+//
+// The paper's algorithm needs nothing from the network beyond what §2.2
+// and §3.2 assume, and this package provides exactly that:
+//
+//   - one persistent connection per (source node, destination node) pair,
+//     giving FIFO ordering for all traffic of a pair — DGC messages and
+//     responses cannot race with application messages (§3.2);
+//   - request/response exchanges multiplexed over the connection the
+//     caller opened, identified by a per-connection sequence number, so a
+//     referenced activity responds without ever connecting back to its
+//     referencers (firewall/NAT asymmetry, §2.2);
+//   - automatic reconnect: a broken connection fails its in-flight calls
+//     (the TTA machinery absorbs the silence) and the next send dials a
+//     fresh connection;
+//   - per-class payload byte accounting at the sending endpoint,
+//     Snapshot-compatible with internal/simnet so the §5 traffic
+//     instrumentation works identically on both substrates.
+//
+// One Network instance represents one process: it serves every node
+// registered on it from a single listener, demultiplexing inbound frames
+// by destination node. Nodes living in other processes are resolved
+// through the static Peers address book. Pairs whose two ends live in the
+// same process still communicate over real (loopback) TCP — only
+// node-to-itself traffic takes the direct unaccounted path, exactly like
+// simnet's intra-process delivery.
+package tcpnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Listen is the TCP address to serve this process's nodes on.
+	// Defaults to "127.0.0.1:0" (an ephemeral loopback port; read the
+	// bound address back with Addr).
+	Listen string
+	// Peers maps node identifiers hosted by other processes to the TCP
+	// address (host:port) their Network listens on. Nodes registered
+	// locally need no entry: they are resolved to this process's own
+	// listener. A node in neither place is unknown.
+	Peers map[ids.NodeID]string
+	// Reachable reports whether src may open a connection to dst,
+	// modelling a firewall in front of dst. Defaults to full
+	// reachability. Responses are always allowed back over an established
+	// exchange — they ride the caller's connection.
+	Reachable func(src, dst ids.NodeID) bool
+	// MaxComm is the upper bound on one-way communication time fed to the
+	// DGC deadline formula (§3.1). Unlike simnet the transport cannot
+	// derive it from a latency model, so it must be configured for the
+	// deployment; it defaults to 5ms, a comfortable bound for loopback
+	// and LAN.
+	MaxComm time.Duration
+	// DialTimeout bounds connection establishment. Defaults to 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response exchange, so a hung peer
+	// (partition without RST, stopped process) cannot wedge a caller —
+	// in particular the DGC driver, whose stalled beats would delay
+	// every activity of its node. A timed-out call fails like any other
+	// transport error and the TTA machinery absorbs it (§4.2). Defaults
+	// to 5s; negative disables the bound.
+	CallTimeout time.Duration
+}
+
+// ErrCallTimeout reports a call that exceeded Config.CallTimeout without
+// a response. Check with errors.Is.
+var ErrCallTimeout = errors.New("tcpnet: call timed out")
+
+// Network is one process's TCP substrate. Create with New, attach the
+// process's nodes with Register, stop with Close. It implements
+// transport.Transport.
+type Network struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	handlers map[ids.NodeID]transport.Handler
+	peers    map[ids.NodeID]string
+	conns    map[pairKey]*clientConn
+	inbound  map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+
+	counters transport.CounterSet
+}
+
+var _ transport.Transport = (*Network)(nil)
+
+// pairKey identifies one ordered (source, destination) node pair; each
+// pair owns one persistent connection.
+type pairKey struct {
+	src, dst ids.NodeID
+}
+
+// New creates a Network listening on cfg.Listen and starts its accept
+// loop.
+func New(cfg Config) (*Network, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.MaxComm == 0 {
+		cfg.MaxComm = 5 * time.Millisecond
+	}
+	if cfg.Reachable == nil {
+		cfg.Reachable = func(_, _ ids.NodeID) bool { return true }
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Listen, err)
+	}
+	n := &Network{
+		cfg:      cfg,
+		ln:       ln,
+		handlers: make(map[ids.NodeID]transport.Handler),
+		peers:    make(map[ids.NodeID]string, len(cfg.Peers)),
+		conns:    make(map[pairKey]*clientConn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	for node, addr := range cfg.Peers {
+		n.peers[node] = addr
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the address the listener is bound to (useful with an
+// ephemeral Listen port: other processes put it in their Peers map).
+func (n *Network) Addr() string { return n.ln.Addr().String() }
+
+// MaxComm returns the configured upper bound on one-way communication
+// time.
+func (n *Network) MaxComm() time.Duration { return n.cfg.MaxComm }
+
+// AddPeer maps a node hosted by another process to the TCP address its
+// Network listens on, extending (or correcting) the Config.Peers book at
+// runtime — the bootstrap order of a multi-process deployment rarely
+// allows every address to be known up front. The pair's next dial uses
+// the new address; established connections are unaffected.
+func (n *Network) AddPeer(node ids.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[node] = addr
+}
+
+// Register attaches a handler for node and returns its endpoint.
+// Replacing an existing registration is allowed.
+func (n *Network) Register(node ids.NodeID, h transport.Handler) transport.Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[node] = h
+	return &endpoint{net: n, node: node}
+}
+
+// Deregister detaches a node: inbound frames for it are dropped (calls
+// are answered with an unknown-node response) and, absent a Peers entry,
+// local senders fail with transport.ErrUnknownNode. Used to simulate
+// machine crashes.
+func (n *Network) Deregister(node ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, node)
+}
+
+// Snapshot returns the accounted traffic so far. Accounting happens at
+// the sending endpoint, so in a multi-process deployment each process
+// sees the traffic its nodes originated (calls include the response bytes
+// they pulled back).
+func (n *Network) Snapshot() transport.Counters {
+	return n.counters.Snapshot()
+}
+
+// ResetCounters zeroes the traffic counters.
+func (n *Network) ResetCounters() {
+	n.counters.Reset()
+}
+
+// Close stops the listener, closes every connection (failing in-flight
+// calls with transport.ErrClosed) and waits for the network's goroutines
+// to exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	outbound := make([]*clientConn, 0, len(n.conns))
+	for _, cc := range n.conns {
+		outbound = append(outbound, cc)
+	}
+	n.conns = make(map[pairKey]*clientConn)
+	inbound := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+
+	_ = n.ln.Close()
+	for _, cc := range outbound {
+		cc.fail(transport.ErrClosed)
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+}
+
+// handlerFor returns the locally registered handler for node, if any.
+func (n *Network) handlerFor(node ids.NodeID) (transport.Handler, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.handlers[node]
+	return h, ok
+}
+
+// resolve maps dst to the TCP address serving it: the Peers book for
+// remote nodes, this process's own listener for local ones.
+func (n *Network) resolve(dst ids.NodeID) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return "", transport.ErrClosed
+	}
+	if addr, ok := n.peers[dst]; ok {
+		return addr, nil
+	}
+	if _, ok := n.handlers[dst]; ok {
+		return n.ln.Addr().String(), nil
+	}
+	return "", fmt.Errorf("%w: %v", transport.ErrUnknownNode, dst)
+}
+
+// ---------------------------------------------------------------------------
+// Server side: accept inbound connections and serve their frames.
+
+func (n *Network) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		n.inbound[c] = struct{}{}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.serveConn(c)
+	}
+}
+
+// serveConn processes one inbound connection. Frames are handled strictly
+// sequentially: this is what turns the one-connection-per-pair invariant
+// into per-pair FIFO delivery, and what makes a call exchange occupy the
+// connection until its handler returns (§3.2).
+func (n *Network) serveConn(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, c)
+		n.mu.Unlock()
+		_ = c.Close()
+	}()
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch f.typ {
+		case frameOneWay:
+			if h, ok := n.handlerFor(f.dst); ok {
+				h.HandleOneWay(f.src, f.class, f.payload)
+			}
+			// No handler: drop, like a crashed machine would.
+		case frameCall:
+			resp := frame{typ: frameResponse, class: f.class, src: f.dst, dst: f.src, seq: f.seq}
+			if h, ok := n.handlerFor(f.dst); ok {
+				resp.payload = h.HandleCall(f.src, f.class, f.payload)
+			} else {
+				resp.flags = flagUnknownNode
+			}
+			if _, err := w.Write(appendFrame(nil, resp)); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		default:
+			return // responses never arrive on inbound connections
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client side: one persistent outbound connection per pair.
+
+// callResult is what a pending call receives from the connection's read
+// loop.
+type callResult struct {
+	payload []byte
+	flags   byte
+	err     error
+}
+
+// clientConn is the outbound connection of one (src, dst) pair. Writes
+// are serialized by wmu (preserving FIFO among the pair's senders);
+// responses are matched to pending calls by sequence number in readLoop.
+type clientConn struct {
+	net *Network
+	key pairKey
+	c   net.Conn
+	buf *bufio.Writer
+
+	wmu sync.Mutex // serializes frame writes
+
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	dead    bool
+	err     error
+}
+
+// conn returns the pair's live connection, dialing a fresh one if needed.
+func (n *Network) conn(key pairKey, addr string) (*clientConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if cc, ok := n.conns[key]; ok {
+		n.mu.Unlock()
+		return cc, nil
+	}
+	n.mu.Unlock()
+
+	// Dial outside the lock; losing the race to a concurrent dialer just
+	// closes the extra connection.
+	c, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %v via %s: %w", key.dst, addr, err)
+	}
+	cc := &clientConn{
+		net:     n,
+		key:     key,
+		c:       c,
+		buf:     bufio.NewWriter(c),
+		pending: make(map[uint64]chan callResult),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = c.Close()
+		return nil, transport.ErrClosed
+	}
+	if prior, ok := n.conns[key]; ok {
+		n.mu.Unlock()
+		_ = c.Close()
+		return prior, nil
+	}
+	n.conns[key] = cc
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go cc.readLoop()
+	return cc, nil
+}
+
+// writeFrame sends one frame, serialized against the pair's other
+// senders.
+func (cc *clientConn) writeFrame(f frame) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.err
+		cc.mu.Unlock()
+		return err
+	}
+	cc.mu.Unlock()
+	if _, err := cc.buf.Write(appendFrame(nil, f)); err != nil {
+		return err
+	}
+	return cc.buf.Flush()
+}
+
+// register allocates a call sequence number and its result channel.
+func (cc *clientConn) register() (uint64, chan callResult, error) {
+	seq := cc.seq.Add(1)
+	ch := make(chan callResult, 1)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead {
+		return 0, nil, cc.err
+	}
+	cc.pending[seq] = ch
+	return seq, ch, nil
+}
+
+// unregister abandons a pending call (used when its write failed).
+func (cc *clientConn) unregister(seq uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, seq)
+	cc.mu.Unlock()
+}
+
+// readLoop delivers response frames to their pending calls until the
+// connection dies.
+func (cc *clientConn) readLoop() {
+	defer cc.net.wg.Done()
+	r := bufio.NewReader(cc.c)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			cc.fail(fmt.Errorf("tcpnet: connection %v->%v: %w", cc.key.src, cc.key.dst, err))
+			return
+		}
+		if f.typ != frameResponse {
+			cc.fail(fmt.Errorf("tcpnet: connection %v->%v: unexpected frame type %d", cc.key.src, cc.key.dst, f.typ))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.seq]
+		delete(cc.pending, f.seq)
+		cc.mu.Unlock()
+		if ok {
+			ch <- callResult{payload: f.payload, flags: f.flags}
+		}
+	}
+}
+
+// await blocks for a call's result, bounded by timeout (if positive). On
+// timeout the pending entry is dropped, so a late response is discarded
+// by readLoop instead of reaching a caller that gave up.
+func (cc *clientConn) await(seq uint64, ch chan callResult, timeout time.Duration) (callResult, error) {
+	if timeout <= 0 {
+		return <-ch, nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-t.C:
+		cc.unregister(seq)
+		// The entry may have been resolved between the timer firing and
+		// the unregister; prefer the result if it is already there.
+		select {
+		case res := <-ch:
+			return res, nil
+		default:
+		}
+		return callResult{}, fmt.Errorf("%w after %v", ErrCallTimeout, timeout)
+	}
+}
+
+// fail marks the connection dead, fails its pending calls, closes the
+// socket and removes the connection from the pool so the pair's next send
+// dials afresh.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	cc.err = err
+	pending := cc.pending
+	cc.pending = nil
+	cc.mu.Unlock()
+
+	_ = cc.c.Close()
+	cc.net.mu.Lock()
+	if cc.net.conns[cc.key] == cc {
+		delete(cc.net.conns, cc.key)
+	}
+	cc.net.mu.Unlock()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint.
+
+// endpoint implements transport.Endpoint for one registered node.
+type endpoint struct {
+	net  *Network
+	node ids.NodeID
+}
+
+// Node returns the endpoint's node identifier.
+func (e *endpoint) Node() ids.NodeID { return e.node }
+
+// Send transmits a one-way message to dst with FIFO ordering relative to
+// all other traffic from this node to dst.
+func (e *endpoint) Send(dst ids.NodeID, class transport.Class, payload []byte) error {
+	if e.node == dst {
+		// Intra-node: direct delivery, not accounted (paper §5).
+		h, ok := e.net.handlerFor(dst)
+		if !ok {
+			return fmt.Errorf("%w: %v", transport.ErrUnknownNode, dst)
+		}
+		h.HandleOneWay(e.node, class, payload)
+		return nil
+	}
+	if len(payload) > maxPayloadSize {
+		return fmt.Errorf("tcpnet: payload %d bytes exceeds frame limit %d", len(payload), maxPayloadSize)
+	}
+	addr, err := e.net.resolve(dst)
+	if err != nil {
+		return err
+	}
+	if !e.net.cfg.Reachable(e.node, dst) {
+		return fmt.Errorf("%w: %v -> %v", transport.ErrUnreachable, e.node, dst)
+	}
+	key := pairKey{src: e.node, dst: dst}
+	f := frame{typ: frameOneWay, class: class, src: e.node, dst: dst, payload: payload}
+	var lastErr error
+	// A dead pooled connection fails the first write; retry once on a
+	// fresh dial so a restarted peer is transparent to senders.
+	for attempt := 0; attempt < 2; attempt++ {
+		cc, err := e.net.conn(key, addr)
+		if err != nil {
+			return err
+		}
+		if lastErr = cc.writeFrame(f); lastErr == nil {
+			// Accounted only once transmitted: a failed dial or write
+			// moves no bytes, exactly like simnet's unknown-node path.
+			e.net.counters.Account(class, len(payload))
+			return nil
+		}
+		cc.fail(lastErr)
+	}
+	return lastErr
+}
+
+// Call performs a request/response exchange with dst. The response comes
+// back over this same connection, identified by the call's sequence
+// number, so Call succeeds even when dst could never connect to this
+// node.
+func (e *endpoint) Call(dst ids.NodeID, class transport.Class, payload []byte) ([]byte, error) {
+	if e.node == dst {
+		h, ok := e.net.handlerFor(dst)
+		if !ok {
+			return nil, fmt.Errorf("%w: %v", transport.ErrUnknownNode, dst)
+		}
+		return h.HandleCall(e.node, class, payload), nil
+	}
+	if len(payload) > maxPayloadSize {
+		return nil, fmt.Errorf("tcpnet: payload %d bytes exceeds frame limit %d", len(payload), maxPayloadSize)
+	}
+	addr, err := e.net.resolve(dst)
+	if err != nil {
+		return nil, err
+	}
+	if !e.net.cfg.Reachable(e.node, dst) {
+		return nil, fmt.Errorf("%w: %v -> %v", transport.ErrUnreachable, e.node, dst)
+	}
+	key := pairKey{src: e.node, dst: dst}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cc, err := e.net.conn(key, addr)
+		if err != nil {
+			return nil, err
+		}
+		seq, ch, err := cc.register()
+		if err != nil {
+			lastErr = err
+			continue // conn died since pooling; re-dial
+		}
+		f := frame{typ: frameCall, class: class, src: e.node, dst: dst, seq: seq, payload: payload}
+		if err := cc.writeFrame(f); err != nil {
+			cc.unregister(seq)
+			cc.fail(err)
+			lastErr = err
+			continue
+		}
+		e.net.counters.Account(class, len(payload))
+		res, err := cc.await(seq, ch, e.net.cfg.CallTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: call %v->%v: %w", e.node, dst, err)
+		}
+		if res.err != nil {
+			// The request may have reached the peer: no blind retry, the
+			// caller's machinery (TTA slack, future failure) owns it.
+			return nil, res.err
+		}
+		if res.flags&flagUnknownNode != 0 {
+			// simnet accounts nothing for a call to an unknown node;
+			// refund the request so the §5 counters stay backend-identical
+			// in crash scenarios.
+			e.net.counters.Unaccount(class, len(payload))
+			return nil, fmt.Errorf("%w: %v", transport.ErrUnknownNode, dst)
+		}
+		e.net.counters.Account(class, len(res.payload))
+		return res.payload, nil
+	}
+	return nil, lastErr
+}

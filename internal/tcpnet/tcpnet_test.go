@@ -1,0 +1,436 @@
+package tcpnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// recorder is a test handler recording deliveries.
+type recorder struct {
+	mu     sync.Mutex
+	oneWay []string
+	calls  []string
+	reply  []byte
+}
+
+func (r *recorder) HandleOneWay(from ids.NodeID, class transport.Class, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.oneWay = append(r.oneWay, fmt.Sprintf("%v/%v/%s", from, class, payload))
+}
+
+func (r *recorder) HandleCall(from ids.NodeID, class transport.Class, payload []byte) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, fmt.Sprintf("%v/%v/%s", from, class, payload))
+	return r.reply
+}
+
+func (r *recorder) received() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.oneWay...)
+}
+
+func newNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := frame{
+		typ:     frameCall,
+		class:   transport.ClassDGC,
+		flags:   flagUnknownNode,
+		src:     7,
+		dst:     9,
+		seq:     1 << 40,
+		payload: []byte("hello"),
+	}
+	var buf bytes.Buffer
+	buf.Write(appendFrame(nil, in))
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.typ != in.typ || out.class != in.class || out.flags != in.flags ||
+		out.src != in.src || out.dst != in.dst || out.seq != in.seq ||
+		string(out.payload) != string(in.payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	// A huge declared length must not allocate/hang.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("want error on oversized frame")
+	}
+	// Unknown frame type.
+	bad := appendFrame(nil, frame{typ: 99, src: 1, dst: 2})
+	if _, err := readFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("want error on bad frame type")
+	}
+}
+
+func TestOneWayDeliveryAndFIFO(t *testing.T) {
+	n := newNet(t, Config{})
+	var rec recorder
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := ep.Send(2, transport.ClassApp, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(rec.received()) == total })
+	got := rec.received()
+	for i, s := range got {
+		want := fmt.Sprintf("node-1/app/m%03d", i)
+		if s != want {
+			t.Fatalf("delivery %d = %q, want %q (FIFO violated)", i, s, want)
+		}
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := newNet(t, Config{})
+	rec := recorder{reply: []byte("pong")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	resp, err := ep.Call(2, transport.ClassDGC, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pong" {
+		t.Fatalf("resp = %q, want pong", resp)
+	}
+}
+
+func TestCallDoesNotRaceOneWays(t *testing.T) {
+	// A call and later one-ways from the same source: the one-ways must
+	// not be delivered before the call's handler ran (§3.2 FIFO).
+	n := newNet(t, Config{})
+	rec := recorder{reply: []byte("r")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Call(2, transport.ClassDGC, []byte("first"))
+		done <- err
+	}()
+	// Wait until the call frame is in flight, then send a one-way.
+	waitFor(t, func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return len(rec.calls) == 1
+	})
+	if err := ep.Send(2, transport.ClassApp, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(rec.received()) == 1 })
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.calls) != 1 || rec.oneWay[0] != "node-1/app/second" {
+		t.Fatalf("order violated: calls=%v oneWay=%v", rec.calls, rec.oneWay)
+	}
+}
+
+func TestResponseRidesCallersConnection(t *testing.T) {
+	// A firewall forbids 2 -> 1 entirely; calls 1 -> 2 still complete
+	// because the response is multiplexed back over 1's connection.
+	n := newNet(t, Config{
+		Reachable: func(src, dst ids.NodeID) bool { return src == 1 },
+	})
+	rec := recorder{reply: []byte("through")}
+	n.Register(2, &rec)
+	ep1 := n.Register(1, &recorder{})
+	ep2 := n.Register(2, &rec)
+	if err := ep2.Send(1, transport.ClassApp, []byte("x")); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	resp, err := ep1.Call(2, transport.ClassDGC, []byte("in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "through" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestUnknownNodeAndClosed(t *testing.T) {
+	n := newNet(t, Config{})
+	ep := n.Register(1, &recorder{})
+	if err := ep.Send(99, transport.ClassApp, nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if _, err := ep.Call(99, transport.ClassApp, nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	n.Register(2, &recorder{})
+	n.Close()
+	if err := ep.Send(2, transport.ClassApp, nil); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("err after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDeregisterMakesNodeUnknown(t *testing.T) {
+	n := newNet(t, Config{})
+	rec := recorder{reply: []byte("r")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	if _, err := ep.Call(2, transport.ClassDGC, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	n.Deregister(2)
+	if _, err := ep.Call(2, transport.ClassDGC, nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("Call after Deregister = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestAccountingPerClass(t *testing.T) {
+	n := newNet(t, Config{})
+	rec := recorder{reply: []byte("12345678")}
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	if err := ep.Send(2, transport.ClassApp, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Call(2, transport.ClassDGC, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	// Intra-node traffic is never accounted.
+	if err := ep.Send(1, transport.ClassApp, []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	snap := n.Snapshot()
+	if snap.Bytes[transport.ClassApp] != 4 || snap.Messages[transport.ClassApp] != 1 {
+		t.Fatalf("app = %d bytes / %d msgs, want 4 / 1",
+			snap.Bytes[transport.ClassApp], snap.Messages[transport.ClassApp])
+	}
+	// A call accounts request and response at the caller: 2 + 8 bytes.
+	if snap.Bytes[transport.ClassDGC] != 10 || snap.Messages[transport.ClassDGC] != 2 {
+		t.Fatalf("dgc = %d bytes / %d msgs, want 10 / 2",
+			snap.Bytes[transport.ClassDGC], snap.Messages[transport.ClassDGC])
+	}
+	n.ResetCounters()
+	if n.Snapshot().Total() != 0 {
+		t.Fatal("ResetCounters did not zero")
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	// Many goroutines calling over the same pair connection: every caller
+	// must get its own response back (sequence-number multiplexing).
+	n := newNet(t, Config{})
+	echo := handlerFunc(func(_ ids.NodeID, _ transport.Class, payload []byte) []byte {
+		return append([]byte("re:"), payload...)
+	})
+	n.Register(2, echo)
+	ep := n.Register(1, &recorder{})
+	const callers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*per)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				req := fmt.Sprintf("c%d-%d", g, i)
+				resp, err := ep.Call(2, transport.ClassApp, []byte(req))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(resp) != "re:"+req {
+					errs <- fmt.Errorf("resp %q for req %q", resp, req)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// handlerFunc adapts a call function to transport.Handler.
+type handlerFunc func(from ids.NodeID, class transport.Class, payload []byte) []byte
+
+func (f handlerFunc) HandleOneWay(from ids.NodeID, class transport.Class, payload []byte) {
+	f(from, class, payload)
+}
+func (f handlerFunc) HandleCall(from ids.NodeID, class transport.Class, payload []byte) []byte {
+	return f(from, class, payload)
+}
+
+func TestTwoProcesses(t *testing.T) {
+	// Two Network instances = two processes, wired by Peers address books.
+	server := newNet(t, Config{})
+	rec := recorder{reply: []byte("remote-pong")}
+	server.Register(10, &rec)
+
+	client := newNet(t, Config{Peers: map[ids.NodeID]string{10: server.Addr()}})
+	ep := client.Register(1, &recorder{})
+
+	resp, err := ep.Call(10, transport.ClassApp, []byte("remote-ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "remote-pong" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if err := ep.Send(10, transport.ClassFuture, []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(rec.received()) == 1 })
+
+	// The server process deregisters the node: remote calls now fail with
+	// the unknown-node response flag.
+	server.Deregister(10)
+	if _, err := ep.Call(10, transport.ClassApp, nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestReconnectAfterConnDrop(t *testing.T) {
+	n := newNet(t, Config{})
+	var rec recorder
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	if err := ep.Send(2, transport.ClassApp, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(rec.received()) == 1 })
+
+	// Kill the pooled outbound connection under the endpoint.
+	n.mu.Lock()
+	cc := n.conns[pairKey{src: 1, dst: 2}]
+	n.mu.Unlock()
+	if cc == nil {
+		t.Fatal("no pooled connection")
+	}
+	_ = cc.c.Close()
+
+	// The next send must transparently re-dial.
+	if err := ep.Send(2, transport.ClassApp, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(rec.received()) == 2 })
+	n.mu.Lock()
+	fresh := n.conns[pairKey{src: 1, dst: 2}]
+	n.mu.Unlock()
+	if fresh == cc {
+		t.Fatal("connection was not replaced")
+	}
+}
+
+func TestCallTimeoutUnwedgesCaller(t *testing.T) {
+	// A handler that never answers stands in for a hung peer: the call
+	// must fail with ErrCallTimeout instead of blocking forever.
+	n := newNet(t, Config{CallTimeout: 50 * time.Millisecond})
+	block := make(chan struct{})
+	defer close(block)
+	stuck := handlerFunc(func(_ ids.NodeID, _ transport.Class, _ []byte) []byte {
+		<-block
+		return nil
+	})
+	n.Register(2, stuck)
+	ep := n.Register(1, &recorder{})
+	start := time.Now()
+	_, err := ep.Call(2, transport.ClassDGC, []byte("x"))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout did not bound the call")
+	}
+}
+
+func TestOversizedPayloadRejectedAtSender(t *testing.T) {
+	n := newNet(t, Config{})
+	n.Register(2, &recorder{})
+	ep := n.Register(1, &recorder{})
+	huge := make([]byte, maxPayloadSize+1)
+	if err := ep.Send(2, transport.ClassApp, huge); err == nil {
+		t.Fatal("oversized Send must fail at the sender")
+	}
+	if _, err := ep.Call(2, transport.ClassApp, huge); err == nil {
+		t.Fatal("oversized Call must fail at the sender")
+	}
+	if n.Snapshot().Total() != 0 {
+		t.Fatal("rejected payloads must not be accounted")
+	}
+	// The connection (if any) must stay usable for sane payloads.
+	if err := ep.Send(2, transport.ClassApp, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownNodeCallNotAccounted(t *testing.T) {
+	// A call answered with the unknown-node flag must leave the counters
+	// as simnet would: untouched.
+	server := newNet(t, Config{})
+	client := newNet(t, Config{Peers: map[ids.NodeID]string{10: server.Addr()}})
+	ep := client.Register(1, &recorder{})
+	if _, err := ep.Call(10, transport.ClassDGC, []byte("beat")); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if got := client.Snapshot().Total(); got != 0 {
+		t.Fatalf("accounted %d bytes for an unknown-node call, want 0", got)
+	}
+}
+
+func TestCloseFailsPendingCalls(t *testing.T) {
+	n := newNet(t, Config{})
+	block := make(chan struct{})
+	slow := handlerFunc(func(_ ids.NodeID, _ transport.Class, _ []byte) []byte {
+		<-block
+		return nil
+	})
+	n.Register(2, slow)
+	ep := n.Register(1, &recorder{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Call(2, transport.ClassDGC, []byte("x"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call get in flight
+	close(block)
+	n.Close()
+	if err := <-done; err != nil {
+		// Either outcome is legal: the response won the race, or the
+		// close failed the call. A hang is the only failure mode.
+		t.Logf("pending call failed with: %v", err)
+	}
+}

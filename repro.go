@@ -44,12 +44,21 @@
 // distributed ones — are collected once every activity in the cycle's
 // referencer closure is idle, which is the paper's Garbage property.
 //
+// The network substrate is pluggable: Config.Transport selects the
+// backend behind the runtime — nil means the in-memory simulated network
+// (internal/simnet), and NewTCPTransport gives real TCP connections
+// (internal/tcpnet) with identical FIFO, exchange and accounting
+// semantics, so the same program runs single-process, multi-process or
+// multi-machine (see examples/tcpdemo and Config.FirstNode).
+//
 // The deeper machinery lives in internal packages: internal/core is the
 // collector state machine (Algorithms 1–4), internal/active the live
-// goroutine runtime, internal/sim a deterministic discrete-event harness
-// at paper scale, internal/nas and internal/torture the evaluation
-// workloads. See DESIGN.md for the full inventory and EXPERIMENTS.md for
-// the paper-vs-measured record.
+// goroutine runtime, internal/transport the substrate contract,
+// internal/sim a deterministic discrete-event harness at paper scale,
+// internal/nas and internal/torture the evaluation workloads. See
+// ARCHITECTURE.md for the package map and message flow, DESIGN.md for
+// the design record, WIRE.md for the wire formats, and EXPERIMENTS.md
+// for the paper-vs-measured record.
 package repro
 
 import (
@@ -59,6 +68,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/ids"
+	"repro/internal/tcpnet"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -97,6 +108,21 @@ type (
 	Reason = core.Reason
 	// Topology models a multi-site grid deployment.
 	Topology = grid.Topology
+	// Transport is the pluggable network substrate contract: per-pair
+	// FIFO delivery, caller-opened request/response exchanges, per-class
+	// traffic accounting. Config.Transport selects the backend; nil means
+	// the in-memory simulated network, NewTCPTransport gives real TCP.
+	Transport = transport.Transport
+	// Class partitions accounted traffic (application, DGC, futures).
+	Class = transport.Class
+	// Counters is a per-class traffic snapshot (Env.Network().Snapshot()).
+	Counters = transport.Counters
+	// TCPConfig parameterizes the TCP transport backend.
+	TCPConfig = tcpnet.Config
+	// TCPTransport is the TCP Transport implementation: one process's
+	// listener plus its persistent per-pair connections. Its Addr and
+	// AddPeer methods wire multi-process deployments together.
+	TCPTransport = tcpnet.Network
 	// Service is a typed method registry implementing Behavior.
 	Service = active.Service
 	// ServiceMethod is one declared, typed operation of a Service.
@@ -178,10 +204,39 @@ func Unmarshal(v Value, out any) error { return wire.Unmarshal(v, out) }
 
 // Termination reasons (see internal/core).
 const (
-	ReasonAcyclic  = core.ReasonAcyclic
-	ReasonCyclic   = core.ReasonCyclic
+	// ReasonAcyclic is a TTA-expiry (reference-listing) termination.
+	ReasonAcyclic = core.ReasonAcyclic
+	// ReasonCyclic is a cyclic-consensus termination.
+	ReasonCyclic = core.ReasonCyclic
+	// ReasonNotified is a dying-wave (§4.3) termination.
 	ReasonNotified = core.ReasonNotified
 )
+
+// Traffic classes of the accounting counters (see internal/transport).
+const (
+	// ClassApp is application traffic: requests and their payloads.
+	ClassApp = transport.ClassApp
+	// ClassDGC is DGC messages and DGC responses.
+	ClassDGC = transport.ClassDGC
+	// ClassFuture is future-update traffic (results flowing back).
+	ClassFuture = transport.ClassFuture
+)
+
+// NewTCPTransport creates the real-network substrate: a TCP listener for
+// this process's nodes plus persistent, FIFO, per-(source, destination)
+// connections to every peer. Put the result in Config.Transport and the
+// runtime — calls, futures, the complete DGC — runs unchanged across
+// processes and machines:
+//
+//	tr, err := repro.NewTCPTransport(repro.TCPConfig{Listen: ":7000"})
+//	env := repro.NewEnv(repro.Config{Transport: tr, FirstNode: 100})
+//
+// Processes sharing a deployment give each other disjoint Config.FirstNode
+// ranges and exchange listener addresses via TCPConfig.Peers or AddPeer.
+// The environment owns the transport and closes it in Env.Close.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	return tcpnet.New(cfg)
+}
 
 // NewEnv creates an environment. The zero Config gives a single-site,
 // zero-latency system with TTB = 30ms and a conforming TTA (the paper's
@@ -236,9 +291,10 @@ func Dict(m map[string]Value) Value { return wire.Dict(m) }
 // Ref returns a reference value designating an activity.
 func Ref(target ActivityID) Value { return wire.Ref(target) }
 
-// DefaultTTB and DefaultTTA are the compressed defaults used when Config
-// leaves them zero.
+// Compressed defaults used when Config leaves the periods zero.
 const (
+	// DefaultTTB is the default heartbeat period (the paper's 30s, ×1000).
 	DefaultTTB = 30 * time.Millisecond
+	// DefaultTTA is the default TimeToAlone conforming to the §3.1 formula.
 	DefaultTTA = 75 * time.Millisecond
 )
