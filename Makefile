@@ -22,15 +22,32 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+# Full tree under the race detector (CI runs this too).
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# Regenerate the messaging trajectory via the loadgen/soak subsystem.
+BENCH_DURATION ?= 2s
 .PHONY: bench
 bench:
+	$(GO) run ./cmd/loadgen -suite -duration $(BENCH_DURATION) -out BENCH_messaging.json
+
+# The paper-figure and dispatch micro-benchmarks (EXPERIMENTS.md tables).
+.PHONY: bench-go
+bench-go:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Short fuzz pass over the wire codec (longer runs: raise FUZZTIME).
+# Short fuzz pass over every fuzzable decoder (longer runs: raise
+# FUZZTIME).
 FUZZTIME ?= 15s
 .PHONY: fuzz
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzCodecDecodeUnmarshal -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzUnmarshal -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzFrameDecode$$ -fuzztime $(FUZZTIME) ./internal/tcpnet/
+	$(GO) test -run xxx -fuzz FuzzFrameDecodeReuse -fuzztime $(FUZZTIME) ./internal/tcpnet/
+	$(GO) test -run xxx -fuzz FuzzWalkBatch -fuzztime $(FUZZTIME) ./internal/transport/
 
 .PHONY: examples
 examples:

@@ -744,6 +744,42 @@ func BenchmarkTCPBroadcast(b *testing.B) {
 	benchBroadcast(b, env)
 }
 
+// BenchmarkCrossNodeBroadcastBatched is the cross-node fan-out with the
+// PR 3 batching path enabled: members sharing a destination node travel
+// in one batch frame (4 frames for 16 members over 4 nodes), and future
+// updates racing back over a busy pair coalesce the same way.
+func BenchmarkCrossNodeBroadcastBatched(b *testing.B) {
+	env := repro.NewEnv(repro.Config{DisableDGC: true, BatchWindow: 200 * time.Microsecond})
+	b.Cleanup(env.Close)
+	benchBroadcast(b, env)
+}
+
+// BenchmarkTCPBroadcastBatched is the batched fan-out over real TCP: the
+// frame+syscall count per iteration drops from 32 writes to the number of
+// distinct (pair, flush) windows.
+func BenchmarkTCPBroadcastBatched(b *testing.B) {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := repro.NewEnv(repro.Config{DisableDGC: true, Transport: tr, BatchWindow: 200 * time.Microsecond})
+	b.Cleanup(env.Close)
+	benchBroadcast(b, env)
+}
+
+// BenchmarkTCPCallBatched measures the price a sequential round-trip pays
+// for an enabled (but useless to it) batching path: requests and future
+// updates are urgent, so the only overhead is the flusher's lane handoff.
+func BenchmarkTCPCallBatched(b *testing.B) {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := repro.NewEnv(repro.Config{DisableDGC: true, Transport: tr, BatchWindow: 200 * time.Microsecond})
+	b.Cleanup(env.Close)
+	benchCrossNodeCall(b, env)
+}
+
 // BenchmarkSimBeat measures the DES harness: one TTB of a 512-activity
 // complete-ring world.
 func BenchmarkSimBeat(b *testing.B) {

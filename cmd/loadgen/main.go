@@ -1,0 +1,165 @@
+// Command loadgen drives the active-object runtime with configurable
+// workload mixes and emits machine-readable messaging measurements.
+//
+// One-off run (closed loop, mixed workload, batching on, over TCP):
+//
+//	go run ./cmd/loadgen -backend tcp -duration 3s -mix 6:2:1 -batch 200us
+//
+// Open-loop latency probe at a fixed arrival rate:
+//
+//	go run ./cmd/loadgen -rate 5000 -duration 5s
+//
+// Soak with connection chaos:
+//
+//	go run ./cmd/loadgen -backend tcp -duration 30s -mix 4:1:2 -drop-every 2s
+//
+// The standard suite regenerates the repository's messaging trajectory
+// (make bench):
+//
+//	go run ./cmd/loadgen -suite -duration 2s -out BENCH_messaging.json
+//
+// The suite runs the same closed-loop mixed workload over every
+// (backend, batching) combination, so the JSON records exactly what the
+// batching path buys on each substrate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		backend   = flag.String("backend", "sim", `substrate: "sim" or "tcp"`)
+		nodes     = flag.Int("nodes", 4, "worker nodes")
+		actors    = flag.Int("actors", 4, "echo activities per node")
+		group     = flag.Int("group", 0, "broadcast fan-out width (0 = auto)")
+		workers   = flag.Int("workers", 0, "closed-loop concurrency (0 = 2×GOMAXPROCS)")
+		rate      = flag.Float64("rate", 0, "open-loop arrivals/sec (0 = closed loop)")
+		duration  = flag.Duration("duration", 2*time.Second, "measured run length")
+		mix       = flag.String("mix", "1:0:0", "call:broadcast:churn weights")
+		payload   = flag.Int("payload", 64, "payload bytes per request")
+		batch     = flag.Duration("batch", 0, "batch window (0 = batching off)")
+		dgcOff    = flag.Bool("no-dgc", false, "disable the DGC")
+		dropEvery = flag.Duration("drop-every", 0, "chaos: drop all TCP connections at this period")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		out       = flag.String("out", "", "write JSON here instead of stdout")
+		suite     = flag.Bool("suite", false, "run the standard benchmark suite (ignores -backend/-batch)")
+	)
+	flag.Parse()
+
+	m, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	base := loadgen.Config{
+		Backend:        *backend,
+		Nodes:          *nodes,
+		ActorsPerNode:  *actors,
+		GroupSize:      *group,
+		Workers:        *workers,
+		RatePerSec:     *rate,
+		Duration:       *duration,
+		Mix:            m,
+		PayloadBytes:   *payload,
+		BatchWindow:    *batch,
+		DisableDGC:     *dgcOff,
+		DropConnsEvery: *dropEvery,
+		Seed:           *seed,
+	}
+
+	var doc any
+	if *suite {
+		doc, err = runSuite(base)
+	} else {
+		var res loadgen.Result
+		res, err = loadgen.Run(base)
+		doc = res
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d scenarios)\n", *out, suiteLen(doc))
+}
+
+// suiteDoc is the schema of BENCH_messaging.json.
+type suiteDoc struct {
+	// Meta describes the run environment (for reading trajectories across
+	// machines with the right grain of salt).
+	Meta struct {
+		GoVersion string `json:"go_version"`
+		NumCPU    int    `json:"num_cpu"`
+		Note      string `json:"note"`
+	} `json:"meta"`
+	// Scenarios holds one result per (backend, batching) combination.
+	Scenarios []loadgen.Result `json:"scenarios"`
+}
+
+func suiteLen(doc any) int {
+	if d, ok := doc.(suiteDoc); ok {
+		return len(d.Scenarios)
+	}
+	return 1
+}
+
+// runSuite executes the standard matrix: the same mixed closed-loop
+// workload over {sim, tcp} × {unbatched, batched}.
+func runSuite(base loadgen.Config) (suiteDoc, error) {
+	var doc suiteDoc
+	doc.Meta.GoVersion = runtime.Version()
+	doc.Meta.NumCPU = runtime.NumCPU()
+	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn = 6:2:1), regenerate with: make bench"
+
+	for _, backend := range []string{"sim", "tcp"} {
+		for _, window := range []time.Duration{0, 200 * time.Microsecond} {
+			cfg := base
+			cfg.Backend = backend
+			cfg.BatchWindow = window
+			cfg.Mix = loadgen.Mix{Call: 6, Broadcast: 2, Churn: 1}
+			res, err := loadgen.Run(cfg)
+			if err != nil {
+				return doc, fmt.Errorf("suite %s window=%v: %w", backend, window, err)
+			}
+			doc.Scenarios = append(doc.Scenarios, res)
+		}
+	}
+	return doc, nil
+}
+
+func parseMix(s string) (loadgen.Mix, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return loadgen.Mix{}, fmt.Errorf("loadgen: -mix wants call:broadcast:churn, got %q", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &vals[i]); err != nil {
+			return loadgen.Mix{}, fmt.Errorf("loadgen: bad mix component %q", p)
+		}
+	}
+	return loadgen.Mix{Call: vals[0], Broadcast: vals[1], Churn: vals[2]}, nil
+}

@@ -1,0 +1,328 @@
+package active
+
+// Cross-backend conformance of the PR 3 batching path: the same scenarios
+// run over internal/simnet and internal/tcpnet with Config.BatchWindow
+// enabled, pinning down that batching changes wire framing only — not
+// delivery, ordering, accounting totals, or DGC correctness.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// batchedSubstrates mirrors the conformance substrate table with the
+// batching path switched on.
+var batchedSubstrates = []struct {
+	name string
+	cfg  func(t *testing.T) Config
+}{
+	{"simnet", func(t *testing.T) Config {
+		return Config{
+			TTB: 10 * time.Millisecond, TTA: 25 * time.Millisecond,
+			BatchWindow: 200 * time.Microsecond,
+		}
+	}},
+	{"tcp", func(t *testing.T) Config {
+		tr, err := tcpnet.New(tcpnet.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			TTB: 10 * time.Millisecond, TTA: 30 * time.Millisecond,
+			Transport: tr, BatchWindow: 200 * time.Microsecond,
+		}
+	}},
+}
+
+func forEachBatchedSubstrate(t *testing.T, f func(t *testing.T, e *Env)) {
+	for _, s := range batchedSubstrates {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			t.Parallel()
+			e := NewEnv(s.cfg(t))
+			t.Cleanup(e.Close)
+			f(t, e)
+		})
+	}
+}
+
+// broadcastWorkload runs a fixed cross-node fan-out workload and returns
+// the per-class traffic the environment accounted for it.
+func broadcastWorkload(t *testing.T, e *Env) transport.Counters {
+	t.Helper()
+	caller := e.NewNode()
+	nodes := []*Node{e.NewNode(), e.NewNode(), e.NewNode()}
+	svc := NewService(Method("double", func(_ *Context, req int64) (int64, error) {
+		return 2 * req, nil
+	}))
+	const members = 12
+	handles := make([]*Handle, members)
+	for i := range handles {
+		local := nodes[i%len(nodes)].NewActive(fmt.Sprintf("m-%d", i), svc)
+		defer local.Release()
+		remote, err := caller.HandleFor(local.Ref())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer remote.Release()
+		handles[i] = remote
+	}
+	g := NewGroup[int64, int64]("double", handles...)
+	for round := 0; round < 3; round++ {
+		fg, err := g.Broadcast(21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps, err := fg.WaitAll(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range resps {
+			if r != 42 {
+				t.Fatalf("round %d resp[%d] = %d, want 42", round, i, r)
+			}
+		}
+	}
+	return e.Network().Snapshot()
+}
+
+// TestConformanceBatchedBroadcast runs the fan-out workload over both
+// backends with batching on and checks correctness plus accounting
+// parity: per-message accounting must make the batched counters equal
+// the unbatched ones byte for byte (frame overhead is never accounted,
+// so the §5 instrumentation cannot tell the paths apart).
+func TestConformanceBatchedBroadcast(t *testing.T) {
+	type mk struct {
+		name      string
+		unbatched func(t *testing.T) Config
+		batched   func(t *testing.T) Config
+	}
+	backends := []mk{
+		{
+			name:      "simnet",
+			unbatched: func(t *testing.T) Config { return Config{DisableDGC: true} },
+			batched: func(t *testing.T) Config {
+				return Config{DisableDGC: true, BatchWindow: 200 * time.Microsecond}
+			},
+		},
+		{
+			name: "tcp",
+			unbatched: func(t *testing.T) Config {
+				tr, err := tcpnet.New(tcpnet.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return Config{DisableDGC: true, Transport: tr}
+			},
+			batched: func(t *testing.T) Config {
+				tr, err := tcpnet.New(tcpnet.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return Config{DisableDGC: true, Transport: tr, BatchWindow: 200 * time.Microsecond}
+			},
+		},
+	}
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			t.Parallel()
+			plainEnv := NewEnv(be.unbatched(t))
+			t.Cleanup(plainEnv.Close)
+			plain := broadcastWorkload(t, plainEnv)
+
+			batchEnv := NewEnv(be.batched(t))
+			t.Cleanup(batchEnv.Close)
+			batched := broadcastWorkload(t, batchEnv)
+
+			for _, class := range []transport.Class{transport.ClassApp, transport.ClassFuture} {
+				if plain.Bytes[class] != batched.Bytes[class] {
+					t.Errorf("%v bytes diverge: unbatched %d, batched %d",
+						class, plain.Bytes[class], batched.Bytes[class])
+				}
+				if plain.Messages[class] != batched.Messages[class] {
+					t.Errorf("%v messages diverge: unbatched %d, batched %d",
+						class, plain.Messages[class], batched.Messages[class])
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceBatchedScatter pins per-member payload routing through
+// the batch path: each member must receive its own request, in order.
+func TestConformanceBatchedScatter(t *testing.T) {
+	forEachBatchedSubstrate(t, func(t *testing.T, e *Env) {
+		caller := e.NewNode()
+		worker := e.NewNode()
+		svc := NewService(Method("idsq", func(_ *Context, req int64) (int64, error) {
+			return req * req, nil
+		}))
+		const members = 8
+		handles := make([]*Handle, members)
+		reqs := make([]int64, members)
+		for i := range handles {
+			local := worker.NewActive(fmt.Sprintf("w-%d", i), svc)
+			defer local.Release()
+			remote, err := caller.HandleFor(local.Ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer remote.Release()
+			handles[i] = remote
+			reqs[i] = int64(i + 1)
+		}
+		g := NewGroup[int64, int64]("idsq", handles...)
+		fg, err := g.Scatter(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps, err := fg.WaitAll(10 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range resps {
+			if want := reqs[i] * reqs[i]; r != want {
+				t.Fatalf("resp[%d] = %d, want %d (scatter misrouted in batch)", i, r, want)
+			}
+		}
+	})
+}
+
+// TestConformanceFlushOnClose parks one-way messages in a lane with an
+// hour-long window and closes the environment: Close must flush them to
+// the transport (observable as accounted traffic) instead of dropping
+// them on the floor.
+func TestConformanceFlushOnClose(t *testing.T) {
+	for _, s := range []struct {
+		name string
+		cfg  func(t *testing.T) Config
+	}{
+		{"simnet", func(t *testing.T) Config {
+			return Config{DisableDGC: true, BatchWindow: time.Hour}
+		}},
+		{"tcp", func(t *testing.T) Config {
+			tr, err := tcpnet.New(tcpnet.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{DisableDGC: true, Transport: tr, BatchWindow: time.Hour}
+		}},
+	} {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			e := NewEnv(s.cfg(t))
+			n1, n2 := e.NewNode(), e.NewNode()
+			var served atomic.Int64
+			h := n2.NewActive("sink", BehaviorFunc(
+				func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+					served.Add(1)
+					return wire.Null(), nil
+				}))
+			h1, err := n1.HandleFor(h.Ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const sends = 10
+			for i := 0; i < sends; i++ {
+				if err := h1.Send("mark", wire.Int(int64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Nothing may have been written yet (the window is an hour) —
+			// but nothing is required to wait either; what matters is the
+			// flush on Close.
+			e.Close()
+			snap := e.Network().Snapshot()
+			if got := snap.Messages[transport.ClassApp]; got != sends {
+				t.Fatalf("%d app messages accounted after Close, want %d (flush-on-close)", got, sends)
+			}
+		})
+	}
+}
+
+// connDropper is the chaos hook tcpnet exposes; simnet has no connections
+// to drop, which is itself the conformance point — the scenario must pass
+// with and without an actual drop.
+type connDropper interface{ DropConnections() }
+
+// TestConformanceReconnectMidBatch interleaves batched broadcasts with a
+// forced connection drop: in-flight exchanges may fail, but the next
+// batch must dial afresh and the runtime must keep answering.
+func TestConformanceReconnectMidBatch(t *testing.T) {
+	forEachBatchedSubstrate(t, func(t *testing.T, e *Env) {
+		caller := e.NewNode()
+		workers := []*Node{e.NewNode(), e.NewNode()}
+		svc := NewService(Method("ping", func(_ *Context, req int64) (int64, error) {
+			return req + 1, nil
+		}))
+		const members = 6
+		handles := make([]*Handle, members)
+		for i := range handles {
+			local := workers[i%len(workers)].NewActive(fmt.Sprintf("p-%d", i), svc)
+			defer local.Release()
+			remote, err := caller.HandleFor(local.Ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer remote.Release()
+			handles[i] = remote
+		}
+		g := NewGroup[int64, int64]("ping", handles...)
+		for round := 0; round < 4; round++ {
+			fg, err := g.Broadcast(int64(round))
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			resps, err := fg.WaitAll(10 * time.Second)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			for i, r := range resps {
+				if r != int64(round)+1 {
+					t.Fatalf("round %d resp[%d] = %d", round, i, r)
+				}
+			}
+			// Kill every established connection between rounds; the next
+			// batch must transparently redial.
+			if dropper, ok := e.Network().(connDropper); ok {
+				dropper.DropConnections()
+			}
+		}
+	})
+}
+
+// TestConformanceBatchedReleaseCollects closes the loop on the batched
+// DGC path: with batching on, beats travel as one exchange per
+// destination node (dgcBatchTag payloads), and the collector must still
+// reach the same verdicts — acyclic release and a distributed cycle.
+func TestConformanceBatchedReleaseCollects(t *testing.T) {
+	forEachBatchedSubstrate(t, func(t *testing.T, e *Env) {
+		n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
+		ha := n1.NewActive("a", relay{})
+		hb := n2.NewActive("b", relay{})
+		hc := n3.NewActive("c", relay{})
+		for _, link := range []struct{ h, to *Handle }{{ha, hb}, {hb, hc}, {hc, ha}} {
+			if _, err := link.h.CallSync("set:peer", link.to.Ref(), 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ha.Release()
+		hb.Release()
+		hc.Release()
+		if _, err := e.WaitCollected(0, 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		if st.Collected[core.ReasonCyclic] < 1 {
+			t.Fatalf("collected = %+v, want a cyclic consensus over the batched DGC path", st.Collected)
+		}
+	})
+}

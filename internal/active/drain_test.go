@@ -1,0 +1,141 @@
+package active
+
+// Regression tests for the request-queue close/drain path: when an
+// activity terminates with requests still queued, the heap pins of their
+// arguments must be released and the callers' futures failed — not left
+// to leak (pins) or hang until timeout (futures). PR 3's audit of
+// requestQueue.close.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestDestroyDrainsQueuedRequests terminates an activity while its queue
+// holds ref-bearing requests and checks both halves of the drain
+// contract: no argsRoot pin survives, and every queued caller learns
+// promptly that the callee is gone.
+func TestDestroyDrainsQueuedRequests(t *testing.T) {
+	env := NewEnv(Config{DisableDGC: true})
+	defer env.Close()
+	node := env.NewNode()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := node.NewActive("blocker", BehaviorFunc(
+		func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+			entered <- struct{}{}
+			<-release
+			return wire.Null(), nil
+		}))
+
+	// First call occupies the service loop.
+	first, err := h.Call("block", wire.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// Queue requests whose arguments carry references: each pins an
+	// argsRoot in the node's heap until served — or drained.
+	target, _ := h.Ref().AsRef()
+	rootsBefore := node.Heap().NumRoots()
+	const queued = 4
+	futs := make([]*Future, queued)
+	for i := range futs {
+		futs[i], err = h.Call("block", wire.List(wire.Ref(target)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := node.Heap().NumRoots(); got != rootsBefore+queued {
+		t.Fatalf("queued roots = %d, want %d", got-rootsBefore, queued)
+	}
+
+	// Terminate with the queue full. The drained requests must fail their
+	// futures now — a hang until the 5s budget would mean the drain
+	// dropped them on the floor.
+	h.Terminate()
+	for i, f := range futs {
+		start := time.Now()
+		if _, err := f.Wait(5 * time.Second); err == nil {
+			t.Fatalf("queued future %d resolved after terminate", i)
+		} else if errors.Is(err, ErrFutureTimeout) {
+			t.Fatalf("queued future %d timed out instead of failing fast", i)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatalf("queued future %d took %v to fail", i, time.Since(start))
+		}
+	}
+
+	// Unblock the in-flight service and let it finish.
+	close(release)
+	if _, err := first.Wait(5 * time.Second); err != nil {
+		t.Fatalf("in-flight call: %v", err)
+	}
+
+	// Every pin is gone: the queued argsRoots were released by the drain,
+	// the in-flight one by serveOne, and the handle's stub root by
+	// Terminate's release.
+	if got := node.Heap().NumRoots(); got != 0 {
+		t.Fatalf("leaked %d heap roots after drain\n%s", got, node.Heap())
+	}
+}
+
+// TestShutdownReleasesQueuedPins closes the whole environment with
+// requests still queued and verifies the drain released their pins (the
+// Env.Close flavor of the same audit; futures fail via failAll there).
+// Close is issued while a service is still blocked — shutdown drains the
+// queue and fails the futures before joining the service loop, so both
+// are observable mid-close.
+func TestShutdownReleasesQueuedPins(t *testing.T) {
+	env := NewEnv(Config{DisableDGC: true})
+	node := env.NewNode()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := node.NewActive("blocker", BehaviorFunc(
+		func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+			entered <- struct{}{}
+			<-release
+			return wire.Null(), nil
+		}))
+
+	if _, err := h.Call("block", wire.Null()); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	target, _ := h.Ref().AsRef()
+	var futs []*Future
+	for i := 0; i < 4; i++ {
+		f, err := h.Call("block", wire.List(wire.Ref(target)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		env.Close() // joins the service loop, so it returns only after release
+		close(closed)
+	}()
+	// The queued futures fail during shutdown, before the blocked service
+	// is joined.
+	for i, f := range futs {
+		if _, err := f.Wait(5 * time.Second); err == nil {
+			t.Fatalf("future %d resolved across Close", i)
+		}
+	}
+	close(release)
+	<-closed
+
+	// The queued argsRoots were drained and the in-flight request carried
+	// no refs (no pin); only the unreleased handle's stub root remains.
+	if got := node.Heap().NumRoots(); got > 1 {
+		t.Fatalf("leaked heap roots after shutdown: %d\n%s", got, node.Heap())
+	}
+}

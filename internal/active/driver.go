@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/ids"
 	"repro/internal/transport"
 )
 
@@ -41,13 +42,25 @@ func (n *Node) runDriver() {
 	}
 }
 
+// dgcOut is one due DGC message with the activity that owes it.
+type dgcOut struct {
+	ao *ActiveObject
+	ob core.Outbound
+}
+
 // beat runs one driver iteration: a local sweep plus the broadcast of
-// every activity whose beat is due.
+// every activity whose beat is due. Without batching each message is its
+// own parallel exchange (§4.2); with batching the beat's messages are
+// grouped per destination node and each group travels as one exchange —
+// the per-destination groups still go out in parallel, so one slow peer
+// cannot delay the rest of the beat.
 func (n *Node) beat() {
 	n.heap.Collect()
 	now := n.env.cfg.Clock.Now()
 
 	var broadcasts sync.WaitGroup
+	var byDst map[ids.NodeID][]dgcOut
+	batch := n.flusher != nil
 	for _, ao := range n.snapshotActivities() {
 		if ao.nextBeat.After(now) {
 			continue
@@ -71,12 +84,26 @@ func (n *Node) beat() {
 			continue
 		}
 		for _, ob := range res.Messages {
+			if batch {
+				if byDst == nil {
+					byDst = make(map[ids.NodeID][]dgcOut)
+				}
+				byDst[ob.To.Node] = append(byDst[ob.To.Node], dgcOut{ao: ao, ob: ob})
+				continue
+			}
 			broadcasts.Add(1)
 			go func(ao *ActiveObject, ob core.Outbound) {
 				defer broadcasts.Done()
 				n.sendDGC(ao, ob)
 			}(ao, ob)
 		}
+	}
+	for dst, outs := range byDst {
+		broadcasts.Add(1)
+		go func(dst ids.NodeID, outs []dgcOut) {
+			defer broadcasts.Done()
+			n.sendDGCBatch(dst, outs)
+		}(dst, outs)
 	}
 	broadcasts.Wait()
 }
@@ -88,7 +115,7 @@ func (n *Node) beat() {
 // machinery owns all failure handling.
 func (n *Node) sendDGC(ao *ActiveObject, ob core.Outbound) {
 	payload := encodeDGCPayload(ob.To, ob.Msg)
-	respBytes, err := n.endpoint.Call(ob.To.Node, transport.ClassDGC, payload)
+	respBytes, err := n.transportCall(ob.To.Node, transport.ClassDGC, payload)
 	if err != nil || len(respBytes) == 0 {
 		return
 	}
@@ -97,6 +124,34 @@ func (n *Node) sendDGC(ao *ActiveObject, ob core.Outbound) {
 		return
 	}
 	ao.collector.HandleResponse(ob.To, resp, n.env.cfg.Clock.Now())
+}
+
+// sendDGCBatch ships one beat's messages toward dst as a single batched
+// exchange and dispatches the positional responses back to their
+// collectors. Failure handling matches sendDGC: silence is a slow beat.
+func (n *Node) sendDGCBatch(dst ids.NodeID, outs []dgcOut) {
+	if len(outs) == 1 {
+		n.sendDGC(outs[0].ao, outs[0].ob)
+		return
+	}
+	entries := make([]dgcBatchEntry, len(outs))
+	for i, o := range outs {
+		entries[i] = dgcBatchEntry{Target: o.ob.To, Msg: o.ob.Msg}
+	}
+	respBytes, err := n.transportCall(dst, transport.ClassDGC, encodeDGCBatchPayload(entries))
+	if err != nil || len(respBytes) == 0 {
+		return
+	}
+	resps, err := decodeDGCBatchResponse(respBytes)
+	if err != nil || len(resps) != len(outs) {
+		return
+	}
+	now := n.env.cfg.Clock.Now()
+	for i, r := range resps {
+		if r != nil {
+			outs[i].ao.collector.HandleResponse(outs[i].ob.To, *r, now)
+		}
+	}
 }
 
 // CollectNow forces one synchronous local heap sweep plus DGC beat on this

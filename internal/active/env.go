@@ -56,6 +56,21 @@ type Config struct {
 	// simnet-only fields are ignored. The environment takes ownership and
 	// closes the transport in Close.
 	Transport transport.Transport
+	// BatchWindow enables hot-path message batching when positive: each
+	// node's outbound one-way traffic flows through a per-destination
+	// flusher, and co-destination messages queued while a frame is in
+	// flight travel together in one batch frame (WIRE.md §5). Plain
+	// one-way sends may linger up to BatchWindow waiting for companions;
+	// call requests, future updates and group fan-outs never wait — they
+	// only coalesce with messages already pending, and DGC beats collapse
+	// into one exchange per destination node. Zero (the default) disables
+	// batching entirely; the wire traffic is then byte-identical to the
+	// unbatched protocol.
+	BatchWindow time.Duration
+	// BatchBytes caps the payload bytes of one batch frame (a larger
+	// backlog is split across frames). Only consulted when BatchWindow is
+	// positive; defaults to 64 KiB.
+	BatchBytes int
 	// FirstNode offsets node identifier allocation: the first NewNode
 	// returns FirstNode, the second FirstNode+1, and so on. Several
 	// processes sharing a TCP substrate set disjoint ranges so their
@@ -88,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TTA == 0 {
 		c.TTA = 2*c.TTB + c.MaxComm + c.TTB/2
+	}
+	if c.BatchWindow > 0 && c.BatchBytes == 0 {
+		c.BatchBytes = 64 << 10
 	}
 	return c
 }
@@ -300,12 +318,14 @@ func (e *Env) noteCollected(reason core.Reason) {
 }
 
 // Close stops the network and all nodes. Pending futures fail with
-// ErrEnvClosed. The transport closes first: that fails any Call a driver
-// is blocked in (a TCP exchange against a hung peer would otherwise make
-// the driver — and this Close, which waits for it — hang forever), after
-// which the node shutdowns can join their goroutines. simnet drains
-// in-flight deliveries on Close, so nodes outliving the network briefly
-// is safe on either backend.
+// ErrEnvClosed. Batched outbound traffic is flushed first (so a message
+// accepted before Close is written, not silently dropped), then the
+// transport closes: that fails any Call a driver is blocked in (a TCP
+// exchange against a hung peer would otherwise make the driver — and this
+// Close, which waits for it — hang forever), after which the node
+// shutdowns can join their goroutines. simnet drains in-flight deliveries
+// on Close, so nodes outliving the network briefly is safe on either
+// backend.
 func (e *Env) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -318,6 +338,9 @@ func (e *Env) Close() {
 		nodes = append(nodes, n)
 	}
 	e.mu.Unlock()
+	for _, n := range nodes {
+		n.flushOutbound()
+	}
 	e.net.Close()
 	for _, n := range nodes {
 		n.shutdown()

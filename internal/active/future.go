@@ -59,6 +59,11 @@ func (f *Future) resolve(val wire.Value, root localgc.RootID, hasRoot bool, err 
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.resolved {
+		if hasRoot {
+			// A double resolution must never leak the freshly installed
+			// pin (defensive: take() makes resolution exclusive today).
+			f.node.heap.RemoveRoot(root)
+		}
 		return
 	}
 	f.resolved = true

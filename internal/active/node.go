@@ -19,7 +19,10 @@ type Node struct {
 	gen      *ids.Generator
 	heap     *localgc.Heap
 	endpoint transport.Endpoint
-	futures  *futureTable
+	// flusher is the per-destination batching engine in front of the
+	// endpoint; nil unless Config.BatchWindow enables batching.
+	flusher *transport.Flusher
+	futures *futureTable
 
 	mu     sync.Mutex
 	aos    map[ids.ActivityID]*ActiveObject
@@ -42,7 +45,43 @@ func newNode(e *Env, id ids.NodeID) *Node {
 	}
 	n.heap = localgc.New(n.onTagDeath)
 	n.endpoint = e.net.Register(id, n)
+	if e.cfg.BatchWindow > 0 {
+		n.flusher = transport.NewFlusher(n.endpoint, transport.FlusherConfig{
+			Window:   e.cfg.BatchWindow,
+			MaxBytes: e.cfg.BatchBytes,
+			Clock:    e.cfg.Clock,
+		})
+	}
 	return n
+}
+
+// transportSend ships one one-way payload, through the batching flusher
+// when enabled. Urgent traffic (requests awaiting a reply, future
+// updates) is flushed as soon as the pair's writer is free; non-urgent
+// traffic may linger up to the batch window for companions.
+func (n *Node) transportSend(dst ids.NodeID, class transport.Class, payload []byte, urgent bool) error {
+	if n.flusher != nil {
+		return n.flusher.Send(dst, class, payload, urgent)
+	}
+	return n.endpoint.Send(dst, class, payload)
+}
+
+// transportCall performs a request/response exchange, draining the
+// destination's batch lane first so the exchange cannot overtake queued
+// one-way traffic (§3.2 FIFO).
+func (n *Node) transportCall(dst ids.NodeID, class transport.Class, payload []byte) ([]byte, error) {
+	if n.flusher != nil {
+		return n.flusher.Call(dst, class, payload)
+	}
+	return n.endpoint.Call(dst, class, payload)
+}
+
+// flushOutbound flushes and stops the node's batch lanes (no-op when
+// batching is off, idempotent otherwise).
+func (n *Node) flushOutbound() {
+	if n.flusher != nil {
+		n.flusher.Close()
+	}
 }
 
 // ID returns the node identifier.
@@ -119,10 +158,27 @@ func (n *Node) HandleOneWay(from ids.NodeID, class transport.Class, payload []by
 }
 
 // HandleCall implements transport.Handler: DGC message → DGC response
-// exchanges. An empty response means the target activity is gone; the
-// sender's driver ignores it (the paper omits error handling; silence is
-// indistinguishable from a slow beat and is handled by the TTA machinery).
+// exchanges, single or batched (one exchange per destination node and
+// beat when batching is on). An empty response means the target activity
+// is gone; the sender's driver ignores it (the paper omits error
+// handling; silence is indistinguishable from a slow beat and is handled
+// by the TTA machinery).
 func (n *Node) HandleCall(from ids.NodeID, class transport.Class, payload []byte) []byte {
+	if isDGCBatch(payload) {
+		entries, err := decodeDGCBatchPayload(payload)
+		if err != nil {
+			return nil
+		}
+		now := n.env.cfg.Clock.Now()
+		resps := make([]*core.Response, len(entries))
+		for i, e := range entries {
+			if ao, ok := n.activity(e.Target); ok {
+				r := ao.collector.HandleMessage(e.Msg, now)
+				resps[i] = &r
+			}
+		}
+		return encodeDGCBatchResponse(resps)
+	}
 	target, msg, err := decodeDGCPayload(payload)
 	if err != nil {
 		return nil
@@ -158,7 +214,9 @@ func (n *Node) deliverRequest(payload []byte) {
 		return
 	}
 	now := n.env.cfg.Clock.Now()
+	refs := 0
 	dec := wire.Decoder{OnRef: func(t ids.ActivityID) {
+		refs++
 		ao.collector.AddReferenced(t, now)
 	}}
 	args, err := dec.Decode(rawArgs)
@@ -166,11 +224,50 @@ func (n *Node) deliverRequest(payload []byte) {
 		return
 	}
 	req.Args = args
-	// Root the arguments in the recipient's heap for the lifetime of the
-	// request: stubs inside them keep the remote references alive until
-	// the service completes (then only state-stored stubs survive).
-	_, root := n.heap.InternRooted(ao.id, args)
-	ao.enqueue(&queuedRequest{req: req, argsRoot: root})
+	item := &queuedRequest{req: req}
+	if refs > 0 {
+		// Root the arguments in the recipient's heap for the lifetime of
+		// the request: stubs inside them keep the remote references alive
+		// until the service completes (then only state-stored stubs
+		// survive). Ref-free arguments pin nothing the DGC cares about, so
+		// they skip the heap entirely — the calling hot path allocates no
+		// cells.
+		_, item.argsRoot = n.heap.InternRooted(ao.id, args)
+	}
+	ao.enqueue(item)
+}
+
+// deliverLocalRequest is the intra-node calling fast path: when caller
+// and callee live on the same node, the request skips the envelope codec
+// and the transport handler — a DeepCopy preserves the no-sharing
+// property (§2.1) and an explicit Refs walk feeds the reference-graph
+// hook exactly as deserialization would (§2.2). Wire traffic, accounting
+// and DGC edges are identical to the seed's encode→decode round-trip;
+// only the serialization work disappears.
+func (n *Node) deliverLocalRequest(req request) {
+	ao, ok := n.activity(req.Target)
+	if !ok {
+		if !req.Future.IsZero() {
+			n.sendFutureUpdate(req.Future, futureUpdate{
+				Future: req.Future,
+				Failed: true,
+				Err:    ErrUnknownActivity.Error(),
+			})
+		}
+		return
+	}
+	args := wire.DeepCopy(req.Args)
+	req.Args = args
+	item := &queuedRequest{req: req}
+	var scratch [8]ids.ActivityID
+	if refs := args.Refs(scratch[:0]); len(refs) > 0 {
+		now := n.env.cfg.Clock.Now()
+		for _, t := range refs {
+			ao.collector.AddReferenced(t, now)
+		}
+		_, item.argsRoot = n.heap.InternRooted(ao.id, args)
+	}
+	ao.enqueue(item)
 }
 
 // deliverFutureUpdate resolves a pending future with the callee's result.
@@ -189,7 +286,9 @@ func (n *Node) deliverFutureUpdate(payload []byte) {
 		return
 	}
 	now := n.env.cfg.Clock.Now()
+	refs := 0
 	dec := wire.Decoder{OnRef: func(t ids.ActivityID) {
+		refs++
 		owner.collector.AddReferenced(t, now)
 	}}
 	value, err := dec.Decode(rawValue)
@@ -201,25 +300,73 @@ func (n *Node) deliverFutureUpdate(payload []byte) {
 		fut.fail(newRemoteFailure(u.Err))
 		return
 	}
+	if refs == 0 {
+		fut.resolve(value, 0, false, nil)
+		return
+	}
+	_, root := n.heap.InternRooted(owner.id, value)
+	fut.resolve(value, root, true, nil)
+}
+
+// deliverLocalFutureUpdate resolves a same-node future without the
+// envelope codec (the DeepCopy/Refs-walk twin of deliverLocalRequest).
+func (n *Node) deliverLocalFutureUpdate(u futureUpdate) {
+	fut, ok := n.futures.take(u.Future.Seq)
+	if !ok {
+		return
+	}
+	owner, ownerAlive := n.activity(fut.owner)
+	if !ownerAlive {
+		fut.fail(ErrOwnerTerminated)
+		return
+	}
+	if u.Failed {
+		fut.fail(newRemoteFailure(u.Err))
+		return
+	}
+	value := wire.DeepCopy(u.Value)
+	var scratch [8]ids.ActivityID
+	refs := value.Refs(scratch[:0])
+	if len(refs) == 0 {
+		fut.resolve(value, 0, false, nil)
+		return
+	}
+	now := n.env.cfg.Clock.Now()
+	for _, t := range refs {
+		owner.collector.AddReferenced(t, now)
+	}
 	_, root := n.heap.InternRooted(owner.id, value)
 	fut.resolve(value, root, true, nil)
 }
 
 // sendFutureUpdate ships a result back to the caller's node.
 func (n *Node) sendFutureUpdate(to FutureID, u futureUpdate) {
+	if to.Node == n.id {
+		n.deliverLocalFutureUpdate(u)
+		return
+	}
 	payload := encodeFutureUpdate(u)
 	// Errors (unreachable, closed) drop the update: per §4.1, a missing
 	// future update cannot wake anything and is acceptable for garbage.
-	_ = n.endpoint.Send(to.Node, transport.ClassFuture, payload)
+	// Updates are urgent: the caller is (or will be) blocked on them.
+	_ = n.transportSend(to.Node, transport.ClassFuture, payload, true)
 }
 
-// sendRequest ships an application request to the target's node.
+// sendRequest ships an application request to the target's node (or
+// delivers it directly when the target is local). Requests that expect a
+// reply are urgent; plain one-way sends may linger in the batch window.
 func (n *Node) sendRequest(req request) error {
-	return n.endpoint.Send(req.Target.Node, transport.ClassApp, encodeRequest(req))
+	if req.Target.Node == n.id {
+		n.deliverLocalRequest(req)
+		return nil
+	}
+	return n.transportSend(req.Target.Node, transport.ClassApp, encodeRequest(req), !req.Future.IsZero())
 }
 
-// destroy removes an activity: stops its service loop, releases its heap
-// roots, fails futures it owns, and records the collection.
+// destroy removes an activity: stops its service loop, drains its request
+// queue (failing the futures of requests that will never be served),
+// releases its heap roots, fails futures it owns, and records the
+// collection.
 func (n *Node) destroy(ao *ActiveObject, reason core.Reason) {
 	n.mu.Lock()
 	if _, ok := n.aos[ao.id]; !ok {
@@ -231,7 +378,18 @@ func (n *Node) destroy(ao *ActiveObject, reason core.Reason) {
 
 	ao.terminated.Store(true)
 	ao.collector.Terminate(n.env.cfg.Clock.Now())
-	ao.queue.close(n.heap)
+	for _, it := range ao.queue.close(n.heap) {
+		// A queued request whose callee terminates gracefully fails its
+		// caller's future now instead of leaving it to time out — the same
+		// answer an enqueue after close gets.
+		if !it.req.Future.IsZero() {
+			n.sendFutureUpdate(it.req.Future, futureUpdate{
+				Future: it.req.Future,
+				Failed: true,
+				Err:    ErrUnknownActivity.Error(),
+			})
+		}
+	}
 	ao.releaseAllRoots(n.heap)
 	n.futures.failOwned(ao.id, ErrOwnerTerminated)
 	if !ao.dummy {
@@ -272,8 +430,13 @@ func (n *Node) shutdown() {
 	close(n.stop)
 	for _, ao := range aos {
 		ao.terminated.Store(true)
+		// Shutdown (and crash) stays silent toward remote callers: their
+		// queued requests are dropped with their pins released, exactly as
+		// a vanished machine would drop them (§4.2); local callers' futures
+		// fail below via failAll.
 		ao.queue.close(n.heap)
 	}
 	n.futures.failAll(ErrEnvClosed)
+	n.flushOutbound()
 	n.wg.Wait()
 }

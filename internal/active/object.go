@@ -98,8 +98,12 @@ func (q *requestQueue) markIdleIfEmpty() bool {
 }
 
 // close drains the queue, releasing pinned argument roots, and wakes the
-// service loop so it can exit.
-func (q *requestQueue) close(heap *localgc.Heap) {
+// service loop so it can exit. The drained requests are returned so the
+// caller can dispose of their reply obligations: a graceful destroy fails
+// their futures, a crash stays silent. (The seed released the heap pins
+// here but dropped the requests on the floor, leaving remote callers to
+// block until their own node noticed — the close/drain audit of PR 3.)
+func (q *requestQueue) close(heap *localgc.Heap) []*queuedRequest {
 	q.mu.Lock()
 	items := q.items
 	q.items = nil
@@ -109,6 +113,7 @@ func (q *requestQueue) close(heap *localgc.Heap) {
 	for _, it := range items {
 		heap.RemoveRoot(it.argsRoot)
 	}
+	return items
 }
 
 // ActiveObject is one activity: identity, behavior, request queue, service

@@ -53,8 +53,9 @@ type request struct {
 // errBadEnvelope reports a malformed node-to-node payload.
 var errBadEnvelope = errors.New("active: malformed envelope")
 
-func encodeRequest(req request) []byte {
-	buf := make([]byte, 0, 64+wire.EncodedSize(req.Args))
+// appendRequestHeader encodes everything of a request envelope up to (not
+// including) the args value.
+func appendRequestHeader(buf []byte, req request) []byte {
 	buf = append(buf, envRequest)
 	buf = appendActivityID(buf, req.Target)
 	buf = appendActivityID(buf, req.Sender)
@@ -62,8 +63,20 @@ func encodeRequest(req request) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, req.Future.Seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Method)))
 	buf = append(buf, req.Method...)
-	buf = wire.Encode(buf, req.Args)
 	return buf
+}
+
+func encodeRequest(req request) []byte {
+	buf := appendRequestHeader(make([]byte, 0, 64+wire.EncodedSize(req.Args)), req)
+	return wire.Encode(buf, req.Args)
+}
+
+// encodeRequestShared builds a request envelope around pre-encoded args
+// bytes: a broadcast encodes its shared arguments once and stamps only the
+// per-member header, instead of re-serializing the value N times.
+func encodeRequestShared(req request, argsEnc []byte) []byte {
+	buf := appendRequestHeader(make([]byte, 0, 64+len(argsEnc)), req)
+	return append(buf, argsEnc...)
 }
 
 // decodeRequest decodes a request envelope. The wire decoding of Args is
@@ -157,6 +170,124 @@ func decodeDGCPayload(buf []byte) (ids.ActivityID, core.Message, error) {
 	target, rest := readActivityID(buf)
 	msg, err := core.DecodeMessage(rest)
 	return target, msg, err
+}
+
+// dgcSingleSize is the exact length of a single-message DGC payload. A
+// batched payload always differs (tag + count prefix ahead of 33-byte
+// entries), which is how HandleCall tells the two apart without a version
+// byte in the single-message format.
+const dgcSingleSize = 8 + core.MessageWireSize
+
+// dgcBatchTag marks a batched DGC payload (and its batched response):
+// with batching enabled, one beat ships every due message toward a
+// destination node in a single exchange instead of one call per
+// (referencer, referenced) pair.
+const dgcBatchTag byte = 0xB7
+
+// isDGCBatch reports whether a ClassDGC payload is a batch envelope.
+func isDGCBatch(buf []byte) bool {
+	return len(buf) > 0 && buf[0] == dgcBatchTag && len(buf) != dgcSingleSize
+}
+
+// dgcBatchEntry is one (target, message) pair of a batched beat.
+type dgcBatchEntry struct {
+	Target ids.ActivityID
+	Msg    core.Message
+}
+
+// encodeDGCBatchPayload packs entries as: tag byte, uvarint count, then
+// count × (8 B target + core.MessageWireSize message).
+func encodeDGCBatchPayload(entries []dgcBatchEntry) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen32+len(entries)*dgcSingleSize)
+	buf = append(buf, dgcBatchTag)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = appendActivityID(buf, e.Target)
+		buf = append(buf, core.EncodeMessage(e.Msg)...)
+	}
+	return buf
+}
+
+func decodeDGCBatchPayload(buf []byte) ([]dgcBatchEntry, error) {
+	if len(buf) < 2 || buf[0] != dgcBatchTag {
+		return nil, fmt.Errorf("%w: dgc batch payload", errBadEnvelope)
+	}
+	count, sz := binary.Uvarint(buf[1:])
+	if sz <= 0 || count > uint64(len(buf))/dgcSingleSize+1 {
+		return nil, fmt.Errorf("%w: dgc batch count", errBadEnvelope)
+	}
+	buf = buf[1+sz:]
+	entries := make([]dgcBatchEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(buf) < dgcSingleSize {
+			return nil, fmt.Errorf("%w: truncated dgc batch", errBadEnvelope)
+		}
+		var e dgcBatchEntry
+		e.Target, buf = readActivityID(buf)
+		msg, err := core.DecodeMessage(buf)
+		if err != nil {
+			return nil, err
+		}
+		e.Msg = msg
+		buf = buf[core.MessageWireSize:]
+		entries = append(entries, e)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: trailing dgc batch bytes", errBadEnvelope)
+	}
+	return entries, nil
+}
+
+// encodeDGCBatchResponse packs the per-entry responses positionally: tag
+// byte, uvarint count, then count × (1 B present flag + response when
+// present). An absent response means the entry's target is gone — the
+// batched equivalent of the empty single-exchange response.
+func encodeDGCBatchResponse(resps []*core.Response) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen32+len(resps)*(1+core.ResponseWireSize))
+	buf = append(buf, dgcBatchTag)
+	buf = binary.AppendUvarint(buf, uint64(len(resps)))
+	for _, r := range resps {
+		if r == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = append(buf, core.EncodeResponse(*r)...)
+	}
+	return buf
+}
+
+func decodeDGCBatchResponse(buf []byte) ([]*core.Response, error) {
+	if len(buf) < 2 || buf[0] != dgcBatchTag {
+		return nil, fmt.Errorf("%w: dgc batch response", errBadEnvelope)
+	}
+	count, sz := binary.Uvarint(buf[1:])
+	if sz <= 0 || count > uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: dgc batch response count", errBadEnvelope)
+	}
+	buf = buf[1+sz:]
+	resps := make([]*core.Response, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("%w: truncated dgc batch response", errBadEnvelope)
+		}
+		present := buf[0] != 0
+		buf = buf[1:]
+		if !present {
+			resps = append(resps, nil)
+			continue
+		}
+		r, err := core.DecodeResponse(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = buf[core.ResponseWireSize:]
+		resps = append(resps, &r)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: trailing dgc batch response bytes", errBadEnvelope)
+	}
+	return resps, nil
 }
 
 func appendActivityID(buf []byte, id ids.ActivityID) []byte {

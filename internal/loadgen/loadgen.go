@@ -1,0 +1,454 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/active"
+	"repro/internal/tcpnet"
+)
+
+// Mix weights the workload's operation classes. Zero-valued mixes default
+// to calls only.
+type Mix struct {
+	// Call is the weight of single typed request/reply round-trips.
+	Call int `json:"call"`
+	// Broadcast is the weight of group fan-outs (Broadcast + WaitAll).
+	Broadcast int `json:"broadcast"`
+	// Churn is the weight of DGC churn: spawn an activity, call it once,
+	// release it into the collector's hands.
+	Churn int `json:"churn"`
+}
+
+func (m Mix) normalized() Mix {
+	if m.Call <= 0 && m.Broadcast <= 0 && m.Churn <= 0 {
+		return Mix{Call: 1}
+	}
+	return m
+}
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Backend selects the substrate: "sim" (in-memory) or "tcp" (real
+	// loopback TCP). Defaults to "sim".
+	Backend string `json:"backend"`
+	// Nodes is the number of worker nodes hosting echo actors (the caller
+	// runs on its own extra node). Defaults to 4.
+	Nodes int `json:"nodes"`
+	// ActorsPerNode is the number of echo activities per worker node.
+	// Defaults to 4.
+	ActorsPerNode int `json:"actors_per_node"`
+	// GroupSize is the fan-out width of broadcast operations. Defaults to
+	// min(16, total actors).
+	GroupSize int `json:"group_size"`
+	// Workers is the closed-loop concurrency (ignored in open loop).
+	// Defaults to 2×GOMAXPROCS.
+	Workers int `json:"workers"`
+	// RatePerSec switches to open-loop arrival at that rate: operations
+	// are launched on schedule regardless of completions (the arrival
+	// process of a public service), and latency includes any queueing the
+	// system builds up. 0 keeps the closed loop.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Duration is the measured run length. Defaults to 2s.
+	Duration time.Duration `json:"-"`
+	// Mix weights the operation classes.
+	Mix Mix `json:"mix"`
+	// PayloadBytes sizes the opaque payload carried by calls and
+	// broadcasts. Defaults to 64.
+	PayloadBytes int `json:"payload_bytes"`
+	// BatchWindow/BatchBytes configure the runtime's batching path
+	// (Config.BatchWindow of the runtime; zero = batching off).
+	BatchWindow time.Duration `json:"-"`
+	// BatchBytes caps one batch frame's payload.
+	BatchBytes int `json:"batch_bytes,omitempty"`
+	// DisableDGC turns the collector off to isolate the messaging path.
+	DisableDGC bool `json:"disable_dgc,omitempty"`
+	// DropConnsEvery, when positive on the tcp backend, forcibly drops
+	// every established connection at that period — the soak harness's
+	// transient-failure chaos.
+	DropConnsEvery time.Duration `json:"-"`
+	// OpTimeout bounds one operation's wait (a lost future update, e.g.
+	// under connection chaos, then counts as an error instead of wedging a
+	// worker). Defaults to 30s.
+	OpTimeout time.Duration `json:"-"`
+	// Seed makes operation interleaving reproducible.
+	Seed int64 `json:"seed"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = "sim"
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.ActorsPerNode <= 0 {
+		c.ActorsPerNode = 4
+	}
+	total := c.Nodes * c.ActorsPerNode
+	if c.GroupSize <= 0 || c.GroupSize > total {
+		c.GroupSize = total
+		if c.GroupSize > 16 {
+			c.GroupSize = 16
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 64
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Mix = c.Mix.normalized()
+	return c
+}
+
+// OpStats aggregates one operation class.
+type OpStats struct {
+	// Ops is the number of completed operations.
+	Ops uint64 `json:"ops"`
+	// Errors is the number of failed operations.
+	Errors uint64 `json:"errors"`
+	// Latency digests the class's latency histogram.
+	Latency LatencySummary `json:"latency"`
+}
+
+// ClassTraffic is the accounted traffic of one transport class.
+type ClassTraffic struct {
+	// Bytes is the total accounted payload bytes.
+	Bytes uint64 `json:"bytes"`
+	// Messages is the number of accounted payloads.
+	Messages uint64 `json:"messages"`
+}
+
+// Result is the machine-readable outcome of one run.
+type Result struct {
+	// Config echoes the effective configuration.
+	Config Config `json:"config"`
+	// OpenLoop records whether arrival was open-loop.
+	OpenLoop bool `json:"open_loop"`
+	// Batched records whether the batching path was enabled.
+	Batched bool `json:"batched"`
+	// BatchWindowMicros is the batching window in microseconds (0 = off).
+	BatchWindowMicros int64 `json:"batch_window_us"`
+	// DurationSeconds is the measured wall time.
+	DurationSeconds float64 `json:"duration_s"`
+	// TotalOps counts completed operations across classes.
+	TotalOps uint64 `json:"total_ops"`
+	// Throughput is completed operations per second.
+	Throughput float64 `json:"throughput_ops_per_s"`
+	// MessagesPerSec is accounted transport messages per second.
+	MessagesPerSec float64 `json:"messages_per_s"`
+	// Calls, Broadcasts and Churns digest the per-class measurements.
+	Calls      OpStats `json:"calls"`
+	Broadcasts OpStats `json:"broadcasts"`
+	Churns     OpStats `json:"churns"`
+	// Traffic maps transport class names to accounted totals.
+	Traffic map[string]ClassTraffic `json:"traffic"`
+	// LiveActivities is the live count at the end (churn backlog the DGC
+	// still owes).
+	LiveActivities int `json:"live_activities"`
+	// CollectedActivities is how many the DGC reclaimed during the run.
+	CollectedActivities int `json:"collected_activities"`
+}
+
+// echoReq/echoResp are the workload's wire shapes.
+type echoReq struct {
+	Seq     int64  `wire:"seq"`
+	Payload []byte `wire:"payload"`
+}
+
+type echoResp struct {
+	Seq  int64 `wire:"seq"`
+	Echo int64 `wire:"echo"`
+}
+
+// opKind indexes the per-worker stats.
+type opKind int
+
+const (
+	opCall opKind = iota
+	opBroadcast
+	opChurn
+	numOps
+)
+
+// workerStats is one worker's (or one open-loop shard's) private tally.
+type workerStats struct {
+	hist   [numOps]histogram
+	ops    [numOps]uint64
+	errors [numOps]uint64
+}
+
+// Run executes one load-generation run and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+
+	envCfg := active.Config{
+		DisableDGC:  cfg.DisableDGC,
+		BatchWindow: cfg.BatchWindow,
+		BatchBytes:  cfg.BatchBytes,
+	}
+	var dropper interface{ DropConnections() }
+	switch cfg.Backend {
+	case "sim":
+	case "tcp":
+		tr, err := tcpnet.New(tcpnet.Config{})
+		if err != nil {
+			return Result{}, err
+		}
+		envCfg.Transport = tr
+		dropper = tr
+	default:
+		return Result{}, fmt.Errorf("loadgen: unknown backend %q", cfg.Backend)
+	}
+	env := active.NewEnv(envCfg)
+	defer env.Close()
+
+	// Topology: one caller node plus worker nodes full of echo actors;
+	// the caller re-anchors a handle per actor so every operation crosses
+	// the transport.
+	caller := env.NewNode()
+	svc := active.NewService(active.Method("echo", func(_ *active.Context, req echoReq) (echoResp, error) {
+		return echoResp{Seq: req.Seq, Echo: int64(len(req.Payload))}, nil
+	}))
+	workerNodes := make([]*active.Node, cfg.Nodes)
+	for i := range workerNodes {
+		workerNodes[i] = env.NewNode()
+	}
+	var stubs []active.Stub[echoReq, echoResp]
+	var handles []*active.Handle
+	for ni, n := range workerNodes {
+		for a := 0; a < cfg.ActorsPerNode; a++ {
+			local := n.NewActive(fmt.Sprintf("echo-%d-%d", ni, a), svc)
+			defer local.Release()
+			remote, err := caller.HandleFor(local.Ref())
+			if err != nil {
+				return Result{}, err
+			}
+			defer remote.Release()
+			handles = append(handles, remote)
+			stubs = append(stubs, active.NewStub[echoReq, echoResp](remote, "echo"))
+		}
+	}
+	group := active.NewGroup[echoReq, echoResp]("echo", handles[:cfg.GroupSize]...)
+
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	mix := cfg.Mix
+	weightTotal := mix.Call + mix.Broadcast + mix.Churn
+
+	var seq atomic.Int64
+	churnNode := func(rng *rand.Rand) *active.Node {
+		return workerNodes[rng.Intn(len(workerNodes))]
+	}
+	runOp := func(rng *rand.Rand, st *workerStats) {
+		k := opCall
+		switch w := rng.Intn(weightTotal); {
+		case w < mix.Call:
+			k = opCall
+		case w < mix.Call+mix.Broadcast:
+			k = opBroadcast
+		default:
+			k = opChurn
+		}
+		req := echoReq{Seq: seq.Add(1), Payload: payload}
+		start := time.Now()
+		var err error
+		switch k {
+		case opCall:
+			_, err = stubs[rng.Intn(len(stubs))].CallSync(req, cfg.OpTimeout)
+		case opBroadcast:
+			var fg *active.FutureGroup[echoResp]
+			if fg, err = group.Broadcast(req); err == nil {
+				_, err = fg.WaitAll(cfg.OpTimeout)
+			}
+		case opChurn:
+			// Spawn, reference, call, release: the lifecycle that feeds
+			// the DGC a steady diet of fresh edges and fresh garbage.
+			h := churnNode(rng).NewActive("churn", svc)
+			var hc *active.Handle
+			if hc, err = caller.HandleFor(h.Ref()); err == nil {
+				_, err = active.NewStub[echoReq, echoResp](hc, "echo").CallSync(req, cfg.OpTimeout)
+				hc.Release()
+			}
+			h.Release()
+		}
+		if err != nil {
+			// Failed operations count separately and stay out of the
+			// latency digest: a timed-out call would otherwise both
+			// inflate throughput and poison the tail percentiles.
+			st.errors[k]++
+			return
+		}
+		st.hist[k].record(time.Since(start))
+		st.ops[k]++
+	}
+
+	env.Network().ResetCounters()
+	collectedBefore := env.Stats().Collected
+	var collectedBeforeTotal int
+	for _, c := range collectedBefore {
+		collectedBeforeTotal += c
+	}
+
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	if dropper != nil && cfg.DropConnsEvery > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			t := time.NewTicker(cfg.DropConnsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					dropper.DropConnections()
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var statsList []*workerStats
+	if cfg.RatePerSec > 0 {
+		statsList = runOpenLoop(cfg, stop, runOp)
+	} else {
+		statsList = runClosedLoop(cfg, stop, runOp)
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	chaosWG.Wait()
+
+	// Merge the per-worker tallies.
+	var merged workerStats
+	for _, st := range statsList {
+		for k := opKind(0); k < numOps; k++ {
+			merged.hist[k].merge(&st.hist[k])
+			merged.ops[k] += st.ops[k]
+			merged.errors[k] += st.errors[k]
+		}
+	}
+	snap := env.Network().Snapshot()
+
+	res := Result{
+		Config:            cfg,
+		OpenLoop:          cfg.RatePerSec > 0,
+		Batched:           cfg.BatchWindow > 0,
+		BatchWindowMicros: int64(cfg.BatchWindow / time.Microsecond),
+		DurationSeconds:   elapsed.Seconds(),
+		Traffic:           make(map[string]ClassTraffic),
+		LiveActivities:    env.LiveActivities(),
+	}
+	opStats := func(k opKind) OpStats {
+		return OpStats{Ops: merged.ops[k], Errors: merged.errors[k], Latency: merged.hist[k].summary()}
+	}
+	res.Calls = opStats(opCall)
+	res.Broadcasts = opStats(opBroadcast)
+	res.Churns = opStats(opChurn)
+	res.TotalOps = merged.ops[opCall] + merged.ops[opBroadcast] + merged.ops[opChurn]
+	if elapsed > 0 {
+		res.Throughput = float64(res.TotalOps) / elapsed.Seconds()
+	}
+	var msgs uint64
+	for class, b := range snap.Bytes {
+		msgs += snap.Messages[class]
+		res.Traffic[class.String()] = ClassTraffic{Bytes: b, Messages: snap.Messages[class]}
+	}
+	if elapsed > 0 {
+		res.MessagesPerSec = float64(msgs) / elapsed.Seconds()
+	}
+	var collectedTotal int
+	for _, c := range env.Stats().Collected {
+		collectedTotal += c
+	}
+	res.CollectedActivities = collectedTotal - collectedBeforeTotal
+	return res, nil
+}
+
+// runClosedLoop drives Workers goroutines that each issue operations
+// back-to-back until the duration elapses: the throughput-probe shape.
+func runClosedLoop(cfg Config, stop <-chan struct{}, runOp func(*rand.Rand, *workerStats)) []*workerStats {
+	deadline := time.Now().Add(cfg.Duration)
+	stats := make([]*workerStats, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		st := &workerStats{}
+		stats[w] = st
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				runOp(rng, st)
+			}
+		}()
+	}
+	wg.Wait()
+	return stats
+}
+
+// runOpenLoop launches operations on an arrival schedule regardless of
+// completions (bounded by a generous in-flight cap so a stalled system
+// sheds load instead of leaking goroutines): the latency-under-rate
+// shape. Shed arrivals are counted as errors of the call class.
+func runOpenLoop(cfg Config, stop <-chan struct{}, runOp func(*rand.Rand, *workerStats)) []*workerStats {
+	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	const maxInFlight = 4096
+	sem := make(chan struct{}, maxInFlight)
+	deadline := time.Now().Add(cfg.Duration)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	var mu sync.Mutex
+	var stats []*workerStats
+	var wg sync.WaitGroup
+	var arrival atomic.Int64
+	var shed uint64
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		select {
+		case sem <- struct{}{}:
+		default:
+			shed++
+			continue
+		}
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			st := &workerStats{}
+			rng := rand.New(rand.NewSource(cfg.Seed + n))
+			runOp(rng, st)
+			mu.Lock()
+			stats = append(stats, st)
+			mu.Unlock()
+		}(arrival.Add(1))
+	}
+	wg.Wait()
+	if shed > 0 {
+		st := &workerStats{}
+		st.errors[opCall] += shed
+		stats = append(stats, st)
+	}
+	return stats
+}

@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles records a known distribution and checks the
+// digest's quantiles land in the right buckets (≤ 6.25% relative error by
+// construction of the log-linear bucketing).
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	check := func(name string, got, want float64) {
+		if got < want*0.9 || got > want*1.1 {
+			t.Fatalf("%s = %.1fµs, want ≈ %.1fµs", name, got, want)
+		}
+	}
+	check("p50", s.P50Micros, 500)
+	check("p90", s.P90Micros, 900)
+	check("p99", s.P99Micros, 990)
+	check("mean", s.MeanMicros, 500.5)
+	if s.MaxMicros != 1000 {
+		t.Fatalf("max = %.1f", s.MaxMicros)
+	}
+}
+
+// TestHistogramMerge checks per-worker histograms fold losslessly.
+func TestHistogramMerge(t *testing.T) {
+	var a, b histogram
+	for i := 0; i < 100; i++ {
+		a.record(10 * time.Microsecond)
+		b.record(1000 * time.Microsecond)
+	}
+	a.merge(&b)
+	if a.total != 200 {
+		t.Fatalf("total = %d", a.total)
+	}
+	s := a.summary()
+	if s.P50Micros > 100 || s.P90Micros < 500 {
+		t.Fatalf("merged digest off: %+v", s)
+	}
+}
+
+// TestBucketMonotone sanity-checks the bucket mapping: indices and lower
+// bounds are monotone over a wide range.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for us := 0; us < 1<<20; us = us*9/8 + 1 {
+		idx := bucketOf(time.Duration(us) * time.Microsecond)
+		if idx < prev {
+			t.Fatalf("bucketOf(%dµs) = %d < previous %d", us, idx, prev)
+		}
+		if low := bucketLow(idx); low > time.Duration(us)*time.Microsecond {
+			t.Fatalf("bucketLow(%d) = %v above the value %dµs that mapped there", idx, low, us)
+		}
+		prev = idx
+	}
+}
+
+// TestRunClosedLoopSim smoke-tests the engine end to end on the simnet
+// backend: a short mixed run must complete operations of every class
+// without errors and account traffic.
+func TestRunClosedLoopSim(t *testing.T) {
+	res, err := Run(Config{
+		Backend:       "sim",
+		Nodes:         2,
+		ActorsPerNode: 2,
+		Workers:       4,
+		Duration:      200 * time.Millisecond,
+		Mix:           Mix{Call: 6, Broadcast: 1, Churn: 1},
+		BatchWindow:   100 * time.Microsecond,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Calls.Errors+res.Broadcasts.Errors+res.Churns.Errors != 0 {
+		t.Fatalf("errors: %+v %+v %+v", res.Calls, res.Broadcasts, res.Churns)
+	}
+	if res.Calls.Ops == 0 || res.Broadcasts.Ops == 0 || res.Churns.Ops == 0 {
+		t.Fatalf("mix incomplete: calls=%d broadcasts=%d churns=%d",
+			res.Calls.Ops, res.Broadcasts.Ops, res.Churns.Ops)
+	}
+	if res.Traffic["app"].Messages == 0 || res.Traffic["future"].Messages == 0 {
+		t.Fatalf("no traffic accounted: %+v", res.Traffic)
+	}
+	if res.Calls.Latency.P50Micros <= 0 {
+		t.Fatalf("empty latency digest: %+v", res.Calls.Latency)
+	}
+}
+
+// TestRunOpenLoopSim smoke-tests the open-loop arrival path.
+func TestRunOpenLoopSim(t *testing.T) {
+	res, err := Run(Config{
+		Backend:       "sim",
+		Nodes:         2,
+		ActorsPerNode: 2,
+		RatePerSec:    2000,
+		Duration:      200 * time.Millisecond,
+		DisableDGC:    true,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OpenLoop {
+		t.Fatal("open loop not recorded")
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+}
+
+// TestRunTCPWithChaos smoke-tests the tcp backend under periodic
+// connection drops: operations may fail transiently but the run must
+// complete and most operations must succeed (reconnect works).
+func TestRunTCPWithChaos(t *testing.T) {
+	res, err := Run(Config{
+		Backend:        "tcp",
+		Nodes:          2,
+		ActorsPerNode:  2,
+		Workers:        4,
+		Duration:       300 * time.Millisecond,
+		Mix:            Mix{Call: 1},
+		BatchWindow:    100 * time.Microsecond,
+		DisableDGC:     true,
+		DropConnsEvery: 50 * time.Millisecond,
+		OpTimeout:      time.Second,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Calls.Errors*2 > res.Calls.Ops {
+		t.Fatalf("chaos drowned the run: %d errors of %d ops", res.Calls.Errors, res.Calls.Ops)
+	}
+}

@@ -23,6 +23,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -78,21 +79,34 @@ type Config struct {
 // Counters is a snapshot of accounted traffic; see transport.Counters.
 type Counters = transport.Counters
 
+// numShards is the routing-table shard count: handler lookups and queue
+// get-or-creates for a destination contend only with traffic hashing to
+// the same shard, not with every sender in the world (the seed's single
+// routing mutex was the first thing the profiler surfaced once frames got
+// cheap).
+const numShards = 32
+
+// shard is one slice of the routing state, keyed by destination node.
+type shard struct {
+	mu     sync.Mutex
+	nodes  map[ids.NodeID]Handler
+	queues map[pairKey]*pairQueue
+}
+
 // Network is the shared medium. Create with New, attach nodes with
 // Register, stop with Close. It implements transport.Transport.
 type Network struct {
 	cfg Config
 
-	mu     sync.Mutex
-	nodes  map[ids.NodeID]Handler
-	queues map[pairKey]*pairQueue
-	closed bool
+	closed atomic.Bool
+	shards [numShards]shard
 	wg     sync.WaitGroup
 
 	counters transport.CounterSet
 }
 
 var _ transport.Transport = (*Network)(nil)
+var _ transport.BatchSender = (*Endpoint)(nil)
 
 type pairKey struct {
 	src, dst ids.NodeID
@@ -109,11 +123,17 @@ func New(cfg Config) *Network {
 	if cfg.Reachable == nil {
 		cfg.Reachable = func(_, _ ids.NodeID) bool { return true }
 	}
-	return &Network{
-		cfg:    cfg,
-		nodes:  make(map[ids.NodeID]Handler),
-		queues: make(map[pairKey]*pairQueue),
+	n := &Network{cfg: cfg}
+	for i := range n.shards {
+		n.shards[i].nodes = make(map[ids.NodeID]Handler)
+		n.shards[i].queues = make(map[pairKey]*pairQueue)
 	}
+	return n
+}
+
+// shardFor returns the routing shard owning destination node id.
+func (n *Network) shardFor(id ids.NodeID) *shard {
+	return &n.shards[uint32(id)%numShards]
 }
 
 // MaxComm returns the configured or derived upper bound on one-way
@@ -122,11 +142,18 @@ func (n *Network) MaxComm() time.Duration {
 	if n.cfg.MaxComm > 0 {
 		return n.cfg.MaxComm
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	var nodes []ids.NodeID
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		for id := range s.nodes {
+			nodes = append(nodes, id)
+		}
+		s.mu.Unlock()
+	}
 	var max time.Duration
-	for a := range n.nodes {
-		for b := range n.nodes {
+	for _, a := range nodes {
+		for _, b := range nodes {
 			if a == b {
 				continue
 			}
@@ -141,9 +168,10 @@ func (n *Network) MaxComm() time.Duration {
 // Register attaches a handler for node and returns its endpoint. Replacing
 // an existing registration is allowed (used when a node restarts in tests).
 func (n *Network) Register(node ids.NodeID, h Handler) transport.Endpoint {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.nodes[node] = h
+	s := n.shardFor(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes[node] = h
 	return &Endpoint{net: n, node: node}
 }
 
@@ -151,23 +179,25 @@ func (n *Network) Register(node ids.NodeID, h Handler) transport.Endpoint {
 // ErrUnknownNode. Used to simulate machine crashes (§4.2: an undetected
 // failure is indistinguishable from silence for the DGC).
 func (n *Network) Deregister(node ids.NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.nodes, node)
+	s := n.shardFor(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.nodes, node)
 }
 
 // Close stops delivery and waits for in-flight queue goroutines to drain.
 func (n *Network) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Swap(true) {
 		return
 	}
-	n.closed = true
-	for _, q := range n.queues {
-		q.close()
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		for _, q := range s.queues {
+			q.close()
+		}
+		s.mu.Unlock()
 	}
-	n.mu.Unlock()
 	n.wg.Wait()
 }
 
@@ -187,36 +217,45 @@ func (n *Network) account(class Class, size int) {
 }
 
 func (n *Network) handlerFor(node ids.NodeID) (Handler, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	if n.closed.Load() {
 		return nil, ErrClosed
 	}
-	h, ok := n.nodes[node]
+	s := n.shardFor(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.nodes[node]
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownNode, node)
 	}
 	return h, nil
 }
 
-func (n *Network) queueFor(src, dst ids.NodeID) (*pairQueue, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return nil, ErrClosed
+// route resolves dst's handler and the pair's delivery queue in one shard
+// critical section (queues are sharded by destination, so both live in the
+// same shard).
+func (n *Network) route(src, dst ids.NodeID) (Handler, *pairQueue, error) {
+	s := n.shardFor(dst)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	h, ok := s.nodes[dst]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %v", ErrUnknownNode, dst)
 	}
 	key := pairKey{src: src, dst: dst}
-	q, ok := n.queues[key]
-	if !ok {
+	q, okQ := s.queues[key]
+	if !okQ {
 		q = newPairQueue()
-		n.queues[key] = q
+		s.queues[key] = q
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
 			q.run(n.cfg.Clock)
 		}()
 	}
-	return q, nil
+	return h, q, nil
 }
 
 // Endpoint is a node's attachment point to the network. It implements
@@ -232,23 +271,27 @@ func (e *Endpoint) Node() ids.NodeID { return e.node }
 // Send transmits a one-way message to dst with FIFO ordering relative to
 // all other traffic from this node to dst.
 func (e *Endpoint) Send(dst ids.NodeID, class Class, payload []byte) error {
-	h, err := e.net.handlerFor(dst)
-	if err != nil {
-		return err
-	}
 	if e.node == dst {
 		// Intra-process: direct delivery, not accounted (paper §5).
+		h, err := e.net.handlerFor(dst)
+		if err != nil {
+			return err
+		}
 		h.HandleOneWay(e.node, class, payload)
 		return nil
 	}
 	if !e.net.cfg.Reachable(e.node, dst) {
+		// Resolve first so an unknown node still reports ErrUnknownNode.
+		if _, err := e.net.handlerFor(dst); err != nil {
+			return err
+		}
 		return fmt.Errorf("%w: %v -> %v", ErrUnreachable, e.node, dst)
 	}
-	e.net.account(class, len(payload))
-	q, err := e.net.queueFor(e.node, dst)
+	h, q, err := e.net.route(e.node, dst)
 	if err != nil {
 		return err
 	}
+	e.net.account(class, len(payload))
 	deliverAt := e.net.cfg.Clock.Now().Add(e.net.cfg.Latency(e.node, dst))
 	return q.push(item{
 		deliverAt: deliverAt,
@@ -256,25 +299,72 @@ func (e *Endpoint) Send(dst ids.NodeID, class Class, payload []byte) error {
 	})
 }
 
+// SendBatch transmits several one-way messages to dst as one delivery:
+// the whole batch pays the pair latency once and is handed to the
+// destination handler message by message, in order, without releasing the
+// pair's FIFO slot in between. Accounting stays per inner message and per
+// class, so the §5 counters are identical to the unbatched path.
+func (e *Endpoint) SendBatch(dst ids.NodeID, items []transport.BatchItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if e.node == dst {
+		h, err := e.net.handlerFor(dst)
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			h.HandleOneWay(e.node, it.Class, it.Payload)
+		}
+		return nil
+	}
+	if !e.net.cfg.Reachable(e.node, dst) {
+		if _, err := e.net.handlerFor(dst); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: %v -> %v", ErrUnreachable, e.node, dst)
+	}
+	h, q, err := e.net.route(e.node, dst)
+	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		e.net.account(it.Class, len(it.Payload))
+	}
+	batch := items[:len(items):len(items)]
+	deliverAt := e.net.cfg.Clock.Now().Add(e.net.cfg.Latency(e.node, dst))
+	return q.push(item{
+		deliverAt: deliverAt,
+		fn: func() {
+			for _, it := range batch {
+				h.HandleOneWay(e.node, it.Class, it.Payload)
+			}
+		},
+	})
+}
+
 // Call performs a request/response exchange with dst. The response travels
 // back over the same logical connection, so it is permitted even when the
 // reachability rules forbid dst → src connections.
 func (e *Endpoint) Call(dst ids.NodeID, class Class, payload []byte) ([]byte, error) {
-	h, err := e.net.handlerFor(dst)
-	if err != nil {
-		return nil, err
-	}
 	if e.node == dst {
+		h, err := e.net.handlerFor(dst)
+		if err != nil {
+			return nil, err
+		}
 		return h.HandleCall(e.node, class, payload), nil
 	}
 	if !e.net.cfg.Reachable(e.node, dst) {
+		if _, err := e.net.handlerFor(dst); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %v -> %v", ErrUnreachable, e.node, dst)
 	}
-	e.net.account(class, len(payload))
-	q, err := e.net.queueFor(e.node, dst)
+	h, q, err := e.net.route(e.node, dst)
 	if err != nil {
 		return nil, err
 	}
+	e.net.account(class, len(payload))
 	type result struct {
 		resp []byte
 	}

@@ -13,13 +13,15 @@ import (
 // frame (see WIRE.md for the normative description).
 //
 //	uint32  BE  length of everything after this field (= frameHeaderLen + len(payload))
-//	byte        frame type (frameOneWay | frameCall | frameResponse)
-//	byte        traffic class (transport.Class)
+//	byte        frame type (frameOneWay | frameCall | frameResponse | frameBatch)
+//	byte        traffic class (transport.Class; 0 for frameBatch — each
+//	            inner message carries its own class)
 //	byte        flags (frameResponse only; 0 otherwise)
 //	uint32  BE  source node
 //	uint32  BE  destination node
-//	uint64  BE  call sequence number (0 for one-way frames)
-//	bytes       payload (the runtime envelope; opaque to the transport)
+//	uint64  BE  call sequence number (0 for one-way and batch frames)
+//	bytes       payload (the runtime envelope; opaque to the transport —
+//	            for frameBatch, a transport batch envelope, WIRE.md §5)
 //
 // A call's response travels back over the same connection carrying the
 // call's sequence number, which is how responses reach a caller that the
@@ -28,6 +30,7 @@ const (
 	frameOneWay byte = iota + 1
 	frameCall
 	frameResponse
+	frameBatch
 )
 
 // Response flags.
@@ -70,19 +73,11 @@ func appendFrame(buf []byte, f frame) []byte {
 	return append(buf, f.payload...)
 }
 
-// readFrame reads and decodes one frame from r.
-func readFrame(r io.Reader) (frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return frame{}, err
-	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n < frameHeaderLen || n > maxFrameSize {
-		return frame{}, fmt.Errorf("tcpnet: bad frame length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return frame{}, err
+// decodeFrame decodes one frame from buf, the length-delimited body that
+// followed a frame's length prefix. The payload aliases buf.
+func decodeFrame(buf []byte) (frame, error) {
+	if len(buf) < frameHeaderLen || len(buf) > maxFrameSize {
+		return frame{}, fmt.Errorf("tcpnet: bad frame length %d", len(buf))
 	}
 	f := frame{
 		typ:   buf[0],
@@ -92,11 +87,42 @@ func readFrame(r io.Reader) (frame, error) {
 		dst:   ids.NodeID(binary.BigEndian.Uint32(buf[7:])),
 		seq:   binary.BigEndian.Uint64(buf[11:]),
 	}
-	if n > frameHeaderLen {
+	if len(buf) > frameHeaderLen {
 		f.payload = buf[frameHeaderLen:]
 	}
-	if f.typ < frameOneWay || f.typ > frameResponse {
+	if f.typ < frameOneWay || f.typ > frameBatch {
 		return frame{}, fmt.Errorf("tcpnet: bad frame type %d", f.typ)
 	}
 	return f, nil
+}
+
+// readFrame reads and decodes one frame from r into a fresh buffer.
+func readFrame(r io.Reader) (frame, error) {
+	f, _, err := readFrameReuse(r, nil)
+	return f, err
+}
+
+// readFrameReuse reads one frame from r, reusing buf when it is large
+// enough. It returns the (possibly grown) buffer for the caller's next
+// read: the frame's payload aliases it, so the caller must finish with
+// the frame before reusing the buffer. This is the receive loop's
+// allocation-free steady state.
+func readFrameReuse(r io.Reader, buf []byte) (frame, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, buf, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < frameHeaderLen || n > maxFrameSize {
+		return frame{}, buf, fmt.Errorf("tcpnet: bad frame length %d", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:cap(buf)]
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		return frame{}, buf, err
+	}
+	f, err := decodeFrame(buf[:n])
+	return f, buf, err
 }

@@ -1,0 +1,144 @@
+package tcpnet
+
+// Fuzz and property tests of the TCP framing layer, including the PR 3
+// batch envelope: a hostile or corrupt peer must never panic the decoder
+// or desync it into accepting garbage.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// frameSeeds returns representative frames of every type.
+func frameSeeds() []frame {
+	return []frame{
+		{typ: frameOneWay, class: transport.ClassApp, src: 1, dst: 2, payload: []byte("request")},
+		{typ: frameOneWay, class: transport.ClassFuture, src: 7, dst: 1},
+		{typ: frameCall, class: transport.ClassDGC, src: 3, dst: 4, seq: 99, payload: bytes.Repeat([]byte{0xAB}, 33)},
+		{typ: frameResponse, class: transport.ClassDGC, flags: flagUnknownNode, src: 4, dst: 3, seq: 99},
+		{typ: frameBatch, src: 1, dst: 2, payload: transport.AppendBatch(nil, []transport.BatchItem{
+			{Class: transport.ClassApp, Payload: []byte("one")},
+			{Class: transport.ClassFuture, Payload: []byte("two")},
+			{Class: transport.ClassDGC, Payload: nil},
+		})},
+	}
+}
+
+// TestFrameSeedsRoundTrip checks appendFrame → readFrame is the identity for
+// every frame type, batch frames included.
+func TestFrameSeedsRoundTrip(t *testing.T) {
+	for i, f := range frameSeeds() {
+		enc := appendFrame(nil, f)
+		got, err := readFrame(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.typ != f.typ || got.class != f.class || got.flags != f.flags ||
+			got.src != f.src || got.dst != f.dst || got.seq != f.seq ||
+			!bytes.Equal(got.payload, f.payload) {
+			t.Fatalf("frame %d: round trip %+v != %+v", i, got, f)
+		}
+	}
+}
+
+// TestBatchFrameRoundTrip is the end-to-end pack/unpack property of a
+// batch frame: encode a batch envelope into a frame, read it back, walk
+// it, and require the original messages in order.
+func TestBatchFrameRoundTrip(t *testing.T) {
+	items := []transport.BatchItem{
+		{Class: transport.ClassApp, Payload: []byte("alpha")},
+		{Class: transport.ClassApp, Payload: bytes.Repeat([]byte("b"), 300)},
+		{Class: transport.ClassFuture, Payload: nil},
+		{Class: transport.ClassDGC, Payload: []byte{0}},
+	}
+	f := frame{typ: frameBatch, src: 5, dst: 6, payload: transport.AppendBatch(nil, items)}
+	got, err := readFrame(bytes.NewReader(appendFrame(nil, f)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walked []transport.BatchItem
+	if err := transport.WalkBatch(got.payload, func(class transport.Class, payload []byte) {
+		walked = append(walked, transport.BatchItem{Class: class, Payload: append([]byte(nil), payload...)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != len(items) {
+		t.Fatalf("walked %d items, want %d", len(walked), len(items))
+	}
+	for i := range items {
+		if walked[i].Class != items[i].Class || !bytes.Equal(walked[i].Payload, items[i].Payload) {
+			t.Fatalf("item %d: %v != %v", i, walked[i], items[i])
+		}
+	}
+}
+
+// TestReadFrameRejectsCorruption exercises the explicit rejection paths.
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	cases := map[string][]byte{
+		"short length": {0, 0},
+		"tiny frame":   {0, 0, 0, 1, 9},
+		"huge frame":   {0xFF, 0xFF, 0xFF, 0xFF},
+		"bad type":     appendFrame(nil, frame{typ: 0x7F, src: 1, dst: 2}),
+		"truncated":    appendFrame(nil, frame{typ: frameOneWay, src: 1, dst: 2, payload: []byte("xyz")})[:10],
+		"zero type":    appendFrame(nil, frame{typ: 0, src: 1, dst: 2}),
+	}
+	for name, data := range cases {
+		if _, err := readFrame(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary byte streams to the frame reader (and,
+// for batch frames, the envelope walker). It must fail cleanly or
+// round-trip exactly — never panic, never accept a frame that re-encodes
+// differently.
+func FuzzFrameDecode(f *testing.F) {
+	for _, fr := range frameSeeds() {
+		f.Add(appendFrame(nil, fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 19})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must re-encode to the consumed prefix.
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(appendFrame(nil, fr), data[:consumed]) {
+			t.Fatalf("accepted frame re-encodes differently (consumed %d)", consumed)
+		}
+		if fr.typ == frameBatch {
+			// The walker must not panic on whatever payload arrived.
+			_ = transport.WalkBatch(fr.payload, func(transport.Class, []byte) {})
+		}
+	})
+}
+
+// FuzzFrameDecodeReuse cross-checks the buffer-reusing reader against the
+// plain one on identical input: same accept/reject decision, same frame.
+func FuzzFrameDecodeReuse(f *testing.F) {
+	for _, fr := range frameSeeds() {
+		f.Add(appendFrame(nil, fr))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plain, errPlain := readFrame(bytes.NewReader(data))
+		scratch := make([]byte, 3) // deliberately small: force the grow path
+		reused, _, errReuse := readFrameReuse(bytes.NewReader(data), scratch)
+		if (errPlain == nil) != (errReuse == nil) {
+			t.Fatalf("readers disagree: %v vs %v", errPlain, errReuse)
+		}
+		if errPlain != nil {
+			return
+		}
+		if plain.typ != reused.typ || plain.class != reused.class || plain.flags != reused.flags ||
+			plain.src != reused.src || plain.dst != reused.dst || plain.seq != reused.seq ||
+			!bytes.Equal(plain.payload, reused.payload) {
+			t.Fatal("readers decoded different frames")
+		}
+	})
+}

@@ -30,6 +30,7 @@ package tcpnet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -98,6 +99,15 @@ type Network struct {
 }
 
 var _ transport.Transport = (*Network)(nil)
+var _ transport.BatchSender = (*endpoint)(nil)
+
+// bufPool recycles frame encode buffers: the send path's steady state
+// allocates nothing per message (the bytes are copied into the
+// connection's bufio writer before the buffer is returned).
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
 
 // pairKey identifies one ordered (source, destination) node pair; each
 // pair owns one persistent connection.
@@ -225,6 +235,31 @@ func (n *Network) Close() {
 	n.wg.Wait()
 }
 
+// DropConnections forcibly closes every established connection, outbound
+// and inbound, without touching the listener or the registered handlers:
+// in-flight calls fail, and the next send of each pair dials afresh. It
+// simulates a transient network failure (the §4.2 silence the TTA slack
+// absorbs) and is the chaos hook the reconnect conformance scenarios and
+// the soak subsystem's churn mix are built on.
+func (n *Network) DropConnections() {
+	n.mu.Lock()
+	outbound := make([]*clientConn, 0, len(n.conns))
+	for _, cc := range n.conns {
+		outbound = append(outbound, cc)
+	}
+	inbound := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+	for _, cc := range outbound {
+		cc.fail(errors.New("tcpnet: connection dropped"))
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+}
+
 // handlerFor returns the locally registered handler for node, if any.
 func (n *Network) handlerFor(node ids.NodeID) (transport.Handler, bool) {
 	n.mu.Lock()
@@ -276,7 +311,10 @@ func (n *Network) acceptLoop() {
 // serveConn processes one inbound connection. Frames are handled strictly
 // sequentially: this is what turns the one-connection-per-pair invariant
 // into per-pair FIFO delivery, and what makes a call exchange occupy the
-// connection until its handler returns (§3.2).
+// connection until its handler returns (§3.2). The read buffer is reused
+// across frames (handlers must not retain payloads, per the
+// transport.Handler contract), so a busy connection's steady state
+// allocates nothing per message.
 func (n *Network) serveConn(c net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -287,8 +325,11 @@ func (n *Network) serveConn(c net.Conn) {
 	}()
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
+	var buf []byte
 	for {
-		f, err := readFrame(r)
+		var f frame
+		var err error
+		f, buf, err = readFrameReuse(r, buf)
 		if err != nil {
 			return
 		}
@@ -298,6 +339,18 @@ func (n *Network) serveConn(c net.Conn) {
 				h.HandleOneWay(f.src, f.class, f.payload)
 			}
 			// No handler: drop, like a crashed machine would.
+		case frameBatch:
+			// One frame, many messages: deliver sequentially, preserving
+			// the pair's FIFO order. A corrupt envelope kills the
+			// connection like any other framing violation.
+			h, ok := n.handlerFor(f.dst)
+			if err := transport.WalkBatch(f.payload, func(class transport.Class, payload []byte) {
+				if ok {
+					h.HandleOneWay(f.src, class, payload)
+				}
+			}); err != nil {
+				return
+			}
 		case frameCall:
 			resp := frame{typ: frameResponse, class: f.class, src: f.dst, dst: f.src, seq: f.seq}
 			if h, ok := n.handlerFor(f.dst); ok {
@@ -305,7 +358,12 @@ func (n *Network) serveConn(c net.Conn) {
 			} else {
 				resp.flags = flagUnknownNode
 			}
-			if _, err := w.Write(appendFrame(nil, resp)); err != nil {
+			rb := getBuf()
+			enc := appendFrame((*rb)[:0], resp)
+			_, werr := w.Write(enc)
+			*rb = enc[:0]
+			putBuf(rb)
+			if werr != nil {
 				return
 			}
 			if err := w.Flush(); err != nil {
@@ -392,8 +450,38 @@ func (n *Network) conn(key pairKey, addr string) (*clientConn, error) {
 }
 
 // writeFrame sends one frame, serialized against the pair's other
-// senders.
+// senders. The encode buffer is pooled: one frame costs zero allocations
+// in steady state.
 func (cc *clientConn) writeFrame(f frame) error {
+	bp := getBuf()
+	enc := appendFrame((*bp)[:0], f)
+	err := cc.writeBytes(enc)
+	*bp = enc[:0]
+	putBuf(bp)
+	return err
+}
+
+// writeBatch sends items as one batch frame (one syscall for the whole
+// group). Encoding happens directly into a pooled buffer: no intermediate
+// envelope allocation.
+func (cc *clientConn) writeBatch(src, dst ids.NodeID, items []transport.BatchItem) error {
+	bp := getBuf()
+	enc := (*bp)[:0]
+	enc = binary.BigEndian.AppendUint32(enc, uint32(frameHeaderLen+transport.BatchSize(items)))
+	enc = append(enc, frameBatch, 0, 0)
+	enc = binary.BigEndian.AppendUint32(enc, uint32(src))
+	enc = binary.BigEndian.AppendUint32(enc, uint32(dst))
+	enc = binary.BigEndian.AppendUint64(enc, 0)
+	enc = transport.AppendBatch(enc, items)
+	err := cc.writeBytes(enc)
+	*bp = enc[:0]
+	putBuf(bp)
+	return err
+}
+
+// writeBytes writes one encoded frame, serialized against the pair's
+// other senders, and flushes it to the socket.
+func (cc *clientConn) writeBytes(enc []byte) error {
 	cc.wmu.Lock()
 	defer cc.wmu.Unlock()
 	cc.mu.Lock()
@@ -403,7 +491,7 @@ func (cc *clientConn) writeFrame(f frame) error {
 		return err
 	}
 	cc.mu.Unlock()
-	if _, err := cc.buf.Write(appendFrame(nil, f)); err != nil {
+	if _, err := cc.buf.Write(enc); err != nil {
 		return err
 	}
 	return cc.buf.Flush()
@@ -553,6 +641,90 @@ func (e *endpoint) Send(dst ids.NodeID, class transport.Class, payload []byte) e
 			// Accounted only once transmitted: a failed dial or write
 			// moves no bytes, exactly like simnet's unknown-node path.
 			e.net.counters.Account(class, len(payload))
+			return nil
+		}
+		cc.fail(lastErr)
+	}
+	return lastErr
+}
+
+// SendBatch transmits several one-way messages to dst in one batch frame:
+// one encode buffer, one write, one syscall, one receiver wake-up for the
+// whole group, with FIFO preserved relative to the pair's other traffic.
+// Groups whose payloads exceed the frame limit are split across several
+// batch frames. Accounting stays per inner message and per class, so the
+// §5 counters are identical to the unbatched path.
+func (e *endpoint) SendBatch(dst ids.NodeID, items []transport.BatchItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if e.node == dst {
+		// Intra-node: direct delivery, not accounted (paper §5).
+		h, ok := e.net.handlerFor(dst)
+		if !ok {
+			return fmt.Errorf("%w: %v", transport.ErrUnknownNode, dst)
+		}
+		for _, it := range items {
+			h.HandleOneWay(e.node, it.Class, it.Payload)
+		}
+		return nil
+	}
+	for _, it := range items {
+		if len(it.Payload) > maxPayloadSize {
+			return fmt.Errorf("tcpnet: payload %d bytes exceeds frame limit %d", len(it.Payload), maxPayloadSize)
+		}
+	}
+	addr, err := e.net.resolve(dst)
+	if err != nil {
+		return err
+	}
+	if !e.net.cfg.Reachable(e.node, dst) {
+		return fmt.Errorf("%w: %v -> %v", transport.ErrUnreachable, e.node, dst)
+	}
+	key := pairKey{src: e.node, dst: dst}
+	for len(items) > 0 {
+		chunk := items
+		if transport.BatchSize(chunk) > maxPayloadSize {
+			// Oversized group: take the longest prefix that fits one frame
+			// (every payload fits alone, so progress is guaranteed).
+			n, bytes := 0, 16
+			for n < len(chunk) {
+				sz := 1 + 10 + len(chunk[n].Payload)
+				if n > 0 && bytes+sz > maxPayloadSize {
+					break
+				}
+				bytes += sz
+				n++
+			}
+			chunk = chunk[:n]
+		}
+		if err := e.sendChunk(key, addr, chunk); err != nil {
+			return err
+		}
+		items = items[len(chunk):]
+	}
+	return nil
+}
+
+// sendChunk writes one frame-sized batch with the same
+// retry-once-on-fresh-dial semantics as Send.
+func (e *endpoint) sendChunk(key pairKey, addr string, chunk []transport.BatchItem) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cc, err := e.net.conn(key, addr)
+		if err != nil {
+			return err
+		}
+		if len(chunk) == 1 {
+			f := frame{typ: frameOneWay, class: chunk[0].Class, src: key.src, dst: key.dst, payload: chunk[0].Payload}
+			lastErr = cc.writeFrame(f)
+		} else {
+			lastErr = cc.writeBatch(key.src, key.dst, chunk)
+		}
+		if lastErr == nil {
+			for _, it := range chunk {
+				e.net.counters.Account(it.Class, len(it.Payload))
+			}
 			return nil
 		}
 		cc.fail(lastErr)

@@ -1,0 +1,481 @@
+package transport
+
+// Batch envelope and flusher: the hot-path machinery that lets
+// co-destination one-way messages travel in one frame.
+//
+// The paper's runtime pays one envelope per asynchronous call, future
+// update and DGC beat; at scale the per-message overhead (frame header,
+// syscall, queue wake-up) bounds throughput long before payload bytes do.
+// The batch envelope packs any number of (class, payload) messages of one
+// ordered (source, destination) pair into a single transport frame, and
+// the Flusher is the per-pair smart-batching engine that decides when a
+// frame is full enough to go.
+//
+// The envelope is backend-independent (WIRE.md §5 is the normative spec);
+// internal/simnet delivers it as one queue item, internal/tcpnet as one
+// TCP frame. Accounting stays per inner message and per class, so the §5
+// traffic counters are identical whether a message travelled alone or
+// batched — only frame overhead (never accounted, like frame headers)
+// changes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/vclock"
+)
+
+// BatchItem is one message inside a batch envelope.
+type BatchItem struct {
+	// Class is the traffic class of this message.
+	Class Class
+	// Payload is the message body (a runtime envelope, opaque here).
+	Payload []byte
+}
+
+// BatchSender is implemented by endpoints that can ship several one-way
+// messages to one destination in a single frame. Both built-in backends
+// implement it; the Flusher falls back to sequential Send calls when the
+// endpoint does not.
+type BatchSender interface {
+	// SendBatch transmits items to dst, in order, with FIFO ordering
+	// relative to all other traffic from this endpoint to dst. Delivery
+	// semantics per item match Send.
+	SendBatch(dst ids.NodeID, items []BatchItem) error
+}
+
+// Batch envelope encoding (WIRE.md §5):
+//
+//	uvarint  count
+//	count ×  1 byte class, uvarint payload length, payload bytes
+//
+// The envelope is the payload of a batch frame (tcpnet) or a single queue
+// item (simnet); it never appears inside another envelope.
+
+// AppendBatch encodes items after buf and returns the extended slice.
+func AppendBatch(buf []byte, items []BatchItem) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = append(buf, byte(it.Class))
+		buf = binary.AppendUvarint(buf, uint64(len(it.Payload)))
+		buf = append(buf, it.Payload...)
+	}
+	return buf
+}
+
+// BatchSize returns the encoded size of the batch envelope for items.
+func BatchSize(items []BatchItem) int {
+	n := uvarintLen(uint64(len(items)))
+	for _, it := range items {
+		n += 1 + uvarintLen(uint64(len(it.Payload))) + len(it.Payload)
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// WalkBatch decodes a batch envelope, invoking fn once per message in
+// order. The payload slices alias buf and are only valid during the call.
+func WalkBatch(buf []byte, fn func(class Class, payload []byte)) error {
+	count, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return fmt.Errorf("transport: bad batch count")
+	}
+	buf = buf[sz:]
+	if count > uint64(len(buf)) {
+		// Each message needs at least two bytes (class + length); reject
+		// absurd counts before iterating.
+		return fmt.Errorf("transport: batch count %d exceeds envelope", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(buf) < 2 {
+			return fmt.Errorf("transport: truncated batch item %d", i)
+		}
+		class := Class(buf[0])
+		n, sz := binary.Uvarint(buf[1:])
+		if sz <= 0 || n > uint64(len(buf)-1-sz) {
+			return fmt.Errorf("transport: truncated batch item %d", i)
+		}
+		body := buf[1+sz : 1+sz+int(n)]
+		buf = buf[1+sz+int(n):]
+		fn(class, body)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("transport: %d trailing bytes after batch", len(buf))
+	}
+	return nil
+}
+
+// DecodeBatch decodes a batch envelope into a fresh item slice (payloads
+// alias buf). Tests and fuzzers use it; the delivery paths use WalkBatch.
+func DecodeBatch(buf []byte) ([]BatchItem, error) {
+	var items []BatchItem
+	err := WalkBatch(buf, func(class Class, payload []byte) {
+		items = append(items, BatchItem{Class: class, Payload: payload})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// FlusherConfig parameterizes a Flusher.
+type FlusherConfig struct {
+	// Window is how long a non-urgent message may linger in a lane waiting
+	// for co-destination companions before it is flushed. Urgent traffic
+	// (call requests, future updates, explicit Flush) never waits: it is
+	// written immediately, coalescing only with whatever is already
+	// pending. Window must be > 0; a Flusher is only built when batching
+	// is enabled.
+	Window time.Duration
+	// MaxBytes caps the payload bytes of one flushed frame: a lane holding
+	// more flushes immediately and splits the backlog across frames.
+	// Defaults to 64 KiB.
+	MaxBytes int
+	// Clock drives the linger window, so batching stays deterministic
+	// under scaled or manual clocks like every other protocol timer.
+	// Defaults to the real clock.
+	Clock vclock.Clock
+}
+
+// Flusher is the per-(source, destination) smart-batching engine in front
+// of an Endpoint. Each destination gets a lane; messages append to the
+// lane and a single drainer goroutine per active lane writes them out,
+// batching whatever accumulated while the previous write was in flight
+// ("smart batching": latency is added only to traffic that asked for it
+// via the linger window, never to urgent messages). FIFO per pair is
+// preserved because a lane has exactly one drainer and Flush/Call drain
+// the lane before bypassing it.
+//
+// Send through a Flusher is asynchronous: transport errors surface to the
+// runtime the same way a lost message does (future timeout, TTA slack),
+// which is exactly the §4.1/§4.2 failure model.
+type Flusher struct {
+	ep  Endpoint
+	bs  BatchSender // non-nil when ep supports batch frames
+	cfg FlusherConfig
+
+	mu     sync.Mutex
+	lanes  map[ids.NodeID]*lane
+	closed bool
+}
+
+// lane is the pending traffic of one destination.
+type lane struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []BatchItem
+	bytes   int
+	rush    bool  // flush without lingering
+	active  bool  // a drainer goroutine owns the lane
+	enq     int64 // total messages ever enqueued
+	flushed int64 // total messages ever written out
+	err     error
+}
+
+// NewFlusher wraps ep in a batching flusher. cfg.Window must be positive.
+func NewFlusher(ep Endpoint, cfg FlusherConfig) *Flusher {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 10
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	bs, _ := ep.(BatchSender)
+	return &Flusher{ep: ep, bs: bs, cfg: cfg, lanes: make(map[ids.NodeID]*lane)}
+}
+
+func (f *Flusher) laneFor(dst ids.NodeID) (*lane, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	l, ok := f.lanes[dst]
+	if !ok {
+		l = &lane{}
+		l.cond = sync.NewCond(&l.mu)
+		f.lanes[dst] = l
+	}
+	return l, nil
+}
+
+// Send queues one message for dst. Urgent messages flush as soon as the
+// lane's writer is free — when the lane is idle the sender writes
+// inline, paying exactly the unbatched cost; when a write is already in
+// flight the message rides the next frame. Non-urgent messages may
+// linger up to the configured window waiting for companions. The error
+// reports only enqueue failures (flusher closed); write errors are
+// absorbed like a lost message, per the transport's one-way delivery
+// contract.
+func (f *Flusher) Send(dst ids.NodeID, class Class, payload []byte, urgent bool) error {
+	l, err := f.laneFor(dst)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.pending = append(l.pending, BatchItem{Class: class, Payload: payload})
+	l.bytes += len(payload)
+	l.enq++
+	if urgent {
+		l.rush = true
+	}
+	f.dispatch(l, dst, urgent)
+	return nil
+}
+
+// SendBatch queues a pre-assembled group of messages for dst (the group
+// fan-out path) and flushes them without lingering.
+func (f *Flusher) SendBatch(dst ids.NodeID, items []BatchItem) error {
+	l, err := f.laneFor(dst)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.pending = append(l.pending, items...)
+	for _, it := range items {
+		l.bytes += len(it.Payload)
+	}
+	l.enq += int64(len(items))
+	l.rush = true
+	f.dispatch(l, dst, true)
+	return nil
+}
+
+// dispatch gets the lane's new traffic written. Called with l.mu held;
+// releases it. An idle lane with urgent traffic is drained inline by the
+// calling goroutine (a bounded number of passes — the common case writes
+// the caller's own message synchronously, like the unbatched path, with
+// zero handoff latency); otherwise a drainer goroutine takes over or is
+// already running.
+func (f *Flusher) dispatch(l *lane, dst ids.NodeID, urgent bool) {
+	if l.active {
+		// A drainer (inline or goroutine) owns the lane: it will pick the
+		// new messages up on its next pass.
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return
+	}
+	l.active = true
+	if !urgent {
+		go f.drain(l, dst)
+		l.mu.Unlock()
+		return
+	}
+	if !f.drainPasses(l, dst, 2) {
+		// Still traffic after the bounded inline passes (a burst is
+		// landing): hand the lane to a goroutine and let the caller go.
+		go f.drain(l, dst)
+	}
+	l.mu.Unlock()
+}
+
+// Call drains dst's lane (preserving FIFO: queued messages cannot be
+// overtaken by the exchange) and then performs the request/response
+// exchange on the underlying endpoint.
+func (f *Flusher) Call(dst ids.NodeID, class Class, payload []byte) ([]byte, error) {
+	f.mu.Lock()
+	l := f.lanes[dst]
+	f.mu.Unlock()
+	if l != nil {
+		l.mu.Lock()
+		// Wait only for the messages enqueued before this call: later
+		// arrivals have no ordering claim on the exchange, so sustained
+		// send load cannot starve a DGC beat.
+		target := l.enq
+		for l.flushed < target {
+			l.rush = true
+			l.cond.Broadcast()
+			l.cond.Wait()
+		}
+		l.mu.Unlock()
+	}
+	return f.ep.Call(dst, class, payload)
+}
+
+// Flush forces dst's pending messages out without waiting for the window
+// (asynchronously: it does not wait for the write to complete).
+func (f *Flusher) Flush(dst ids.NodeID) {
+	f.mu.Lock()
+	l := f.lanes[dst]
+	f.mu.Unlock()
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if len(l.pending) > 0 {
+		l.rush = true
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// closeGrace bounds how long Close waits for in-flight lane writes. The
+// bound is wall time on purpose: it guards against an endpoint write
+// blocked on a hung peer (e.g. a full TCP socket buffer with no write
+// deadline), which is an OS-level condition no virtual clock governs.
+// After the grace the lane is abandoned — the caller is expected to
+// close the transport next, which fails the stuck write and lets the
+// drainer exit on its own.
+const closeGrace = 2 * time.Second
+
+// Close flushes every lane, waits (bounded by closeGrace) for the writes
+// to land, and rejects subsequent sends. It does not close the
+// underlying endpoint, and it must not be able to hang when the
+// endpoint can: a lane whose write is wedged on a dead peer is abandoned
+// to the transport's own Close.
+func (f *Flusher) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	lanes := make([]*lane, 0, len(f.lanes))
+	for _, l := range f.lanes {
+		lanes = append(lanes, l)
+	}
+	f.mu.Unlock()
+	var expired atomic.Bool
+	t := time.AfterFunc(closeGrace, func() {
+		expired.Store(true)
+		for _, l := range lanes {
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		}
+	})
+	defer t.Stop()
+	for _, l := range lanes {
+		l.mu.Lock()
+		l.rush = true
+		l.cond.Broadcast()
+		for (l.active || len(l.pending) > 0) && !expired.Load() {
+			l.cond.Wait()
+		}
+		l.mu.Unlock()
+	}
+}
+
+// drain is the goroutine form of the lane writer: it writes pending
+// messages until the lane stays empty, lingering up to the window before
+// non-rushed flushes.
+func (f *Flusher) drain(l *lane, dst ids.NodeID) {
+	l.mu.Lock()
+	f.drainPasses(l, dst, 0)
+	l.mu.Unlock()
+}
+
+// drainPasses writes the lane's pending traffic for at most maxPasses
+// write cycles (0 = until the lane stays empty). It reports whether the
+// lane was left idle (active cleared). Called — and returns — with l.mu
+// held; the lock is released around writes.
+func (f *Flusher) drainPasses(l *lane, dst ids.NodeID, maxPasses int) bool {
+	for pass := 0; ; pass++ {
+		if len(l.pending) == 0 {
+			l.rush = false
+			l.active = false
+			l.cond.Broadcast()
+			return true
+		}
+		if maxPasses > 0 && pass >= maxPasses {
+			return false
+		}
+		if !l.rush && l.bytes < f.cfg.MaxBytes {
+			// Linger: give co-destination companions up to the window to
+			// arrive before the frame goes out. The window runs on the
+			// configured clock so simulated-time runs stay deterministic.
+			fired := false
+			cancel := make(chan struct{})
+			go func() {
+				select {
+				case <-f.cfg.Clock.After(f.cfg.Window):
+					l.mu.Lock()
+					fired = true
+					l.cond.Broadcast()
+					l.mu.Unlock()
+				case <-cancel:
+				}
+			}()
+			for !fired && !l.rush && l.bytes < f.cfg.MaxBytes {
+				l.cond.Wait()
+			}
+			close(cancel)
+		}
+		items := takeUpTo(l, f.cfg.MaxBytes)
+		l.mu.Unlock()
+		err := f.write(dst, items)
+		l.mu.Lock()
+		l.flushed += int64(len(items))
+		if err != nil && l.err == nil {
+			l.err = err
+		}
+		l.cond.Broadcast()
+	}
+}
+
+// takeUpTo removes up to maxBytes of pending payload from the lane
+// (always at least one item). Caller holds l.mu.
+func takeUpTo(l *lane, maxBytes int) []BatchItem {
+	var bytes, i int
+	for i < len(l.pending) {
+		sz := len(l.pending[i].Payload)
+		if i > 0 && bytes+sz > maxBytes {
+			break
+		}
+		bytes += sz
+		i++
+	}
+	items := l.pending[:i:i]
+	l.pending = l.pending[i:]
+	if len(l.pending) == 0 {
+		l.pending = nil // let the flushed backing array go
+	}
+	l.bytes -= bytes
+	return items
+}
+
+// write ships one formed batch: a single message goes out as a plain
+// frame (byte-identical to the unbatched path), several as one batch
+// frame when the endpoint supports it.
+func (f *Flusher) write(dst ids.NodeID, items []BatchItem) error {
+	if len(items) == 1 {
+		return f.ep.Send(dst, items[0].Class, items[0].Payload)
+	}
+	if f.bs != nil {
+		return f.bs.SendBatch(dst, items)
+	}
+	for _, it := range items {
+		if err := f.ep.Send(dst, it.Class, it.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Err returns the first write error any lane of the flusher absorbed
+// (diagnostic; the runtime's failure handling does not depend on it).
+func (f *Flusher) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, l := range f.lanes {
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// TestBatchRoundTrip is the pack/unpack property test of the batch
+// envelope: for randomized item sets (count, classes, payload sizes
+// including empty), DecodeBatch(AppendBatch(items)) reproduces the items
+// exactly, in order.
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(17)
+		items := make([]BatchItem, n)
+		for i := range items {
+			p := make([]byte, rng.Intn(64))
+			rng.Read(p)
+			items[i] = BatchItem{Class: Class(rng.Intn(int(NumClasses)) + 1), Payload: p}
+		}
+		enc := AppendBatch(nil, items)
+		if got, want := len(enc), BatchSize(items); got != want {
+			t.Fatalf("trial %d: encoded %d bytes, BatchSize says %d", trial, got, want)
+		}
+		dec, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(dec) != len(items) {
+			t.Fatalf("trial %d: %d items decoded, want %d", trial, len(dec), len(items))
+		}
+		for i := range items {
+			if dec[i].Class != items[i].Class || !bytes.Equal(dec[i].Payload, items[i].Payload) {
+				t.Fatalf("trial %d item %d: %v != %v", trial, i, dec[i], items[i])
+			}
+		}
+	}
+}
+
+// TestWalkBatchRejectsCorruption checks the decoder fails cleanly (no
+// panic, no silent success) on truncated and trailing-garbage envelopes.
+func TestWalkBatchRejectsCorruption(t *testing.T) {
+	good := AppendBatch(nil, []BatchItem{
+		{Class: ClassApp, Payload: []byte("abc")},
+		{Class: ClassDGC, Payload: []byte("defgh")},
+	})
+	for cut := 0; cut < len(good); cut++ {
+		if err := WalkBatch(good[:cut], func(Class, []byte) {}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := WalkBatch(append(good[:len(good):len(good)], 0), func(Class, []byte) {}); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if err := WalkBatch([]byte{0xff, 0xff, 0xff, 0xff, 0xff}, func(Class, []byte) {}); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+// FuzzWalkBatch drives the envelope decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must survive a re-encode/re-decode
+// round trip unchanged (uvarint lengths may be non-minimal in hostile
+// input, so byte-level canonicality is not required — item-level fidelity
+// is).
+func FuzzWalkBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendBatch(nil, nil))
+	f.Add(AppendBatch(nil, []BatchItem{{Class: ClassApp, Payload: []byte("x")}}))
+	f.Add(AppendBatch(nil, []BatchItem{
+		{Class: ClassFuture, Payload: nil},
+		{Class: ClassDGC, Payload: bytes.Repeat([]byte("y"), 40)},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeBatch(AppendBatch(nil, items))
+		if err != nil {
+			t.Fatalf("re-decode of accepted envelope failed: %v", err)
+		}
+		if len(again) != len(items) {
+			t.Fatalf("round trip changed count: %d != %d", len(again), len(items))
+		}
+		for i := range items {
+			if again[i].Class != items[i].Class || !bytes.Equal(again[i].Payload, items[i].Payload) {
+				t.Fatalf("round trip changed item %d", i)
+			}
+		}
+	})
+}
+
+// recordingEndpoint captures what a flusher writes, for order and
+// batching assertions.
+type recordingEndpoint struct {
+	mu     sync.Mutex
+	frames [][]BatchItem // one entry per Send (len 1) or SendBatch
+}
+
+func (r *recordingEndpoint) Node() ids.NodeID { return 1 }
+
+func (r *recordingEndpoint) Send(dst ids.NodeID, class Class, payload []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frames = append(r.frames, []BatchItem{{Class: class, Payload: payload}})
+	return nil
+}
+
+func (r *recordingEndpoint) SendBatch(dst ids.NodeID, items []BatchItem) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := make([]BatchItem, len(items))
+	copy(cp, items)
+	r.frames = append(r.frames, cp)
+	return nil
+}
+
+func (r *recordingEndpoint) Call(dst ids.NodeID, class Class, payload []byte) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frames = append(r.frames, []BatchItem{{Class: class, Payload: append([]byte("call:"), payload...)}})
+	return nil, nil
+}
+
+// messages flattens the recorded frames into delivery order.
+func (r *recordingEndpoint) messages() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, fr := range r.frames {
+		for _, it := range fr {
+			out = append(out, string(it.Payload))
+		}
+	}
+	return out
+}
+
+// TestFlusherPreservesFIFO hammers one lane from a single sender and
+// checks the flattened delivery order matches the send order, whatever
+// framing the flusher chose; a Call issued afterwards must come last.
+func TestFlusherPreservesFIFO(t *testing.T) {
+	ep := &recordingEndpoint{}
+	fl := NewFlusher(ep, FlusherConfig{Window: time.Millisecond})
+	defer fl.Close()
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := fl.Send(2, ClassApp, []byte(fmt.Sprintf("m%03d", i)), i%3 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fl.Call(2, ClassDGC, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := ep.messages()
+	if len(msgs) != total+1 {
+		t.Fatalf("%d messages delivered, want %d", len(msgs), total+1)
+	}
+	for i := 0; i < total; i++ {
+		if want := fmt.Sprintf("m%03d", i); msgs[i] != want {
+			t.Fatalf("position %d: %q, want %q (FIFO violated)", i, msgs[i], want)
+		}
+	}
+	if msgs[total] != "call:x" {
+		t.Fatalf("call delivered at %q, want last", msgs[total])
+	}
+}
+
+// TestFlusherCloseFlushes checks Close writes out lingering traffic
+// instead of dropping it.
+func TestFlusherCloseFlushes(t *testing.T) {
+	ep := &recordingEndpoint{}
+	fl := NewFlusher(ep, FlusherConfig{Window: time.Hour}) // linger ~forever
+	for i := 0; i < 5; i++ {
+		if err := fl.Send(2, ClassApp, []byte{byte(i)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.Close()
+	if got := len(ep.messages()); got != 5 {
+		t.Fatalf("%d messages after Close, want 5 (flush-on-close)", got)
+	}
+	if err := fl.Send(2, ClassApp, []byte("late"), true); err == nil {
+		t.Fatal("send accepted after Close")
+	}
+}
+
+// TestFlusherCoalesces checks that a burst submitted with SendBatch goes
+// out in fewer frames than messages.
+func TestFlusherCoalesces(t *testing.T) {
+	ep := &recordingEndpoint{}
+	fl := NewFlusher(ep, FlusherConfig{Window: time.Millisecond})
+	defer fl.Close()
+	items := make([]BatchItem, 8)
+	for i := range items {
+		items[i] = BatchItem{Class: ClassApp, Payload: []byte{byte(i)}}
+	}
+	if err := fl.SendBatch(2, items); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close()
+	ep.mu.Lock()
+	frames := len(ep.frames)
+	ep.mu.Unlock()
+	if got := len(ep.messages()); got != 8 {
+		t.Fatalf("%d messages delivered, want 8", got)
+	}
+	if frames >= 8 {
+		t.Fatalf("burst of 8 used %d frames, want coalescing", frames)
+	}
+}

@@ -79,6 +79,12 @@ var (
 // Handler receives traffic on behalf of a node. Implementations must be
 // safe for concurrent use: distinct senders deliver concurrently (only
 // per-pair ordering is guaranteed).
+//
+// Payload slices are owned by the transport and valid only for the
+// duration of the call: a handler that needs bytes beyond its return must
+// copy them. (The runtime's envelope decoders copy everything they keep,
+// which is what lets the TCP backend serve a connection from one reused
+// read buffer.)
 type Handler interface {
 	// HandleOneWay processes a one-way message.
 	HandleOneWay(from ids.NodeID, class Class, payload []byte)

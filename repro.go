@@ -77,7 +77,11 @@ import (
 // Re-exported core types. See the internal packages for full
 // documentation.
 type (
-	// Config parameterizes an environment (TTB, TTA, clock, topology).
+	// Config parameterizes an environment (TTB, TTA, clock, topology —
+	// and the hot-path batching knobs Config.BatchWindow/Config.BatchBytes:
+	// a positive BatchWindow routes each node's outbound traffic through a
+	// per-destination flusher that packs co-destination messages into one
+	// frame, see WIRE.md §5).
 	Config = active.Config
 	// Env is one distributed system: nodes, network, registry, DGC.
 	Env = active.Env
@@ -297,4 +301,13 @@ const (
 	DefaultTTB = 30 * time.Millisecond
 	// DefaultTTA is the default TimeToAlone conforming to the §3.1 formula.
 	DefaultTTA = 75 * time.Millisecond
+	// DefaultBatchWindow is a good batching window for throughput-bound
+	// deployments (Config.BatchWindow; zero keeps batching off). Only
+	// plain one-way sends ever wait this long — requests, replies and
+	// group fan-outs flush immediately and batch only with messages
+	// already in flight.
+	DefaultBatchWindow = 200 * time.Microsecond
+	// DefaultBatchBytes is the per-frame payload cap the runtime uses when
+	// batching is enabled and Config.BatchBytes is zero.
+	DefaultBatchBytes = 64 << 10
 )
