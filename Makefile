@@ -45,6 +45,7 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzCodecDecodeUnmarshal -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzUnmarshal -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzFutureValue -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzFrameDecode$$ -fuzztime $(FUZZTIME) ./internal/tcpnet/
 	$(GO) test -run xxx -fuzz FuzzFrameDecodeReuse -fuzztime $(FUZZTIME) ./internal/tcpnet/
 	$(GO) test -run xxx -fuzz FuzzWalkBatch -fuzztime $(FUZZTIME) ./internal/transport/

@@ -799,3 +799,118 @@ func BenchmarkSimBeat(b *testing.B) {
 		w.RunFor(30 * time.Second)
 	}
 }
+
+// --- First-class future benchmarks (PR 4) -----------------------------------
+
+// pipeWork is the per-stage work of the pipeline benchmarks: a blocking
+// delay, modelling the I/O- or downstream-bound service time of a real
+// middleware stage. The quantity under test is stage *occupancy* — how
+// long one in-flight item monopolizes a stage's single-threaded serve
+// loop — which is exactly what forwarded futures reclaim (and which a
+// CPU spin could not show on a single-core runner).
+const pipeStageDelay = 500 * time.Microsecond
+
+func pipeWork(x int64) int64 {
+	time.Sleep(pipeStageDelay)
+	return x*1664525 + 1013904223
+}
+
+// pipeWire connects a stage to its successor.
+type pipeWire struct {
+	Next repro.Value `wire:"next"`
+	Last bool        `wire:"last"`
+}
+
+// pipelineStage returns a 4-stage chain member. With forward=true a
+// non-final stage returns the *future* of its downstream call (the
+// first-class shape: the stage is free again after its own work); with
+// forward=false it waits for the downstream result at every hop (the
+// baseline the paper's §5–§6 improves on).
+func pipelineStage(forward bool) *repro.Service {
+	return repro.NewService(
+		repro.Method("wire", func(ctx *repro.Context, req pipeWire) (struct{}, error) {
+			ctx.Store("next", req.Next)
+			ctx.Store("last", repro.Bool(req.Last))
+			return struct{}{}, nil
+		}),
+		repro.Method("proc", func(ctx *repro.Context, x int64) (repro.Value, error) {
+			y := pipeWork(x)
+			if ctx.Load("last").AsBool() {
+				return repro.Int(y), nil
+			}
+			fut, err := repro.CallTyped[int64](ctx, ctx.Load("next"), "proc", y)
+			if err != nil {
+				return repro.Null(), err
+			}
+			if !forward {
+				v, err := fut.Wait(30 * time.Second)
+				if err != nil {
+					return repro.Null(), err
+				}
+				return repro.Int(v), nil
+			}
+			// Forwarded: hand the caller the unresolved future; the
+			// runtime flattens the chain to the final concrete value.
+			return repro.Marshal(fut)
+		}),
+	)
+}
+
+// benchPipeline drives concurrent items through a 4-stage cross-node
+// chain. Throughput is bounded by the busiest stage: waiting at every hop
+// keeps stage 0 occupied for the whole downstream round trip, while
+// forwarding frees each stage after its own compute, pipelining the
+// chain.
+func benchPipeline(b *testing.B, forward bool) {
+	b.Helper()
+	env := repro.NewEnv(repro.Config{DisableDGC: true})
+	b.Cleanup(env.Close)
+	caller := env.NewNode()
+	const stages = 4
+	handles := make([]*repro.Handle, stages)
+	for i := range handles {
+		handles[i] = env.NewNode().NewActive(fmt.Sprintf("stage-%d", i), pipelineStage(forward))
+	}
+	for i, h := range handles {
+		wire := repro.NewStub[pipeWire, struct{}](h, "wire")
+		var next repro.Value
+		if i < stages-1 {
+			next = handles[i+1].Ref()
+		} else {
+			next = repro.Null()
+		}
+		if _, err := wire.CallSync(pipeWire{Next: next, Last: i == stages-1}, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	head, err := caller.HandleFor(handles[0].Ref())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer head.Release()
+	proc := repro.NewStub[int64, int64](head, "proc")
+	b.ReportAllocs()
+	// Enough in-flight items to keep every stage of the chain busy; the
+	// client side is pure waiting, so high parallelism costs nothing.
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := proc.CallSync(7, 30*time.Second); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(stages, "stages")
+}
+
+// BenchmarkPipelineWaitEveryHop is the baseline: every stage blocks on
+// its downstream result, so one in-flight item occupies the whole chain.
+func BenchmarkPipelineWaitEveryHop(b *testing.B) { benchPipeline(b, false) }
+
+// BenchmarkPipelineForwarded is the first-class shape: stages forward
+// futures and are immediately free; the chain pipelines and throughput
+// approaches one item per stage-compute instead of one per chain
+// round-trip (the PR 4 acceptance bar is ≥1.5× on 4-stage chains).
+func BenchmarkPipelineForwarded(b *testing.B) { benchPipeline(b, true) }

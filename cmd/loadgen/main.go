@@ -44,7 +44,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "closed-loop concurrency (0 = 2×GOMAXPROCS)")
 		rate      = flag.Float64("rate", 0, "open-loop arrivals/sec (0 = closed loop)")
 		duration  = flag.Duration("duration", 2*time.Second, "measured run length")
-		mix       = flag.String("mix", "1:0:0", "call:broadcast:churn weights")
+		mix       = flag.String("mix", "1:0:0:0", "call:broadcast:churn[:pipeline] weights")
 		payload   = flag.Int("payload", 64, "payload bytes per request")
 		batch     = flag.Duration("batch", 0, "batch window (0 = batching off)")
 		dgcOff    = flag.Bool("no-dgc", false, "disable the DGC")
@@ -132,14 +132,14 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 	var doc suiteDoc
 	doc.Meta.GoVersion = runtime.Version()
 	doc.Meta.NumCPU = runtime.NumCPU()
-	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn = 6:2:1), regenerate with: make bench"
+	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn:pipeline = 6:2:1:2; pipeline = 4-stage forwarded-future chain), regenerate with: make bench"
 
 	for _, backend := range []string{"sim", "tcp"} {
 		for _, window := range []time.Duration{0, 200 * time.Microsecond} {
 			cfg := base
 			cfg.Backend = backend
 			cfg.BatchWindow = window
-			cfg.Mix = loadgen.Mix{Call: 6, Broadcast: 2, Churn: 1}
+			cfg.Mix = loadgen.Mix{Call: 6, Broadcast: 2, Churn: 1, Pipeline: 2}
 			res, err := loadgen.Run(cfg)
 			if err != nil {
 				return doc, fmt.Errorf("suite %s window=%v: %w", backend, window, err)
@@ -152,14 +152,14 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 
 func parseMix(s string) (loadgen.Mix, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return loadgen.Mix{}, fmt.Errorf("loadgen: -mix wants call:broadcast:churn, got %q", s)
+	if len(parts) != 3 && len(parts) != 4 {
+		return loadgen.Mix{}, fmt.Errorf("loadgen: -mix wants call:broadcast:churn[:pipeline], got %q", s)
 	}
-	var vals [3]int
+	var vals [4]int
 	for i, p := range parts {
 		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &vals[i]); err != nil {
 			return loadgen.Mix{}, fmt.Errorf("loadgen: bad mix component %q", p)
 		}
 	}
-	return loadgen.Mix{Call: vals[0], Broadcast: vals[1], Churn: vals[2]}, nil
+	return loadgen.Mix{Call: vals[0], Broadcast: vals[1], Churn: vals[2], Pipeline: vals[3]}, nil
 }

@@ -1,10 +1,12 @@
 // Command masterworker runs the paper's motivating deployment shape on
-// the typed v2 API: a master activity farming work units out to workers
-// on several nodes and folding their results, with *automatic
-// termination* — once the result has been read and the client lets go,
-// the whole master/worker graph (which is cyclic: the master references
-// the workers and every worker references the master for its callbacks)
-// vanishes through the DGC instead of requiring an explicit shutdown
+// first-class futures: a master activity farms work units out to workers
+// on several nodes — and hands the *futures* of their results straight
+// back to the client instead of collecting them itself. The master is
+// free again the moment dispatch ends (it never waits on a worker);
+// wait-by-necessity happens at the client, the final holder of the
+// forwarded futures. The graph is cyclic (master ↔ workers via
+// callbacks), so when the client lets go the whole deployment vanishes
+// through the complete DGC — *automatic termination*, no shutdown
 // protocol.
 package main
 
@@ -58,7 +60,8 @@ func workerService() *repro.Service {
 	)
 }
 
-// masterService owns the worker pool and serves "compute".
+// masterService owns the worker pool. "dispatch" fans the segments out
+// and returns the workers' futures — it does not wait for a single one.
 func masterService() *repro.Service {
 	return repro.NewService(
 		repro.Method("adopt", func(ctx *repro.Context, req adoptReq) (int64, error) {
@@ -70,10 +73,10 @@ func masterService() *repro.Service {
 			}
 			return int64(len(req.Pool)), nil
 		}),
-		repro.Method("compute", func(ctx *repro.Context, _ struct{}) (float64, error) {
+		repro.Method("dispatch", func(ctx *repro.Context, _ struct{}) ([]*repro.TypedFuture[float64], error) {
 			pool := ctx.Load("pool")
 			if pool.Len() == 0 {
-				return 0, fmt.Errorf("no workers adopted")
+				return nil, fmt.Errorf("no workers adopted")
 			}
 			futs := make([]*repro.TypedFuture[float64], 0, segments)
 			for s := 0; s < segments; s++ {
@@ -83,19 +86,17 @@ func masterService() *repro.Service {
 					Hi: float64(s+1) / segments,
 				})
 				if err != nil {
-					return 0, err
+					return nil, err
 				}
 				futs = append(futs, fut)
 			}
-			var pi float64
-			for _, fut := range futs {
-				part, err := fut.Wait(time.Minute)
-				if err != nil {
-					return 0, err
-				}
-				pi += part
-			}
-			return pi, nil
+			// First-class futures as return values: the whole batch of
+			// unresolved results travels back to the caller; the master is
+			// immediately free to serve the next request.
+			return futs, nil
+		}),
+		repro.Method("ping", func(ctx *repro.Context, _ struct{}) (bool, error) {
+			return true, nil
 		}),
 	)
 }
@@ -136,13 +137,36 @@ func run() error {
 	}
 
 	start := time.Now()
-	compute := repro.NewStub[struct{}, float64](master, "compute")
-	pi, err := compute.CallSync(struct{}{}, time.Minute)
+	dispatch := repro.NewStub[struct{}, []repro.FutureRef](master, "dispatch")
+	parts, err := dispatch.CallSync(struct{}{}, time.Minute)
 	if err != nil {
-		return fmt.Errorf("compute: %w", err)
+		return fmt.Errorf("dispatch: %w", err)
 	}
-	fmt.Printf("π ≈ %.12f  (error %.2e, %d segments on %d workers, %v)\n",
-		pi, math.Abs(pi-math.Pi), segments, workers, time.Since(start).Round(time.Millisecond))
+	dispatched := time.Since(start)
+
+	// The master already answers again while the workers are still
+	// integrating: it forwarded the futures instead of waiting on them.
+	if ok, err := repro.NewStub[struct{}, bool](master, "ping").CallSync(struct{}{}, 5*time.Second); err != nil || !ok {
+		return fmt.Errorf("master busy after dispatch: %v", err)
+	}
+
+	// Wait-by-necessity at the final holder: the client sums the segment
+	// futures; each Wait blocks only until that worker's result arrives.
+	var pi float64
+	for i, fr := range parts {
+		fut, err := master.Future(repro.FutureVal(fr))
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		part, err := repro.Typed[float64](fut).Wait(time.Minute)
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		pi += part
+	}
+	fmt.Printf("π ≈ %.12f  (error %.2e, %d segments on %d workers; dispatch returned in %v, total %v)\n",
+		pi, math.Abs(pi-math.Pi), segments, workers,
+		dispatched.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 
 	fmt.Println("\nreleasing the master — no explicit shutdown of any worker")
 	master.Release()

@@ -1,9 +1,11 @@
-// Command pipeline builds a cyclic stream-processing topology on the
-// typed v2 API: stages forward items down the line and the last stage
-// reports back to the first (a feedback edge closing a distributed
-// cycle). Such graphs are exactly what reference-listing DGCs leak; here
-// the whole ring is reclaimed automatically once the stream ends and the
-// client departs.
+// Command pipeline builds a stream-processing chain on first-class
+// futures (paper §5–§6): every stage hands its caller the *future* of the
+// downstream stage's result and is immediately free for the next item —
+// no stage ever waits on another, the whole chain pipelines, and
+// wait-by-necessity happens exactly once, at the client that finally
+// reads the value. The last stage keeps a feedback reference to the first
+// (closing a distributed cycle), so when the client departs the whole
+// ring is cyclic garbage that only a complete DGC can reclaim.
 package main
 
 import (
@@ -24,9 +26,10 @@ type wireReq struct {
 	Last bool        `wire:"last"`
 }
 
-// stageService tags the payload with the stage name and forwards it; the
-// final stage accumulates into its state and pings the head through the
-// feedback edge.
+// stageService tags the payload with the stage name and *forwards the
+// future*: a non-final stage calls downstream and returns the unresolved
+// TypedFuture as its own result. The runtime flattens the chain, so the
+// client's single future resolves to the final string.
 func stageService(name string) *repro.Service {
 	return repro.NewService(
 		repro.Method("wire", func(ctx *repro.Context, req wireReq) (struct{}, error) {
@@ -34,32 +37,27 @@ func stageService(name string) *repro.Service {
 			ctx.Store("last", repro.Bool(req.Last))
 			return struct{}{}, nil
 		}),
-		repro.Method("item", func(ctx *repro.Context, payload string) (struct{}, error) {
+		repro.Method("process", func(ctx *repro.Context, payload string) (*repro.TypedFuture[string], error) {
 			payload += "→" + name
 			if ctx.Load("last").AsBool() {
-				// Tail of the ring: record, and ping the head through the
-				// feedback edge to prove the cycle is live.
-				seen := ctx.Load("seen")
-				items := make([]repro.Value, 0, seen.Len()+1)
-				for i := 0; i < seen.Len(); i++ {
-					items = append(items, seen.At(i))
+				// Tail of the chain: ping the head through the feedback
+				// edge (keeping the cycle live) and resolve the whole
+				// forwarded chain with the concrete value.
+				if err := repro.SendTyped(ctx, ctx.Load("next"), "fed-back", struct{}{}); err != nil {
+					return nil, err
 				}
-				items = append(items, repro.String(payload))
-				ctx.Store("seen", repro.List(items...))
-				return struct{}{}, repro.SendTyped(ctx, ctx.Load("next"), "fed-back", struct{}{})
+				done, err := repro.CallTyped[string](ctx, ctx.Self(), "finish", payload)
+				return done, err
 			}
-			return struct{}{}, repro.SendTyped(ctx, ctx.Load("next"), "item", payload)
+			// Forward: call downstream and return its future without
+			// waiting — this stage is free for the next item right away.
+			return repro.CallTyped[string](ctx, ctx.Load("next"), "process", payload)
+		}),
+		repro.Method("finish", func(ctx *repro.Context, payload string) (string, error) {
+			return payload, nil
 		}),
 		repro.Method("fed-back", func(ctx *repro.Context, _ struct{}) (struct{}, error) {
 			return struct{}{}, nil
-		}),
-		repro.Method("drain", func(ctx *repro.Context, _ struct{}) ([]string, error) {
-			seen := ctx.Load("seen")
-			out := make([]string, seen.Len())
-			for i := range out {
-				out[i] = seen.At(i).AsString()
-			}
-			return out, nil
 		}),
 	)
 }
@@ -82,7 +80,7 @@ func run() error {
 		handles[i] = node.NewActive(fmt.Sprintf("stage-%d", i),
 			stageService(fmt.Sprintf("s%d", i)))
 	}
-	// Wire the ring: stage i → stage i+1, last stage → stage 0 (feedback).
+	// Wire the chain: stage i → stage i+1, last stage → stage 0 (feedback).
 	for i, h := range handles {
 		wire := repro.NewStub[wireReq, struct{}](h, "wire")
 		next := handles[(i+1)%stages]
@@ -91,26 +89,29 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("streaming items through a %d-stage ring with a feedback edge...\n", stages)
-	feed := repro.NewStub[string, struct{}](handles[0], "item")
-	for i := 0; i < 5; i++ {
-		if err := feed.Send(fmt.Sprintf("item%d", i)); err != nil {
+	fmt.Printf("streaming items through a %d-stage chain on forwarded futures...\n", stages)
+	process := repro.NewStub[string, string](handles[0], "process")
+	// Fire every item asynchronously: with forwarded futures no stage
+	// blocks on a downstream stage, so all items are in flight across all
+	// stages at once. The only Wait calls in this whole program are the
+	// client's, below.
+	futs := make([]*repro.TypedFuture[string], 5)
+	for i := range futs {
+		fut, err := process.Call(fmt.Sprintf("item%d", i))
+		if err != nil {
 			return err
 		}
+		futs[i] = fut
 	}
-	// Give the stream a moment to drain, then read the tail.
-	time.Sleep(200 * time.Millisecond)
-	drain := repro.NewStub[struct{}, []string](handles[stages-1], "drain")
-	out, err := drain.CallSync(struct{}{}, 5*time.Second)
-	if err != nil {
-		return fmt.Errorf("drain: %w", err)
-	}
-	fmt.Printf("tail stage saw %d items:\n", len(out))
-	for _, item := range out {
-		fmt.Println("  ", item)
-	}
-	if len(out) > 0 && !strings.Contains(out[0], "s0→s1") {
-		return fmt.Errorf("pipeline order broken: %v", out[0])
+	for i, fut := range futs {
+		out, err := fut.Wait(10 * time.Second)
+		if err != nil {
+			return fmt.Errorf("item%d: %w", i, err)
+		}
+		fmt.Println("  ", out)
+		if !strings.Contains(out, "s0→s1→s2→s3") {
+			return fmt.Errorf("pipeline order broken: %v", out)
+		}
 	}
 
 	fmt.Println("\nstream over; detaching — the feedback ring is cyclic garbage now")

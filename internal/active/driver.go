@@ -16,13 +16,15 @@ import (
 func (n *Node) runDriver() {
 	defer n.wg.Done()
 	if n.env.cfg.DisableDGC {
-		// Baseline mode: only the local heap is collected.
+		// Baseline mode: only the local heap (and the future table, whose
+		// lifecycle is purely local) is collected.
 		for {
 			select {
 			case <-n.stop:
 				return
 			case <-n.env.cfg.Clock.After(n.env.cfg.TTB):
 				n.heap.Collect()
+				n.futures.sweep(n.heap, n.env.cfg.Clock.Now(), n.env.cfg.TTA)
 			}
 		}
 	}
@@ -56,6 +58,10 @@ type dgcOut struct {
 // cannot delay the rest of the beat.
 func (n *Node) beat() {
 	n.heap.Collect()
+	// Future entries are reclaimed right after the sweep refreshed the
+	// future-tag liveness: resolved entries whose last heap pin died a
+	// TTA-grace ago go; anything still owed an update stays.
+	n.futures.sweep(n.heap, n.env.cfg.Clock.Now(), n.env.cfg.TTA)
 	now := n.env.cfg.Clock.Now()
 
 	var broadcasts sync.WaitGroup
@@ -159,6 +165,7 @@ func (n *Node) sendDGCBatch(dst ids.NodeID, outs []dgcOut) {
 func (n *Node) CollectNow() {
 	if n.env.cfg.DisableDGC {
 		n.heap.Collect()
+		n.futures.sweep(n.heap, n.env.cfg.Clock.Now(), n.env.cfg.TTA)
 		return
 	}
 	n.beat()

@@ -71,6 +71,11 @@ type Config struct {
 	// backlog is split across frames). Only consulted when BatchWindow is
 	// positive; defaults to 64 KiB.
 	BatchBytes int
+	// ServicePolicy is the default request-selection discipline of every
+	// activity created in this environment (overridable per activity via
+	// WithPolicy). nil means FIFO, which is wire- and semantics-identical
+	// to the pre-policy serve loop.
+	ServicePolicy ServicePolicy
 	// FirstNode offsets node identifier allocation: the first NewNode
 	// returns FirstNode, the second FirstNode+1, and so on. Several
 	// processes sharing a TCP substrate set disjoint ranges so their

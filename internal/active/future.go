@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -22,71 +23,261 @@ var (
 	// collected before the result arrived; per the paper's reference
 	// orientation (§4.1), a collected caller simply loses the update.
 	ErrOwnerTerminated = errors.New("active: future owner terminated")
+	// ErrFutureUnavailable indicates a first-class future whose value can
+	// no longer be obtained: its home entry was reclaimed after resolution
+	// and propagation, so a late forward (or a hand-crafted reference) has
+	// nothing left to subscribe to.
+	ErrFutureUnavailable = errors.New("active: future no longer available")
+	// ErrNotAFuture indicates a value that should have been a future
+	// reference was not.
+	ErrNotAFuture = errors.New("active: value is not a future")
 )
 
 // Future is the placeholder returned by an asynchronous call (§4.1). The
 // caller blocks only when it touches the value ("wait-by-necessity"); an
 // active object waiting on a future counts as busy, since waiting can only
 // happen while serving a request.
+//
+// Futures are first-class (paper §5–§6): a Future can be passed inside
+// call arguments, returned as a result, or scattered over a group before
+// it is resolved — it marshals to a wire future value (wire.FutureRef).
+// Every node a future is forwarded to becomes a *holder*: the sender
+// registers the destination, and when the result (or the remote failure)
+// arrives, it is propagated along the forwarding chain to every holder.
+// Wait-by-necessity then happens only at the activity that finally
+// touches the value; intermediaries never block.
 type Future struct {
 	id    FutureID
 	owner ids.ActivityID
 	node  *Node
+	// proxy marks an entry adopted for a future whose home is another
+	// node: it resolves when an update propagates here from upstream.
+	proxy bool
+	// shared marks a future that has been forwarded (marshaled into an
+	// outgoing payload) or adopted from one: its table entry is retained
+	// after resolution for late holder registrations, until the sweep
+	// reclaims it.
+	shared atomic.Bool
 
 	mu       sync.Mutex
 	done     chan struct{}
 	resolved bool
 	val      wire.Value
 	err      error
-	// valueRoot pins refs inside the value in the owner's heap until the
+	// valueRoots pin refs inside the value in the holder's heap — one pin
+	// per consuming activity, so every AddReferenced edge the value
+	// created has a matching tag whose death can remove it — until the
 	// value is consumed by Wait (or the owner dies).
-	valueRoot   localgc.RootID
-	hasValRoot  bool
+	valueRoots  []localgc.RootID
 	rootDropped bool
 	// discarded marks a Discard that happened before resolution: the pin
 	// must then be dropped the moment resolve installs it.
 	discarded bool
+	// chainWait marks a future that resolved to *another* future (the
+	// callee returned a forwarded result): it stays unresolved for local
+	// waiters and re-resolves with the inner future's concrete value
+	// (automatic first-class flattening).
+	chainWait bool
+	// tagFreeAt records when the sweep first found this resolved entry
+	// without a heap future tag; reclamation waits out a TTA-sized grace
+	// from that point (see sweepable).
+	tagFreeAt time.Time
+	// holders are the downstream nodes this future was forwarded to while
+	// unresolved; resolution fans the value out to them.
+	holders []ids.NodeID
+	// chained are local futures awaiting this future's concrete value
+	// (the flattening back-edges).
+	chained []*Future
+	// localHolders are activities on this node that received the future
+	// inside a payload; the arriving value's references are bound to them.
+	localHolders []ids.ActivityID
 }
 
 func newFuture(node *Node, id FutureID, owner ids.ActivityID) *Future {
 	return &Future{id: id, owner: owner, node: node, done: make(chan struct{})}
 }
 
+// failedFuture returns an already-failed future outside any table.
+func failedFuture(node *Node, id FutureID, owner ids.ActivityID, err error) *Future {
+	f := newFuture(node, id, owner)
+	f.fail(err)
+	return f
+}
+
 // ID returns the future's identity (mostly for tests and tracing).
 func (f *Future) ID() FutureID { return f.id }
 
-func (f *Future) resolve(val wire.Value, root localgc.RootID, hasRoot bool, err error) {
+// WireFutureRef implements wire.FutureSource: a Future marshals into call
+// arguments and results as a first-class wire future value. Marshaling
+// marks the future shared and reinstates its table entry if the fast
+// path (or a sweep) already removed it: as long as application code
+// holds the live *Future, forwarding it must keep working — the send
+// walk will find the entry and ship the already-resolved value.
+func (f *Future) WireFutureRef() (wire.FutureRef, bool) {
+	if f == nil || f.id.IsZero() {
+		return wire.FutureRef{}, false
+	}
+	f.shared.Store(true)
+	f.node.futures.reinstate(f)
+	return wire.FutureRef{ID: f.id, Owner: f.owner}, true
+}
+
+var _ wire.FutureSource = (*Future)(nil)
+
+// resolve installs the result. A concrete value (or failure) wakes local
+// waiters, fans out to every registered holder node and cascades through
+// chained futures; a top-level future value chains instead: the future
+// stays unresolved for local waiters and re-resolves with the inner
+// future's concrete value (first-class flattening), while remote holders
+// receive the future value immediately and flatten on their own nodes.
+func (f *Future) resolve(val wire.Value, roots []localgc.RootID, err error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.resolved {
-		if hasRoot {
-			// A double resolution must never leak the freshly installed
-			// pin (defensive: take() makes resolution exclusive today).
+	if f.resolved || f.chainWait {
+		// A double resolution must never leak the freshly installed pins.
+		for _, root := range roots {
 			f.node.heap.RemoveRoot(root)
 		}
+		f.mu.Unlock()
 		return
+	}
+	if err == nil {
+		if fr, ok := val.AsFutureRef(); ok {
+			if fr.ID == f.id {
+				err = fmt.Errorf("%w: future resolved with itself", ErrRemoteFailure)
+				val = wire.Null()
+			} else {
+				f.chainWait = true
+				holders := f.holders
+				f.holders = nil
+				f.mu.Unlock()
+				// The chain keeps the inner future alive through its
+				// table entry; the interim pins are not needed (their
+				// tags still record the edges until the next sweep).
+				for _, root := range roots {
+					f.node.heap.RemoveRoot(root)
+				}
+				// Adopt the inner future BEFORE fanning the future value
+				// out: the fan-out's send walk must find the entry to
+				// register the downstream holders on it.
+				inner, _ := f.node.futures.adopt(f.node, fr)
+				// Downstream holders flatten on their own nodes; forward
+				// the future value to them right away.
+				f.node.fanOutFutureValue(f.id, val, false, "", holders)
+				inner.addChained(f)
+				return
+			}
+		}
 	}
 	f.resolved = true
 	f.val = val
 	f.err = err
-	f.valueRoot = root
-	f.hasValRoot = hasRoot
-	if f.discarded && hasRoot {
-		f.node.heap.RemoveRoot(root)
+	f.valueRoots = roots
+	if f.discarded {
+		for _, root := range roots {
+			f.node.heap.RemoveRoot(root)
+		}
 		f.rootDropped = true
 	}
+	holders := f.holders
+	f.holders = nil
+	chained := f.chained
+	f.chained = nil
 	close(f.done)
+	f.mu.Unlock()
+
+	failed, errStr := false, ""
+	if err != nil {
+		failed, errStr = true, err.Error()
+	}
+	f.node.fanOutFutureValue(f.id, val, failed, errStr, holders)
+	for _, c := range chained {
+		f.node.resolveChainedFuture(c, val, err)
+	}
+}
+
+// resolveFromChain delivers the concrete value of the inner future a
+// chainWait future was flattened onto. Clearing chainWait first lets the
+// normal resolve path run (and chain again if the value is yet another
+// future).
+func (f *Future) resolveFromChain(val wire.Value, roots []localgc.RootID, err error) {
+	f.mu.Lock()
+	f.chainWait = false
+	f.mu.Unlock()
+	f.resolve(val, roots, err)
 }
 
 // fail resolves the future with an error (owner terminated, shutdown).
 func (f *Future) fail(err error) {
-	f.resolve(wire.Null(), 0, false, err)
+	f.resolve(wire.Null(), nil, err)
+}
+
+// addHolder registers dst as a holder: a node the future has been
+// forwarded to, owed the resolution. A future that already resolved ships
+// its value (or failure) to dst immediately.
+func (f *Future) addHolder(dst ids.NodeID) {
+	f.shared.Store(true)
+	f.mu.Lock()
+	if f.resolved {
+		val, err := f.val, f.err
+		f.mu.Unlock()
+		failed, errStr := false, ""
+		if err != nil {
+			failed, errStr = true, err.Error()
+		}
+		f.node.fanOutFutureValue(f.id, val, failed, errStr, []ids.NodeID{dst})
+		return
+	}
+	for _, h := range f.holders {
+		if h == dst {
+			f.mu.Unlock()
+			return
+		}
+	}
+	f.holders = append(f.holders, dst)
+	f.mu.Unlock()
+}
+
+// addChained registers c to re-resolve with this future's concrete value
+// (the local leg of first-class flattening).
+func (f *Future) addChained(c *Future) {
+	f.mu.Lock()
+	if f.resolved {
+		val, err := f.val, f.err
+		f.mu.Unlock()
+		f.node.resolveChainedFuture(c, val, err)
+		return
+	}
+	f.chained = append(f.chained, c)
+	f.mu.Unlock()
+}
+
+// addLocalHolder records a local activity that received this future in a
+// payload; the resolution's references are bound to it (§2.2).
+func (f *Future) addLocalHolder(a ids.ActivityID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, h := range f.localHolders {
+		if h == a {
+			return
+		}
+	}
+	f.localHolders = append(f.localHolders, a)
+}
+
+// localHolderSnapshot returns the recorded local holders.
+func (f *Future) localHolderSnapshot() []ids.ActivityID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ids.ActivityID, len(f.localHolders))
+	copy(out, f.localHolders)
+	return out
 }
 
 // Done returns a channel closed when the future is resolved.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
-// TryGet returns the value if the future is already resolved.
+// TryGet returns the value if the future is already resolved (an
+// immediate poll; it never blocks).
 func (f *Future) TryGet() (wire.Value, error, bool) {
 	select {
 	case <-f.done:
@@ -97,9 +288,13 @@ func (f *Future) TryGet() (wire.Value, error, bool) {
 	}
 }
 
-// Wait blocks until the future resolves or timeout elapses (0 means wait
-// forever). Consuming the value releases the heap pin that was keeping the
-// value's references alive on behalf of this future.
+// Wait blocks until the future resolves or timeout elapses. A zero (or
+// negative) timeout means wait forever — this is wait-by-necessity, not a
+// poll; use TryGet for a non-blocking probe. A future that resolved to
+// another future keeps waiting for the concrete value (first-class
+// flattening), so Wait never returns a bare future reference. Consuming
+// the value releases the heap pin that was keeping the value's references
+// alive on behalf of this future.
 func (f *Future) Wait(timeout time.Duration) (wire.Value, error) {
 	if timeout <= 0 {
 		<-f.done
@@ -116,8 +311,10 @@ func (f *Future) Wait(timeout time.Duration) (wire.Value, error) {
 func (f *Future) consume() (wire.Value, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.hasValRoot && !f.rootDropped {
-		f.node.heap.RemoveRoot(f.valueRoot)
+	if !f.rootDropped {
+		for _, root := range f.valueRoots {
+			f.node.heap.RemoveRoot(root)
+		}
 		f.rootDropped = true
 	}
 	return f.val, f.err
@@ -131,21 +328,54 @@ func (f *Future) Discard() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.discarded = true
-	if f.resolved && f.hasValRoot && !f.rootDropped {
-		f.node.heap.RemoveRoot(f.valueRoot)
+	if f.resolved && !f.rootDropped {
+		for _, root := range f.valueRoots {
+			f.node.heap.RemoveRoot(root)
+		}
 		f.rootDropped = true
 	}
 }
 
-// futureTable tracks the pending futures of one node.
+// sweepable reports whether the table entry can be reclaimed: the future
+// is concretely resolved (holders were fanned out at resolution), no
+// heap cell on this node names it anymore, and a TTA-sized grace has
+// passed since the last pin died — the same slack the reference-listing
+// DGC grants in-flight references, here granting application code that
+// just unmarshaled a FutureRef out of a pinned payload time to lift or
+// forward it. A Go-side *Future pointer may outlive the entry —
+// Wait/TryGet work on the object itself, and a late forward reinstates
+// the entry (WireFutureRef); a late lift by reference re-subscribes at
+// the home node (futureFor). Unresolved entries are never swept: they
+// are owed an update or a chain resolution.
+func (f *Future) sweepable(heap *localgc.Heap, now time.Time, grace time.Duration) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.resolved {
+		return false
+	}
+	if heap.HasFutureTag(f.id) {
+		f.tagFreeAt = time.Time{}
+		return false
+	}
+	if f.tagFreeAt.IsZero() {
+		f.tagFreeAt = now
+		return false
+	}
+	return now.Sub(f.tagFreeAt) >= grace
+}
+
+// futureTable tracks the futures known to one node: the pending futures
+// of local calls (home entries) and the proxies adopted for futures that
+// were forwarded here. Entries are keyed by full FutureID because a
+// first-class future travels across nodes under its home identity.
 type futureTable struct {
 	mu      sync.Mutex
 	nextSeq uint32
-	pending map[uint32]*Future
+	pending map[ids.FutureID]*Future
 }
 
 func newFutureTable() *futureTable {
-	return &futureTable{pending: make(map[uint32]*Future)}
+	return &futureTable{pending: make(map[ids.FutureID]*Future)}
 }
 
 func (t *futureTable) create(node *Node, owner ids.ActivityID) *Future {
@@ -153,29 +383,110 @@ func (t *futureTable) create(node *Node, owner ids.ActivityID) *Future {
 	defer t.mu.Unlock()
 	t.nextSeq++
 	f := newFuture(node, FutureID{Node: node.id, Seq: t.nextSeq}, owner)
-	t.pending[t.nextSeq] = f
+	t.pending[f.id] = f
 	return f
 }
 
-func (t *futureTable) take(seq uint32) (*Future, bool) {
+// adopt returns the entry for a future reference decoded from a payload,
+// creating a proxy if the future is not known here (created reports
+// that case — a fresh proxy with no upstream registration yet). A
+// home-node miss means the entry was already reclaimed (resolved,
+// propagated and swept): the returned entry is pre-failed with
+// ErrFutureUnavailable rather than left to wait for an update that will
+// never come.
+func (t *futureTable) adopt(node *Node, fr wire.FutureRef) (f *Future, created bool) {
+	t.mu.Lock()
+	if f, ok := t.pending[fr.ID]; ok {
+		t.mu.Unlock()
+		f.shared.Store(true)
+		return f, false
+	}
+	f = newFuture(node, fr.ID, fr.Owner)
+	f.proxy = fr.ID.Node != node.id
+	f.shared.Store(true)
+	t.pending[fr.ID] = f
+	t.mu.Unlock()
+	if !f.proxy {
+		f.fail(ErrFutureUnavailable)
+	}
+	return f, true
+}
+
+// reinstate puts a live entry back into the table (no-op when an entry
+// for its identity is already present). WireFutureRef calls it so a
+// future whose entry was removed — fast-path take or sweep — becomes
+// forwardable again for as long as application code holds the handle.
+func (t *futureTable) reinstate(f *Future) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	f, ok := t.pending[seq]
-	if ok {
-		delete(t.pending, seq)
+	if _, ok := t.pending[f.id]; !ok {
+		t.pending[f.id] = f
+	}
+}
+
+// lookup returns the live entry for fid.
+func (t *futureTable) lookup(fid ids.FutureID) (*Future, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.pending[fid]
+	return f, ok
+}
+
+// takeForUpdate returns the entry an arriving resolution targets. A
+// never-shared home entry is removed right away (the pre-first-class
+// lifecycle: exactly one update can arrive and nobody else can name the
+// future), keeping the table — and the GC's live-object load — at the
+// pre-§6 size on future-free workloads. Shared entries stay for the
+// sweep, which also owns the marshal-vs-delivery race: marking shared
+// happens before the send-side walk looks the entry up, so an entry
+// removed here was provably never forwarded.
+func (t *futureTable) takeForUpdate(fid ids.FutureID) (*Future, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.pending[fid]
+	if ok && !f.proxy && !f.shared.Load() {
+		delete(t.pending, fid)
 	}
 	return f, ok
 }
 
+// remove drops an entry (an unwound call whose request was never sent).
+func (t *futureTable) remove(fid ids.FutureID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.pending, fid)
+}
+
+// sweep reclaims entries whose lifecycle is over (see Future.sweepable).
+// The driver runs it right after each local heap collection, so the
+// future-tag liveness it consults is fresh.
+func (t *futureTable) sweep(heap *localgc.Heap, now time.Time, grace time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for fid, f := range t.pending {
+		if f.sweepable(heap, now, grace) {
+			delete(t.pending, fid)
+		}
+	}
+}
+
+// size returns the number of live entries (tests and metrics).
+func (t *futureTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
 // failOwned resolves with err every pending future owned by owner
-// (called when an activity terminates).
+// (called when an activity terminates). The failure propagates to every
+// holder the future was forwarded to.
 func (t *futureTable) failOwned(owner ids.ActivityID, err error) {
 	t.mu.Lock()
 	var owned []*Future
-	for seq, f := range t.pending {
-		if f.owner == owner {
+	for fid, f := range t.pending {
+		if f.owner == owner && !f.proxy {
 			owned = append(owned, f)
-			delete(t.pending, seq)
+			delete(t.pending, fid)
 		}
 	}
 	t.mu.Unlock()
@@ -188,9 +499,9 @@ func (t *futureTable) failOwned(owner ids.ActivityID, err error) {
 func (t *futureTable) failAll(err error) {
 	t.mu.Lock()
 	all := make([]*Future, 0, len(t.pending))
-	for seq, f := range t.pending {
+	for fid, f := range t.pending {
 		all = append(all, f)
-		delete(t.pending, seq)
+		delete(t.pending, fid)
 	}
 	t.mu.Unlock()
 	for _, f := range all {

@@ -116,7 +116,7 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 		// already-sent member is discarded instead of leaking the entry.
 		for _, tf := range futs[:i] {
 			if tf.fut != nil {
-				tf.fut.node.futures.take(tf.fut.id.Seq)
+				tf.fut.node.futures.remove(tf.fut.id)
 			}
 			tf.Discard()
 		}
@@ -126,9 +126,18 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 		src *Node
 		dst ids.NodeID
 	}
+	type sentArgs struct {
+		src  *Node
+		dst  ids.NodeID
+		args wire.Value
+	}
 	var (
 		batches map[laneKey][]transport.BatchItem
 		argsEnc []byte // shared pre-encoded args (broadcast fast path)
+		// staged collects batched members' (src, dst, args) so forwarded
+		// futures register their holders only after SendBatch put the
+		// payloads on the wire.
+		staged []sentArgs
 	)
 	for i, h := range g.members {
 		if h.released.Load() {
@@ -165,10 +174,11 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 			}
 			k := laneKey{src: node, dst: target.Node}
 			batches[k] = append(batches[k], transport.BatchItem{Class: transport.ClassApp, Payload: payload})
+			staged = append(staged, sentArgs{src: node, dst: target.Node, args: req.Args})
 		default:
 			if err := node.sendRequest(req); err != nil {
 				if futs[i].fut != nil {
-					node.futures.take(futs[i].fut.ID().Seq)
+					node.futures.remove(futs[i].fut.ID())
 				}
 				return abort(i, err)
 			}
@@ -181,12 +191,17 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 			// resolve) and drop the pins.
 			for _, tf := range futs {
 				if tf.fut != nil {
-					tf.fut.node.futures.take(tf.fut.id.Seq)
+					tf.fut.node.futures.remove(tf.fut.id)
 				}
 				tf.Discard()
 			}
 			return nil, err
 		}
+	}
+	// Batched payloads are on the wire: register the scatter's forwarded
+	// futures (if any) with their new holder nodes.
+	for _, s := range staged {
+		s.src.noteFutureValuesSent(s.dst, s.args)
 	}
 	return &FutureGroup[Resp]{futs: futs}, nil
 }

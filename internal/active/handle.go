@@ -30,9 +30,10 @@ type Handle struct {
 }
 
 // NewActive creates an activity running b on this node and returns a
-// handle referencing it.
-func (n *Node) NewActive(name string, b Behavior) *Handle {
-	ao := n.newActivity(name, b, false)
+// handle referencing it. Options configure the activity (e.g. WithPolicy
+// for a non-FIFO service discipline).
+func (n *Node) NewActive(name string, b Behavior, opts ...SpawnOption) *Handle {
+	ao := n.newActivity(name, b, false, opts...)
 	h, err := n.HandleFor(wire.Ref(ao.id))
 	if err != nil {
 		// The activity was created above and cannot be gone.
@@ -88,6 +89,13 @@ func (h *Handle) CallSync(method string, args wire.Value, timeout time.Duration)
 		return wire.Null(), err
 	}
 	return fut.Wait(timeout)
+}
+
+// Future lifts a first-class future value (received in a reply) into the
+// waitable Future adopted on this handle's node — the non-active-code
+// analogue of Context.Future.
+func (h *Handle) Future(v wire.Value) (*Future, error) {
+	return h.dummy.node.futureFor(v)
 }
 
 // Release drops the handle's reference: the dummy root stops pinning the

@@ -1,6 +1,7 @@
 package active
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
@@ -152,8 +153,29 @@ func (n *Node) HandleOneWay(from ids.NodeID, class transport.Class, payload []by
 		n.deliverRequest(payload)
 	case envFutureUpdate:
 		n.deliverFutureUpdate(payload)
+	case envFutureSubscribe:
+		n.deliverFutureSubscribe(payload)
 	default:
 		// Malformed traffic is dropped, as a real transport would.
+	}
+}
+
+// deliverFutureSubscribe registers a late holder (WIRE.md §6 fallback).
+// With the entry present the holder is registered normally (and served
+// immediately if resolved); with it gone, the home node — the authority
+// on its own futures — fails the subscriber instead of letting it hang.
+func (n *Node) deliverFutureSubscribe(payload []byte) {
+	fid, holder, err := decodeFutureSubscribe(payload)
+	if err != nil || holder == n.id {
+		return
+	}
+	if f, ok := n.futures.lookup(fid); ok {
+		f.addHolder(holder)
+		return
+	}
+	if fid.Node == n.id {
+		u := futureUpdate{Future: fid, Failed: true, Err: ErrFutureUnavailable.Error()}
+		_ = n.transportSend(holder, transport.ClassFuture, encodeFutureUpdate(u), true)
 	}
 }
 
@@ -215,10 +237,24 @@ func (n *Node) deliverRequest(payload []byte) {
 	}
 	now := n.env.cfg.Clock.Now()
 	refs := 0
-	dec := wire.Decoder{OnRef: func(t ids.ActivityID) {
-		refs++
-		ao.collector.AddReferenced(t, now)
-	}}
+	dec := wire.Decoder{
+		OnRef: func(t ids.ActivityID) {
+			refs++
+			ao.collector.AddReferenced(t, now)
+		},
+		OnFuture: func(fr wire.FutureRef) {
+			// A first-class future arrived: adopt a local entry (a proxy,
+			// unless this is its home node) and record the recipient, so
+			// the propagated resolution binds its references here. The
+			// remote sender registered this node as a holder before the
+			// payload hit the wire, so no subscription is needed.
+			if fr.ID.IsZero() {
+				return
+			}
+			f, _ := n.futures.adopt(n, fr)
+			f.addLocalHolder(ao.id)
+		},
+	}
 	args, err := dec.Decode(rawArgs)
 	if err != nil {
 		return
@@ -266,77 +302,236 @@ func (n *Node) deliverLocalRequest(req request) {
 			ao.collector.AddReferenced(t, now)
 		}
 		_, item.argsRoot = n.heap.InternRooted(ao.id, args)
+		n.adoptFutures(args, ao.id, true)
 	}
 	ao.enqueue(item)
 }
 
-// deliverFutureUpdate resolves a pending future with the callee's result.
+// adoptFutures walks a delivered value for first-class futures and
+// adopts entries for them on behalf of recipient (the DeepCopy twin of
+// deliverRequest's OnFuture hook). A Nil recipient adopts without
+// recording a local holder — used when a value must become forwardable
+// here even though no live local activity received it. subscribe is set
+// on the purely local delivery paths, where no remote sender has
+// registered this node: a freshly created remote-homed proxy then
+// subscribes at its home node (a handle on node A can legitimately be
+// given a future homed on node B through plain Go code). Values without
+// futures pay one walk that exits on the first non-container kind.
+func (n *Node) adoptFutures(v wire.Value, recipient ids.ActivityID, subscribe bool) {
+	if !v.HasFutures() {
+		return
+	}
+	var scratch [4]wire.FutureRef
+	for _, fr := range v.FutureRefs(scratch[:0]) {
+		if fr.ID.IsZero() {
+			continue
+		}
+		f, created := n.futures.adopt(n, fr)
+		if !recipient.IsNil() {
+			f.addLocalHolder(recipient)
+		}
+		if subscribe && created && f.proxy {
+			_ = n.transportSend(fr.ID.Node, transport.ClassFuture, encodeFutureSubscribe(fr.ID, n.id), true)
+		}
+	}
+}
+
+// deliverFutureUpdate resolves a future with an arriving result: the
+// original callee's update at the home node, or a propagated one at a
+// holder node (WIRE.md §6). An unknown future means the caller terminated
+// or the update is a duplicate; it is dropped.
 func (n *Node) deliverFutureUpdate(payload []byte) {
 	u, rawValue, err := decodeFutureUpdateHeader(payload)
 	if err != nil {
 		return
 	}
-	fut, ok := n.futures.take(u.Future.Seq)
+	fut, ok := n.futures.takeForUpdate(u.Future)
 	if !ok {
-		return // caller terminated or duplicate update
-	}
-	owner, ownerAlive := n.activity(fut.owner)
-	if !ownerAlive {
-		fut.fail(ErrOwnerTerminated)
 		return
 	}
-	now := n.env.cfg.Clock.Now()
-	refs := 0
-	dec := wire.Decoder{OnRef: func(t ids.ActivityID) {
-		refs++
-		owner.collector.AddReferenced(t, now)
-	}}
+	if u.Failed {
+		fut.fail(newRemoteFailure(u.Err))
+		return
+	}
+	var dec wire.Decoder
 	value, err := dec.Decode(rawValue)
 	if err != nil {
 		fut.fail(err)
 		return
 	}
-	if u.Failed {
-		fut.fail(newRemoteFailure(u.Err))
-		return
-	}
-	if refs == 0 {
-		fut.resolve(value, 0, false, nil)
-		return
-	}
-	_, root := n.heap.InternRooted(owner.id, value)
-	fut.resolve(value, root, true, nil)
+	n.bindValueToFuture(fut, value, false)
 }
 
 // deliverLocalFutureUpdate resolves a same-node future without the
 // envelope codec (the DeepCopy/Refs-walk twin of deliverLocalRequest).
 func (n *Node) deliverLocalFutureUpdate(u futureUpdate) {
-	fut, ok := n.futures.take(u.Future.Seq)
+	fut, ok := n.futures.takeForUpdate(u.Future)
 	if !ok {
-		return
-	}
-	owner, ownerAlive := n.activity(fut.owner)
-	if !ownerAlive {
-		fut.fail(ErrOwnerTerminated)
 		return
 	}
 	if u.Failed {
 		fut.fail(newRemoteFailure(u.Err))
 		return
 	}
-	value := wire.DeepCopy(u.Value)
+	n.bindValueToFuture(fut, wire.DeepCopy(u.Value), true)
+}
+
+// bindValueToFuture installs an arrived result on a future entry: it
+// creates the reference-graph edges and heap pins for the activities that
+// will consume the value — the home entry's owner and/or every local
+// activity the future was forwarded to — adopts any futures nested in the
+// value, and resolves the entry (which fans the value out to downstream
+// holder nodes and chained futures).
+func (n *Node) bindValueToFuture(f *Future, value wire.Value, subscribeNew bool) {
+	var consumers []*ActiveObject
+	if !f.proxy {
+		owner, ok := n.activity(f.owner)
+		if !ok {
+			f.fail(ErrOwnerTerminated)
+			return
+		}
+		consumers = append(consumers, owner)
+	}
+	for _, a := range f.localHolderSnapshot() {
+		if ao, ok := n.activity(a); ok && (len(consumers) == 0 || ao != consumers[0]) {
+			consumers = append(consumers, ao)
+		}
+	}
 	var scratch [8]ids.ActivityID
 	refs := value.Refs(scratch[:0])
-	if len(refs) == 0 {
-		fut.resolve(value, 0, false, nil)
+	if len(refs) == 0 || len(consumers) == 0 {
+		// A proxy whose local holders all terminated still resolves, so
+		// the fan-out to downstream holders happens regardless — which
+		// means nested futures must still be adopted here, or the
+		// fan-out could not register the downstream holders on them.
+		n.adoptFutures(value, ids.Nil, subscribeNew)
+		f.resolve(value, nil, nil)
 		return
 	}
 	now := n.env.cfg.Clock.Now()
-	for _, t := range refs {
-		owner.collector.AddReferenced(t, now)
+	roots := make([]localgc.RootID, 0, len(consumers))
+	for _, ao := range consumers {
+		for _, t := range refs {
+			ao.collector.AddReferenced(t, now)
+		}
+		n.adoptFutures(value, ao.id, subscribeNew)
+		// One pin — and thus one tag set — per consuming activity: every
+		// edge added above has a tag whose death can remove it again.
+		_, root := n.heap.InternRooted(ao.id, value)
+		roots = append(roots, root)
 	}
-	_, root := n.heap.InternRooted(owner.id, value)
-	fut.resolve(value, root, true, nil)
+	f.resolve(value, roots, nil)
+}
+
+// fanOutFutureValue ships a resolution (value or failure) to holder
+// nodes: the future-update propagation leg of first-class futures. The
+// envelope is encoded once and reused; after each send the value is
+// walked so futures nested inside it register dst as *their* holder too
+// (the recursive case of a forwarded result carrying further futures).
+func (n *Node) fanOutFutureValue(fid FutureID, val wire.Value, failed bool, errStr string, holders []ids.NodeID) {
+	if len(holders) == 0 {
+		return
+	}
+	u := futureUpdate{Future: fid, Failed: failed, Err: errStr}
+	if !failed {
+		u.Value = val
+	}
+	var payload []byte
+	for _, dst := range holders {
+		if dst == n.id {
+			// Holders are registered by remote senders only; guard anyway.
+			n.deliverLocalFutureUpdate(u)
+			continue
+		}
+		if payload == nil {
+			payload = encodeFutureUpdate(u)
+		}
+		// Errors (unreachable, closed) drop the update: per §4.1, a
+		// missing future update cannot wake anything and is acceptable
+		// for garbage. Updates are urgent: holders are (or will be)
+		// blocked on them.
+		_ = n.transportSend(dst, transport.ClassFuture, payload, true)
+		if !failed {
+			n.noteFutureValuesSent(dst, val)
+		}
+	}
+}
+
+// resolveChainedFuture re-resolves a chainWait future with the concrete
+// value of the inner future it was flattened onto. The value crosses an
+// activity boundary, so it is deep-copied and re-pinned for the outer
+// future's consumers.
+func (n *Node) resolveChainedFuture(c *Future, val wire.Value, err error) {
+	if err != nil {
+		c.resolveFromChain(wire.Null(), nil, err)
+		return
+	}
+	value := wire.DeepCopy(val)
+	var consumers []*ActiveObject
+	if !c.proxy {
+		if owner, ok := n.activity(c.owner); ok {
+			consumers = append(consumers, owner)
+		}
+	}
+	for _, a := range c.localHolderSnapshot() {
+		if ao, ok := n.activity(a); ok && (len(consumers) == 0 || ao != consumers[0]) {
+			consumers = append(consumers, ao)
+		}
+	}
+	var scratch [8]ids.ActivityID
+	refs := value.Refs(scratch[:0])
+	if len(refs) == 0 || len(consumers) == 0 {
+		n.adoptFutures(value, ids.Nil, false)
+		c.resolveFromChain(value, nil, nil)
+		return
+	}
+	now := n.env.cfg.Clock.Now()
+	roots := make([]localgc.RootID, 0, len(consumers))
+	for _, ao := range consumers {
+		for _, t := range refs {
+			ao.collector.AddReferenced(t, now)
+		}
+		n.adoptFutures(value, ao.id, false)
+		_, root := n.heap.InternRooted(ao.id, value)
+		roots = append(roots, root)
+	}
+	c.resolveFromChain(value, roots, nil)
+}
+
+// noteFutureValuesSent registers dst as a holder of every first-class
+// future inside an outgoing payload (ASP-style sender-side registration:
+// the resolution will be propagated to dst when — or if already — it
+// arrives here). Called after the payload is on the wire so a direct-send
+// of an already-resolved value follows the payload on the pair's FIFO
+// lane. A future unknown here is failed at dst if this is its home node
+// (it was reclaimed; dst's proxy would otherwise wait forever).
+func (n *Node) noteFutureValuesSent(dst ids.NodeID, v wire.Value) {
+	if !v.HasFutures() {
+		return
+	}
+	var scratch [4]wire.FutureRef
+	for _, fr := range v.FutureRefs(scratch[:0]) {
+		if fr.ID.IsZero() || fr.ID.Node == dst {
+			// The future is going home: its entry there (or its absence)
+			// is authoritative; no registration needed.
+			continue
+		}
+		if f, ok := n.futures.lookup(fr.ID); ok {
+			f.addHolder(dst)
+			continue
+		}
+		if fr.ID.Node == n.id {
+			// Home with no entry: the future was reclaimed; fail the new
+			// holder's proxy rather than letting it wait forever.
+			u := futureUpdate{Future: fr.ID, Failed: true, Err: ErrFutureUnavailable.Error()}
+			_ = n.transportSend(dst, transport.ClassFuture, encodeFutureUpdate(u), true)
+			continue
+		}
+		// Not home and no entry (our proxy was swept, or the reference
+		// was hand-crafted): subscribe the destination at the home node
+		// on its behalf — the home either serves it or fails it.
+		_ = n.transportSend(fr.ID.Node, transport.ClassFuture, encodeFutureSubscribe(fr.ID, dst), true)
+	}
 }
 
 // sendFutureUpdate ships a result back to the caller's node.
@@ -350,6 +545,9 @@ func (n *Node) sendFutureUpdate(to FutureID, u futureUpdate) {
 	// future update cannot wake anything and is acceptable for garbage.
 	// Updates are urgent: the caller is (or will be) blocked on them.
 	_ = n.transportSend(to.Node, transport.ClassFuture, payload, true)
+	if !u.Failed {
+		n.noteFutureValuesSent(to.Node, u.Value)
+	}
 }
 
 // sendRequest ships an application request to the target's node (or
@@ -360,7 +558,42 @@ func (n *Node) sendRequest(req request) error {
 		n.deliverLocalRequest(req)
 		return nil
 	}
-	return n.transportSend(req.Target.Node, transport.ClassApp, encodeRequest(req), !req.Future.IsZero())
+	err := n.transportSend(req.Target.Node, transport.ClassApp, encodeRequest(req), !req.Future.IsZero())
+	if err == nil {
+		// Register the destination as holder of any futures forwarded in
+		// the arguments — after the request, so a direct-send of an
+		// already-resolved value cannot overtake it on the FIFO lane.
+		n.noteFutureValuesSent(req.Target.Node, req.Args)
+	}
+	return err
+}
+
+// futureFor lifts a first-class future value into the local waitable
+// entry adopted for it (wait-by-necessity at the holder). When the
+// local entry is gone — a proxy reclaimed after resolution, or a
+// reference lifted on a node that never saw the payload — a fresh proxy
+// is adopted and re-subscribed at the home node, which either serves it
+// or fails it with ErrFutureUnavailable; a home-node miss fails
+// immediately (the home is the authority on its own futures).
+func (n *Node) futureFor(v wire.Value) (*Future, error) {
+	fr, ok := v.AsFutureRef()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotAFuture, v)
+	}
+	if fr.ID.IsZero() {
+		return failedFuture(n, fr.ID, fr.Owner, ErrFutureUnavailable), nil
+	}
+	if f, okF := n.futures.lookup(fr.ID); okF {
+		return f, nil
+	}
+	if fr.ID.Node == n.id {
+		return failedFuture(n, fr.ID, fr.Owner, ErrFutureUnavailable), nil
+	}
+	f, _ := n.futures.adopt(n, fr)
+	if err := n.transportSend(fr.ID.Node, transport.ClassFuture, encodeFutureSubscribe(fr.ID, n.id), true); err != nil {
+		f.fail(err)
+	}
+	return f, nil
 }
 
 // destroy removes an activity: stops its service loop, drains its request

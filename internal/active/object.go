@@ -40,20 +40,33 @@ type queuedRequest struct {
 	argsRoot localgc.RootID
 }
 
-// requestQueue is the activity's unbounded FIFO request queue. It also
-// owns the idleness flag: the transitions "queue became non-empty ⇒ busy"
-// and "queue drained after service ⇒ idle" are made under the queue lock
-// so the DGC never observes an activity idle while work is pending.
+// requestQueue is the activity's unbounded request queue, drained through
+// its ServicePolicy (FIFO unless configured otherwise). It also owns the
+// idleness flag: the transitions "queue became non-empty ⇒ busy" and
+// "queue drained after service ⇒ idle" are made under the queue lock so
+// the DGC never observes an activity idle while work is pending — and
+// pending means *queued*, not selected: a policy that holds requests back
+// keeps the activity busy (see markIdleIfEmpty).
 type requestQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []*queuedRequest
 	closed bool
 	idle   *atomic.Bool
+	// policy is the standing selection discipline; nil means FIFO and
+	// takes the allocation-free fast path.
+	policy ServicePolicy
+	// infoScratch is reused by selectLocked (only ever touched under mu)
+	// so a holding policy does not allocate a fresh slice on every
+	// wakeup.
+	infoScratch []RequestInfo
 }
 
-func newRequestQueue(idle *atomic.Bool) *requestQueue {
-	q := &requestQueue{idle: idle}
+func newRequestQueue(idle *atomic.Bool, policy ServicePolicy) *requestQueue {
+	if _, isFIFO := policy.(fifoPolicy); isFIFO {
+		policy = nil // the explicit FIFO built-in rides the fast path too
+	}
+	q := &requestQueue{idle: idle, policy: policy}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -66,27 +79,86 @@ func (q *requestQueue) push(item *queuedRequest) bool {
 	}
 	q.items = append(q.items, item)
 	q.idle.Store(false)
-	q.cond.Signal()
+	q.cond.Broadcast()
 	return true
 }
 
-// pop blocks for the next request; ok is false when the queue is closed.
+// pop blocks for the next request under the standing policy; ok is false
+// when the queue is closed.
 func (q *requestQueue) pop() (*queuedRequest, bool) {
+	return q.popWith(q.policy)
+}
+
+// popWith blocks until p selects a pending request (or the queue closes).
+// A policy returning a negative (or out-of-range) index with requests
+// pending holds them: the call sleeps until the next push.
+func (q *requestQueue) popWith(p ServicePolicy) (*queuedRequest, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for {
+		if q.closed {
+			return nil, false
+		}
+		if len(q.items) > 0 {
+			idx := 0
+			if p != nil {
+				idx = q.selectLocked(p)
+			}
+			if idx >= 0 {
+				item := q.items[idx]
+				q.items = append(q.items[:idx], q.items[idx+1:]...)
+				return item, true
+			}
+		}
 		q.cond.Wait()
 	}
-	if q.closed {
-		return nil, false
+}
+
+// selectLocked builds the policy's view of the pending queue and asks it
+// to choose. Out-of-range answers mean "hold everything".
+func (q *requestQueue) selectLocked(p ServicePolicy) int {
+	if cap(q.infoScratch) < len(q.items) {
+		q.infoScratch = make([]RequestInfo, len(q.items))
 	}
-	item := q.items[0]
-	q.items = q.items[1:]
-	return item, true
+	infos := q.infoScratch[:len(q.items)]
+	for i, it := range q.items {
+		infos[i] = RequestInfo{
+			Method:    it.req.Method,
+			Sender:    it.req.Sender,
+			HasFuture: !it.req.Future.IsZero(),
+		}
+	}
+	idx := p.Select(infos)
+	if idx < 0 || idx >= len(q.items) {
+		return -1
+	}
+	return idx
+}
+
+// pendingCount returns the number of queued (selected or not) requests.
+func (q *requestQueue) pendingCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// idleWhilePending reports the forbidden DGC state: the idleness flag
+// raised while requests (selected or policy-held) are still queued. Both
+// sides of the conjunction are read under the queue lock, which every
+// writer holds, so a true result is a real invariant violation, not a
+// sampling race. Tests (the live torture) assert it never happens.
+func (q *requestQueue) idleWhilePending() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) > 0 && q.idle.Load()
 }
 
 // markIdleIfEmpty flips the idleness flag when no request is pending;
-// returns whether the activity just became idle.
+// returns whether the activity just became idle. The check is on the raw
+// queue length, not on what the policy would select: an activity with
+// pending-but-unselected requests is busy (it still owes those callers a
+// service), so the DGC can never collect it while a selective policy
+// holds requests back.
 func (q *requestQueue) markIdleIfEmpty() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -154,7 +226,14 @@ type stateEntry struct {
 }
 
 // newActivity creates (and starts, unless dummy) an activity on the node.
-func (n *Node) newActivity(name string, b Behavior, dummy bool) *ActiveObject {
+func (n *Node) newActivity(name string, b Behavior, dummy bool, opts ...SpawnOption) *ActiveObject {
+	var so spawnOptions
+	for _, opt := range opts {
+		opt(&so)
+	}
+	if so.policy == nil {
+		so.policy = n.env.cfg.ServicePolicy
+	}
 	ao := &ActiveObject{
 		node:       n,
 		name:       name,
@@ -164,7 +243,7 @@ func (n *Node) newActivity(name string, b Behavior, dummy bool) *ActiveObject {
 		extraRoots: make(map[localgc.RootID]struct{}),
 	}
 	ao.id = n.gen.Next()
-	ao.queue = newRequestQueue(&ao.idleFlag)
+	ao.queue = newRequestQueue(&ao.idleFlag, so.policy)
 	// A fresh activity is idle until its first request.
 	ao.idleFlag.Store(true)
 	cfg := core.Config{
@@ -317,10 +396,19 @@ func (c *Context) Call(target wire.Value, method string, args wire.Value) (*Futu
 		Args:   args,
 	}
 	if err := c.ao.node.sendRequest(req); err != nil {
-		c.ao.node.futures.take(fut.ID().Seq)
+		c.ao.node.futures.remove(fut.ID())
 		return nil, err
 	}
 	return fut, nil
+}
+
+// Future lifts a first-class future value received in arguments (or
+// loaded from state) into the local waitable Future adopted for it. This
+// is wait-by-necessity at the final holder: only the activity that calls
+// Wait ever blocks; every forwarding hop stayed asynchronous. An unknown
+// future yields a pre-failed Future (ErrFutureUnavailable).
+func (c *Context) Future(v wire.Value) (*Future, error) {
+	return c.ao.node.futureFor(v)
 }
 
 // Send performs a one-way asynchronous call (no future, no result).
@@ -338,11 +426,30 @@ func (c *Context) Send(target wire.Value, method string, args wire.Value) error 
 	return c.ao.node.sendRequest(req)
 }
 
+// ServeNext serves exactly one pending request selected by policy — the
+// paper's selective serve primitives (e.g. ServeOldest("urgent")) from
+// inside a running service. It blocks until a matching request is
+// available (waiting counts as busy, §4.1), serves it to completion on
+// this activity's goroutine, and returns. When the activity's queue
+// closes (termination, shutdown) before a match arrives, ServeNext
+// returns ErrEnvClosed without serving.
+func (c *Context) ServeNext(policy ServicePolicy) error {
+	if policy == nil {
+		policy = c.ao.queue.policy
+	}
+	item, ok := c.ao.queue.popWith(policy)
+	if !ok {
+		return ErrEnvClosed
+	}
+	c.ao.serveOne(item)
+	return nil
+}
+
 // Spawn creates a new activity on this node and returns a reference to it.
 // The reference is pinned until the end of the current service; Store it
-// to keep it alive longer.
-func (c *Context) Spawn(name string, b Behavior) wire.Value {
-	child := c.ao.node.newActivity(name, b, false)
+// to keep it alive longer. Options configure the child (e.g. WithPolicy).
+func (c *Context) Spawn(name string, b Behavior, opts ...SpawnOption) wire.Value {
+	child := c.ao.node.newActivity(name, b, false, opts...)
 	now := c.ao.node.env.cfg.Clock.Now()
 	c.ao.collector.AddReferenced(child.id, now)
 	_, root := c.ao.node.heap.NewStubRooted(c.ao.id, child.id)

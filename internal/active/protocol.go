@@ -24,17 +24,14 @@ import (
 const (
 	envRequest byte = iota + 1
 	envFutureUpdate
+	envFutureSubscribe
 )
 
-// FutureID identifies a future on its owning node. The zero value means
-// "no future expected" (one-way call).
-type FutureID struct {
-	Node ids.NodeID
-	Seq  uint32
-}
-
-// IsZero reports whether no future is expected.
-func (f FutureID) IsZero() bool { return f == FutureID{} }
+// FutureID identifies a future on its home node (the node that created
+// it). The zero value means "no future expected" (one-way call). It is an
+// alias of ids.FutureID because first-class futures travel across nodes —
+// inside values (wire.FutureRef) as well as in envelopes.
+type FutureID = ids.FutureID
 
 // request is the application-level request envelope.
 type request struct {
@@ -103,10 +100,15 @@ func decodeRequestHeader(buf []byte) (request, []byte, error) {
 	return req, buf[mlen:], nil
 }
 
-// futureUpdate is the result envelope flowing callee → caller over the
-// connection already established by the request (§4.1 "Reference
-// Orientation": it never creates a reference edge and never wakes an idle
-// activity).
+// futureUpdate is the result envelope flowing callee → caller (§4.1
+// "Reference Orientation": it never wakes an idle activity). With
+// first-class futures (WIRE.md §6) the same envelope also propagates a
+// resolution along the forwarding chain: every node registered as a
+// holder of the future receives one, addressed by the future's home
+// identity, so a forwarded result reaches whichever activity finally
+// touches it. The decoded value's references DO create edges at the
+// receiving holder (the §2.2 deserialization hook), exactly as a request
+// payload's would.
 type futureUpdate struct {
 	Future FutureID
 	// Failed indicates the behavior returned an error instead of a value.
@@ -152,6 +154,32 @@ func decodeFutureUpdateHeader(buf []byte) (futureUpdate, []byte, error) {
 	}
 	u.Err = string(buf[:elen])
 	return u, buf[elen:], nil
+}
+
+// futureSubscribe asks a future's home node to register a holder after
+// the fact (WIRE.md §6): the fallback when a holder lifts a reference
+// whose proxy is gone (reclaimed after resolution) or when a forwarding
+// node without an entry passes the reference on. The home node answers
+// with an ordinary future-update — the value if it still has the entry,
+// a Failed/ErrFutureUnavailable update otherwise — so the subscriber
+// can never wait forever.
+func encodeFutureSubscribe(fid FutureID, holder ids.NodeID) []byte {
+	buf := make([]byte, 0, 1+8+4)
+	buf = append(buf, envFutureSubscribe)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(fid.Node))
+	buf = binary.LittleEndian.AppendUint32(buf, fid.Seq)
+	return binary.LittleEndian.AppendUint32(buf, uint32(holder))
+}
+
+func decodeFutureSubscribe(buf []byte) (FutureID, ids.NodeID, error) {
+	if len(buf) != 1+8+4 || buf[0] != envFutureSubscribe {
+		return FutureID{}, 0, fmt.Errorf("%w: future subscribe", errBadEnvelope)
+	}
+	fid := FutureID{
+		Node: ids.NodeID(binary.LittleEndian.Uint32(buf[1:])),
+		Seq:  binary.LittleEndian.Uint32(buf[5:]),
+	}
+	return fid, ids.NodeID(binary.LittleEndian.Uint32(buf[9:])), nil
 }
 
 // dgcPayload is the DGC exchange envelope: target activity + fixed-size

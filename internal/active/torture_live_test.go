@@ -34,6 +34,22 @@ func TestLiveMiniTorture(t *testing.T) {
 		handles[i] = ns[i%nodes].NewActive(fmt.Sprintf("w%d", i), relay{})
 	}
 
+	// The queue/idleness torture assertion (PR 4): at no sampled instant
+	// may any activity be flagged idle while requests are pending in its
+	// queue — the state in which the DGC could collect an activity that
+	// still owes services (the markIdleIfEmpty vs. policy-held audit).
+	assertNoIdleWithPending := func(when string) {
+		t.Helper()
+		for _, n := range ns {
+			for _, ao := range n.snapshotActivities() {
+				if ao.queue != nil && ao.queue.idleWhilePending() {
+					t.Fatalf("%s: activity %v idle with %d pending requests",
+						when, ao.ID(), ao.queue.pendingCount())
+				}
+			}
+		}
+	}
+
 	// Exchange phase: keep re-pointing random workers at random peers,
 	// through real calls (each hop serializes the reference and triggers
 	// the deserialization hook on the receiving node).
@@ -45,6 +61,7 @@ func TestLiveMiniTorture(t *testing.T) {
 		if _, err := from.CallSync(key, to.Ref(), 5*time.Second); err != nil {
 			t.Fatalf("mutation %d: %v", m, err)
 		}
+		assertNoIdleWithPending(fmt.Sprintf("mutation %d", m))
 	}
 	if e.LiveActivities() != workers {
 		t.Fatalf("live = %d during exchange, want %d", e.LiveActivities(), workers)

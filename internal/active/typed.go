@@ -61,6 +61,30 @@ func Typed[Resp any](fut *Future) *TypedFuture[Resp] {
 // Raw returns the underlying untyped future (nil for one-way calls).
 func (f *TypedFuture[Resp]) Raw() *Future { return f.fut }
 
+// WireFutureRef implements wire.FutureSource: a TypedFuture marshals into
+// call arguments and results as a first-class wire future value, so a
+// typed behavior can return (or forward) a result it does not have yet. A
+// nil-backed future (WithNoReply) has no wire identity and marshals as
+// Null.
+func (f *TypedFuture[Resp]) WireFutureRef() (wire.FutureRef, bool) {
+	if f == nil || f.fut == nil {
+		return wire.FutureRef{}, false
+	}
+	return f.fut.WireFutureRef()
+}
+
+// FutureFor lifts a first-class future value (a wire.FutureRef carried in
+// arguments, state or a reply) into a typed future on the given context's
+// node: the typed form of Context.Future, for wait-by-necessity at the
+// activity that finally touches the value.
+func FutureFor[Resp any](ctx *Context, v wire.Value) (*TypedFuture[Resp], error) {
+	fut, err := ctx.Future(v)
+	if err != nil {
+		return nil, err
+	}
+	return Typed[Resp](fut), nil
+}
+
 // Done returns a channel closed when the future is resolved.
 func (f *TypedFuture[Resp]) Done() <-chan struct{} {
 	if f.fut == nil {

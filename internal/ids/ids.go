@@ -118,3 +118,28 @@ func (g *NodeGenerator) SkipTo(first NodeID) {
 		}
 	}
 }
+
+// FutureID identifies a future on the node that created it (its *home*
+// node: where the asynchronous call originated and where the result
+// update is first delivered). Futures are first-class wire values, so the
+// identifier — like ActivityID — must be meaningful system-wide. The zero
+// value is reserved as "no future" (a one-way call).
+type FutureID struct {
+	// Node is the home node: the process that created the future and the
+	// root of its value-propagation chain.
+	Node NodeID
+	// Seq is the per-node creation sequence number, starting at 1.
+	Seq uint32
+}
+
+// IsZero reports whether the identifier is the reserved "no future" value.
+func (f FutureID) IsZero() bool { return f == FutureID{} }
+
+// String implements fmt.Stringer. Example: "F2.7" is the 7th future
+// created on node 2.
+func (f FutureID) String() string {
+	if f.IsZero() {
+		return "F<nil>"
+	}
+	return fmt.Sprintf("F%d.%d", uint32(f.Node), f.Seq)
+}

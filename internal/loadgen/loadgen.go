@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/active"
 	"repro/internal/tcpnet"
+	"repro/internal/wire"
 )
 
 // Mix weights the workload's operation classes. Zero-valued mixes default
@@ -22,10 +23,15 @@ type Mix struct {
 	// Churn is the weight of DGC churn: spawn an activity, call it once,
 	// release it into the collector's hands.
 	Churn int `json:"churn"`
+	// Pipeline is the weight of chained forwarded-future calls: one
+	// request into a 4-stage chain where every stage forwards the
+	// downstream future instead of waiting (WIRE.md §6), resolved only at
+	// the caller.
+	Pipeline int `json:"pipeline"`
 }
 
 func (m Mix) normalized() Mix {
-	if m.Call <= 0 && m.Broadcast <= 0 && m.Churn <= 0 {
+	if m.Call <= 0 && m.Broadcast <= 0 && m.Churn <= 0 && m.Pipeline <= 0 {
 		return Mix{Call: 1}
 	}
 	return m
@@ -151,10 +157,12 @@ type Result struct {
 	Throughput float64 `json:"throughput_ops_per_s"`
 	// MessagesPerSec is accounted transport messages per second.
 	MessagesPerSec float64 `json:"messages_per_s"`
-	// Calls, Broadcasts and Churns digest the per-class measurements.
+	// Calls, Broadcasts, Churns and Pipelines digest the per-class
+	// measurements.
 	Calls      OpStats `json:"calls"`
 	Broadcasts OpStats `json:"broadcasts"`
 	Churns     OpStats `json:"churns"`
+	Pipelines  OpStats `json:"pipelines"`
 	// Traffic maps transport class names to accounted totals.
 	Traffic map[string]ClassTraffic `json:"traffic"`
 	// LiveActivities is the live count at the end (churn backlog the DGC
@@ -182,6 +190,7 @@ const (
 	opCall opKind = iota
 	opBroadcast
 	opChurn
+	opPipeline
 	numOps
 )
 
@@ -245,12 +254,56 @@ func Run(cfg Config) (Result, error) {
 	}
 	group := active.NewGroup[echoReq, echoResp]("echo", handles[:cfg.GroupSize]...)
 
+	// The forwarded-future pipeline: a 4-stage chain spread across the
+	// worker nodes. Every non-final stage calls downstream and returns
+	// the unresolved future; the caller's single wait resolves through
+	// the flattened chain.
+	const pipeStages = 4
+	stageSvc := active.NewService(
+		active.Method("wire", func(ctx *active.Context, next wire.Value) (struct{}, error) {
+			ctx.Store("next", next)
+			return struct{}{}, nil
+		}),
+		active.Method("pipe", func(ctx *active.Context, req echoReq) (wire.Value, error) {
+			next := ctx.Load("next")
+			if next.IsNull() {
+				resp, err := wire.Marshal(echoResp{Seq: req.Seq, Echo: int64(len(req.Payload))})
+				return resp, err
+			}
+			fut, err := active.CallTyped[echoResp](ctx, next, "pipe", req)
+			if err != nil {
+				return wire.Null(), err
+			}
+			return wire.Marshal(fut)
+		}))
+	stageHandles := make([]*active.Handle, pipeStages)
+	for i := range stageHandles {
+		stageHandles[i] = workerNodes[i%len(workerNodes)].NewActive(
+			fmt.Sprintf("pipe-stage-%d", i), stageSvc)
+		defer stageHandles[i].Release()
+	}
+	for i, h := range stageHandles {
+		next := wire.Null()
+		if i < pipeStages-1 {
+			next = stageHandles[i+1].Ref()
+		}
+		if _, err := h.CallSync("wire", next, 10*time.Second); err != nil {
+			return Result{}, err
+		}
+	}
+	pipeHead, err := caller.HandleFor(stageHandles[0].Ref())
+	if err != nil {
+		return Result{}, err
+	}
+	defer pipeHead.Release()
+	pipeStub := active.NewStub[echoReq, echoResp](pipeHead, "pipe")
+
 	payload := make([]byte, cfg.PayloadBytes)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
 	mix := cfg.Mix
-	weightTotal := mix.Call + mix.Broadcast + mix.Churn
+	weightTotal := mix.Call + mix.Broadcast + mix.Churn + mix.Pipeline
 
 	var seq atomic.Int64
 	churnNode := func(rng *rand.Rand) *active.Node {
@@ -263,8 +316,10 @@ func Run(cfg Config) (Result, error) {
 			k = opCall
 		case w < mix.Call+mix.Broadcast:
 			k = opBroadcast
-		default:
+		case w < mix.Call+mix.Broadcast+mix.Churn:
 			k = opChurn
+		default:
+			k = opPipeline
 		}
 		req := echoReq{Seq: seq.Add(1), Payload: payload}
 		start := time.Now()
@@ -287,6 +342,14 @@ func Run(cfg Config) (Result, error) {
 				hc.Release()
 			}
 			h.Release()
+		case opPipeline:
+			// One item through the 4-stage forwarded-future chain: the
+			// caller's single wait resolves through the flattening
+			// machinery and every hop's future-update propagation.
+			var resp echoResp
+			if resp, err = pipeStub.CallSync(req, cfg.OpTimeout); err == nil && resp.Seq != req.Seq {
+				err = fmt.Errorf("loadgen: pipeline echoed seq %d, want %d", resp.Seq, req.Seq)
+			}
 		}
 		if err != nil {
 			// Failed operations count separately and stay out of the
@@ -362,7 +425,8 @@ func Run(cfg Config) (Result, error) {
 	res.Calls = opStats(opCall)
 	res.Broadcasts = opStats(opBroadcast)
 	res.Churns = opStats(opChurn)
-	res.TotalOps = merged.ops[opCall] + merged.ops[opBroadcast] + merged.ops[opChurn]
+	res.Pipelines = opStats(opPipeline)
+	res.TotalOps = merged.ops[opCall] + merged.ops[opBroadcast] + merged.ops[opChurn] + merged.ops[opPipeline]
 	if elapsed > 0 {
 		res.Throughput = float64(res.TotalOps) / elapsed.Seconds()
 	}

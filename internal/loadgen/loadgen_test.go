@@ -74,7 +74,7 @@ func TestRunClosedLoopSim(t *testing.T) {
 		ActorsPerNode: 2,
 		Workers:       4,
 		Duration:      200 * time.Millisecond,
-		Mix:           Mix{Call: 6, Broadcast: 1, Churn: 1},
+		Mix:           Mix{Call: 6, Broadcast: 1, Churn: 1, Pipeline: 2},
 		BatchWindow:   100 * time.Microsecond,
 		Seed:          42,
 	})
@@ -84,12 +84,12 @@ func TestRunClosedLoopSim(t *testing.T) {
 	if res.TotalOps == 0 {
 		t.Fatal("no operations completed")
 	}
-	if res.Calls.Errors+res.Broadcasts.Errors+res.Churns.Errors != 0 {
-		t.Fatalf("errors: %+v %+v %+v", res.Calls, res.Broadcasts, res.Churns)
+	if res.Calls.Errors+res.Broadcasts.Errors+res.Churns.Errors+res.Pipelines.Errors != 0 {
+		t.Fatalf("errors: %+v %+v %+v %+v", res.Calls, res.Broadcasts, res.Churns, res.Pipelines)
 	}
-	if res.Calls.Ops == 0 || res.Broadcasts.Ops == 0 || res.Churns.Ops == 0 {
-		t.Fatalf("mix incomplete: calls=%d broadcasts=%d churns=%d",
-			res.Calls.Ops, res.Broadcasts.Ops, res.Churns.Ops)
+	if res.Calls.Ops == 0 || res.Broadcasts.Ops == 0 || res.Churns.Ops == 0 || res.Pipelines.Ops == 0 {
+		t.Fatalf("mix incomplete: calls=%d broadcasts=%d churns=%d pipelines=%d",
+			res.Calls.Ops, res.Broadcasts.Ops, res.Churns.Ops, res.Pipelines.Ops)
 	}
 	if res.Traffic["app"].Messages == 0 || res.Traffic["future"].Messages == 0 {
 		t.Fatalf("no traffic accounted: %+v", res.Traffic)

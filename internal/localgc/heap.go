@@ -39,6 +39,8 @@ const (
 	kindDict
 	kindStub
 	kindTag
+	kindFutureStub
+	kindFutureTag
 )
 
 // cell is one passive object.
@@ -53,6 +55,10 @@ type cell struct {
 	keys []string
 	// stub target (kindStub); tag identity (kindTag shares owner+target).
 	target ids.ActivityID
+	// future identity (kindFutureStub and kindFutureTag). Future stubs
+	// also keep the original future value in scalar so Materialize can
+	// rebuild it.
+	future ids.FutureID
 	marked bool
 }
 
@@ -71,6 +77,11 @@ type Stats struct {
 	Freed int
 	// TagDeaths lists the (owner, target) stub tags that died.
 	TagDeaths []TagDeath
+	// FutureDeaths lists the futures for which no activity on this node
+	// holds a future stub anymore (the runtime's future-table sweep
+	// polls HasFutureTag instead of consuming these; they are reported
+	// for tests and metrics).
+	FutureDeaths []ids.FutureID
 }
 
 type tagKey struct {
@@ -86,6 +97,7 @@ type Heap struct {
 	roots    map[RootID]ObjRef
 	nextRoot RootID
 	tags     map[tagKey]ObjRef
+	futTags  map[ids.FutureID]ObjRef
 	weaks    map[ObjRef][]*Weak
 
 	// onTagDeath, if set, is invoked (outside the heap lock) once per tag
@@ -99,6 +111,7 @@ func New(onTagDeath func(TagDeath)) *Heap {
 		cells:      make(map[ObjRef]*cell),
 		roots:      make(map[RootID]ObjRef),
 		tags:       make(map[tagKey]ObjRef),
+		futTags:    make(map[ids.FutureID]ObjRef),
 		weaks:      make(map[ObjRef][]*Weak),
 		onTagDeath: onTagDeath,
 	}
@@ -138,6 +151,8 @@ func (h *Heap) intern(owner ids.ActivityID, v wire.Value) ObjRef {
 	case wire.KindRef:
 		target, _ := v.AsRef()
 		return h.internStub(owner, target)
+	case wire.KindFuture:
+		return h.internFutureStub(owner, v)
 	default:
 		return h.alloc(&cell{kind: kindScalar, owner: owner, scalar: v})
 	}
@@ -155,6 +170,34 @@ func (h *Heap) internStub(owner, target ids.ActivityID) ObjRef {
 		owner:    owner,
 		target:   target,
 		children: []ObjRef{tag},
+	})
+}
+
+// internFutureStub allocates a stub for a first-class future value. It
+// pins two tags: the (owner, future-owner) activity tag — holding a
+// future references the activity the result belongs to, exactly like
+// holding a plain stub — and the node-wide future tag, whose death tells
+// the runtime no local activity can name the future anymore.
+func (h *Heap) internFutureStub(owner ids.ActivityID, v wire.Value) ObjRef {
+	fr, _ := v.AsFutureRef()
+	key := tagKey{owner: owner, target: fr.Owner}
+	tag, ok := h.tags[key]
+	if !ok {
+		tag = h.alloc(&cell{kind: kindTag, owner: owner, target: fr.Owner})
+		h.tags[key] = tag
+	}
+	ftag, ok := h.futTags[fr.ID]
+	if !ok {
+		ftag = h.alloc(&cell{kind: kindFutureTag, future: fr.ID})
+		h.futTags[fr.ID] = ftag
+	}
+	return h.alloc(&cell{
+		kind:     kindFutureStub,
+		owner:    owner,
+		target:   fr.Owner,
+		future:   fr.ID,
+		scalar:   v,
+		children: []ObjRef{tag, ftag},
 	})
 }
 
@@ -220,7 +263,9 @@ func (h *Heap) materialize(ref ObjRef) wire.Value {
 		return wire.Dict(m)
 	case kindStub:
 		return wire.Ref(c.target)
-	default: // kindTag has no value representation
+	case kindFutureStub:
+		return c.scalar
+	default: // tags have no value representation
 		return wire.Null()
 	}
 }
@@ -329,10 +374,14 @@ func (h *Heap) Collect() Stats {
 			w.kill()
 		}
 		delete(h.weaks, ref)
-		if c.kind == kindTag {
+		switch c.kind {
+		case kindTag:
 			key := tagKey{owner: c.owner, target: c.target}
 			delete(h.tags, key)
 			st.TagDeaths = append(st.TagDeaths, TagDeath{Owner: c.owner, Target: c.target})
+		case kindFutureTag:
+			delete(h.futTags, c.future)
+			st.FutureDeaths = append(st.FutureDeaths, c.future)
 		}
 	}
 	cb := h.onTagDeath
@@ -366,6 +415,15 @@ func (h *Heap) HasTag(owner, target ids.ActivityID) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	_, ok := h.tags[tagKey{owner: owner, target: target}]
+	return ok
+}
+
+// HasFutureTag reports whether any activity on this node still holds a
+// future stub for fid (as of the last sweep).
+func (h *Heap) HasFutureTag(fid ids.FutureID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.futTags[fid]
 	return ok
 }
 

@@ -238,3 +238,47 @@ func TestHeapString(t *testing.T) {
 		t.Fatalf("NumCells=%d NumRoots=%d, want 1/1", h.NumCells(), h.NumRoots())
 	}
 }
+
+// TestFutureStubTags pins the future-stub behavior: interning a future
+// value pins both the (owner → future-owner) activity tag and the
+// node-wide future tag; dropping every pin kills both at the next sweep,
+// and Materialize rebuilds the original future value while pinned.
+func TestFutureStubTags(t *testing.T) {
+	var tagDeaths []TagDeath
+	h := New(func(d TagDeath) { tagDeaths = append(tagDeaths, d) })
+
+	owner := ids.ActivityID{Node: 1, Seq: 1}
+	futOwner := ids.ActivityID{Node: 2, Seq: 5}
+	fid := ids.FutureID{Node: 2, Seq: 9}
+	fv := wire.FutureVal(wire.FutureRef{ID: fid, Owner: futOwner})
+	ref, root := h.InternRooted(owner, wire.List(wire.Int(1), fv))
+
+	h.Collect()
+	if !h.HasTag(owner, futOwner) {
+		t.Fatal("future stub did not pin the owner-activity tag")
+	}
+	if !h.HasFutureTag(fid) {
+		t.Fatal("future stub did not pin the future tag")
+	}
+	if got := h.Materialize(ref); !got.At(1).Equal(fv) {
+		t.Fatalf("materialized %v", got)
+	}
+
+	h.RemoveRoot(root)
+	st := h.Collect()
+	if h.HasTag(owner, futOwner) || h.HasFutureTag(fid) {
+		t.Fatal("tags survived the pin drop")
+	}
+	if len(st.FutureDeaths) != 1 || st.FutureDeaths[0] != fid {
+		t.Fatalf("future deaths = %v", st.FutureDeaths)
+	}
+	found := false
+	for _, d := range tagDeaths {
+		if d == (TagDeath{Owner: owner, Target: futOwner}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no activity tag death for the future owner: %v", tagDeaths)
+	}
+}

@@ -23,9 +23,12 @@
 //	struct                  ⇄ Dict keyed by field name or `wire:"name"` tag
 //	pointer                 ⇄ Null when nil, else the element
 //	ids.ActivityID          ⇄ Ref
+//	wire.FutureRef          ⇄ Future (first-class future identity)
+//	wire.FutureSource       → Future (marshal only: runtime future handles)
 //	wire.Value              ⇄ passed through verbatim
 //	any (unmarshal only)    ← nil, bool, int64, float64, string, []byte,
-//	                          []any, map[string]any, ids.ActivityID
+//	                          []any, map[string]any, ids.ActivityID,
+//	                          wire.FutureRef
 //
 // Struct tags follow the encoding/json convention: `wire:"name"` renames,
 // `wire:"-"` skips, `wire:",omitempty"` drops zero values on marshal.
@@ -55,8 +58,10 @@ var (
 )
 
 var (
-	valueType      = reflect.TypeOf(Value{})
-	activityIDType = reflect.TypeOf(ids.ActivityID{})
+	valueType        = reflect.TypeOf(Value{})
+	activityIDType   = reflect.TypeOf(ids.ActivityID{})
+	futureRefType    = reflect.TypeOf(FutureRef{})
+	futureSourceType = reflect.TypeOf((*FutureSource)(nil)).Elem()
 )
 
 // Marshal maps a Go value onto the closed value model.
@@ -73,6 +78,17 @@ func marshalValue(rv reflect.Value) (Value, error) {
 		return rv.Interface().(Value), nil
 	case activityIDType:
 		return Ref(rv.Interface().(ids.ActivityID)), nil
+	case futureRefType:
+		return FutureVal(rv.Interface().(FutureRef)), nil
+	}
+	// Runtime future handles (*active.Future, *active.TypedFuture) marshal
+	// to future values: passing a future is passing its wire identity, not
+	// its (possibly not yet existing) result.
+	if rv.Type().Implements(futureSourceType) && (rv.Kind() != reflect.Pointer || !rv.IsNil()) {
+		if fr, ok := rv.Interface().(FutureSource).WireFutureRef(); ok {
+			return FutureVal(fr), nil
+		}
+		return Null(), nil
 	}
 	switch rv.Kind() {
 	case reflect.Bool:
@@ -179,6 +195,13 @@ func unmarshalValue(v Value, rv reflect.Value) error {
 			return mismatch(v, rv.Type())
 		}
 		rv.Set(reflect.ValueOf(target))
+		return nil
+	case futureRefType:
+		fr, ok := v.AsFutureRef()
+		if !ok {
+			return mismatch(v, rv.Type())
+		}
+		rv.Set(reflect.ValueOf(fr))
 		return nil
 	}
 	switch rv.Kind() {
@@ -356,6 +379,9 @@ func toAny(v Value) any {
 	case KindRef:
 		target, _ := v.AsRef()
 		return target
+	case KindFuture:
+		fr, _ := v.AsFutureRef()
+		return fr
 	default:
 		return nil
 	}

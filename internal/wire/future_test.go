@@ -1,0 +1,213 @@
+package wire
+
+// Tests and fuzzing for the first-class future value kind (KindFuture):
+// codec round trips, the Refs/FutureRefs walks, the OnRef/OnFuture decode
+// hooks, and the struct-codec passthrough forms.
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func testFR(fn, fs, on, os uint32) FutureRef {
+	return FutureRef{
+		ID:    ids.FutureID{Node: ids.NodeID(fn), Seq: fs},
+		Owner: ids.ActivityID{Node: ids.NodeID(on), Seq: os},
+	}
+}
+
+func TestFutureValueRoundTrip(t *testing.T) {
+	fr := testFR(3, 41, 7, 9)
+	v := FutureVal(fr)
+	if v.Kind() != KindFuture {
+		t.Fatalf("kind = %v", v.Kind())
+	}
+	buf := Encode(nil, v)
+	var dec Decoder
+	got, err := dec.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("round trip: %v != %v", got, v)
+	}
+	back, ok := got.AsFutureRef()
+	if !ok || back != fr {
+		t.Fatalf("AsFutureRef = %v, %v", back, ok)
+	}
+	if len(Encode(nil, v)) != EncodedSize(v) {
+		t.Fatalf("EncodedSize mismatch")
+	}
+}
+
+func TestFutureValueDecodeHooks(t *testing.T) {
+	fr := testFR(2, 5, 4, 8)
+	v := List(Ref(ids.ActivityID{Node: 1, Seq: 1}), FutureVal(fr))
+	var refs []ids.ActivityID
+	var futs []FutureRef
+	dec := Decoder{
+		OnRef:    func(target ids.ActivityID) { refs = append(refs, target) },
+		OnFuture: func(got FutureRef) { futs = append(futs, got) },
+	}
+	if _, err := dec.Decode(Encode(nil, v)); err != nil {
+		t.Fatal(err)
+	}
+	// OnRef must see the plain ref AND the future's owner (holding a
+	// future holds a reference to its owner, §2.2 completeness).
+	if len(refs) != 2 || refs[0] != (ids.ActivityID{Node: 1, Seq: 1}) || refs[1] != fr.Owner {
+		t.Fatalf("OnRef saw %v", refs)
+	}
+	if len(futs) != 1 || futs[0] != fr {
+		t.Fatalf("OnFuture saw %v", futs)
+	}
+}
+
+func TestFutureValueWalks(t *testing.T) {
+	fr1, fr2 := testFR(1, 1, 9, 1), testFR(2, 2, 9, 2)
+	v := Dict(map[string]Value{
+		"a": FutureVal(fr1),
+		"b": List(Int(1), FutureVal(fr2)),
+		"c": Ref(ids.ActivityID{Node: 5, Seq: 5}),
+	})
+	refs := v.Refs(nil)
+	if len(refs) != 3 {
+		t.Fatalf("Refs = %v", refs)
+	}
+	if refs[0] != fr1.Owner || refs[1] != fr2.Owner {
+		t.Fatalf("future owners missing from Refs: %v", refs)
+	}
+	frs := v.FutureRefs(nil)
+	if len(frs) != 2 || frs[0] != fr1 || frs[1] != fr2 {
+		t.Fatalf("FutureRefs = %v", frs)
+	}
+	if got := DeepCopy(v); !got.Equal(v) {
+		t.Fatalf("DeepCopy lost structure: %v", got)
+	}
+}
+
+// fakeFuture implements FutureSource for the marshal passthrough test.
+type fakeFuture struct {
+	fr FutureRef
+	ok bool
+}
+
+func (f *fakeFuture) WireFutureRef() (FutureRef, bool) { return f.fr, f.ok }
+
+func TestFutureCodecPassthrough(t *testing.T) {
+	fr := testFR(6, 12, 6, 3)
+	type payload struct {
+		Fut  FutureRef `wire:"fut"`
+		Name string    `wire:"name"`
+	}
+	v, err := Marshal(payload{Fut: fr, Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.Get("fut").AsFutureRef()
+	if !ok || got != fr {
+		t.Fatalf("marshaled fut = %v", v.Get("fut"))
+	}
+	var back payload
+	if err := Unmarshal(v, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fut != fr || back.Name != "x" {
+		t.Fatalf("unmarshal = %+v", back)
+	}
+	// A runtime handle marshals through the FutureSource interface; one
+	// with no wire identity marshals as Null.
+	hv, err := Marshal(&fakeFuture{fr: fr, ok: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := hv.AsFutureRef(); !ok || got != fr {
+		t.Fatalf("FutureSource marshal = %v", hv)
+	}
+	nv, err := Marshal(&fakeFuture{})
+	if err != nil || !nv.IsNull() {
+		t.Fatalf("identity-less future marshal = %v, %v", nv, err)
+	}
+	var nilFut *fakeFuture
+	nv, err = Marshal(struct{ F *fakeFuture }{F: nilFut})
+	if err != nil || !nv.Get("F").IsNull() {
+		t.Fatalf("nil future field marshal = %v, %v", nv, err)
+	}
+	// any-target unmarshal yields the FutureRef itself.
+	var dyn any
+	if err := Unmarshal(FutureVal(fr), &dyn); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := dyn.(FutureRef); !ok || got != fr {
+		t.Fatalf("any unmarshal = %#v", dyn)
+	}
+}
+
+// FuzzFutureValue round-trips arbitrary bytes through the decoder and,
+// for every accepted value, checks that encode(decode(x)) is a fixpoint,
+// that the Refs walk agrees with the OnRef hook (future owners included),
+// and that the FutureRefs walk agrees with the OnFuture hook. This is the
+// CI gate for the future-value encoding (WIRE.md §6).
+func FuzzFutureValue(f *testing.F) {
+	seeds := []Value{
+		FutureVal(testFR(1, 1, 1, 1)),
+		FutureVal(testFR(0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF)),
+		FutureVal(FutureRef{}),
+		List(FutureVal(testFR(2, 3, 4, 5)), Ref(ids.ActivityID{Node: 1, Seq: 2})),
+		Dict(map[string]Value{
+			"f": FutureVal(testFR(9, 9, 9, 9)),
+			"l": List(Int(1), FutureVal(testFR(8, 7, 6, 5))),
+		}),
+	}
+	for _, v := range seeds {
+		f.Add(Encode(nil, v))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var hookRefs []ids.ActivityID
+		var hookFuts []FutureRef
+		dec := Decoder{
+			OnRef:    func(target ids.ActivityID) { hookRefs = append(hookRefs, target) },
+			OnFuture: func(fr FutureRef) { hookFuts = append(hookFuts, fr) },
+		}
+		v, err := dec.Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(nil, v)
+		again, err := dec.Decode(enc) // hooks fire twice; compare halves below
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !again.Equal(v) {
+			t.Fatalf("decode(encode(v)) != v:\n%v\n%v", again, v)
+		}
+		half := len(hookRefs) / 2
+		walkRefs := v.Refs(nil)
+		if len(walkRefs) != half {
+			t.Fatalf("Refs walk (%d) disagrees with OnRef (%d)", len(walkRefs), half)
+		}
+		halfF := len(hookFuts) / 2
+		walkFuts := v.FutureRefs(nil)
+		if len(walkFuts) != halfF {
+			t.Fatalf("FutureRefs walk (%d) disagrees with OnFuture (%d)", len(walkFuts), halfF)
+		}
+		// The second hook half came from decoding the canonical encoding,
+		// whose order matches the deterministic walk (sorted dict keys).
+		for i, fr := range walkFuts {
+			if hookFuts[halfF+i] != fr {
+				t.Fatalf("FutureRefs[%d] = %v, OnFuture saw %v", i, fr, hookFuts[halfF+i])
+			}
+		}
+		// A future value must survive the struct codec both ways.
+		var fr FutureRef
+		if fv, ok := v.AsFutureRef(); ok {
+			if err := Unmarshal(v, &fr); err != nil || fr != fv {
+				t.Fatalf("FutureRef unmarshal = %v, %v", fr, err)
+			}
+			back, err := Marshal(fr)
+			if err != nil || !back.Equal(v) {
+				t.Fatalf("FutureRef marshal = %v, %v", back, err)
+			}
+		}
+	})
+}

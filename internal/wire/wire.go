@@ -39,6 +39,7 @@ const (
 	KindList
 	KindDict
 	KindRef
+	KindFuture
 )
 
 // String implements fmt.Stringer.
@@ -62,9 +63,43 @@ func (k Kind) String() string {
 		return "dict"
 	case KindRef:
 		return "ref"
+	case KindFuture:
+		return "future"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
+}
+
+// FutureRef is the payload of a future value: the identity a not-yet-
+// resolved result travels under when it is passed as a call argument or
+// returned onward (ASP's first-class futures, paper §5–§6). ID names the
+// future on its home node; Owner is the activity the asynchronous call was
+// made on behalf of. The owner rides along so that holding a future keeps
+// the owner activity alive in the DGC's reference graph exactly as
+// holding a plain reference would — a forwarded-but-unresolved future can
+// never outlive the activity that must still receive its updates.
+type FutureRef struct {
+	// ID identifies the future on its home node.
+	ID ids.FutureID
+	// Owner is the activity on whose behalf the call was made.
+	Owner ids.ActivityID
+}
+
+// IsZero reports whether the reference is the zero "no future" value.
+func (fr FutureRef) IsZero() bool { return fr == FutureRef{} }
+
+// String implements fmt.Stringer.
+func (fr FutureRef) String() string {
+	return fmt.Sprintf("future(%s@%s)", fr.ID, fr.Owner)
+}
+
+// FutureSource is implemented by runtime future handles (e.g. the active
+// package's *Future and *TypedFuture) so they can be marshaled directly
+// into call arguments and results. WireFutureRef reports the wire identity
+// and whether one exists — a pre-resolved handle with no wire identity
+// (e.g. a one-way call's placeholder) marshals as Null instead.
+type FutureSource interface {
+	WireFutureRef() (FutureRef, bool)
 }
 
 // Value is a node of the closed value model. Exactly the fields relevant to
@@ -80,6 +115,7 @@ type Value struct {
 	list  []Value
 	dict  map[string]Value
 	ref   ids.ActivityID
+	fut   FutureRef
 }
 
 // Null returns the null value.
@@ -134,6 +170,13 @@ func Dict(m map[string]Value) Value {
 // Ref returns a remote-reference value (a stub) designating target.
 func Ref(target ids.ActivityID) Value {
 	return Value{kind: KindRef, ref: target}
+}
+
+// FutureVal returns a future value: a first-class placeholder for a
+// result that may not exist yet. The runtime resolves it to the concrete
+// value at whichever activity finally touches it (wait-by-necessity).
+func FutureVal(fr FutureRef) Value {
+	return Value{kind: KindFuture, fut: fr}
 }
 
 // Kind returns the value's kind. The zero Value reports KindNull.
@@ -252,13 +295,26 @@ func (v Value) AsRef() (ids.ActivityID, bool) {
 	return v.ref, true
 }
 
+// AsFutureRef returns the identity of a future value and whether the
+// value is a future.
+func (v Value) AsFutureRef() (FutureRef, bool) {
+	if v.kind != KindFuture {
+		return FutureRef{}, false
+	}
+	return v.fut, true
+}
+
 // Refs appends to dst the targets of every reference reachable from v
 // (including v itself) and returns the extended slice. Order is
-// deterministic: depth-first, list order, sorted dict keys.
+// deterministic: depth-first, list order, sorted dict keys. A future
+// value contributes its owner activity: holding a future references the
+// activity the result belongs to, so the reference graph sees the edge.
 func (v Value) Refs(dst []ids.ActivityID) []ids.ActivityID {
 	switch v.kind {
 	case KindRef:
 		return append(dst, v.ref)
+	case KindFuture:
+		return append(dst, v.fut.Owner)
 	case KindList:
 		for _, e := range v.list {
 			dst = e.Refs(dst)
@@ -267,6 +323,58 @@ func (v Value) Refs(dst []ids.ActivityID) []ids.ActivityID {
 	case KindDict:
 		for _, k := range v.Keys() {
 			dst = v.dict[k].Refs(dst)
+		}
+		return dst
+	default:
+		return dst
+	}
+}
+
+// HasFutures reports whether any future value is reachable from v. It
+// allocates nothing (dict iteration order does not matter for a pure
+// existence check), so hot paths can gate the FutureRefs walk — and its
+// sorted-key allocations — behind it: payloads without futures, the
+// overwhelmingly common case, pay one pointer-chasing scan and nothing
+// else.
+func (v Value) HasFutures() bool {
+	switch v.kind {
+	case KindFuture:
+		return true
+	case KindList:
+		for _, e := range v.list {
+			if e.HasFutures() {
+				return true
+			}
+		}
+		return false
+	case KindDict:
+		for _, e := range v.dict {
+			if e.HasFutures() {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// FutureRefs appends to dst every future reference reachable from v
+// (including v itself) and returns the extended slice, in the same
+// deterministic order as Refs. The runtime walks outgoing payloads with
+// it to register the destination as a holder of each forwarded future.
+func (v Value) FutureRefs(dst []FutureRef) []FutureRef {
+	switch v.kind {
+	case KindFuture:
+		return append(dst, v.fut)
+	case KindList:
+		for _, e := range v.list {
+			dst = e.FutureRefs(dst)
+		}
+		return dst
+	case KindDict:
+		for _, k := range v.Keys() {
+			dst = v.dict[k].FutureRefs(dst)
 		}
 		return dst
 	default:
@@ -323,6 +431,8 @@ func (v Value) Equal(o Value) bool {
 		return true
 	case KindRef:
 		return v.ref == o.ref
+	case KindFuture:
+		return v.fut == o.fut
 	default:
 		return false
 	}
@@ -349,6 +459,8 @@ func (v Value) String() string {
 		return fmt.Sprintf("dict[%d]", len(v.dict))
 	case KindRef:
 		return fmt.Sprintf("ref(%s)", v.ref)
+	case KindFuture:
+		return v.fut.String()
 	default:
 		return "invalid"
 	}
@@ -407,6 +519,11 @@ func Encode(dst []byte, v Value) []byte {
 	case KindRef:
 		dst = binary.AppendUvarint(dst, uint64(v.ref.Node))
 		dst = binary.AppendUvarint(dst, uint64(v.ref.Seq))
+	case KindFuture:
+		dst = binary.AppendUvarint(dst, uint64(v.fut.ID.Node))
+		dst = binary.AppendUvarint(dst, uint64(v.fut.ID.Seq))
+		dst = binary.AppendUvarint(dst, uint64(v.fut.Owner.Node))
+		dst = binary.AppendUvarint(dst, uint64(v.fut.Owner.Seq))
 	}
 	return dst
 }
@@ -440,8 +557,15 @@ func uvarintLen(x uint64) int {
 // which is the reference-graph construction hook of the paper's §2.2.
 type Decoder struct {
 	// OnRef, if non-nil, is invoked once per decoded Ref value with its
-	// target, in decoding order.
+	// target, in decoding order. It also fires once per decoded future
+	// value with the future's owner activity: holding a future is holding
+	// a reference to its owner, and the graph hook must see the edge the
+	// moment it enters the recipient's address space.
 	OnRef func(target ids.ActivityID)
+	// OnFuture, if non-nil, is invoked once per decoded future value, in
+	// decoding order (after the owner's OnRef). The runtime adopts a local
+	// proxy for the future here.
+	OnFuture func(fr FutureRef)
 }
 
 // Decode decodes a single value from buf, which must contain exactly one
@@ -568,6 +692,27 @@ func (d *Decoder) decode(buf []byte, depth int) (Value, []byte, error) {
 			d.OnRef(target)
 		}
 		return Ref(target), buf, nil
+	case KindFuture:
+		var raw [4]uint64
+		for i := range raw {
+			x, sz := binary.Uvarint(buf)
+			if sz <= 0 {
+				return Null(), nil, ErrTruncated
+			}
+			raw[i] = x
+			buf = buf[sz:]
+		}
+		fr := FutureRef{
+			ID:    ids.FutureID{Node: ids.NodeID(raw[0]), Seq: uint32(raw[1])},
+			Owner: ids.ActivityID{Node: ids.NodeID(raw[2]), Seq: uint32(raw[3])},
+		}
+		if d.OnRef != nil {
+			d.OnRef(fr.Owner)
+		}
+		if d.OnFuture != nil {
+			d.OnFuture(fr)
+		}
+		return FutureVal(fr), buf, nil
 	default:
 		return Null(), nil, fmt.Errorf("%w: %d", ErrBadTag, uint8(kind))
 	}

@@ -32,6 +32,17 @@
 // refs or ActivityID fields) always stay visible to the collector —
 // the typed façade cannot hide an edge from the DGC.
 //
+// Futures are first-class (paper §5–§6): a *Future or *TypedFuture can
+// travel inside call arguments and results before it resolves — receive
+// it as a FutureRef (or Value) field and lift it with Context.Future /
+// FutureFor — and wait-by-necessity happens only at the activity that
+// finally touches the value; the runtime propagates resolutions (and
+// remote failures) to every forwarding hop and flattens future-of-future
+// chains. The serve loop is policy-driven: FIFO (default), LIFO,
+// PriorityByMethod and ServeOldest select which pending request an
+// activity serves next (Config.ServicePolicy, WithPolicy), and
+// Context.ServeNext serves selectively mid-service.
+//
 // The dynamic substrate remains available: a Behavior serves raw
 // (method string, args Value) pairs, Handle.Call/CallSync speak it, and
 // a *Service is itself a Behavior, so both surfaces interoperate on the
@@ -134,6 +145,22 @@ type (
 	// CallOption is a per-call option of the typed API (WithTimeout,
 	// WithNoReply).
 	CallOption = active.CallOption
+	// FutureID identifies a future on its home node; futures are
+	// first-class wire citizens (paper §5–§6), so the identity is global.
+	FutureID = ids.FutureID
+	// FutureRef is the wire identity a first-class future travels under
+	// when passed in call arguments, results or group scatters. Receive
+	// one in a request struct field and lift it with Context.Future (or
+	// FutureFor for the typed form) to wait-by-necessity at the activity
+	// that finally touches the value.
+	FutureRef = wire.FutureRef
+	// ServicePolicy selects which pending request an activity serves next
+	// (FIFO, LIFO, PriorityByMethod, ServeOldest, or your own).
+	ServicePolicy = active.ServicePolicy
+	// RequestInfo describes one pending request to a ServicePolicy.
+	RequestInfo = active.RequestInfo
+	// SpawnOption configures an activity at creation (WithPolicy).
+	SpawnOption = active.SpawnOption
 )
 
 // Generic aliases of the typed calling surface.
@@ -162,6 +189,11 @@ var (
 	ErrFutureTimeout = active.ErrFutureTimeout
 	// ErrRemoteFailure wraps an error returned by a callee's behavior.
 	ErrRemoteFailure = active.ErrRemoteFailure
+	// ErrFutureUnavailable reports a first-class future whose value can no
+	// longer be obtained (its home entry was reclaimed).
+	ErrFutureUnavailable = active.ErrFutureUnavailable
+	// ErrNotAFuture reports a value that should have been a future.
+	ErrNotAFuture = active.ErrNotAFuture
 )
 
 // Method declares a typed service operation; see active.Method.
@@ -199,6 +231,38 @@ func WithTimeout(d time.Duration) CallOption { return active.WithTimeout(d) }
 
 // WithNoReply turns a call into a fire-and-forget send.
 func WithNoReply() CallOption { return active.WithNoReply() }
+
+// FutureFor lifts a first-class future value into a typed future on the
+// context's node: wait-by-necessity at the activity that finally touches
+// the value.
+func FutureFor[Resp any](ctx *Context, v Value) (*TypedFuture[Resp], error) {
+	return active.FutureFor[Resp](ctx, v)
+}
+
+// Typed wraps an untyped Future (e.g. from Handle.Future) in a typed view.
+func Typed[Resp any](fut *Future) *TypedFuture[Resp] { return active.Typed[Resp](fut) }
+
+// Service policies: the request-selection disciplines of the serve loop
+// (paper §5–§6 serve primitives). Configure per environment via
+// Config.ServicePolicy, per activity via WithPolicy, or serve selectively
+// mid-service with Context.ServeNext.
+
+// FIFO returns the default arrival-order policy.
+func FIFO() ServicePolicy { return active.FIFO() }
+
+// LIFO returns the newest-first policy.
+func LIFO() ServicePolicy { return active.LIFO() }
+
+// PriorityByMethod returns a policy serving the highest-priority method
+// first (FIFO within equal priorities; unlisted methods have priority 0).
+func PriorityByMethod(prio map[string]int) ServicePolicy { return active.PriorityByMethod(prio) }
+
+// ServeOldest returns the paper's serveOldest primitive: the oldest
+// pending request among the given methods; everything else is held.
+func ServeOldest(methods ...string) ServicePolicy { return active.ServeOldest(methods...) }
+
+// WithPolicy sets one activity's standing service policy at creation.
+func WithPolicy(p ServicePolicy) SpawnOption { return active.WithPolicy(p) }
 
 // Marshal maps a Go value onto the closed wire value model.
 func Marshal(v any) (Value, error) { return wire.Marshal(v) }
@@ -294,6 +358,10 @@ func Dict(m map[string]Value) Value { return wire.Dict(m) }
 
 // Ref returns a reference value designating an activity.
 func Ref(target ActivityID) Value { return wire.Ref(target) }
+
+// FutureVal returns a first-class future value from its wire identity
+// (the dynamic-API counterpart of marshaling a *Future or *TypedFuture).
+func FutureVal(fr FutureRef) Value { return wire.FutureVal(fr) }
 
 // Compressed defaults used when Config leaves the periods zero.
 const (
