@@ -27,16 +27,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static analysis beyond vet, exactly as CI runs it: staticcheck (pinned,
+# so local and CI agree) and govulncheck (latest: the vulnerability
+# database moves regardless of what we pin). Both run via `go run`, so no
+# tool installation or PATH setup is needed — only network access on the
+# first run.
+STATICCHECK_VERSION ?= 2025.1.1
+.PHONY: lint
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
 # Regenerate the messaging trajectory via the loadgen/soak subsystem.
 BENCH_DURATION ?= 2s
 .PHONY: bench
 bench:
 	$(GO) run ./cmd/loadgen -suite -duration $(BENCH_DURATION) -out BENCH_messaging.json
 
-# The paper-figure and dispatch micro-benchmarks (EXPERIMENTS.md tables).
+# The paper-figure and dispatch micro-benchmarks (EXPERIMENTS.md tables),
+# over the whole tree: the root package's paper figures plus the
+# internal/active, internal/tcpnet and internal/transport hot-path
+# benches.
 .PHONY: bench-go
 bench-go:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench . -benchmem ./...
 
 # Short fuzz pass over every fuzzable decoder (longer runs: raise
 # FUZZTIME).
@@ -49,6 +63,14 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzFrameDecode$$ -fuzztime $(FUZZTIME) ./internal/tcpnet/
 	$(GO) test -run xxx -fuzz FuzzFrameDecodeReuse -fuzztime $(FUZZTIME) ./internal/tcpnet/
 	$(GO) test -run xxx -fuzz FuzzWalkBatch -fuzztime $(FUZZTIME) ./internal/transport/
+	$(GO) test -run xxx -fuzz FuzzMigrationEnvelope -fuzztime $(FUZZTIME) ./internal/active/
+
+# CI perf gate, runnable locally: measure a fresh suite and compare it
+# against the checked-in trajectory (fails on >25% p50/call-rate regress).
+.PHONY: perf-gate
+perf-gate:
+	$(GO) run ./cmd/loadgen -suite -duration 2s -out /tmp/bench.json
+	$(GO) run ./cmd/loadgen -compare -candidate /tmp/bench.json
 
 .PHONY: examples
 examples:

@@ -914,3 +914,65 @@ func BenchmarkPipelineWaitEveryHop(b *testing.B) { benchPipeline(b, false) }
 // approaches one item per stage-compute instead of one per chain
 // round-trip (the PR 4 acceptance bar is ≥1.5× on 4-stage chains).
 func BenchmarkPipelineForwarded(b *testing.B) { benchPipeline(b, true) }
+
+// benchCounter is the migratable behavior of the migration benchmarks:
+// its state is a single Store entry, so the envelope stays small and the
+// measured cost is the protocol, not the payload.
+type benchCounter struct{}
+
+func (benchCounter) Serve(ctx *repro.Context, method string, args repro.Value) (repro.Value, error) {
+	switch method {
+	case "add":
+		total := ctx.Load("total").AsInt() + args.AsInt()
+		ctx.Store("total", repro.Int(total))
+		return repro.Int(total), nil
+	}
+	return repro.Null(), fmt.Errorf("benchCounter: unknown method %q", method)
+}
+
+func init() {
+	repro.RegisterBehavior("bench/counter", func() repro.Behavior { return benchCounter{} })
+}
+
+// BenchmarkCallDuringMigration measures the per-call cost of calling an
+// activity that keeps migrating between two nodes (one move per 100
+// calls, awaited): the caller's reference goes stale on every move, pays
+// the forwarder relay until the redirect rebinds it, and the DGC keeps
+// running throughout. Compare with BenchmarkCrossNodeCall for the
+// steady-state baseline the migration churn is added on top of.
+func BenchmarkCallDuringMigration(b *testing.B) {
+	env := repro.NewEnv(repro.Config{})
+	b.Cleanup(env.Close)
+	caller := env.NewNode()
+	homes := []*repro.Node{env.NewNode(), env.NewNode()}
+	h, err := homes[0].SpawnKind("roamer", "bench/counter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Release()
+	remote, err := caller.HandleFor(h.Ref())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Release()
+	arg := repro.Int(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	moves := 0
+	for i := 0; i < b.N; i++ {
+		if i%100 == 99 {
+			moves++
+			mfut, err := h.Migrate(homes[moves%2].ID())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mfut.Wait(30 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := remote.CallSync("add", arg, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(moves), "migrations")
+}

@@ -1,0 +1,116 @@
+package main
+
+// The perf-regression comparator behind `loadgen -compare`: CI runs the
+// standard suite into a fresh JSON and fails the build when the hot-path
+// call metrics regress beyond a threshold against the checked-in
+// trajectory (BENCH_messaging.json). Two metrics gate the build, per
+// scenario: p50 call latency (must not grow) and calls/sec (must not
+// shrink). Throughput-style comparisons on shared CI runners are noisy,
+// hence the generous default threshold — the gate exists to catch
+// step-function regressions (an accidental O(n) walk on the call path, a
+// lost fast path), not single-digit drift.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/loadgen"
+)
+
+// compareSuites loads two suite documents and checks every baseline
+// scenario against its candidate counterpart (matched by backend and
+// batch window). It returns an error describing the first set of
+// violations when any gated metric regresses by more than maxRegressPct.
+func compareSuites(baselinePath, candidatePath string, maxRegressPct float64) error {
+	base, err := loadSuite(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	cand, err := loadSuite(candidatePath)
+	if err != nil {
+		return fmt.Errorf("candidate %s: %w", candidatePath, err)
+	}
+	if len(base.Scenarios) == 0 {
+		return fmt.Errorf("baseline %s: no scenarios", baselinePath)
+	}
+	var violations []string
+	matched := 0
+	for _, b := range base.Scenarios {
+		c, ok := findScenario(cand.Scenarios, b)
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: no candidate scenario", scenarioName(b)))
+			continue
+		}
+		matched++
+		name := scenarioName(b)
+		baseP50 := b.Calls.Latency.P50Micros
+		candP50 := c.Calls.Latency.P50Micros
+		if baseP50 > 0 && candP50 > baseP50*(1+maxRegressPct/100) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: p50 call latency %.0fµs → %.0fµs (+%.0f%%, limit +%.0f%%)",
+				name, baseP50, candP50, 100*(candP50/baseP50-1), maxRegressPct))
+		}
+		baseCPS := callsPerSec(b)
+		candCPS := callsPerSec(c)
+		if baseCPS > 0 && candCPS < baseCPS*(1-maxRegressPct/100) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: calls/sec %.0f → %.0f (-%.0f%%, limit -%.0f%%)",
+				name, baseCPS, candCPS, 100*(1-candCPS/baseCPS), maxRegressPct))
+		}
+		fmt.Printf("%-24s p50 %5.0fµs → %5.0fµs   calls/s %8.0f → %8.0f\n",
+			name, baseP50, candP50, baseCPS, candCPS)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no baseline scenario matched a candidate scenario")
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+		}
+		return fmt.Errorf("%d perf regression(s) beyond %.0f%%", len(violations), maxRegressPct)
+	}
+	fmt.Printf("perf gate passed: %d scenario(s) within %.0f%% of baseline\n", matched, maxRegressPct)
+	return nil
+}
+
+func loadSuite(path string) (suiteDoc, error) {
+	var doc suiteDoc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, err
+	}
+	return doc, nil
+}
+
+// findScenario matches scenarios by substrate and batching mode — the
+// axes the suite enumerates.
+func findScenario(scenarios []loadgen.Result, want loadgen.Result) (loadgen.Result, bool) {
+	for _, s := range scenarios {
+		if s.Config.Backend == want.Config.Backend && s.Batched == want.Batched {
+			return s, true
+		}
+	}
+	return loadgen.Result{}, false
+}
+
+func scenarioName(r loadgen.Result) string {
+	mode := "unbatched"
+	if r.Batched {
+		mode = "batched"
+	}
+	return r.Config.Backend + "/" + mode
+}
+
+// callsPerSec is the gated throughput figure: completed calls of the
+// call-workload lane over the measured duration.
+func callsPerSec(r loadgen.Result) float64 {
+	if r.DurationSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Calls.Ops) / r.DurationSeconds
+}

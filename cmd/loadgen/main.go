@@ -21,6 +21,13 @@
 // The suite runs the same closed-loop mixed workload over every
 // (backend, batching) combination, so the JSON records exactly what the
 // batching path buys on each substrate.
+//
+// Compare mode is the CI perf gate: measure a fresh suite, then fail if
+// p50 call latency or calls/sec regressed beyond the threshold against
+// the checked-in trajectory:
+//
+//	go run ./cmd/loadgen -suite -duration 2s -out /tmp/bench.json
+//	go run ./cmd/loadgen -compare -candidate /tmp/bench.json
 package main
 
 import (
@@ -52,8 +59,25 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		out       = flag.String("out", "", "write JSON here instead of stdout")
 		suite     = flag.Bool("suite", false, "run the standard benchmark suite (ignores -backend/-batch)")
+
+		compare    = flag.Bool("compare", false, "perf gate: compare -candidate against -baseline instead of running a workload")
+		baseline   = flag.String("baseline", "BENCH_messaging.json", "compare: the checked-in suite JSON")
+		candidate  = flag.String("candidate", "", "compare: the freshly measured suite JSON")
+		maxRegress = flag.Float64("max-regress", 25, "compare: allowed regression in percent (p50 call latency up, calls/sec down)")
 	)
 	flag.Parse()
+
+	if *compare {
+		if *candidate == "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -compare needs -candidate")
+			os.Exit(2)
+		}
+		if err := compareSuites(*baseline, *candidate, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	m, err := parseMix(*mix)
 	if err != nil {

@@ -257,6 +257,31 @@ func (e *Env) Unregister(name string) {
 	}
 }
 
+// rebindRegistered re-points every registry name from a migrated
+// activity's old identity to its new one and moves the never-idle root
+// status along (§4.1: a registered activity can be looked up at any time,
+// wherever it lives now).
+func (e *Env) rebindRegistered(old, new ids.ActivityID) {
+	e.mu.Lock()
+	moved := false
+	for name, target := range e.names {
+		if target == old {
+			e.names[name] = new
+			moved = true
+		}
+	}
+	e.mu.Unlock()
+	if !moved {
+		return
+	}
+	if ao, ok := e.activity(old); ok {
+		ao.registered.Store(false)
+	}
+	if ao, ok := e.activity(new); ok {
+		ao.registered.Store(true)
+	}
+}
+
 // Lookup resolves a registered name to a reference value.
 func (e *Env) Lookup(name string) (wire.Value, error) {
 	e.mu.Lock()

@@ -58,6 +58,13 @@ type Future struct {
 	// after resolution for late holder registrations, until the sweep
 	// reclaims it.
 	shared atomic.Bool
+	// emigrated marks a home entry whose owner activity migrated away
+	// (WIRE.md §7): the entry stays — its identity names this node, so
+	// updates and subscriptions keep landing here — but it behaves like a
+	// proxy for consumption (no local owner to bind values to) and the
+	// forwarder's eventual destruction must not fail it: the real owner is
+	// alive elsewhere and re-subscribed through the destination's state.
+	emigrated atomic.Bool
 
 	mu       sync.Mutex
 	done     chan struct{}
@@ -484,7 +491,7 @@ func (t *futureTable) failOwned(owner ids.ActivityID, err error) {
 	t.mu.Lock()
 	var owned []*Future
 	for fid, f := range t.pending {
-		if f.owner == owner && !f.proxy {
+		if f.owner == owner && !f.proxy && !f.emigrated.Load() {
 			owned = append(owned, f)
 			delete(t.pending, fid)
 		}

@@ -29,6 +29,17 @@ type Node struct {
 	aos    map[ids.ActivityID]*ActiveObject
 	closed bool
 
+	// rebinds maps migrated-away activity identities to their freshest
+	// known identity (WIRE.md §7): populated by redirect envelopes and by
+	// local migrations, consulted on every outgoing send so stale
+	// references route directly once the node has heard of the move. The
+	// table is path-compressed (chains of migrations collapse to one
+	// entry) and lives for the node's lifetime — one entry per migration
+	// ever heard of, a deliberate trade of a few bytes for never paying a
+	// forwarder hop twice.
+	rebindMu sync.RWMutex
+	rebinds  map[ids.ActivityID]ids.ActivityID
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -104,6 +115,11 @@ func (n *Node) activity(id ids.ActivityID) (*ActiveObject, bool) {
 	return ao, ok
 }
 
+// LiveActivities returns the number of live non-dummy activities hosted
+// on this node (forwarders left by migrations included, until they
+// collapse).
+func (n *Node) LiveActivities() int { return n.liveCount() }
+
 // liveCount counts live non-dummy activities.
 func (n *Node) liveCount() int {
 	n.mu.Lock()
@@ -155,6 +171,10 @@ func (n *Node) HandleOneWay(from ids.NodeID, class transport.Class, payload []by
 		n.deliverFutureUpdate(payload)
 	case envFutureSubscribe:
 		n.deliverFutureSubscribe(payload)
+	case envRedirect:
+		if old, new, err := decodeRedirect(payload); err == nil {
+			n.applyRedirect(old, new)
+		}
 	default:
 		// Malformed traffic is dropped, as a real transport would.
 	}
@@ -186,6 +206,14 @@ func (n *Node) deliverFutureSubscribe(payload []byte) {
 // handling; silence is indistinguishable from a slow beat and is handled
 // by the TTA machinery).
 func (n *Node) HandleCall(from ids.NodeID, class transport.Class, payload []byte) []byte {
+	if class == transport.ClassApp {
+		// The only application-class exchange is the migration envelope
+		// (WIRE.md §7); everything else application-level is one-way.
+		if len(payload) > 0 && payload[0] == envMigrate {
+			return n.handleMigrateIn(payload)
+		}
+		return nil
+	}
 	if isDGCBatch(payload) {
 		entries, err := decodeDGCBatchPayload(payload)
 		if err != nil {
@@ -197,6 +225,7 @@ func (n *Node) HandleCall(from ids.NodeID, class transport.Class, payload []byte
 			if ao, ok := n.activity(e.Target); ok {
 				r := ao.collector.HandleMessage(e.Msg, now)
 				resps[i] = &r
+				n.redirectIfForwarder(ao, from)
 			}
 		}
 		return encodeDGCBatchResponse(resps)
@@ -210,7 +239,19 @@ func (n *Node) HandleCall(from ids.NodeID, class transport.Class, payload []byte
 		return nil
 	}
 	resp := ao.collector.HandleMessage(msg, n.env.cfg.Clock.Now())
+	n.redirectIfForwarder(ao, from)
 	return core.EncodeResponse(resp)
+}
+
+// redirectIfForwarder pushes a rebinding notice back at a node that just
+// heartbeated a forwarder: the referencer over there still holds the old
+// identity. This is the collapse driver that needs no application
+// traffic — within one beat every stale holder learns the new address,
+// rebinds, and stops beating the forwarder, which then goes TTA-alone.
+func (n *Node) redirectIfForwarder(ao *ActiveObject, from ids.NodeID) {
+	if newID := ao.forwardTarget(); !newID.IsNil() && from != n.id {
+		n.sendRedirect(from, ao.id, newID)
+	}
 }
 
 // deliverRequest decodes an application request, binds the reference-graph
@@ -222,10 +263,23 @@ func (n *Node) deliverRequest(payload []byte) {
 		return
 	}
 	ao, ok := n.activity(req.Target)
-	if !ok {
-		// The callee is gone (collected or explicitly terminated). If the
-		// caller expects a result, fail its future so it does not block
-		// forever.
+	if ok {
+		if newID := ao.forwardTarget(); !newID.IsNil() {
+			// The target migrated away: relay through the forwarder and
+			// teach the sender the new address.
+			n.forwardRaw(ao.id, newID, req, rawArgs)
+			return
+		}
+	} else {
+		// The callee is gone — but if it is known to have migrated (the
+		// forwarder already collapsed), a late call still reaches it via
+		// the retained rebind table.
+		if newID := n.resolveRebind(req.Target); newID != req.Target {
+			n.forwardRaw(req.Target, newID, req, rawArgs)
+			return
+		}
+		// Collected or explicitly terminated. If the caller expects a
+		// result, fail its future so it does not block forever.
 		if !req.Future.IsZero() {
 			n.sendFutureUpdate(req.Future, futureUpdate{
 				Future: req.Future,
@@ -282,7 +336,18 @@ func (n *Node) deliverRequest(payload []byte) {
 // only the serialization work disappears.
 func (n *Node) deliverLocalRequest(req request) {
 	ao, ok := n.activity(req.Target)
-	if !ok {
+	if ok {
+		if newID := ao.forwardTarget(); !newID.IsNil() {
+			n.forwardQueued(ao, req)
+			return
+		}
+	} else {
+		if newID := n.resolveRebind(req.Target); newID != req.Target {
+			req.Args = wire.Rebind(req.Args, req.Target, newID)
+			req.Target = newID
+			_ = n.sendRequest(req)
+			return
+		}
 		if !req.Future.IsZero() {
 			n.sendFutureUpdate(req.Future, futureUpdate{
 				Future: req.Future,
@@ -384,7 +449,7 @@ func (n *Node) deliverLocalFutureUpdate(u futureUpdate) {
 // holder nodes and chained futures).
 func (n *Node) bindValueToFuture(f *Future, value wire.Value, subscribeNew bool) {
 	var consumers []*ActiveObject
-	if !f.proxy {
+	if !f.proxy && !f.emigrated.Load() {
 		owner, ok := n.activity(f.owner)
 		if !ok {
 			f.fail(ErrOwnerTerminated)
@@ -468,7 +533,7 @@ func (n *Node) resolveChainedFuture(c *Future, val wire.Value, err error) {
 	}
 	value := wire.DeepCopy(val)
 	var consumers []*ActiveObject
-	if !c.proxy {
+	if !c.proxy && !c.emigrated.Load() {
 		if owner, ok := n.activity(c.owner); ok {
 			consumers = append(consumers, owner)
 		}
@@ -553,7 +618,11 @@ func (n *Node) sendFutureUpdate(to FutureID, u futureUpdate) {
 // sendRequest ships an application request to the target's node (or
 // delivers it directly when the target is local). Requests that expect a
 // reply are urgent; plain one-way sends may linger in the batch window.
+// Targets known to have migrated are rewritten through the rebind table
+// first, so a stale reference pays the forwarder hop at most once per
+// node.
 func (n *Node) sendRequest(req request) error {
+	req.Target = n.resolveRebind(req.Target)
 	if req.Target.Node == n.id {
 		n.deliverLocalRequest(req)
 		return nil

@@ -2,6 +2,7 @@ package active
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,7 +30,23 @@ func (f BehaviorFunc) Serve(ctx *Context, method string, args wire.Value) (wire.
 	return f(ctx, method, args)
 }
 
+// wireSentinels are failure sentinels that keep their identity across the
+// wire: the failure text travels, and the receiving side re-wraps it so
+// errors.Is keeps working — a holder that subscribed through a dead
+// forwarder matches ErrFutureUnavailable, a refused migration matches
+// ErrMigrationFailed/ErrNotMigratable, wherever the caller runs.
+var wireSentinels = []error{ErrFutureUnavailable, ErrMigrationFailed, ErrNotMigratable, ErrUnknownBehaviorKind}
+
 func newRemoteFailure(msg string) error {
+	for _, s := range wireSentinels {
+		text := s.Error()
+		if msg == text {
+			return s
+		}
+		if strings.HasPrefix(msg, text+":") {
+			return fmt.Errorf("%w%s", s, msg[len(text):])
+		}
+	}
 	return fmt.Errorf("%w: %s", ErrRemoteFailure, msg)
 }
 
@@ -169,6 +186,37 @@ func (q *requestQueue) markIdleIfEmpty() bool {
 	return false
 }
 
+// drainAll removes every pending request without closing the queue: the
+// migration snapshot. Requests arriving after the drain queue normally
+// and are dealt with when the forwarder is installed (or requeued if the
+// migration fails).
+func (q *requestQueue) drainAll() []*queuedRequest {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.items
+	q.items = nil
+	return items
+}
+
+// requeue puts drained requests back at the front of the queue, ahead of
+// anything that arrived since the drain (a failed migration must not
+// reorder the queue). It reports false when the queue closed in the
+// meantime — the caller then disposes of the items as a close would.
+func (q *requestQueue) requeue(items []*queuedRequest) bool {
+	if len(items) == 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(items, q.items...)
+	q.idle.Store(false)
+	q.cond.Broadcast()
+	return true
+}
+
 // close drains the queue, releasing pinned argument roots, and wakes the
 // service loop so it can exit. The drained requests are returned so the
 // caller can dispose of their reply obligations: a graceful destroy fails
@@ -198,6 +246,19 @@ type ActiveObject struct {
 	// dummy marks the referencer stand-in created for non-active code
 	// (§4.1): no activity, never idle, acts as a DGC root.
 	dummy bool
+	// kind is the registered behavior kind the activity was created from;
+	// empty means not migratable (the destination could not re-instantiate
+	// the behavior).
+	kind string
+
+	// fwd, when set, is the new identity this (migrated) activity forwards
+	// to: the object is a forwarder now — queue closed, behavior gone —
+	// and every arriving request or heartbeat is answered with a relay
+	// plus a redirect until the holders rebind and the forwarder collapses.
+	fwd atomic.Pointer[ids.ActivityID]
+	// migrateDst, when non-zero, asks the serve loop to migrate the
+	// activity to that node after the current service (Context.MigrateTo).
+	migrateDst atomic.Uint64
 
 	collector *core.Collector
 	queue     *requestQueue
@@ -239,6 +300,7 @@ func (n *Node) newActivity(name string, b Behavior, dummy bool, opts ...SpawnOpt
 		name:       name,
 		behavior:   b,
 		dummy:      dummy,
+		kind:       so.kind,
 		stateRoots: make(map[string]stateEntry),
 		extraRoots: make(map[localgc.RootID]struct{}),
 	}
@@ -289,8 +351,14 @@ func (ao *ActiveObject) isIdle() bool {
 // enqueue delivers a request to the activity.
 func (ao *ActiveObject) enqueue(item *queuedRequest) {
 	if !ao.queue.push(item) {
-		// Queue closed: the activity died between lookup and delivery.
+		// Queue closed: the activity migrated away or died between lookup
+		// and delivery. A forwarder relays the request to the new home; a
+		// dead activity fails the caller's future.
 		ao.node.heap.RemoveRoot(item.argsRoot)
+		if !ao.forwardTarget().IsNil() {
+			ao.node.forwardQueued(ao, item.req)
+			return
+		}
 		if !item.req.Future.IsZero() {
 			ao.node.sendFutureUpdate(item.req.Future, futureUpdate{
 				Future: item.req.Future,
@@ -303,7 +371,9 @@ func (ao *ActiveObject) enqueue(item *queuedRequest) {
 
 // serveLoop is the activity's thread: serve requests one at a time; after
 // draining the queue, report idleness to the DGC (clock increment occasion
-// #1).
+// #1). A served migration request (or a Context.MigrateTo from inside a
+// service) ends the loop: the queue has moved to the destination and the
+// object lives on only as a forwarder.
 func (ao *ActiveObject) serveLoop() {
 	defer ao.node.wg.Done()
 	for {
@@ -311,10 +381,18 @@ func (ao *ActiveObject) serveLoop() {
 		if !ok {
 			return
 		}
-		ao.serveOne(item)
+		if ao.serveOne(item, false) {
+			return // migrated
+		}
 		if ao.wantStop.Load() {
 			ao.node.destroy(ao, core.ReasonNone)
 			return
+		}
+		if dst := ao.migrateDst.Swap(0); dst != 0 {
+			if _, err := ao.node.migrateOut(ao, ids.NodeID(dst)); err == nil {
+				return
+			}
+			// A failed MigrateTo leaves the activity serving here.
 		}
 		if ao.queue.markIdleIfEmpty() {
 			ao.collector.BecomeIdle(ao.node.env.cfg.Clock.Now())
@@ -322,13 +400,20 @@ func (ao *ActiveObject) serveLoop() {
 	}
 }
 
-func (ao *ActiveObject) serveOne(item *queuedRequest) {
+// serveOne serves a single request and reports whether it migrated the
+// activity (the intercepted migrateMethod; behaviors never see it).
+// nested marks a Context.ServeNext selection from inside a running
+// service, where a migration is refused.
+func (ao *ActiveObject) serveOne(item *queuedRequest, nested bool) bool {
+	if item.req.Method == migrateMethod {
+		return ao.serveMigrate(item, nested)
+	}
 	ctx := &Context{ao: ao}
 	result, err := ao.behavior.Serve(ctx, item.req.Method, item.req.Args)
 	ctx.releaseTransients()
 	ao.node.heap.RemoveRoot(item.argsRoot)
 	if item.req.Future.IsZero() {
-		return
+		return false
 	}
 	u := futureUpdate{Future: item.req.Future}
 	if err != nil {
@@ -338,6 +423,7 @@ func (ao *ActiveObject) serveOne(item *queuedRequest) {
 		u.Value = result
 	}
 	ao.node.sendFutureUpdate(item.req.Future, u)
+	return false
 }
 
 // releaseAllRoots drops every heap root owned by the activity; the next
@@ -441,7 +527,7 @@ func (c *Context) ServeNext(policy ServicePolicy) error {
 	if !ok {
 		return ErrEnvClosed
 	}
-	c.ao.serveOne(item)
+	c.ao.serveOne(item, true)
 	return nil
 }
 

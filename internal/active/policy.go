@@ -130,6 +130,7 @@ func ServeOldest(methods ...string) ServicePolicy {
 // spawnOptions collects per-activity creation knobs.
 type spawnOptions struct {
 	policy ServicePolicy
+	kind   string
 }
 
 // SpawnOption configures one activity at creation (Node.NewActive,
@@ -140,4 +141,12 @@ type SpawnOption func(*spawnOptions)
 // Config.ServicePolicy. nil (the default) means FIFO.
 func WithPolicy(p ServicePolicy) SpawnOption {
 	return func(o *spawnOptions) { o.policy = p }
+}
+
+// WithKind tags the activity with a registered behavior kind (see
+// RegisterBehavior), making it migratable: Handle.Migrate and
+// Context.MigrateTo can move it to any node whose process registered the
+// same kind. Node.SpawnKind applies it automatically.
+func WithKind(kind string) SpawnOption {
+	return func(o *spawnOptions) { o.kind = kind }
 }

@@ -25,6 +25,14 @@ const (
 	envRequest byte = iota + 1
 	envFutureUpdate
 	envFutureSubscribe
+	// envRedirect tells a holder node that an activity moved: the payload
+	// carries (old, new) identity and the receiver rebinds every local
+	// stub, edge and pending send toward the old identity (WIRE.md §7).
+	envRedirect
+	// envMigrate is the migration envelope: an activity's serialized state
+	// (payload, pending queue), shipped source → destination as a
+	// request/response exchange whose response carries the new identity.
+	envMigrate
 )
 
 // FutureID identifies a future on its home node (the node that created
@@ -316,6 +324,195 @@ func decodeDGCBatchResponse(buf []byte) ([]*core.Response, error) {
 		return nil, fmt.Errorf("%w: trailing dgc batch response bytes", errBadEnvelope)
 	}
 	return resps, nil
+}
+
+// redirect is the rebinding notice a forwarder sends to every node that
+// still contacts an activity's old identity (WIRE.md §7): Old moved and is
+// now New. The receiver rebinds its stubs, reference-graph edges and send
+// routing; a chain of migrations collapses because each hop's notice is
+// applied through the same path-compressed rebind table.
+func encodeRedirect(old, new ids.ActivityID) []byte {
+	buf := make([]byte, 0, 1+8+8)
+	buf = append(buf, envRedirect)
+	buf = appendActivityID(buf, old)
+	return appendActivityID(buf, new)
+}
+
+func decodeRedirect(buf []byte) (old, new ids.ActivityID, err error) {
+	if len(buf) != 1+8+8 || buf[0] != envRedirect {
+		return ids.Nil, ids.Nil, fmt.Errorf("%w: redirect", errBadEnvelope)
+	}
+	old, buf = readActivityID(buf[1:])
+	new, _ = readActivityID(buf)
+	return old, new, nil
+}
+
+// migrationState is one persistent-state entry of a migrating activity.
+type migrationState struct {
+	Key   string
+	Value wire.Value
+}
+
+// migrationRequest is one pending queue item traveling in the envelope:
+// the request header plus its already-decoded arguments (re-encoded into
+// the envelope; the destination re-binds references on decode exactly as
+// a freshly delivered request would).
+type migrationRequest struct {
+	Sender ids.ActivityID
+	Future FutureID
+	Method string
+	Args   wire.Value
+}
+
+// migration is the envelope shipped by Handle.Migrate/Context.MigrateTo:
+// everything the destination needs to re-home the activity — identity,
+// registered behavior kind, persistent state, pending request queue.
+type migration struct {
+	Old   ids.ActivityID
+	Name  string
+	Kind  string
+	State []migrationState
+	Queue []migrationRequest
+}
+
+func appendUvarintString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarintString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return "", nil, fmt.Errorf("%w: string length", errBadEnvelope)
+	}
+	buf = buf[sz:]
+	if n > uint64(len(buf)) {
+		return "", nil, fmt.Errorf("%w: truncated string", errBadEnvelope)
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// encodeMigration packs the envelope: tag, old identity, name, kind, then
+// uvarint-counted state entries (key + value) and queue items (sender +
+// future + method + args).
+func encodeMigration(m migration) []byte {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, envMigrate)
+	buf = appendActivityID(buf, m.Old)
+	buf = appendUvarintString(buf, m.Name)
+	buf = appendUvarintString(buf, m.Kind)
+	buf = binary.AppendUvarint(buf, uint64(len(m.State)))
+	for _, e := range m.State {
+		buf = appendUvarintString(buf, e.Key)
+		buf = wire.Encode(buf, e.Value)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Queue)))
+	for _, q := range m.Queue {
+		buf = appendActivityID(buf, q.Sender)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Future.Node))
+		buf = binary.LittleEndian.AppendUint32(buf, q.Future.Seq)
+		buf = appendUvarintString(buf, q.Method)
+		buf = wire.Encode(buf, q.Args)
+	}
+	return buf
+}
+
+// decodeMigration unpacks a migration envelope. Values are decoded with a
+// plain decoder (no hooks): the caller re-binds references explicitly
+// against the freshly created activity, after rewriting self-references.
+func decodeMigration(buf []byte) (migration, error) {
+	var m migration
+	if len(buf) < 1+8 || buf[0] != envMigrate {
+		return m, fmt.Errorf("%w: migration header", errBadEnvelope)
+	}
+	m.Old, buf = readActivityID(buf[1:])
+	var err error
+	if m.Name, buf, err = readUvarintString(buf); err != nil {
+		return m, err
+	}
+	if m.Kind, buf, err = readUvarintString(buf); err != nil {
+		return m, err
+	}
+	var dec wire.Decoder
+	nState, sz := binary.Uvarint(buf)
+	if sz <= 0 || nState > uint64(len(buf)) {
+		return m, fmt.Errorf("%w: migration state count", errBadEnvelope)
+	}
+	buf = buf[sz:]
+	for i := uint64(0); i < nState; i++ {
+		var e migrationState
+		if e.Key, buf, err = readUvarintString(buf); err != nil {
+			return m, err
+		}
+		if e.Value, buf, err = dec.DecodePrefix(buf); err != nil {
+			return m, err
+		}
+		m.State = append(m.State, e)
+	}
+	nQueue, sz := binary.Uvarint(buf)
+	if sz <= 0 || nQueue > uint64(len(buf))+1 {
+		return m, fmt.Errorf("%w: migration queue count", errBadEnvelope)
+	}
+	buf = buf[sz:]
+	for i := uint64(0); i < nQueue; i++ {
+		var q migrationRequest
+		if len(buf) < 8+8 {
+			return m, fmt.Errorf("%w: truncated migration queue", errBadEnvelope)
+		}
+		q.Sender, buf = readActivityID(buf)
+		q.Future.Node = ids.NodeID(binary.LittleEndian.Uint32(buf))
+		q.Future.Seq = binary.LittleEndian.Uint32(buf[4:])
+		buf = buf[8:]
+		if q.Method, buf, err = readUvarintString(buf); err != nil {
+			return m, err
+		}
+		if q.Args, buf, err = dec.DecodePrefix(buf); err != nil {
+			return m, err
+		}
+		m.Queue = append(m.Queue, q)
+	}
+	if len(buf) != 0 {
+		return m, fmt.Errorf("%w: trailing migration bytes", errBadEnvelope)
+	}
+	return m, nil
+}
+
+// Migration responses: status byte + new identity, or status byte + error
+// text. The exchange rides the transport's Call leg, so the source learns
+// the new identity synchronously and can install the forwarder before it
+// releases anything.
+const (
+	migrateOK     byte = 0
+	migrateFailed byte = 1
+)
+
+func encodeMigrateResponse(newID ids.ActivityID, err error) []byte {
+	if err != nil {
+		buf := make([]byte, 0, 1+len(err.Error()))
+		buf = append(buf, migrateFailed)
+		return append(buf, err.Error()...)
+	}
+	buf := make([]byte, 0, 1+8)
+	buf = append(buf, migrateOK)
+	return appendActivityID(buf, newID)
+}
+
+func decodeMigrateResponse(buf []byte) (ids.ActivityID, error) {
+	if len(buf) == 0 {
+		return ids.Nil, fmt.Errorf("%w: empty migrate response", errBadEnvelope)
+	}
+	switch buf[0] {
+	case migrateOK:
+		if len(buf) != 1+8 {
+			return ids.Nil, fmt.Errorf("%w: migrate response", errBadEnvelope)
+		}
+		id, _ := readActivityID(buf[1:])
+		return id, nil
+	case migrateFailed:
+		return ids.Nil, fmt.Errorf("%w: %s", ErrMigrationFailed, string(buf[1:]))
+	default:
+		return ids.Nil, fmt.Errorf("%w: migrate response status", errBadEnvelope)
+	}
 }
 
 func appendActivityID(buf []byte, id ids.ActivityID) []byte {

@@ -159,17 +159,11 @@ func (h *Heap) intern(owner ids.ActivityID, v wire.Value) ObjRef {
 }
 
 func (h *Heap) internStub(owner, target ids.ActivityID) ObjRef {
-	key := tagKey{owner: owner, target: target}
-	tag, ok := h.tags[key]
-	if !ok {
-		tag = h.alloc(&cell{kind: kindTag, owner: owner, target: target})
-		h.tags[key] = tag
-	}
 	return h.alloc(&cell{
 		kind:     kindStub,
 		owner:    owner,
 		target:   target,
-		children: []ObjRef{tag},
+		children: []ObjRef{h.tagForLocked(owner, target)},
 	})
 }
 
@@ -180,12 +174,7 @@ func (h *Heap) internStub(owner, target ids.ActivityID) ObjRef {
 // the runtime no local activity can name the future anymore.
 func (h *Heap) internFutureStub(owner ids.ActivityID, v wire.Value) ObjRef {
 	fr, _ := v.AsFutureRef()
-	key := tagKey{owner: owner, target: fr.Owner}
-	tag, ok := h.tags[key]
-	if !ok {
-		tag = h.alloc(&cell{kind: kindTag, owner: owner, target: fr.Owner})
-		h.tags[key] = tag
-	}
+	tag := h.tagForLocked(owner, fr.Owner)
 	ftag, ok := h.futTags[fr.ID]
 	if !ok {
 		ftag = h.alloc(&cell{kind: kindFutureTag, future: fr.ID})
@@ -328,6 +317,59 @@ func (h *Heap) NewWeak(ref ObjRef) *Weak {
 func (h *Heap) TagFor(owner, target ids.ActivityID) ObjRef {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.tagForLocked(owner, target)
+}
+
+// RebindStubs rewrites every stub (and future stub) designating old so it
+// designates new instead — the heap half of an activity-migration
+// redirect. Each rebound stub joins (or creates) the (owner, new) shared
+// tag; the old (owner, old) tags are left in place and die at the next
+// sweep once nothing references them anymore, firing the ordinary
+// tag-death path that removes the old reference-graph edge. The distinct
+// owners that held at least one rebound stub are returned so the caller
+// can add their (owner → new) edges symmetrically.
+func (h *Heap) RebindStubs(old, new ids.ActivityID) []ids.ActivityID {
+	if old == new || old.IsNil() || new.IsNil() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ownerSet := make(map[ids.ActivityID]struct{})
+	for _, c := range h.cells {
+		switch c.kind {
+		case kindStub:
+			if c.target != old {
+				continue
+			}
+			c.target = new
+			c.children[0] = h.tagForLocked(c.owner, new)
+			ownerSet[c.owner] = struct{}{}
+		case kindFutureStub:
+			if c.target != old {
+				continue
+			}
+			c.target = new
+			c.children[0] = h.tagForLocked(c.owner, new)
+			if fr, ok := c.scalar.AsFutureRef(); ok && fr.Owner == old {
+				fr.Owner = new
+				c.scalar = wire.FutureVal(fr)
+			}
+			ownerSet[c.owner] = struct{}{}
+		}
+	}
+	if len(ownerSet) == 0 {
+		return nil
+	}
+	owners := make([]ids.ActivityID, 0, len(ownerSet))
+	for o := range ownerSet {
+		owners = append(owners, o)
+	}
+	return owners
+}
+
+// tagForLocked returns (creating if needed) the shared (owner, target)
+// tag cell; the caller holds h.mu.
+func (h *Heap) tagForLocked(owner, target ids.ActivityID) ObjRef {
 	key := tagKey{owner: owner, target: target}
 	tag, ok := h.tags[key]
 	if !ok {

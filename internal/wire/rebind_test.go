@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestRebindRewritesRefsAndFutureOwners(t *testing.T) {
+	old := ids.ActivityID{Node: 1, Seq: 5}
+	new := ids.ActivityID{Node: 7, Seq: 1}
+	other := ids.ActivityID{Node: 2, Seq: 2}
+	v := List(
+		Ref(old),
+		Ref(other),
+		Dict(map[string]Value{
+			"self": Ref(old),
+			"fut": FutureVal(FutureRef{
+				ID:    ids.FutureID{Node: 1, Seq: 9},
+				Owner: old,
+			}),
+		}),
+		Int(3),
+	)
+	got := Rebind(v, old, new)
+	if id, _ := got.At(0).AsRef(); id != new {
+		t.Fatalf("ref = %v, want %v", id, new)
+	}
+	if id, _ := got.At(1).AsRef(); id != other {
+		t.Fatalf("unrelated ref rewritten to %v", id)
+	}
+	if id, _ := got.At(2).Get("self").AsRef(); id != new {
+		t.Fatalf("nested ref = %v, want %v", id, new)
+	}
+	fr, _ := got.At(2).Get("fut").AsFutureRef()
+	if fr.Owner != new {
+		t.Fatalf("future owner = %v, want %v", fr.Owner, new)
+	}
+	if fr.ID != (ids.FutureID{Node: 1, Seq: 9}) {
+		t.Fatalf("future home identity rewritten: %v", fr.ID)
+	}
+	// The original is untouched (Rebind copies on write).
+	if id, _ := v.At(0).AsRef(); id != old {
+		t.Fatalf("original mutated: %v", id)
+	}
+}
+
+func TestRebindNoOccurrenceReturnsSameValue(t *testing.T) {
+	old := ids.ActivityID{Node: 1, Seq: 5}
+	new := ids.ActivityID{Node: 7, Seq: 1}
+	v := List(Int(1), String("x"), Ref(ids.ActivityID{Node: 2, Seq: 2}))
+	if got := Rebind(v, old, new); !got.Equal(v) {
+		t.Fatalf("rebind without occurrence changed the value: %v", got)
+	}
+	// Degenerate inputs are identity.
+	if got := Rebind(Ref(old), old, old); !got.Equal(Ref(old)) {
+		t.Fatal("self-rebind must be identity")
+	}
+	if got := Rebind(Ref(old), ids.Nil, new); !got.Equal(Ref(old)) {
+		t.Fatal("nil-from rebind must be identity")
+	}
+}
+
+func TestRebindPartialListCopies(t *testing.T) {
+	old := ids.ActivityID{Node: 1, Seq: 1}
+	new := ids.ActivityID{Node: 2, Seq: 1}
+	v := List(Int(1), Ref(old), Int(2), Ref(old))
+	got := Rebind(v, old, new)
+	for i, want := range []Value{Int(1), Ref(new), Int(2), Ref(new)} {
+		if !got.At(i).Equal(want) {
+			t.Fatalf("elem[%d] = %v, want %v", i, got.At(i), want)
+		}
+	}
+}

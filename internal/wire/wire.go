@@ -730,6 +730,76 @@ func decodeLenPrefixed(buf []byte) ([]byte, []byte, error) {
 	return buf[:n], buf[n:], nil
 }
 
+// Rebind returns a copy of v in which every reference to from designates
+// to instead. Future values rebind their Owner the same way: holding a
+// future is holding a reference to its owner activity, so when that
+// activity migrates (its identifier changes with its node), the edge the
+// reference graph sees must follow. Values without any occurrence of from
+// are returned unchanged (no copy). The future's home identity (FutureRef.ID)
+// is never rewritten — futures do not migrate; their home table stays put.
+func Rebind(v Value, from, to ids.ActivityID) Value {
+	if from.IsNil() || from == to {
+		return v
+	}
+	out, _ := rebind(v, from, to)
+	return out
+}
+
+func rebind(v Value, from, to ids.ActivityID) (Value, bool) {
+	switch v.kind {
+	case KindRef:
+		if v.ref == from {
+			return Ref(to), true
+		}
+		return v, false
+	case KindFuture:
+		if v.fut.Owner == from {
+			fr := v.fut
+			fr.Owner = to
+			return FutureVal(fr), true
+		}
+		return v, false
+	case KindList:
+		var cp []Value
+		for i, e := range v.list {
+			r, changed := rebind(e, from, to)
+			if cp == nil {
+				if !changed {
+					continue
+				}
+				cp = make([]Value, len(v.list))
+				copy(cp, v.list)
+			}
+			cp[i] = r
+		}
+		if cp == nil {
+			return v, false
+		}
+		return Value{kind: KindList, list: cp}, true
+	case KindDict:
+		var cp map[string]Value
+		for k, e := range v.dict {
+			r, changed := rebind(e, from, to)
+			if cp == nil {
+				if !changed {
+					continue
+				}
+				cp = make(map[string]Value, len(v.dict))
+				for k2, e2 := range v.dict {
+					cp[k2] = e2
+				}
+			}
+			cp[k] = r
+		}
+		if cp == nil {
+			return v, false
+		}
+		return Value{kind: KindDict, dict: cp}, true
+	default:
+		return v, false
+	}
+}
+
 // DeepCopy returns a structurally independent copy of v. Transferring a
 // value between two activities on the same node uses DeepCopy instead of a
 // full encode/decode round-trip: it preserves the no-sharing property

@@ -194,6 +194,15 @@ var (
 	ErrFutureUnavailable = active.ErrFutureUnavailable
 	// ErrNotAFuture reports a value that should have been a future.
 	ErrNotAFuture = active.ErrNotAFuture
+	// ErrNotMigratable reports a migration attempt on an activity that was
+	// not created from a registered behavior kind.
+	ErrNotMigratable = active.ErrNotMigratable
+	// ErrUnknownBehaviorKind reports a migration toward a process that
+	// never registered the activity's behavior kind.
+	ErrUnknownBehaviorKind = active.ErrUnknownBehaviorKind
+	// ErrMigrationFailed wraps a destination-side migration failure; the
+	// activity keeps serving at its old home.
+	ErrMigrationFailed = active.ErrMigrationFailed
 )
 
 // Method declares a typed service operation; see active.Method.
@@ -263,6 +272,28 @@ func ServeOldest(methods ...string) ServicePolicy { return active.ServeOldest(me
 
 // WithPolicy sets one activity's standing service policy at creation.
 func WithPolicy(p ServicePolicy) SpawnOption { return active.WithPolicy(p) }
+
+// Live activity migration (WIRE.md §7). An activity created from a
+// registered behavior kind can move between nodes — same process or
+// another one over TCP — with Handle.Migrate / Context.MigrateTo. Its
+// state (Context.Store entries), pending request queue and first-class
+// futures follow it; a forwarder under the old identity relays requests,
+// answers DGC heartbeats and pushes redirects until every holder has
+// rebound to the new reference, then reclaims itself through the
+// ordinary TTA sweep. See examples/migration for the end-to-end shape.
+
+// RegisterBehavior registers a migratable behavior kind: the factory (and
+// spawn options, e.g. WithPolicy) every instance is created with — at
+// Node.SpawnKind and again at every migration destination. The registry
+// is process-global, so processes sharing a TCP deployment register the
+// same kinds and activities migrate freely between them.
+func RegisterBehavior(kind string, factory func() Behavior, opts ...SpawnOption) {
+	active.RegisterBehavior(kind, factory, opts...)
+}
+
+// WithKind tags an activity with a registered behavior kind at creation,
+// making it migratable (Node.SpawnKind applies it automatically).
+func WithKind(kind string) SpawnOption { return active.WithKind(kind) }
 
 // Marshal maps a Go value onto the closed wire value model.
 func Marshal(v any) (Value, error) { return wire.Marshal(v) }
