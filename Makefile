@@ -65,6 +65,19 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzWalkBatch -fuzztime $(FUZZTIME) ./internal/transport/
 	$(GO) test -run xxx -fuzz FuzzMigrationEnvelope -fuzztime $(FUZZTIME) ./internal/active/
 
+# Cluster chaos pass, exactly as the CI chaos job runs it: the
+# node-kill + join/leave conformance scenarios under the race detector
+# on both backends (the Kill tests exist in Sim and TCP variants), the
+# internal/cluster building blocks, and a loadgen churn + node-kill
+# smoke that hard-kills a node every 300ms under a live call/churn mix.
+CHAOS_DURATION ?= 3s
+.PHONY: chaos
+chaos:
+	$(GO) test -race -run 'TestConformanceClusterKill|TestCluster' ./internal/active/
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestRunNodeKillChaos' ./internal/loadgen/
+	$(GO) run ./cmd/loadgen -duration $(CHAOS_DURATION) -mix 4:0:2 -kill-every 300ms
+
 # CI perf gate, runnable locally: measure a fresh suite and compare it
 # against the checked-in trajectory (fails on >25% p50/call-rate regress).
 .PHONY: perf-gate

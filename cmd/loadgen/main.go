@@ -13,6 +13,11 @@
 //
 //	go run ./cmd/loadgen -backend tcp -duration 30s -mix 4:1:2 -drop-every 2s
 //
+// Elastic-cluster churn with node-kill chaos (nodes join, serve, and die
+// mid-run while the steady workload must ride through):
+//
+//	go run ./cmd/loadgen -duration 5s -mix 4:0:2 -kill-every 500ms
+//
 // The standard suite regenerates the repository's messaging trajectory
 // (make bench):
 //
@@ -56,6 +61,8 @@ func main() {
 		batch     = flag.Duration("batch", 0, "batch window (0 = batching off)")
 		dgcOff    = flag.Bool("no-dgc", false, "disable the DGC")
 		dropEvery = flag.Duration("drop-every", 0, "chaos: drop all TCP connections at this period")
+		killEvery = flag.Duration("kill-every", 0, "chaos: run a join-serve-die node lifecycle at this period (implies -cluster)")
+		clusterOn = flag.Bool("cluster", false, "enable the elastic cluster runtime")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		out       = flag.String("out", "", "write JSON here instead of stdout")
 		suite     = flag.Bool("suite", false, "run the standard benchmark suite (ignores -backend/-batch)")
@@ -97,6 +104,8 @@ func main() {
 		BatchWindow:    *batch,
 		DisableDGC:     *dgcOff,
 		DropConnsEvery: *dropEvery,
+		Cluster:        *clusterOn,
+		NodeKillEvery:  *killEvery,
 		Seed:           *seed,
 	}
 

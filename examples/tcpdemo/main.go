@@ -1,47 +1,51 @@
-// Command tcpdemo runs the runtime multi-process: it re-executes itself
-// as a server process, then talks to it over real TCP connections — typed
-// calls, future updates and DGC heartbeats all crossing the process
-// boundary through the internal/tcpnet substrate.
+// Command tcpdemo runs the runtime multi-process as an elastic cluster:
+// it re-executes itself as a joiner process that enters the cluster
+// through the seed at runtime — no pre-agreed node-ID ranges, no
+// out-of-band address books — then crashes it and watches the failure
+// detector and the DGC clean up.
 //
-// The choreography demonstrates the full cross-process DGC loop:
+// The choreography demonstrates the full elastic lifecycle:
 //
-//  1. the server process creates a counter activity, publishes it in its
-//     registry (a DGC root, §4.1) and drops its own handle;
-//  2. the client process references the activity purely by identifier —
-//     the server's first node is agreed to be node 100, so the counter is
-//     A100.1 — and calls it through a typed stub;
-//  3. while the client holds its handle, its dummy activity heartbeats
-//     the server's counter across TCP every TTB;
-//  4. the client releases the handle and closes the server's stdin; the
-//     server unregisters the name, and with no referencer left the
-//     counter stops hearing beats, goes TTA-idle and collects itself.
+//  1. the parent process bootstraps as the cluster seed (Config.Cluster
+//     with no Seed address), hosts a counter activity and publishes it
+//     in its registry (a DGC root, §4.1);
+//  2. the child process joins via the seed's address (Config.Cluster.Seed
+//     + Env.Join): it receives a node-ID lease and the member map, so
+//     its first node gets a cluster-unique identifier and the route to
+//     the seed's nodes without any AddPeer calls;
+//  3. the joiner calls the counter across TCP through a typed stub, and
+//     hosts a worker activity of its own — membership gossip teaches the
+//     seed the joiner's address, so the seed can call the worker back;
+//  4. the joiner process is killed abruptly (a crash, not a goodbye);
+//     the seed's own DGC heartbeats toward it start failing, the failure
+//     detector walks alive → suspect → dead, and the death is final;
+//  5. on the seed, new calls toward the dead node fail fast with
+//     ErrNodeDead instead of hanging, the membership view keeps the
+//     tombstone, and the DGC reclaims the counter once its only
+//     referencer died with the joiner.
 //
-// No step needed connectivity from the server back to the client beyond
-// the future updates: DGC responses ride the connections the client
-// opened (§2.2).
+// No step needed connectivity from the seed back to the joiner beyond
+// what membership gossip taught it at join time (§2.2 still holds for
+// the DGC traffic: responses ride the referencer's connections).
 package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"os/exec"
-	"strings"
 	"time"
 
 	"repro"
 )
 
-// serverFirstNode is the node-identifier range split: the client process
-// allocates nodes from 1, the server from 100. Both processes know it, so
-// the client can name the server's first activity without a lookup.
-const serverFirstNode = 100
-
-// counterID is the server's counter activity: the first activity created
-// on the server's first node.
-var counterID = repro.ActivityID{Node: serverFirstNode, Seq: 1}
+// counterID names the seed's counter activity by convention: the seed
+// leases the first node-ID block for itself starting at 1, so its first
+// activity is A1.1. The joiner needs no registry lookup to reference it.
+var counterID = repro.ActivityID{Node: 1, Seq: 1}
 
 // addReq asks the counter to add N to its running total.
 type addReq struct {
@@ -62,10 +66,10 @@ func counterService() *repro.Service {
 func main() {
 	log.SetFlags(0)
 	var err error
-	if os.Getenv("TCPDEMO_ROLE") == "server" {
-		err = runServer(os.Getenv("TCPDEMO_CLIENT_ADDR"))
+	if os.Getenv("TCPDEMO_ROLE") == "joiner" {
+		err = runJoiner(os.Getenv("TCPDEMO_SEED_ADDR"))
 	} else {
-		err = runClient()
+		err = runSeed()
 	}
 	if err != nil {
 		log.Println(err)
@@ -73,24 +77,72 @@ func main() {
 	}
 }
 
-// runServer is the child process: it hosts the counter until its stdin
-// closes, then waits for the DGC to reclaim it.
-func runServer(clientAddr string) error {
-	tr, err := repro.NewTCPTransport(repro.TCPConfig{
-		// The client's nodes start at 1; its address is needed for the
-		// return path of future updates.
-		Peers: map[repro.NodeID]string{1: clientAddr},
-	})
+// runJoiner is the child process: it joins the cluster through the seed,
+// works, and then dies without saying goodbye.
+func runJoiner(seedAddr string) error {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
 	if err != nil {
 		return err
 	}
-	env := repro.NewEnv(repro.Config{Transport: tr, FirstNode: serverFirstNode})
-	defer env.Close()
-
+	env := repro.NewEnv(repro.Config{
+		Transport: tr,
+		Cluster:   repro.ClusterConfig{Enabled: true, Seed: seedAddr},
+	})
+	// No deferred env.Close(): this process exits abruptly below, standing
+	// in for a crashed machine.
+	if err := env.Join(); err != nil {
+		return err
+	}
 	node := env.NewNode()
+	fmt.Printf("JOINED node=%d\n", node.ID())
+	for _, m := range env.ClusterMembers() {
+		fmt.Printf("member node-%d state=%v addr=%s\n", m.Node, m.State, m.Addr)
+	}
+
+	// Call the seed's counter: the join handed us the route to node 1.
+	h, err := node.HandleFor(repro.Ref(counterID))
+	if err != nil {
+		return err
+	}
+	add := repro.NewStub[addReq, int64](h, "add")
+	for i := int64(1); i <= 4; i++ {
+		total, err := add.CallSync(addReq{N: i}, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("add(%d): %w", i, err)
+		}
+		fmt.Printf("add(%d) -> running total %d (computed in the seed process)\n", i, total)
+	}
+
+	// Host a worker of our own and tell the seed where it lives; node-up
+	// gossip already taught the seed process how to dial us.
+	worker := node.NewActive("worker", counterService())
+	ref, _ := worker.Ref().AsRef()
+	fmt.Printf("WORKER node=%d seq=%d\n", ref.Node, ref.Seq)
+
+	// Work until the parent closes stdin, then crash: no Leave, no
+	// Close, no released handles — the failure detector's problem now.
+	_, _ = io.Copy(io.Discard, os.Stdin)
+	os.Exit(0)
+	return nil
+}
+
+// runSeed is the parent process: it bootstraps the cluster, spawns and
+// later kills the joiner, and watches detection and reclamation.
+func runSeed() error {
+	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
+	if err != nil {
+		return err
+	}
+	env := repro.NewEnv(repro.Config{
+		Transport: tr,
+		Cluster:   repro.ClusterConfig{Enabled: true},
+	})
+	defer env.Close()
+	node := env.NewNode()
+
 	h := node.NewActive("counter", counterService())
 	if ref, _ := h.Ref().AsRef(); ref != counterID {
-		return fmt.Errorf("server: counter is %v, want %v", ref, counterID)
+		return fmt.Errorf("seed: counter is %v, want %v", ref, counterID)
 	}
 	// Root the counter in the registry, then drop the local handle: from
 	// here on only the registration and remote referencers keep it alive.
@@ -99,45 +151,12 @@ func runServer(clientAddr string) error {
 	}
 	h.Release()
 
-	// Tell the parent where we listen. It parses this exact line.
-	fmt.Printf("READY addr=%s\n", tr.Addr())
-
-	// Serve until the parent closes our stdin.
-	if _, err := io.Copy(io.Discard, os.Stdin); err != nil {
-		return err
-	}
-
-	// The client has released its handle. Unregister the root and watch
-	// the DGC reclaim the now-unreferenced counter.
-	env.Unregister("counter")
-	took, err := env.WaitCollected(0, 10*time.Second)
-	if err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	snap := env.Network().Snapshot()
-	fmt.Printf("counter collected %v after unregister (reasons %v)\n",
-		took.Round(time.Millisecond), env.Stats().Collected)
-	fmt.Printf("server-side traffic: app=%dB dgc=%dB future=%dB\n",
-		snap.Bytes[repro.ClassApp], snap.Bytes[repro.ClassDGC], snap.Bytes[repro.ClassFuture])
-	return nil
-}
-
-// runClient is the parent process: it spawns the server, calls the
-// counter across TCP, then releases everything and reports both sides.
-func runClient() error {
-	tr, err := repro.NewTCPTransport(repro.TCPConfig{})
-	if err != nil {
-		return err
-	}
-	env := repro.NewEnv(repro.Config{Transport: tr})
-	defer env.Close()
-	node := env.NewNode()
-
-	// Re-execute ourselves as the server process.
+	// Re-execute ourselves as the joiner process, pointing it at our
+	// listener: that address is the only bootstrap information it needs.
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
-		"TCPDEMO_ROLE=server",
-		"TCPDEMO_CLIENT_ADDR="+tr.Addr(),
+		"TCPDEMO_ROLE=joiner",
+		"TCPDEMO_SEED_ADDR="+tr.Addr(),
 	)
 	cmd.Stderr = os.Stderr
 	stdin, err := cmd.StdinPipe()
@@ -152,58 +171,100 @@ func runClient() error {
 		return err
 	}
 	defer func() { _ = cmd.Process.Kill() }()
+	fmt.Println("seed up at", tr.Addr(), "— joiner spawned")
 
-	// Wait for the server's READY line, then relay its further output.
+	// Relay the joiner's output, picking out its node and worker IDs.
 	lines := bufio.NewScanner(stdout)
-	var serverAddr string
+	var joinerNode repro.NodeID
+	var workerID repro.ActivityID
 	for lines.Scan() {
-		if addr, ok := strings.CutPrefix(lines.Text(), "READY addr="); ok {
-			serverAddr = addr
+		line := lines.Text()
+		fmt.Println("[joiner]", line)
+		if _, err := fmt.Sscanf(line, "JOINED node=%d", &joinerNode); err == nil {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "WORKER node=%d seq=%d", &workerID.Node, &workerID.Seq); err == nil {
 			break
 		}
 	}
-	if serverAddr == "" {
-		return fmt.Errorf("server never became ready")
+	if joinerNode == 0 || workerID == (repro.ActivityID{}) {
+		return fmt.Errorf("joiner never reported its node and worker")
 	}
 	relayed := make(chan struct{})
 	go func() {
 		defer close(relayed)
 		for lines.Scan() {
-			fmt.Println("[server]", lines.Text())
+			fmt.Println("[joiner]", lines.Text())
 		}
 	}()
-	tr.AddPeer(serverFirstNode, serverAddr)
-	fmt.Println("server process up at", serverAddr)
 
-	// Reference the server's counter purely by identifier and call it.
-	h, err := node.HandleFor(repro.Ref(counterID))
+	// Call the joiner's worker back: membership gossip taught this
+	// process the joiner's address when its node came up.
+	wh, err := node.HandleFor(repro.Ref(workerID))
 	if err != nil {
 		return err
 	}
-	add := repro.NewStub[addReq, int64](h, "add")
-	for i := int64(1); i <= 4; i++ {
-		total, err := add.CallSync(addReq{N: i}, 5*time.Second)
-		if err != nil {
-			return fmt.Errorf("add(%d): %w", i, err)
-		}
-		fmt.Printf("add(%d) -> running total %d (computed in the server process)\n", i, total)
+	total, err := repro.NewStub[addReq, int64](wh, "add").CallSync(addReq{N: 7}, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("call worker on joiner: %w", err)
 	}
+	fmt.Printf("worker add(7) -> %d (computed in the joiner process)\n", total)
 
-	// Let a few heartbeats cross the wire, then drop the reference.
+	// Let a few DGC heartbeats cross the process boundary — the same
+	// traffic the failure detector piggybacks on.
 	time.Sleep(100 * time.Millisecond)
-	snap := env.Network().Snapshot()
-	fmt.Printf("client-side traffic: app=%dB dgc=%dB future=%dB\n",
-		snap.Bytes[repro.ClassApp], snap.Bytes[repro.ClassDGC], snap.Bytes[repro.ClassFuture])
-	if snap.Bytes[repro.ClassDGC] == 0 {
+	if snap := env.Network().Snapshot(); snap.Bytes[repro.ClassDGC] == 0 {
 		return fmt.Errorf("no DGC heartbeats crossed the process boundary")
 	}
-	h.Release()
-	fmt.Println("handle released — signalling the server and awaiting collection")
 
-	// Closing stdin tells the server to unregister and collect.
+	// Kill the joiner mid-conversation. Closing stdin makes it exit
+	// without releasing anything — an abrupt machine death as far as
+	// this process can tell.
 	if err := stdin.Close(); err != nil {
 		return err
 	}
 	<-relayed
-	return cmd.Wait()
+	_ = cmd.Wait()
+	fmt.Println("joiner process gone — waiting for the failure detector")
+
+	// This process still holds a handle on the worker, so its own DGC
+	// heartbeats toward the joiner now fail: alive → suspect → dead with
+	// no dedicated liveness traffic.
+	deadline := time.Now().Add(10 * time.Second)
+	for env.NodeHealth(joinerNode) != repro.NodeDead {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("joiner node-%d never declared dead (state %v)",
+				joinerNode, env.NodeHealth(joinerNode))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("node-%d declared dead\n", joinerNode)
+	for _, m := range env.ClusterMembers() {
+		fmt.Printf("member node-%d state=%v\n", m.Node, m.State)
+	}
+
+	// New calls toward the dead node fail fast with ErrNodeDead instead
+	// of hanging on a connection that will never answer.
+	start := time.Now()
+	_, err = repro.NewStub[addReq, int64](wh, "add").CallSync(addReq{N: 1}, 5*time.Second)
+	if !errors.Is(err, repro.ErrNodeDead) {
+		return fmt.Errorf("call to dead node = %v, want ErrNodeDead", err)
+	}
+	fmt.Printf("call to dead node failed fast (%v): %v\n", time.Since(start).Round(time.Millisecond), err)
+	wh.Release()
+
+	// The counter's only referencer died with the joiner: unregister the
+	// root and the DGC reclaims everything on the surviving node.
+	env.Unregister("counter")
+	took, err := env.WaitCollected(0, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("seed: %w", err)
+	}
+	snap := env.Network().Snapshot()
+	fmt.Printf("counter collected %v after the crash (reasons %v)\n",
+		took.Round(time.Millisecond), env.Stats().Collected)
+	fmt.Printf("seed-side traffic: app=%dB dgc=%dB future=%dB cluster=%dB\n",
+		snap.Bytes[repro.ClassApp], snap.Bytes[repro.ClassDGC],
+		snap.Bytes[repro.ClassFuture], snap.Bytes[repro.ClassCluster])
+	return nil
 }

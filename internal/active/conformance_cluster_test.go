@@ -1,0 +1,474 @@
+package active
+
+// Cross-backend conformance for the elastic cluster runtime: runtime
+// join, hard-kill mid-traffic with failure detection and ErrNodeDead
+// fan-out, fast-fail routing toward dead and unknown nodes, rebind
+// resolution across a dead forwarder, graceful Leave with activity
+// drain, and DGC convergence after a crash. The simnet scenario models
+// the whole cluster in one environment (KillNode is the chaos hook);
+// the TCP scenario runs one environment per process with real seed
+// bootstrap, gossip and address exchange.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/tcpnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func init() {
+	RegisterBehavior("test/cluster-counter", func() Behavior { return migCounter{} })
+}
+
+// echoBehavior answers every call with its argument.
+func echoBehavior() Behavior {
+	return BehaviorFunc(func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+		return args, nil
+	})
+}
+
+// blockingBehavior parks every call until release is closed: the
+// in-flight request whose future must fail with ErrNodeDead, not hang.
+func blockingBehavior(release <-chan struct{}) Behavior {
+	return BehaviorFunc(func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+		<-release
+		return wire.Null(), nil
+	})
+}
+
+// waitState polls until the member's health state matches want.
+func waitState(t *testing.T, e *Env, node ids.NodeID, want cluster.State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if got := e.NodeHealth(node); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %v health = %v, want %v after %v", node, e.NodeHealth(node), want, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// callUntilOK retries a call until it succeeds (cross-process routing
+// may need a gossip round to land) and returns the final result.
+func callUntilOK(t *testing.T, h *Handle, method string, args wire.Value, timeout time.Duration) wire.Value {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v, err := h.CallSync(method, args, timeout)
+		if err == nil {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("call %q never succeeded: %v", method, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConformanceClusterKillSim is the single-environment chaos
+// scenario: a three-node cluster serving traffic, one node hard-killed
+// mid-call, the survivors detecting the death, the in-flight future
+// failing with ErrNodeDead, new sends refused fast, the DGC reclaiming
+// everything that remains, and a replacement node joining and serving.
+func TestConformanceClusterKillSim(t *testing.T) {
+	t.Parallel()
+	e := NewEnv(Config{
+		TTB: 10 * time.Millisecond, TTA: 30 * time.Millisecond,
+		Cluster: ClusterConfig{Enabled: true},
+	})
+	defer e.Close()
+	n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
+
+	// Serve calls across the cluster first: a live baseline.
+	release := make(chan struct{})
+	victim := n2.NewActive("victim", blockingBehavior(release))
+	echo3 := n3.NewActive("echo3", echoBehavior())
+	caller, err := n1.HandleFor(victim.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	from1, err := n1.HandleFor(echo3.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, errC := from1.CallSync("echo", wire.Int(7), 5*time.Second); errC != nil || v.AsInt() != 7 {
+		t.Fatalf("baseline cross-node call = %v, %v", v, errC)
+	}
+
+	if len(e.ClusterMembers()) != 3 {
+		t.Fatalf("members = %v, want 3", e.ClusterMembers())
+	}
+
+	// An in-flight call parks on the victim...
+	fut, err := caller.Call("park", wire.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	// ...then the machine dies mid-traffic: network first (both
+	// directions go dark), then the victim's runtime is reaped.
+	e.Network().(*simnet.Network).KillNode(n2.ID())
+	close(release)
+	n2.Crash()
+
+	// Survivors must detect the death from their own heartbeat failures.
+	waitState(t, e, n2.ID(), cluster.StateDead, 5*time.Second)
+
+	// The parked future fails with the sentinel instead of hanging.
+	if _, err := fut.Wait(5 * time.Second); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("in-flight future error = %v, want ErrNodeDead", err)
+	}
+	// New sends toward the dead node are refused fast.
+	start := time.Now()
+	if _, err := caller.CallSync("park", wire.Null(), 5*time.Second); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("post-death call error = %v, want ErrNodeDead", err)
+	}
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("post-death call took %v, want fast refusal", since)
+	}
+
+	// The dead member stays in the view as a tombstone.
+	var sawDead bool
+	for _, m := range e.ClusterMembers() {
+		if m.Node == n2.ID() && m.State == cluster.StateDead {
+			sawDead = true
+		}
+	}
+	if !sawDead {
+		t.Fatalf("members = %+v, want a dead tombstone for %v", e.ClusterMembers(), n2.ID())
+	}
+
+	// A replacement node joins the running cluster under a fresh
+	// identity and serves immediately.
+	n4 := e.NewNode()
+	if n4.ID() == n2.ID() {
+		t.Fatalf("replacement node reused identity %v", n2.ID())
+	}
+	echo4 := n4.NewActive("echo4", echoBehavior())
+	from1b, err := n1.HandleFor(echo4.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, errC := from1b.CallSync("echo", wire.Int(9), 5*time.Second); errC != nil || v.AsInt() != 9 {
+		t.Fatalf("replacement-node call = %v, %v", v, errC)
+	}
+
+	// Release everything: the DGC must reclaim all surviving activities
+	// (the victim's subgraph died with its node).
+	caller.Release()
+	from1.Release()
+	from1b.Release()
+	victim.Release()
+	echo3.Release()
+	echo4.Release()
+	if _, err := e.WaitCollected(0, 10*time.Second); err != nil {
+		t.Fatalf("DGC did not converge after node death: %v", err)
+	}
+	for _, n := range []*Node{n1, n3, n4} {
+		if roots := n.Heap().NumRoots(); roots != 0 {
+			t.Fatalf("node %v still has %d heap roots", n.ID(), roots)
+		}
+	}
+}
+
+// TestConformanceClusterKillTCP is the multi-process scenario: three
+// environments on real TCP — a seed and two joiners bootstrapping via
+// Join — with cross-process calls routed through gossip-learned
+// addresses, one whole process hard-killed (its transport torn down),
+// the survivor detecting the death and failing the in-flight future,
+// and a replacement process joining the running cluster.
+func TestConformanceClusterKillTCP(t *testing.T) {
+	t.Parallel()
+	newTCPEnv := func(seed string) *Env {
+		tr, err := tcpnet.New(tcpnet.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewEnv(Config{
+			TTB: 10 * time.Millisecond, TTA: 40 * time.Millisecond,
+			Transport: tr,
+			Cluster:   ClusterConfig{Enabled: true, Seed: seed},
+		})
+	}
+
+	seedEnv := newTCPEnv("")
+	defer seedEnv.Close()
+	seedAddr := seedEnv.Network().(*tcpnet.Network).Addr()
+	nA := seedEnv.NewNode()
+
+	joinEnv := newTCPEnv(seedAddr)
+	defer joinEnv.Close()
+	if err := joinEnv.Join(); err != nil {
+		t.Fatalf("join via seed: %v", err)
+	}
+	nB := joinEnv.NewNode()
+	if nB.ID() == nA.ID() {
+		t.Fatalf("lease collision: both processes got node %v", nA.ID())
+	}
+
+	// Cross-process traffic in both directions. The seed learns the
+	// joiner's node address from node-up gossip, so the first call may
+	// need a retry while that lands.
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	victim := nB.NewActive("victim", blockingBehavior(release))
+	echoB := nB.NewActive("echoB", echoBehavior())
+	echoA := nA.NewActive("echoA", echoBehavior())
+
+	fromB, err := nB.HandleFor(echoA.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := callUntilOK(t, fromB, "echo", wire.Int(3), 10*time.Second); v.AsInt() != 3 {
+		t.Fatalf("joiner→seed call = %v, want 3", v)
+	}
+	// Seed → joiner needs the node-up gossip to have landed; prove the
+	// route with an echo before parking a call on the victim.
+	fromAecho, err := nA.HandleFor(echoB.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := callUntilOK(t, fromAecho, "echo", wire.Int(5), 10*time.Second); v.AsInt() != 5 {
+		t.Fatalf("seed→joiner call = %v, want 5", v)
+	}
+	caller, err := nA.HandleFor(victim.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An in-flight call parks on the victim process.
+	fut, err := caller.Call("park", wire.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	// Hard-kill the joiner: its listener and connections vanish, its
+	// runtime never says goodbye.
+	joinEnv.Network().Close()
+	close(release)
+	released = true
+
+	waitState(t, seedEnv, nB.ID(), cluster.StateDead, 10*time.Second)
+	if _, err := fut.Wait(10 * time.Second); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("in-flight future error = %v, want ErrNodeDead", err)
+	}
+	if _, err := caller.CallSync("park", wire.Null(), 5*time.Second); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("post-death call error = %v, want ErrNodeDead", err)
+	}
+
+	// A replacement process joins the running cluster through the same
+	// seed and serves traffic.
+	replEnv := newTCPEnv(seedAddr)
+	defer replEnv.Close()
+	if err := replEnv.Join(); err != nil {
+		t.Fatalf("replacement join: %v", err)
+	}
+	nC := replEnv.NewNode()
+	if nC.ID() == nB.ID() {
+		t.Fatalf("replacement reused node identity %v", nB.ID())
+	}
+	echoC := nC.NewActive("echoC", echoBehavior())
+	fromA, err := nA.HandleFor(echoC.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := callUntilOK(t, fromA, "echo", wire.Int(11), 10*time.Second); v.AsInt() != 11 {
+		t.Fatalf("seed→replacement call = %v, want 11", v)
+	}
+	caller.Release()
+	fromA.Release()
+	fromAecho.Release()
+	fromB.Release()
+}
+
+// TestClusterDeadForwarderRebind pins the rebind-table semantics across
+// a node death (the forwarder's node dies after a migration): a caller
+// that already learned the redirect keeps resolving through its rebind
+// table onto the live destination, while a fresh node still holding the
+// stale identity fails fast with ErrNodeDead — neither ever hangs.
+func TestClusterDeadForwarderRebind(t *testing.T) {
+	t.Parallel()
+	e := NewEnv(Config{
+		TTB: 10 * time.Millisecond, TTA: 30 * time.Millisecond,
+		Cluster: ClusterConfig{Enabled: true},
+	})
+	defer e.Close()
+	n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
+
+	h, err := n2.SpawnKind("counter", "test/cluster-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRef := h.Ref()
+	caller, err := n1.HandleFor(oldRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.CallSync("add", wire.Int(5), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate n2 → n3; the forwarder stays on n2.
+	mfut, err := h.Migrate(n3.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mfut.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One more call through the old identity: the forwarder relays it
+	// and its redirect teaches n1 the rebinding.
+	if v, errC := caller.CallSync("add", wire.Int(1), 5*time.Second); errC != nil || v.AsInt() != 6 {
+		t.Fatalf("post-migration call = %v, %v", v, errC)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n1.resolveRebind(mustRef(t, oldRef)).Node != n3.ID() {
+		if time.Now().After(deadline) {
+			t.Fatalf("n1 never learned the rebind for %v", oldRef)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Kill the forwarder's node.
+	e.Network().(*simnet.Network).KillNode(n2.ID())
+	n2.Crash()
+	waitState(t, e, n2.ID(), cluster.StateDead, 5*time.Second)
+
+	// The informed caller resolves via its rebind table: the entry's
+	// value points at live n3 and must have survived the purge.
+	if v, errC := caller.CallSync("add", wire.Int(2), 5*time.Second); errC != nil || v.AsInt() != 8 {
+		t.Fatalf("post-death rebind call = %v, %v", v, errC)
+	}
+
+	// A fresh node that only knows the stale identity fails fast with
+	// the sentinel — no rebind knowledge, no hang.
+	n4 := e.NewNode()
+	stale, err := n4.HandleFor(oldRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := stale.CallSync("add", wire.Int(1), 5*time.Second); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("stale-identity call error = %v, want ErrNodeDead", err)
+	}
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("stale-identity call took %v, want fast refusal", since)
+	}
+	stale.Release()
+	caller.Release()
+	h.Release()
+}
+
+// TestClusterFastFailUnknownNode pins the satellite semantics for
+// never-known destinations: a send toward a node no process has ever
+// announced fails fast with ErrUnknownNode on both backends.
+func TestClusterFastFailUnknownNode(t *testing.T) {
+	t.Parallel()
+	for _, s := range []struct {
+		name string
+		cfg  func(t *testing.T) Config
+	}{
+		{"simnet", func(t *testing.T) Config {
+			return Config{TTB: 10 * time.Millisecond, Cluster: ClusterConfig{Enabled: true}}
+		}},
+		{"tcp", func(t *testing.T) Config {
+			tr, err := tcpnet.New(tcpnet.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{TTB: 10 * time.Millisecond, Transport: tr, Cluster: ClusterConfig{Enabled: true}}
+		}},
+	} {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			t.Parallel()
+			e := NewEnv(s.cfg(t))
+			defer e.Close()
+			n := e.NewNode()
+			bogus, err := n.HandleFor(wire.Ref(ids.ActivityID{Node: 4242, Seq: 1}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bogus.Release()
+			start := time.Now()
+			_, err = bogus.CallSync("poke", wire.Null(), 5*time.Second)
+			if !errors.Is(err, transport.ErrUnknownNode) {
+				t.Fatalf("call to unknown node error = %v, want transport.ErrUnknownNode", err)
+			}
+			if since := time.Since(start); since > time.Second {
+				t.Fatalf("unknown-node call took %v, want fast failure", since)
+			}
+		})
+	}
+}
+
+// TestClusterLeaveDrains exercises the graceful path: a node drains its
+// activities to a peer via live migration, announces its departure, and
+// goes away — callers keep working through the rebinding, nothing fails
+// with ErrNodeDead, and the member view records the departure as Left.
+func TestClusterLeaveDrains(t *testing.T) {
+	t.Parallel()
+	e := NewEnv(Config{
+		TTB: 10 * time.Millisecond, TTA: 30 * time.Millisecond,
+		Cluster: ClusterConfig{Enabled: true},
+	})
+	defer e.Close()
+	n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
+
+	h, err := n2.SpawnKind("counter", "test/cluster-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller, err := n1.HandleFor(h.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.CallSync("add", wire.Int(10), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n2.Leave(n3.ID()); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if got := e.NodeHealth(n2.ID()); got != cluster.StateLeft {
+		t.Fatalf("health after Leave = %v, want StateLeft", got)
+	}
+
+	// The drained activity serves on, state intact, reachable through
+	// the caller's rebinding (retry while the redirect settles).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, errC := caller.CallSync("total", wire.Null(), 5*time.Second)
+		if errC == nil {
+			if v.AsInt() != 10 {
+				t.Fatalf("total after drain = %d, want 10", v.AsInt())
+			}
+			break
+		}
+		if errors.Is(errC, ErrNodeDead) {
+			t.Fatalf("graceful Leave produced ErrNodeDead: %v", errC)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained activity unreachable: %v", errC)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	caller.Release()
+	h.Release()
+}

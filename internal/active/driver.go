@@ -25,6 +25,12 @@ func (n *Node) runDriver() {
 			case <-n.env.cfg.Clock.After(n.env.cfg.TTB):
 				n.heap.Collect()
 				n.futures.sweep(n.heap, n.env.cfg.Clock.Now(), n.env.cfg.TTA)
+				if ag := n.env.cluster; ag != nil {
+					// No heartbeats to piggyback on in baseline mode, so the
+					// driver still advances the failure detector (silence
+					// then drives the suspect path's explicit probes).
+					ag.maybeTick(n)
+				}
 			}
 		}
 	}
@@ -90,6 +96,11 @@ func (n *Node) beat() {
 			continue
 		}
 		for _, ob := range res.Messages {
+			if n.env.isDeadNode(ob.To.Node) {
+				// A declared-dead destination gets no beats: the referenced
+				// side is gone and the send would only fail fast anyway.
+				continue
+			}
 			if batch {
 				if byDst == nil {
 					byDst = make(map[ids.NodeID][]dgcOut)
@@ -112,6 +123,11 @@ func (n *Node) beat() {
 		}(dst, outs)
 	}
 	broadcasts.Wait()
+	if ag := n.env.cluster; ag != nil {
+		// The beat doubles as the failure detector's clock: advance it at
+		// most once per TTB across all local drivers.
+		ag.maybeTick(n)
+	}
 }
 
 // sendDGC performs one DGC message/response exchange with the node hosting
@@ -122,6 +138,11 @@ func (n *Node) beat() {
 func (n *Node) sendDGC(ao *ActiveObject, ob core.Outbound) {
 	payload := encodeDGCPayload(ob.To, ob.Msg)
 	respBytes, err := n.transportCall(ob.To.Node, transport.ClassDGC, payload)
+	if ag := n.env.cluster; ag != nil && ob.To.Node != n.id {
+		// The heartbeat exchange doubles as the liveness probe: its
+		// outcome feeds the failure detector for free.
+		ag.noteExchange(ob.To.Node, err)
+	}
 	if err != nil || len(respBytes) == 0 {
 		return
 	}
@@ -145,6 +166,9 @@ func (n *Node) sendDGCBatch(dst ids.NodeID, outs []dgcOut) {
 		entries[i] = dgcBatchEntry{Target: o.ob.To, Msg: o.ob.Msg}
 	}
 	respBytes, err := n.transportCall(dst, transport.ClassDGC, encodeDGCBatchPayload(entries))
+	if ag := n.env.cluster; ag != nil && dst != n.id {
+		ag.noteExchange(dst, err)
+	}
 	if err != nil || len(respBytes) == 0 {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -80,8 +81,15 @@ type Config struct {
 	// returns FirstNode, the second FirstNode+1, and so on. Several
 	// processes sharing a TCP substrate set disjoint ranges so their
 	// activity identifiers (and the DGC's total order on them) never
-	// collide. Zero means the default start, node 1.
+	// collide. Zero means the default start, node 1. With Cluster enabled
+	// the field keeps its meaning on the founding seed only (where the
+	// node-ID lease space starts); joiners are leased disjoint blocks by
+	// the seed and ignore it.
 	FirstNode ids.NodeID
+	// Cluster enables the elastic cluster runtime: seed/join membership,
+	// node-ID leases, heartbeat-piggybacked failure detection and
+	// crash-tolerant cleanup (ErrNodeDead). See ClusterConfig.
+	Cluster ClusterConfig
 	// DisableDGC turns the distributed garbage collector off entirely
 	// (the paper's "No DGC" baseline runs): no heartbeats, no automatic
 	// termination; local heap sweeps still run.
@@ -132,6 +140,13 @@ type Env struct {
 	cfg     Config
 	net     transport.Transport
 	nodeGen ids.NodeGenerator
+	cluster *clusterAgent // nil unless Config.Cluster.Enabled
+
+	// deadNodes is the copy-on-write set of nodes the cluster has declared
+	// dead: nil until the first confirmed death, so the hot path's
+	// fail-fast check (isDeadNode) is a single atomic load.
+	deadMu    sync.Mutex
+	deadNodes atomic.Pointer[map[ids.NodeID]struct{}]
 
 	mu      sync.Mutex
 	nodes   map[ids.NodeID]*Node
@@ -167,6 +182,9 @@ func NewEnv(cfg Config) *Env {
 			MaxComm:   cfg.MaxComm,
 		})
 	}
+	if cfg.Cluster.Enabled {
+		e.cluster = newClusterAgent(e)
+	}
 	return e
 }
 
@@ -180,17 +198,31 @@ func (e *Env) Network() transport.Transport { return e.net }
 func (e *Env) Clock() vclock.Clock { return e.cfg.Clock }
 
 // NewNode creates a process in the distributed system and starts its DGC
-// driver.
+// driver. With the cluster runtime enabled, the first NewNode implicitly
+// joins the cluster (and panics if the seed is unreachable — call
+// Env.Join first to handle that as an error), and every new node is
+// announced to the other members.
 func (e *Env) NewNode() *Node {
+	var id ids.NodeID
+	if e.cluster != nil {
+		// May contact the seed for a lease; must run outside e.mu.
+		id = e.cluster.nextNodeID()
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		panic("active: NewNode on closed Env")
 	}
-	id := e.nodeGen.Next()
+	if e.cluster == nil {
+		id = e.nodeGen.Next()
+	}
 	n := newNode(e, id)
 	e.nodes[id] = n
 	n.start()
+	e.mu.Unlock()
+	if e.cluster != nil {
+		e.cluster.noteNodeUp(id)
+	}
 	return n
 }
 
@@ -370,6 +402,9 @@ func (e *Env) Close() {
 	e.mu.Unlock()
 	for _, n := range nodes {
 		n.flushOutbound()
+	}
+	if e.cluster != nil {
+		e.cluster.stop()
 	}
 	e.net.Close()
 	for _, n := range nodes {

@@ -58,6 +58,11 @@ type Future struct {
 	// after resolution for late holder registrations, until the sweep
 	// reclaims it.
 	shared atomic.Bool
+	// awaitNode records the node serving the request this future is the
+	// placeholder of (0 when local or unknown), so a confirmed node death
+	// can fail the future instead of letting wait-by-necessity hang. Only
+	// maintained when the cluster runtime is enabled.
+	awaitNode atomic.Uint32
 	// emigrated marks a home entry whose owner activity migrated away
 	// (WIRE.md §7): the entry stays — its identity names this node, so
 	// updates and subscriptions keep landing here — but it behaves like a
@@ -242,6 +247,19 @@ func (f *Future) addHolder(dst ids.NodeID) {
 	}
 	f.holders = append(f.holders, dst)
 	f.mu.Unlock()
+}
+
+// removeHolder forgets a downstream holder (its node died): resolution
+// stops trying to ship the value there.
+func (f *Future) removeHolder(p ids.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, h := range f.holders {
+		if h == p {
+			f.holders = append(f.holders[:i], f.holders[i+1:]...)
+			break
+		}
+	}
 }
 
 // addChained registers c to re-resolve with this future's concrete value
@@ -498,6 +516,43 @@ func (t *futureTable) failOwned(owner ids.ActivityID, err error) {
 	}
 	t.mu.Unlock()
 	for _, f := range owned {
+		f.fail(err)
+	}
+}
+
+// noteAwait records dst as the node fid's result is awaited from (see
+// Future.awaitNode); a no-op for identities without a live entry.
+func (t *futureTable) noteAwait(fid ids.FutureID, dst ids.NodeID) {
+	t.mu.Lock()
+	f, ok := t.pending[fid]
+	t.mu.Unlock()
+	if ok {
+		f.awaitNode.Store(uint32(dst))
+	}
+}
+
+// failNodeDead runs the future-table leg of a confirmed node death:
+// every entry owed its resolution by the dead node — homed there (the
+// proxies adopted for its futures) or awaiting a request it was serving —
+// fails with err, which fans out to the surviving registered holders;
+// and the dead node is purged from the holder lists of everything else,
+// so later resolutions stop trying to reach it.
+func (t *futureTable) failNodeDead(p ids.NodeID, err error) {
+	t.mu.Lock()
+	var doomed, rest []*Future
+	for fid, f := range t.pending {
+		if fid.Node == p || ids.NodeID(f.awaitNode.Load()) == p {
+			doomed = append(doomed, f)
+			delete(t.pending, fid)
+			continue
+		}
+		rest = append(rest, f)
+	}
+	t.mu.Unlock()
+	for _, f := range rest {
+		f.removeHolder(p)
+	}
+	for _, f := range doomed {
 		f.fail(err)
 	}
 }

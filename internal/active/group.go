@@ -130,6 +130,7 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 		src  *Node
 		dst  ids.NodeID
 		args wire.Value
+		fut  *Future // nil for no-reply members
 	}
 	var (
 		batches map[laneKey][]transport.BatchItem
@@ -160,6 +161,14 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 		case target.Node == node.id:
 			node.deliverLocalRequest(req)
 		case node.flusher != nil:
+			if err := node.routeCheck(target.Node); err != nil {
+				// The batch path bypasses transportSend, so the dead-node
+				// fail-fast guard runs here.
+				if futs[i].fut != nil {
+					node.futures.remove(futs[i].fut.ID())
+				}
+				return abort(i, err)
+			}
 			var payload []byte
 			if sharedArgs {
 				if argsEnc == nil {
@@ -174,7 +183,7 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 			}
 			k := laneKey{src: node, dst: target.Node}
 			batches[k] = append(batches[k], transport.BatchItem{Class: transport.ClassApp, Payload: payload})
-			staged = append(staged, sentArgs{src: node, dst: target.Node, args: req.Args})
+			staged = append(staged, sentArgs{src: node, dst: target.Node, args: req.Args, fut: futs[i].fut})
 		default:
 			if err := node.sendRequest(req); err != nil {
 				if futs[i].fut != nil {
@@ -201,6 +210,9 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 	// Batched payloads are on the wire: register the scatter's forwarded
 	// futures (if any) with their new holder nodes.
 	for _, s := range staged {
+		if s.fut != nil && s.src.env.cluster != nil {
+			s.fut.awaitNode.Store(uint32(s.dst))
+		}
 		s.src.noteFutureValuesSent(s.dst, s.args)
 	}
 	return &FutureGroup[Resp]{futs: futs}, nil

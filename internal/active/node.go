@@ -72,6 +72,9 @@ func newNode(e *Env, id ids.NodeID) *Node {
 // updates) is flushed as soon as the pair's writer is free; non-urgent
 // traffic may linger up to the batch window for companions.
 func (n *Node) transportSend(dst ids.NodeID, class transport.Class, payload []byte, urgent bool) error {
+	if err := n.routeCheck(dst); err != nil {
+		return err
+	}
 	if n.flusher != nil {
 		return n.flusher.Send(dst, class, payload, urgent)
 	}
@@ -82,6 +85,9 @@ func (n *Node) transportSend(dst ids.NodeID, class transport.Class, payload []by
 // destination's batch lane first so the exchange cannot overtake queued
 // one-way traffic (§3.2 FIFO).
 func (n *Node) transportCall(dst ids.NodeID, class transport.Class, payload []byte) ([]byte, error) {
+	if err := n.routeCheck(dst); err != nil {
+		return nil, err
+	}
 	if n.flusher != nil {
 		return n.flusher.Call(dst, class, payload)
 	}
@@ -161,6 +167,11 @@ func (n *Node) onTagDeath(d localgc.TagDeath) {
 // HandleOneWay implements transport.Handler: application requests and future
 // updates.
 func (n *Node) HandleOneWay(from ids.NodeID, class transport.Class, payload []byte) {
+	if ag := n.env.cluster; ag != nil {
+		// Inbound traffic is proof of life — the piggybacking that keeps
+		// failure detection off the happy path.
+		ag.observe(from)
+	}
 	if len(payload) == 0 {
 		return
 	}
@@ -206,6 +217,13 @@ func (n *Node) deliverFutureSubscribe(payload []byte) {
 // handling; silence is indistinguishable from a slow beat and is handled
 // by the TTA machinery).
 func (n *Node) HandleCall(from ids.NodeID, class transport.Class, payload []byte) []byte {
+	if ag := n.env.cluster; ag != nil {
+		ag.observe(from)
+		if class == transport.ClassCluster {
+			// Node-addressed cluster exchange: the suspect-path probe.
+			return ag.handleNodeCall(from, payload)
+		}
+	}
 	if class == transport.ClassApp {
 		// The only application-class exchange is the migration envelope
 		// (WIRE.md §7); everything else application-level is one-way.
@@ -629,6 +647,11 @@ func (n *Node) sendRequest(req request) error {
 	}
 	err := n.transportSend(req.Target.Node, transport.ClassApp, encodeRequest(req), !req.Future.IsZero())
 	if err == nil {
+		if n.env.cluster != nil && !req.Future.IsZero() {
+			// Remember who owes this future its result, so a confirmed
+			// death of that node fails it instead of hanging the waiter.
+			n.futures.noteAwait(req.Future, req.Target.Node)
+		}
 		// Register the destination as holder of any futures forwarded in
 		// the arguments — after the request, so a direct-send of an
 		// already-resolved value cannot overtake it on the FIFO lane.

@@ -34,8 +34,10 @@ func (f BehaviorFunc) Serve(ctx *Context, method string, args wire.Value) (wire.
 // wire: the failure text travels, and the receiving side re-wraps it so
 // errors.Is keeps working — a holder that subscribed through a dead
 // forwarder matches ErrFutureUnavailable, a refused migration matches
-// ErrMigrationFailed/ErrNotMigratable, wherever the caller runs.
-var wireSentinels = []error{ErrFutureUnavailable, ErrMigrationFailed, ErrNotMigratable, ErrUnknownBehaviorKind}
+// ErrMigrationFailed/ErrNotMigratable, wherever the caller runs, and a
+// future failed by a confirmed node death matches ErrNodeDead on every
+// holder it fans out to.
+var wireSentinels = []error{ErrFutureUnavailable, ErrMigrationFailed, ErrNotMigratable, ErrUnknownBehaviorKind, ErrNodeDead}
 
 func newRemoteFailure(msg string) error {
 	for _, s := range wireSentinels {

@@ -1,0 +1,248 @@
+// Package cluster holds the pure state machines of the elastic cluster
+// runtime: per-peer health tracking (failure detection), node-ID leasing
+// (seed-owned allocation of disjoint identifier ranges) and the wire
+// codecs of the membership envelopes. It deliberately knows nothing about
+// transports or activities — internal/active wires these machines to its
+// driver and envelopes, so they stay unit-testable with plain values.
+//
+// The failure detector piggybacks on traffic that already flows: every
+// successful exchange with a peer is an Observe, every failed one an
+// ObserveFailure, and the DGC's TTB-periodic heartbeats (paper §3.1)
+// guarantee that referenced peers are exercised every beat. No new
+// periodic message class exists on the happy path; only a peer that has
+// gone silent past the suspect threshold is probed explicitly.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// State is the health of one peer node as seen from here.
+type State uint8
+
+// Peer health states. Death and departure are final: a node that was
+// declared dead stays dead even if late traffic from it arrives (a
+// replacement must join under a fresh leased identifier), matching the
+// paper's §4.2 stance that an undetected failure is indistinguishable
+// from silence — once the detector commits to "dead", the runtime purges
+// state that cannot be resurrected consistently.
+const (
+	// StateUnknown is the zero value: the node is not a known member.
+	StateUnknown State = iota
+	// StateAlive means recent traffic (or a successful probe) proves the
+	// peer up.
+	StateAlive
+	// StateSuspect means the peer missed its contact deadline or failed an
+	// exchange; it is probed and has until the dead threshold to answer.
+	StateSuspect
+	// StateDead means the peer was declared failed; final.
+	StateDead
+	// StateLeft means the peer departed gracefully via Leave; final.
+	StateLeft
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateUnknown:
+		return "unknown"
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// HealthConfig parameterizes the failure detector.
+type HealthConfig struct {
+	// SuspectAfter is how long a member may go without observed contact
+	// before it is suspected and probed.
+	SuspectAfter time.Duration
+	// DeadAfter is how long a member may stay suspect (without a
+	// successful contact resetting it) before it is declared dead.
+	DeadAfter time.Duration
+}
+
+// peerState is the detector's record for one member.
+type peerState struct {
+	state       State
+	lastContact time.Time
+	suspectAt   time.Time
+}
+
+// Health is the per-peer failure detector: a map of member node → health
+// state machine. All methods are safe for concurrent use.
+type Health struct {
+	cfg HealthConfig
+
+	mu    sync.Mutex
+	peers map[ids.NodeID]*peerState
+}
+
+// NewHealth creates a detector.
+func NewHealth(cfg HealthConfig) *Health {
+	return &Health{cfg: cfg, peers: make(map[ids.NodeID]*peerState)}
+}
+
+// Add registers a member as alive with contact time now. Adding a node
+// that is already tracked refreshes nothing (in particular it cannot
+// resurrect a dead or left member: identifiers are never reused).
+func (h *Health) Add(node ids.NodeID, now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.peers[node]; ok {
+		return
+	}
+	h.peers[node] = &peerState{state: StateAlive, lastContact: now}
+}
+
+// Observe records proof of life: an inbound message from the peer or a
+// successful exchange with it. It clears a suspicion but never
+// resurrects a dead or left member.
+func (h *Health) Observe(node ids.NodeID, now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[node]
+	if !ok || p.state == StateDead || p.state == StateLeft {
+		return
+	}
+	p.state = StateAlive
+	p.lastContact = now
+	p.suspectAt = time.Time{}
+}
+
+// ObserveFailure records a failed exchange with the peer: an alive member
+// becomes suspect (starting its dead countdown); an already-suspect
+// member keeps its original suspicion time so repeated failures do not
+// push the deadline out.
+func (h *Health) ObserveFailure(node ids.NodeID, now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[node]
+	if !ok || p.state != StateAlive {
+		return
+	}
+	p.state = StateSuspect
+	p.suspectAt = now
+}
+
+// Tick advances the detector: members silent past SuspectAfter become
+// suspect, members suspect past DeadAfter become dead. It returns the
+// members that should be probed (every current suspect) and the members
+// that transitioned to dead in this tick — the caller owns the cleanup
+// and gossip for those exactly once.
+func (h *Health) Tick(now time.Time) (probe, dead []ids.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for node, p := range h.peers {
+		switch p.state {
+		case StateAlive:
+			if h.cfg.SuspectAfter > 0 && now.Sub(p.lastContact) >= h.cfg.SuspectAfter {
+				p.state = StateSuspect
+				p.suspectAt = now
+				probe = append(probe, node)
+			}
+		case StateSuspect:
+			if h.cfg.DeadAfter > 0 && now.Sub(p.suspectAt) >= h.cfg.DeadAfter {
+				p.state = StateDead
+				dead = append(dead, node)
+			} else {
+				probe = append(probe, node)
+			}
+		}
+	}
+	return probe, dead
+}
+
+// MarkDead forces a member dead (gossip from a peer that detected the
+// failure first). It reports whether the state changed, so the caller
+// can run cleanup and relay the news exactly once.
+func (h *Health) MarkDead(node ids.NodeID) bool {
+	return h.force(node, StateDead)
+}
+
+// MarkLeft records a graceful departure. It reports whether the state
+// changed.
+func (h *Health) MarkLeft(node ids.NodeID) bool {
+	return h.force(node, StateLeft)
+}
+
+func (h *Health) force(node ids.NodeID, s State) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[node]
+	if !ok {
+		// News about a member never heard of still installs the tombstone,
+		// so late node-up gossip cannot resurrect it.
+		h.peers[node] = &peerState{state: s}
+		return true
+	}
+	if p.state == StateDead || p.state == StateLeft {
+		return false
+	}
+	p.state = s
+	return true
+}
+
+// StateOf returns the tracked state of node (StateUnknown if untracked).
+func (h *Health) StateOf(node ids.NodeID) State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if p, ok := h.peers[node]; ok {
+		return p.state
+	}
+	return StateUnknown
+}
+
+// Snapshot returns the state of every tracked member.
+func (h *Health) Snapshot() map[ids.NodeID]State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[ids.NodeID]State, len(h.peers))
+	for node, p := range h.peers {
+		out[node] = p.state
+	}
+	return out
+}
+
+// Leaser allocates disjoint node-identifier blocks. The seed process owns
+// the single leaser of a cluster; every process (the seed included) draws
+// its node IDs from granted blocks, so identifiers — and the DGC's total
+// order on activity IDs — never collide across processes, replacing the
+// hand-split Config.FirstNode ranges.
+type Leaser struct {
+	mu   sync.Mutex
+	next uint32
+}
+
+// NewLeaser creates a leaser whose first grant starts at first (clamped
+// to 1: node 0 is reserved for process-addressed traffic).
+func NewLeaser(first ids.NodeID) *Leaser {
+	if first < 1 {
+		first = 1
+	}
+	return &Leaser{next: uint32(first)}
+}
+
+// Grant leases a block of n consecutive node IDs and returns its first
+// identifier. n is clamped to at least 1.
+func (l *Leaser) Grant(n int) (ids.NodeID, int) {
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := l.next
+	l.next += uint32(n)
+	return ids.NodeID(first), n
+}

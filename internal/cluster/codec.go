@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// Membership envelope kinds: the first byte of every ClassCluster
+// payload (WIRE.md §8). Join/lease are request/response exchanges against
+// a seed; node events are gossip (relayed once per news item per
+// process); ping/pong is the suspect-path liveness probe.
+const (
+	// MsgJoin asks a seed for a node-ID lease and the current member map.
+	MsgJoin byte = iota + 1
+	// MsgJoinOK answers a join with the granted lease and the members.
+	MsgJoinOK
+	// MsgLease asks the seed for a further node-ID block.
+	MsgLease
+	// MsgLeaseOK answers a lease request.
+	MsgLeaseOK
+	// MsgNodeUp announces a node (and the address of its process).
+	MsgNodeUp
+	// MsgNodeDead announces a detected failure.
+	MsgNodeDead
+	// MsgNodeLeft announces a graceful departure.
+	MsgNodeLeft
+	// MsgPing probes a suspect node.
+	MsgPing
+	// MsgPong answers a probe.
+	MsgPong
+	// MsgAck acknowledges a gossip exchange with nothing to add.
+	MsgAck
+	// MsgErr reports a refused request; the error text follows.
+	MsgErr
+	// MsgRebinds announces activity relocations (old → new IDs) so every
+	// process can retarget stale references without waiting for a
+	// forwarder that is about to disappear (graceful leave).
+	MsgRebinds
+)
+
+// ErrBadEnvelope reports a malformed or unexpected cluster payload.
+var ErrBadEnvelope = errors.New("cluster: bad envelope")
+
+// Member is one (node, process address) entry of the cluster map. The
+// address is empty for members of a single-process (simnet) cluster.
+type Member struct {
+	Node ids.NodeID
+	Addr string
+}
+
+// Join is the payload of MsgJoin.
+type Join struct {
+	// Addr is the joining process's listen address (empty on substrates
+	// without process addressing).
+	Addr string
+	// Want is the requested node-ID block size.
+	Want int
+}
+
+// JoinOK is the payload of MsgJoinOK.
+type JoinOK struct {
+	First   ids.NodeID
+	Count   int
+	Members []Member
+}
+
+// Lease is the payload of MsgLease.
+type Lease struct {
+	Want int
+}
+
+// LeaseOK is the payload of MsgLeaseOK.
+type LeaseOK struct {
+	First ids.NodeID
+	Count int
+}
+
+// NodeEvent is the payload of MsgNodeUp / MsgNodeDead / MsgNodeLeft. Addr
+// is only meaningful for node-up.
+type NodeEvent struct {
+	Node ids.NodeID
+	Addr string
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf)-sz) < n {
+		return "", nil, ErrBadEnvelope
+	}
+	return string(buf[sz : sz+int(n)]), buf[sz+int(n):], nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, nil, ErrBadEnvelope
+	}
+	return n, buf[sz:], nil
+}
+
+// EncodeJoin encodes a join request.
+func EncodeJoin(j Join) []byte {
+	buf := []byte{MsgJoin}
+	buf = appendString(buf, j.Addr)
+	return binary.AppendUvarint(buf, uint64(j.Want))
+}
+
+// DecodeJoin decodes a MsgJoin payload.
+func DecodeJoin(p []byte) (Join, error) {
+	if len(p) < 1 || p[0] != MsgJoin {
+		return Join{}, ErrBadEnvelope
+	}
+	addr, rest, err := readString(p[1:])
+	if err != nil {
+		return Join{}, err
+	}
+	want, _, err := readUvarint(rest)
+	if err != nil {
+		return Join{}, err
+	}
+	return Join{Addr: addr, Want: int(want)}, nil
+}
+
+// EncodeJoinOK encodes a join response.
+func EncodeJoinOK(ok JoinOK) []byte {
+	buf := []byte{MsgJoinOK}
+	buf = binary.AppendUvarint(buf, uint64(ok.First))
+	buf = binary.AppendUvarint(buf, uint64(ok.Count))
+	buf = binary.AppendUvarint(buf, uint64(len(ok.Members)))
+	for _, m := range ok.Members {
+		buf = binary.AppendUvarint(buf, uint64(m.Node))
+		buf = appendString(buf, m.Addr)
+	}
+	return buf
+}
+
+// DecodeJoinOK decodes a MsgJoinOK payload.
+func DecodeJoinOK(p []byte) (JoinOK, error) {
+	if len(p) < 1 || p[0] != MsgJoinOK {
+		return JoinOK{}, ErrBadEnvelope
+	}
+	rest := p[1:]
+	first, rest, err := readUvarint(rest)
+	if err != nil {
+		return JoinOK{}, err
+	}
+	count, rest, err := readUvarint(rest)
+	if err != nil {
+		return JoinOK{}, err
+	}
+	n, rest, err := readUvarint(rest)
+	if err != nil || n > uint64(len(rest)) { // each member needs ≥ 2 bytes
+		return JoinOK{}, ErrBadEnvelope
+	}
+	out := JoinOK{First: ids.NodeID(first), Count: int(count), Members: make([]Member, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var node uint64
+		node, rest, err = readUvarint(rest)
+		if err != nil {
+			return JoinOK{}, err
+		}
+		var addr string
+		addr, rest, err = readString(rest)
+		if err != nil {
+			return JoinOK{}, err
+		}
+		out.Members = append(out.Members, Member{Node: ids.NodeID(node), Addr: addr})
+	}
+	return out, nil
+}
+
+// EncodeLease encodes a lease request.
+func EncodeLease(l Lease) []byte {
+	return binary.AppendUvarint([]byte{MsgLease}, uint64(l.Want))
+}
+
+// DecodeLease decodes a MsgLease payload.
+func DecodeLease(p []byte) (Lease, error) {
+	if len(p) < 1 || p[0] != MsgLease {
+		return Lease{}, ErrBadEnvelope
+	}
+	want, _, err := readUvarint(p[1:])
+	if err != nil {
+		return Lease{}, err
+	}
+	return Lease{Want: int(want)}, nil
+}
+
+// EncodeLeaseOK encodes a lease response.
+func EncodeLeaseOK(ok LeaseOK) []byte {
+	buf := []byte{MsgLeaseOK}
+	buf = binary.AppendUvarint(buf, uint64(ok.First))
+	return binary.AppendUvarint(buf, uint64(ok.Count))
+}
+
+// DecodeLeaseOK decodes a MsgLeaseOK payload.
+func DecodeLeaseOK(p []byte) (LeaseOK, error) {
+	if len(p) < 1 || p[0] != MsgLeaseOK {
+		return LeaseOK{}, ErrBadEnvelope
+	}
+	first, rest, err := readUvarint(p[1:])
+	if err != nil {
+		return LeaseOK{}, err
+	}
+	count, _, err := readUvarint(rest)
+	if err != nil {
+		return LeaseOK{}, err
+	}
+	return LeaseOK{First: ids.NodeID(first), Count: int(count)}, nil
+}
+
+// EncodeNodeEvent encodes a node-up/dead/left gossip payload; kind must
+// be MsgNodeUp, MsgNodeDead or MsgNodeLeft.
+func EncodeNodeEvent(kind byte, ev NodeEvent) []byte {
+	buf := []byte{kind}
+	buf = binary.AppendUvarint(buf, uint64(ev.Node))
+	return appendString(buf, ev.Addr)
+}
+
+// DecodeNodeEvent decodes a node event, returning its kind.
+func DecodeNodeEvent(p []byte) (byte, NodeEvent, error) {
+	if len(p) < 1 || (p[0] != MsgNodeUp && p[0] != MsgNodeDead && p[0] != MsgNodeLeft) {
+		return 0, NodeEvent{}, ErrBadEnvelope
+	}
+	node, rest, err := readUvarint(p[1:])
+	if err != nil {
+		return 0, NodeEvent{}, err
+	}
+	addr, _, err := readString(rest)
+	if err != nil {
+		return 0, NodeEvent{}, err
+	}
+	return p[0], NodeEvent{Node: ids.NodeID(node), Addr: addr}, nil
+}
+
+// Rebind is one activity relocation: references to Old should retarget
+// to New.
+type Rebind struct {
+	Old ids.ActivityID
+	New ids.ActivityID
+}
+
+// EncodeRebinds encodes a MsgRebinds payload.
+func EncodeRebinds(rebinds []Rebind) []byte {
+	buf := []byte{MsgRebinds}
+	buf = binary.AppendUvarint(buf, uint64(len(rebinds)))
+	for _, r := range rebinds {
+		buf = binary.AppendUvarint(buf, uint64(r.Old.Node))
+		buf = binary.AppendUvarint(buf, uint64(r.Old.Seq))
+		buf = binary.AppendUvarint(buf, uint64(r.New.Node))
+		buf = binary.AppendUvarint(buf, uint64(r.New.Seq))
+	}
+	return buf
+}
+
+// DecodeRebinds decodes a MsgRebinds payload.
+func DecodeRebinds(p []byte) ([]Rebind, error) {
+	if len(p) < 1 || p[0] != MsgRebinds {
+		return nil, ErrBadEnvelope
+	}
+	n, rest, err := readUvarint(p[1:])
+	if err != nil || n > uint64(len(rest)) { // each rebind needs ≥ 4 bytes
+		return nil, ErrBadEnvelope
+	}
+	out := make([]Rebind, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var vals [4]uint64
+		for j := range vals {
+			vals[j], rest, err = readUvarint(rest)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, Rebind{
+			Old: ids.ActivityID{Node: ids.NodeID(vals[0]), Seq: uint32(vals[1])},
+			New: ids.ActivityID{Node: ids.NodeID(vals[2]), Seq: uint32(vals[3])},
+		})
+	}
+	return out, nil
+}
+
+// EncodePing returns the probe payload.
+func EncodePing() []byte { return []byte{MsgPing} }
+
+// EncodePong returns the probe answer.
+func EncodePong() []byte { return []byte{MsgPong} }
+
+// EncodeAck returns the gossip acknowledgement.
+func EncodeAck() []byte { return []byte{MsgAck} }
+
+// EncodeErr encodes a refusal with its reason.
+func EncodeErr(msg string) []byte {
+	return appendString([]byte{MsgErr}, msg)
+}
+
+// DecodeResponse interprets the response payload of a cluster exchange:
+// nil error for MsgJoinOK/MsgLeaseOK/MsgPong/MsgAck (the caller decodes
+// the body it expects), the carried error for MsgErr, ErrBadEnvelope for
+// anything else.
+func DecodeResponse(p []byte) error {
+	if len(p) < 1 {
+		return fmt.Errorf("%w: empty response", ErrBadEnvelope)
+	}
+	switch p[0] {
+	case MsgJoinOK, MsgLeaseOK, MsgPong, MsgAck:
+		return nil
+	case MsgErr:
+		msg, _, err := readString(p[1:])
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("cluster: %s", msg)
+	default:
+		return fmt.Errorf("%w: kind %d", ErrBadEnvelope, p[0])
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/active"
+	"repro/internal/simnet"
 	"repro/internal/tcpnet"
 	"repro/internal/wire"
 )
@@ -77,6 +78,15 @@ type Config struct {
 	// every established connection at that period — the soak harness's
 	// transient-failure chaos.
 	DropConnsEvery time.Duration `json:"-"`
+	// Cluster enables the elastic cluster runtime (membership, failure
+	// detection) for the run. Implied by NodeKillEvery.
+	Cluster bool `json:"cluster,omitempty"`
+	// NodeKillEvery, when positive, runs node churn chaos at that period:
+	// a fresh node joins the cluster, hosts an activity, serves one call,
+	// and then dies — hard-killed at the network level on the sim backend
+	// (exercising failure detection and ErrNodeDead cleanup), crashed on
+	// tcp. The steady-state workload must ride through undisturbed.
+	NodeKillEvery time.Duration `json:"-"`
 	// OpTimeout bounds one operation's wait (a lost future update, e.g.
 	// under connection chaos, then counts as an error instead of wedging a
 	// worker). Defaults to 30s.
@@ -116,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.NodeKillEvery > 0 {
+		c.Cluster = true
 	}
 	c.Mix = c.Mix.normalized()
 	return c
@@ -168,6 +181,8 @@ type Result struct {
 	// LiveActivities is the live count at the end (churn backlog the DGC
 	// still owes).
 	LiveActivities int `json:"live_activities"`
+	// NodeKills is how many chaos node lifecycles (join, serve, die) ran.
+	NodeKills uint64 `json:"node_kills,omitempty"`
 	// CollectedActivities is how many the DGC reclaimed during the run.
 	CollectedActivities int `json:"collected_activities"`
 }
@@ -209,6 +224,7 @@ func Run(cfg Config) (Result, error) {
 		DisableDGC:  cfg.DisableDGC,
 		BatchWindow: cfg.BatchWindow,
 		BatchBytes:  cfg.BatchBytes,
+		Cluster:     active.ClusterConfig{Enabled: cfg.Cluster},
 	}
 	var dropper interface{ DropConnections() }
 	switch cfg.Backend {
@@ -371,6 +387,41 @@ func Run(cfg Config) (Result, error) {
 
 	stop := make(chan struct{})
 	var chaosWG sync.WaitGroup
+	var nodeKills atomic.Uint64
+	if cfg.NodeKillEvery > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			t := time.NewTicker(cfg.NodeKillEvery)
+			defer t.Stop()
+			killer, _ := env.Network().(*simnet.Network)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					// One full elastic lifecycle: join a node, host an
+					// activity, serve one call across the transport, die.
+					victim := env.NewNode()
+					h := victim.NewActive("chaos-victim", svc)
+					if hc, err := caller.HandleFor(h.Ref()); err == nil {
+						req := echoReq{Seq: seq.Add(1), Payload: payload}
+						_, _ = active.NewStub[echoReq, echoResp](hc, "echo").CallSync(req, cfg.OpTimeout)
+						hc.Release()
+					}
+					h.Release()
+					if killer != nil {
+						// Hard kill first: the survivors' heartbeats toward
+						// the victim now fail, driving the suspect→dead path
+						// and the ErrNodeDead cleanup fan-out.
+						killer.KillNode(victim.ID())
+					}
+					victim.Crash()
+					nodeKills.Add(1)
+				}
+			}
+		}()
+	}
 	if dropper != nil && cfg.DropConnsEvery > 0 {
 		chaosWG.Add(1)
 		go func() {
@@ -418,6 +469,7 @@ func Run(cfg Config) (Result, error) {
 		DurationSeconds:   elapsed.Seconds(),
 		Traffic:           make(map[string]ClassTraffic),
 		LiveActivities:    env.LiveActivities(),
+		NodeKills:         nodeKills.Load(),
 	}
 	opStats := func(k opKind) OpStats {
 		return OpStats{Ops: merged.ops[k], Errors: merged.errors[k], Latency: merged.hist[k].summary()}

@@ -121,6 +121,35 @@ func TestRunOpenLoopSim(t *testing.T) {
 	}
 }
 
+// TestRunNodeKillChaos smoke-tests the elastic-cluster churn chaos:
+// nodes join, serve one call, and are hard-killed mid-run while the
+// steady call workload rides through against the long-lived actors.
+func TestRunNodeKillChaos(t *testing.T) {
+	res, err := Run(Config{
+		Backend:       "sim",
+		Nodes:         2,
+		ActorsPerNode: 2,
+		Workers:       4,
+		Duration:      400 * time.Millisecond,
+		Mix:           Mix{Call: 1},
+		NodeKillEvery: 50 * time.Millisecond,
+		OpTimeout:     5 * time.Second,
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeKills == 0 {
+		t.Fatal("chaos ran no node lifecycles")
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Calls.Errors*2 > res.Calls.Ops {
+		t.Fatalf("node churn drowned the run: %d errors of %d ops", res.Calls.Errors, res.Calls.Ops)
+	}
+}
+
 // TestRunTCPWithChaos smoke-tests the tcp backend under periodic
 // connection drops: operations may fail transiently but the run must
 // complete and most operations must succeed (reconnect works).

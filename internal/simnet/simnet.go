@@ -102,6 +102,12 @@ type Network struct {
 	shards [numShards]shard
 	wg     sync.WaitGroup
 
+	// killed is the copy-on-write set of blackholed nodes (KillNode): the
+	// pointer is nil until the first kill, so the per-send check is one
+	// atomic load on the chaos-free hot path.
+	killMu sync.Mutex
+	killed atomic.Pointer[map[ids.NodeID]struct{}]
+
 	counters transport.CounterSet
 }
 
@@ -201,6 +207,41 @@ func (n *Network) Close() {
 	n.wg.Wait()
 }
 
+// KillNode hard-kills a node at the network level: the chaos hook for
+// deterministic failure-detection tests. One-way messages toward the
+// node are accepted and silently dropped (a machine that died mid-beat
+// acknowledges nothing), request/response exchanges fail fast with
+// ErrUnreachable (the RST a dead peer's kernel would send), and the
+// victim's own outbound traffic vanishes the same way — its runtime may
+// keep running in-process, but nothing it emits can prove it alive.
+// Unlike
+// Deregister the victim never reports ErrUnknownNode — to senders it is
+// indistinguishable from a live-but-silent peer, which is exactly what a
+// failure detector must cope with (§4.2). Kills are permanent for the
+// network's lifetime.
+func (n *Network) KillNode(node ids.NodeID) {
+	n.killMu.Lock()
+	defer n.killMu.Unlock()
+	next := make(map[ids.NodeID]struct{})
+	if old := n.killed.Load(); old != nil {
+		for k := range *old {
+			next[k] = struct{}{}
+		}
+	}
+	next[node] = struct{}{}
+	n.killed.Store(&next)
+}
+
+// isKilled reports whether node has been blackholed by KillNode.
+func (n *Network) isKilled(node ids.NodeID) bool {
+	m := n.killed.Load()
+	if m == nil {
+		return false
+	}
+	_, ok := (*m)[node]
+	return ok
+}
+
 // Snapshot returns the accounted traffic so far.
 func (n *Network) Snapshot() Counters {
 	return n.counters.Snapshot()
@@ -271,6 +312,14 @@ func (e *Endpoint) Node() ids.NodeID { return e.node }
 // Send transmits a one-way message to dst with FIFO ordering relative to
 // all other traffic from this node to dst.
 func (e *Endpoint) Send(dst ids.NodeID, class Class, payload []byte) error {
+	if e.net.isKilled(dst) || e.net.isKilled(e.node) {
+		// A killed machine acknowledges nothing and emits nothing: the
+		// send is accepted and the bytes vanish (not accounted — they
+		// never hit a wire). The source-side check matters for detection
+		// tests: a victim's own runtime keeps trying to send until its
+		// goroutines are reaped, and none of that may prove it alive.
+		return nil
+	}
 	if e.node == dst {
 		// Intra-process: direct delivery, not accounted (paper §5).
 		h, err := e.net.handlerFor(dst)
@@ -307,6 +356,9 @@ func (e *Endpoint) Send(dst ids.NodeID, class Class, payload []byte) error {
 func (e *Endpoint) SendBatch(dst ids.NodeID, items []transport.BatchItem) error {
 	if len(items) == 0 {
 		return nil
+	}
+	if e.net.isKilled(dst) || e.net.isKilled(e.node) {
+		return nil // see Send: a killed machine neither receives nor sends
 	}
 	if e.node == dst {
 		h, err := e.net.handlerFor(dst)
@@ -347,6 +399,11 @@ func (e *Endpoint) SendBatch(dst ids.NodeID, items []transport.BatchItem) error 
 // back over the same logical connection, so it is permitted even when the
 // reachability rules forbid dst → src connections.
 func (e *Endpoint) Call(dst ids.NodeID, class Class, payload []byte) ([]byte, error) {
+	if e.net.isKilled(dst) || e.net.isKilled(e.node) {
+		// An exchange against (or from) a dead peer fails fast, like a
+		// connection reset — the signal failure detectors feed on.
+		return nil, fmt.Errorf("%w: %v (killed)", ErrUnreachable, dst)
+	}
 	if e.node == dst {
 		h, err := e.net.handlerFor(dst)
 		if err != nil {

@@ -321,3 +321,42 @@ func TestDeregisterMakesNodeUnreachable(t *testing.T) {
 		t.Fatalf("Call after re-register = %v", err)
 	}
 }
+
+func TestKillNodeIsBidirectional(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	rec1 := recorder{reply: []byte("r1")}
+	rec2 := recorder{reply: []byte("r2")}
+	ep1 := n.Register(1, &rec1)
+	ep2 := n.Register(2, &rec2)
+	if _, err := ep1.Call(2, ClassDGC, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	n.KillNode(2)
+
+	// Traffic toward the victim vanishes: sends drop silently (a crashed
+	// machine acks nothing), calls fail like an unreachable host.
+	if err := ep1.Send(2, ClassApp, []byte("x")); err != nil {
+		t.Fatalf("Send toward killed = %v, want silent drop", err)
+	}
+	if _, err := ep1.Call(2, ClassDGC, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("Call toward killed = %v, want ErrUnreachable", err)
+	}
+
+	// Traffic FROM the victim vanishes too: a dead machine must not keep
+	// proving itself alive through its own runtime's outbound frames.
+	if err := ep2.Send(1, ClassApp, []byte("ghost")); err != nil {
+		t.Fatalf("Send from killed = %v, want silent drop", err)
+	}
+	if _, err := ep2.Call(1, ClassDGC, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("Call from killed = %v, want ErrUnreachable", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := rec1.received(); len(got) != 0 {
+		t.Fatalf("killed node's sends were delivered: %v", got)
+	}
+	if got := rec2.received(); len(got) != 0 {
+		t.Fatalf("sends toward killed node were delivered: %v", got)
+	}
+}

@@ -31,6 +31,12 @@ const (
 	frameCall
 	frameResponse
 	frameBatch
+	// frameHello is the first frame of every outbound connection: its
+	// payload is the sender process's listen address, so the receiving
+	// process learns how to dial the source node back without any
+	// out-of-band AddPeer (WIRE.md §8). It carries no class and expects
+	// no response.
+	frameHello
 )
 
 // Response flags.
@@ -90,7 +96,7 @@ func decodeFrame(buf []byte) (frame, error) {
 	if len(buf) > frameHeaderLen {
 		f.payload = buf[frameHeaderLen:]
 	}
-	if f.typ < frameOneWay || f.typ > frameBatch {
+	if f.typ < frameOneWay || f.typ > frameHello {
 		return frame{}, fmt.Errorf("tcpnet: bad frame type %d", f.typ)
 	}
 	return f, nil

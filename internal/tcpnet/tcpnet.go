@@ -88,10 +88,13 @@ type Network struct {
 
 	mu       sync.Mutex
 	handlers map[ids.NodeID]transport.Handler
-	peers    map[ids.NodeID]string
-	conns    map[pairKey]*clientConn
-	inbound  map[net.Conn]struct{}
-	closed   bool
+	// processHandler receives process-addressed frames (destination node
+	// 0): the cluster bootstrap and gossip traffic of WIRE.md §8.
+	processHandler transport.Handler
+	peers          map[ids.NodeID]string
+	conns          map[pairKey]*clientConn
+	inbound        map[net.Conn]struct{}
+	closed         bool
 
 	wg sync.WaitGroup
 
@@ -100,6 +103,7 @@ type Network struct {
 
 var _ transport.Transport = (*Network)(nil)
 var _ transport.BatchSender = (*endpoint)(nil)
+var _ transport.ProcessCaller = (*Network)(nil)
 
 // bufPool recycles frame encode buffers: the send path's steady state
 // allocates nothing per message (the bytes are copied into the
@@ -170,6 +174,86 @@ func (n *Network) AddPeer(node ids.NodeID, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.peers[node] = addr
+}
+
+// RemovePeer forgets a node's address-book entry and closes the per-peer
+// connection state: every pooled outbound connection toward the node is
+// failed (its in-flight calls error out) and removed. Without this, peer
+// entries and dial state would accumulate forever under cluster churn.
+// Inbound connections are untouched — they are per remote process, not
+// per node, and die with their dialer.
+func (n *Network) RemovePeer(node ids.NodeID) {
+	n.mu.Lock()
+	delete(n.peers, node)
+	var doomed []*clientConn
+	for key, cc := range n.conns {
+		if key.dst == node {
+			doomed = append(doomed, cc)
+		}
+	}
+	n.mu.Unlock()
+	for _, cc := range doomed {
+		cc.fail(fmt.Errorf("tcpnet: peer %v removed", node))
+	}
+}
+
+// SetProcessHandler installs the handler for process-addressed frames
+// (destination node 0). It implements transport.ProcessCaller.
+func (n *Network) SetProcessHandler(h transport.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.processHandler = h
+}
+
+// CallAddr performs one request/response exchange with the process
+// listening at addr, with no node identifier involved: a one-shot
+// connection carrying a single process-addressed call. This is how a
+// joining process reaches a seed before it owns any node ID, and how
+// membership gossip travels between processes — rare control traffic,
+// so the per-exchange dial is deliberate simplicity.
+func (n *Network) CallAddr(addr string, class transport.Class, payload []byte) ([]byte, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	n.mu.Unlock()
+	if len(payload) > maxPayloadSize {
+		return nil, fmt.Errorf("tcpnet: payload %d bytes exceeds frame limit %d", len(payload), maxPayloadSize)
+	}
+	c, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
+	}
+	defer func() { _ = c.Close() }()
+	bp := getBuf()
+	enc := appendFrame((*bp)[:0], frame{typ: frameCall, class: class, seq: 1, payload: payload})
+	_, werr := c.Write(enc)
+	*bp = enc[:0]
+	putBuf(bp)
+	if werr != nil {
+		return nil, werr
+	}
+	n.counters.Account(class, len(payload))
+	if n.cfg.CallTimeout > 0 {
+		_ = c.SetReadDeadline(time.Now().Add(n.cfg.CallTimeout))
+	}
+	f, err := readFrame(bufio.NewReader(c))
+	if err != nil {
+		n.counters.Unaccount(class, len(payload))
+		return nil, fmt.Errorf("tcpnet: call %s: %w", addr, err)
+	}
+	if f.typ != frameResponse {
+		n.counters.Unaccount(class, len(payload))
+		return nil, fmt.Errorf("tcpnet: call %s: unexpected frame type %d", addr, f.typ)
+	}
+	if f.flags&flagUnknownNode != 0 {
+		// The remote process has no process handler installed.
+		n.counters.Unaccount(class, len(payload))
+		return nil, fmt.Errorf("%w: process at %s", transport.ErrUnknownNode, addr)
+	}
+	n.counters.Account(class, len(f.payload))
+	return f.payload, nil
 }
 
 // Register attaches a handler for node and returns its endpoint.
@@ -268,6 +352,18 @@ func (n *Network) handlerFor(node ids.NodeID) (transport.Handler, bool) {
 	return h, ok
 }
 
+// dispatchHandler resolves an inbound frame's destination: node handlers
+// for registered nodes, the process handler for the reserved node 0.
+func (n *Network) dispatchHandler(dst ids.NodeID) (transport.Handler, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if dst == 0 {
+		return n.processHandler, n.processHandler != nil
+	}
+	h, ok := n.handlers[dst]
+	return h, ok
+}
+
 // resolve maps dst to the TCP address serving it: the Peers book for
 // remote nodes, this process's own listener for local ones.
 func (n *Network) resolve(dst ids.NodeID) (string, error) {
@@ -334,8 +430,14 @@ func (n *Network) serveConn(c net.Conn) {
 			return
 		}
 		switch f.typ {
+		case frameHello:
+			// The peer process introduces itself: record how to dial the
+			// source node back, replacing the out-of-band AddPeer dance.
+			if f.src != 0 && len(f.payload) > 0 {
+				n.AddPeer(f.src, string(f.payload))
+			}
 		case frameOneWay:
-			if h, ok := n.handlerFor(f.dst); ok {
+			if h, ok := n.dispatchHandler(f.dst); ok {
 				h.HandleOneWay(f.src, f.class, f.payload)
 			}
 			// No handler: drop, like a crashed machine would.
@@ -353,7 +455,7 @@ func (n *Network) serveConn(c net.Conn) {
 			}
 		case frameCall:
 			resp := frame{typ: frameResponse, class: f.class, src: f.dst, dst: f.src, seq: f.seq}
-			if h, ok := n.handlerFor(f.dst); ok {
+			if h, ok := n.dispatchHandler(f.dst); ok {
 				resp.payload = h.HandleCall(f.src, f.class, f.payload)
 			} else {
 				resp.flags = flagUnknownNode
@@ -430,6 +532,14 @@ func (n *Network) conn(key pairKey, addr string) (*clientConn, error) {
 		c:       c,
 		buf:     bufio.NewWriter(c),
 		pending: make(map[uint64]chan callResult),
+	}
+	// Introduce this process before any payload frame: the receiver
+	// learns the dial-back address of the source node from the hello, so
+	// return-path traffic needs no out-of-band AddPeer. The connection is
+	// not pooled yet, so the hello is guaranteed to be its first frame.
+	if err := cc.writeFrame(frame{typ: frameHello, src: key.src, dst: key.dst, payload: []byte(n.Addr())}); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("tcpnet: hello %v via %s: %w", key.dst, addr, err)
 	}
 	n.mu.Lock()
 	if n.closed {

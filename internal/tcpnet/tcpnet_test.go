@@ -434,3 +434,90 @@ func TestCloseFailsPendingCalls(t *testing.T) {
 		t.Logf("pending call failed with: %v", err)
 	}
 }
+
+func TestRemovePeerForgetsAddressAndFailsConns(t *testing.T) {
+	server := newNet(t, Config{})
+	rec := recorder{reply: []byte("pong")}
+	server.Register(10, &rec)
+
+	client := newNet(t, Config{Peers: map[ids.NodeID]string{10: server.Addr()}})
+	ep := client.Register(1, &recorder{})
+	if _, err := ep.Call(10, transport.ClassApp, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+
+	client.RemovePeer(10)
+	// The address book entry is gone: new traffic fails fast.
+	if _, err := ep.Call(10, transport.ClassApp, nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("call after RemovePeer = %v, want ErrUnknownNode", err)
+	}
+	if err := ep.Send(10, transport.ClassApp, nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("send after RemovePeer = %v, want ErrUnknownNode", err)
+	}
+	// The pooled per-pair connection state was torn down with the entry.
+	client.mu.Lock()
+	_, pooled := client.conns[pairKey{src: 1, dst: 10}]
+	client.mu.Unlock()
+	if pooled {
+		t.Fatal("pooled connection survived RemovePeer")
+	}
+
+	// Re-adding the peer restores the route with a fresh dial.
+	client.AddPeer(10, server.Addr())
+	if _, err := ep.Call(10, transport.ClassApp, []byte("again")); err != nil {
+		t.Fatalf("call after re-AddPeer: %v", err)
+	}
+}
+
+func TestHelloTeachesDialBackAddress(t *testing.T) {
+	// B knows nothing about A's address up front: the hello frame on A's
+	// first connection must teach B how to dial node 1 back.
+	a := newNet(t, Config{})
+	recA := recorder{reply: []byte("a-pong")}
+
+	b := newNet(t, Config{})
+	recB := recorder{reply: []byte("b-pong")}
+	b.Register(2, &recB)
+
+	a.AddPeer(2, b.Addr())
+	epA := a.Register(1, &recA)
+	if _, err := epA.Call(2, transport.ClassApp, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+
+	// B never ran AddPeer for node 1, yet the return path works: the
+	// hello on A's connection taught B node 1's dial-back address.
+	epB := b.Register(2, &recB)
+	resp, err := epB.Call(1, transport.ClassApp, []byte("back"))
+	if err != nil {
+		t.Fatalf("dial-back call failed: %v (hello not applied?)", err)
+	}
+	if string(resp) != "a-pong" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestCallAddrReachesProcessHandler(t *testing.T) {
+	server := newNet(t, Config{})
+	client := newNet(t, Config{})
+
+	// No process handler installed yet: the exchange is answered with the
+	// unknown-node flag.
+	if _, err := client.CallAddr(server.Addr(), transport.ClassCluster, []byte("join")); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("CallAddr without handler = %v, want ErrUnknownNode", err)
+	}
+
+	server.SetProcessHandler(handlerFunc(func(from ids.NodeID, class transport.Class, payload []byte) []byte {
+		if from != 0 || class != transport.ClassCluster {
+			t.Errorf("process call from=%v class=%v", from, class)
+		}
+		return append([]byte("ok:"), payload...)
+	}))
+	resp, err := client.CallAddr(server.Addr(), transport.ClassCluster, []byte("join"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "ok:join" {
+		t.Fatalf("resp = %q", resp)
+	}
+}

@@ -44,9 +44,12 @@ const (
 	ClassDGC
 	// ClassFuture is future-update traffic (results flowing back).
 	ClassFuture
+	// ClassCluster is membership and liveness traffic: join/lease
+	// exchanges, node-up/dead/left gossip and suspect-path health probes.
+	ClassCluster
 	// NumClasses is the number of defined classes; valid classes are
 	// 1..NumClasses.
-	NumClasses = 3
+	NumClasses = 4
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +61,8 @@ func (c Class) String() string {
 		return "dgc"
 	case ClassFuture:
 		return "future"
+	case ClassCluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("class(%d)", uint8(c))
 	}
@@ -203,6 +208,39 @@ type Endpoint interface {
 	// dst are not delivered before the handler returns (§3.2's "DGC
 	// messages and responses cannot race with application messages").
 	Call(dst ids.NodeID, class Class, payload []byte) ([]byte, error)
+}
+
+// ProcessCaller is an optional Transport extension for substrates whose
+// processes are addressable independently of the nodes they host (tcpnet:
+// one listener per process). It is what cluster bootstrap rides on — a
+// joining process must exchange messages with a seed before it owns any
+// node identifier. Frames addressed to node 0 (the reserved identifier)
+// are process-addressed and delivered to the handler installed with
+// SetProcessHandler. The runtime type-asserts its Transport against this
+// interface; substrates without process addressing (simnet: one process,
+// no bootstrap problem) simply don't implement it.
+type ProcessCaller interface {
+	// Addr returns the address other processes can reach this one at.
+	Addr() string
+
+	// CallAddr performs one request/response exchange with the process
+	// listening at addr, without needing any node identifier: a one-shot
+	// connection carrying a single process-addressed call. Used for
+	// join/lease bootstrap and membership gossip (rare traffic; the
+	// per-exchange dial is deliberate simplicity, not a hot path).
+	CallAddr(addr string, class Class, payload []byte) ([]byte, error)
+
+	// SetProcessHandler installs the handler for process-addressed
+	// frames (destination node 0).
+	SetProcessHandler(h Handler)
+
+	// AddPeer maps a node hosted by another process to that process's
+	// address (learned from join responses and node-up gossip).
+	AddPeer(node ids.NodeID, addr string)
+
+	// RemovePeer forgets a node's address and closes the per-peer
+	// connection state — the churn-hygiene counterpart of AddPeer.
+	RemovePeer(node ids.NodeID)
 }
 
 // Transport is a network substrate instance: the set of connections one

@@ -62,6 +62,16 @@
 // semantics, so the same program runs single-process, multi-process or
 // multi-machine (see examples/tcpdemo and Config.FirstNode).
 //
+// Config.Cluster makes the deployment elastic: processes join through a
+// seed at runtime (Env.Join) and lease disjoint node-ID blocks, failure
+// detection piggybacks on the DGC's own heartbeat traffic (no dedicated
+// liveness messages on the healthy path), and a confirmed crash fails
+// the dead node's owed futures with ErrNodeDead, purges its routing
+// state and lets the DGC reclaim the subgraphs it orphaned. Node.Leave
+// departs gracefully, draining every hosted activity to a surviving
+// node via live migration first. Env.ClusterMembers and Env.NodeHealth
+// expose the membership view.
+//
 // The deeper machinery lives in internal packages: internal/core is the
 // collector state machine (Algorithms 1–4), internal/active the live
 // goroutine runtime, internal/transport the substrate contract,
@@ -76,6 +86,7 @@ import (
 	"time"
 
 	"repro/internal/active"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/ids"
@@ -161,6 +172,17 @@ type (
 	RequestInfo = active.RequestInfo
 	// SpawnOption configures an activity at creation (WithPolicy).
 	SpawnOption = active.SpawnOption
+	// ClusterConfig enables the elastic cluster runtime of an environment
+	// (Config.Cluster): membership with seed bootstrap and join/leave,
+	// failure detection piggybacked on DGC heartbeat traffic, and crash
+	// cleanup (ErrNodeDead fan-out to pending futures, fast-fail routing).
+	ClusterConfig = active.ClusterConfig
+	// Member is one entry of the cluster membership view
+	// (Env.ClusterMembers): node, hosting process address, health state.
+	Member = active.Member
+	// NodeState is a member's health as seen from this process: alive,
+	// suspect, dead (tombstone) or left (graceful tombstone).
+	NodeState = cluster.State
 )
 
 // Generic aliases of the typed calling surface.
@@ -203,6 +225,10 @@ var (
 	// ErrMigrationFailed wraps a destination-side migration failure; the
 	// activity keeps serving at its old home.
 	ErrMigrationFailed = active.ErrMigrationFailed
+	// ErrNodeDead reports an operation against a node the cluster declared
+	// failed: new sends toward it fail fast and the futures it owed
+	// results resolve to this error instead of hanging.
+	ErrNodeDead = active.ErrNodeDead
 )
 
 // Method declares a typed service operation; see active.Method.
@@ -319,6 +345,24 @@ const (
 	ClassDGC = transport.ClassDGC
 	// ClassFuture is future-update traffic (results flowing back).
 	ClassFuture = transport.ClassFuture
+	// ClassCluster is membership and failure-detection traffic (join and
+	// lease exchanges, gossip, suspect-path probes).
+	ClassCluster = transport.ClassCluster
+)
+
+// Member health states of the cluster failure detector (Env.NodeHealth,
+// Member.State).
+const (
+	// NodeUnknown: the node is not tracked by this process.
+	NodeUnknown = cluster.StateUnknown
+	// NodeAlive: recent contact observed.
+	NodeAlive = cluster.StateAlive
+	// NodeSuspect: silent or failing beyond SuspectAfter; being probed.
+	NodeSuspect = cluster.StateSuspect
+	// NodeDead: declared failed (final; identifiers are never reused).
+	NodeDead = cluster.StateDead
+	// NodeLeft: departed gracefully via Node.Leave (final).
+	NodeLeft = cluster.StateLeft
 )
 
 // NewTCPTransport creates the real-network substrate: a TCP listener for
