@@ -18,14 +18,24 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# -shuffle=on randomizes test order within each package so ordering
+# dependencies between tests surface in CI instead of in the field.
 .PHONY: test
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Full tree under the race detector (CI runs this too).
 .PHONY: race
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Per-package timings + coverage summary from one full suite run. CI's
+# verify job runs this and uploads test-report.txt as an artifact; the
+# pipe stays a gate because cmd/testreport exits nonzero on any failed
+# package (and the shell runs with pipefail in CI).
+.PHONY: test-report
+test-report:
+	$(GO) test -json -cover -shuffle=on ./... | $(GO) run ./cmd/testreport -out test-report.txt
 
 # Static analysis beyond vet, exactly as CI runs it: staticcheck (pinned,
 # so local and CI agree) and govulncheck (latest: the vulnerability
@@ -64,6 +74,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzFrameDecodeReuse -fuzztime $(FUZZTIME) ./internal/tcpnet/
 	$(GO) test -run xxx -fuzz FuzzWalkBatch -fuzztime $(FUZZTIME) ./internal/transport/
 	$(GO) test -run xxx -fuzz FuzzMigrationEnvelope -fuzztime $(FUZZTIME) ./internal/active/
+	$(GO) test -run xxx -fuzz FuzzFanOutEnvelope -fuzztime $(FUZZTIME) ./internal/active/
+	$(GO) test -run xxx -fuzz FuzzLocationEnvelope -fuzztime $(FUZZTIME) ./internal/location/
 
 # Cluster chaos pass, exactly as the CI chaos job runs it: the
 # node-kill + join/leave conformance scenarios under the race detector

@@ -56,10 +56,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "closed-loop concurrency (0 = 2×GOMAXPROCS)")
 		rate      = flag.Float64("rate", 0, "open-loop arrivals/sec (0 = closed loop)")
 		duration  = flag.Duration("duration", 2*time.Second, "measured run length")
-		mix       = flag.String("mix", "1:0:0:0", "call:broadcast:churn[:pipeline] weights")
+		mix       = flag.String("mix", "1:0:0:0", "call:broadcast:churn[:pipeline[:migrate]] weights")
 		payload   = flag.Int("payload", 64, "payload bytes per request")
 		batch     = flag.Duration("batch", 0, "batch window (0 = batching off)")
 		dgcOff    = flag.Bool("no-dgc", false, "disable the DGC")
+		flatGroup = flag.Bool("flat-group", false, "force flat (non-tree) group fan-out")
+		netCost   = flag.Duration("net-cost", 0, "sim backend: per-message interface overhead (simnet PerMessage)")
 		dropEvery = flag.Duration("drop-every", 0, "chaos: drop all TCP connections at this period")
 		killEvery = flag.Duration("kill-every", 0, "chaos: run a join-serve-die node lifecycle at this period (implies -cluster)")
 		clusterOn = flag.Bool("cluster", false, "enable the elastic cluster runtime")
@@ -92,21 +94,23 @@ func main() {
 		os.Exit(2)
 	}
 	base := loadgen.Config{
-		Backend:        *backend,
-		Nodes:          *nodes,
-		ActorsPerNode:  *actors,
-		GroupSize:      *group,
-		Workers:        *workers,
-		RatePerSec:     *rate,
-		Duration:       *duration,
-		Mix:            m,
-		PayloadBytes:   *payload,
-		BatchWindow:    *batch,
-		DisableDGC:     *dgcOff,
-		DropConnsEvery: *dropEvery,
-		Cluster:        *clusterOn,
-		NodeKillEvery:  *killEvery,
-		Seed:           *seed,
+		Backend:           *backend,
+		Nodes:             *nodes,
+		ActorsPerNode:     *actors,
+		GroupSize:         *group,
+		Workers:           *workers,
+		RatePerSec:        *rate,
+		Duration:          *duration,
+		Mix:               m,
+		PayloadBytes:      *payload,
+		BatchWindow:       *batch,
+		DisableDGC:        *dgcOff,
+		DisableTreeFanOut: *flatGroup,
+		NetPerMessage:     *netCost,
+		DropConnsEvery:    *dropEvery,
+		Cluster:           *clusterOn,
+		NodeKillEvery:     *killEvery,
+		Seed:              *seed,
 	}
 
 	var doc any
@@ -159,13 +163,16 @@ func suiteLen(doc any) int {
 	return 1
 }
 
-// runSuite executes the standard matrix: the same mixed closed-loop
-// workload over {sim, tcp} × {unbatched, batched}.
+// runSuite executes the standard matrix — the same mixed closed-loop
+// workload over {sim, tcp} × {unbatched, batched} — plus the scale
+// scenarios: tree vs flat group broadcast at 1024 members, and the
+// 10^5-activity churn + migration + node-kill run the location directory
+// is proven by.
 func runSuite(base loadgen.Config) (suiteDoc, error) {
 	var doc suiteDoc
 	doc.Meta.GoVersion = runtime.Version()
 	doc.Meta.NumCPU = runtime.NumCPU()
-	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn:pipeline = 6:2:1:2; pipeline = 4-stage forwarded-future chain), regenerate with: make bench"
+	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn:pipeline = 6:2:1:2; pipeline = 4-stage forwarded-future chain) plus bcast1024 tree/flat and scale-churn scenarios, regenerate with: make bench"
 
 	for _, backend := range []string{"sim", "tcp"} {
 		for _, window := range []time.Duration{0, 200 * time.Microsecond} {
@@ -180,19 +187,70 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 			doc.Scenarios = append(doc.Scenarios, res)
 		}
 	}
+
+	// Tree vs flat broadcast, 1024 members over 16 nodes: the paired
+	// arms behind the comparator's ≥2× tree-speedup gate.
+	for _, flat := range []bool{false, true} {
+		cfg := base
+		cfg.Name = "bcast1024-tree"
+		if flat {
+			cfg.Name = "bcast1024-flat"
+		}
+		cfg.Backend = "sim"
+		cfg.Nodes = 16
+		cfg.ActorsPerNode = 64
+		cfg.GroupSize = 1024
+		cfg.Workers = 1
+		cfg.Mix = loadgen.Mix{Broadcast: 1}
+		cfg.DisableTreeFanOut = flat
+		// Both arms run over interfaces with realistic per-packet
+		// overhead (simnet PerMessage; the paper's own evaluation rode
+		// RMI through a SOCKS proxy, well above this): the packet-rate
+		// bottleneck at the root is precisely what the tree topology
+		// relieves, and what a zero-cost in-memory network would hide.
+		// One worker so the arms measure a single broadcast's latency,
+		// not self-contention at the shared root.
+		cfg.NetPerMessage = 100 * time.Microsecond
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return doc, fmt.Errorf("suite %s: %w", cfg.Name, err)
+		}
+		doc.Scenarios = append(doc.Scenarios, res)
+	}
+
+	// The 10^5-activity scale proof: 8 worker nodes in an elastic
+	// cluster, burst churn + live migration + a node hard-killed every
+	// 300ms, running until at least 100k activities existed. The
+	// comparator gates it on zero lost replies and the activity floor.
+	{
+		cfg := base
+		cfg.Name = "scale-churn-100k"
+		cfg.Backend = "sim"
+		cfg.Nodes = 8
+		cfg.ActorsPerNode = 16
+		cfg.Mix = loadgen.Mix{Call: 2, Broadcast: 1, Churn: 6, Migrate: 1}
+		cfg.ChurnBurst = 32
+		cfg.MinActivities = 100_000
+		cfg.NodeKillEvery = 300 * time.Millisecond
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return doc, fmt.Errorf("suite %s: %w", cfg.Name, err)
+		}
+		doc.Scenarios = append(doc.Scenarios, res)
+	}
 	return doc, nil
 }
 
 func parseMix(s string) (loadgen.Mix, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) != 3 && len(parts) != 4 {
-		return loadgen.Mix{}, fmt.Errorf("loadgen: -mix wants call:broadcast:churn[:pipeline], got %q", s)
+	if len(parts) < 3 || len(parts) > 5 {
+		return loadgen.Mix{}, fmt.Errorf("loadgen: -mix wants call:broadcast:churn[:pipeline[:migrate]], got %q", s)
 	}
-	var vals [4]int
+	var vals [5]int
 	for i, p := range parts {
 		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &vals[i]); err != nil {
 			return loadgen.Mix{}, fmt.Errorf("loadgen: bad mix component %q", p)
 		}
 	}
-	return loadgen.Mix{Call: vals[0], Broadcast: vals[1], Churn: vals[2], Pipeline: vals[3]}, nil
+	return loadgen.Mix{Call: vals[0], Broadcast: vals[1], Churn: vals[2], Pipeline: vals[3], Migrate: vals[4]}, nil
 }

@@ -1,0 +1,187 @@
+// Command testreport turns a `go test -json` stream (stdin) into a
+// per-package timing and coverage summary. CI runs the full suite once
+// with -json -cover, pipes it through this tool, and uploads the result
+// as the build's test-report artifact — so "which package got slow" and
+// "what does coverage look like" are answerable from the artifact tab
+// without rerunning anything.
+//
+//	go test -json -cover -shuffle=on ./... | go run ./cmd/testreport -out test-report.txt
+//
+// The tool is itself part of the gate: it exits nonzero when any
+// package failed, so piping through it (under pipefail) never masks a
+// red suite.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// event is the test2json record shape (go doc test2json). Fields we
+// don't consume are left out; unknown fields are ignored by the decoder.
+type event struct {
+	Action  string // run, output, pass, fail, skip, ...
+	Package string
+	Test    string
+	Elapsed float64 // seconds, on pass/fail events
+	Output  string
+}
+
+type pkgSummary struct {
+	name     string
+	elapsed  float64
+	coverage float64 // percent; <0 when the package reported none
+	passed   int
+	failed   int
+	skipped  int
+	status   string
+}
+
+type slowTest struct {
+	pkg, name string
+	elapsed   float64
+}
+
+var coverageRe = regexp.MustCompile(`coverage: (\d+(?:\.\d+)?)% of statements`)
+
+func main() {
+	out := flag.String("out", "", "also write the report to this file")
+	topN := flag.Int("top", 15, "number of slowest tests to list")
+	flag.Parse()
+
+	pkgs, slow, err := collect(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testreport: %v\n", err)
+		os.Exit(2)
+	}
+
+	report := render(pkgs, slow, *topN)
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "testreport: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, p := range pkgs {
+		if p.status == "fail" {
+			os.Exit(1)
+		}
+	}
+}
+
+// collect folds the event stream into per-package summaries plus the
+// individually slowest tests. Non-JSON lines (toolchain noise, build
+// errors) are passed through to stderr rather than aborting the report.
+func collect(r io.Reader) (map[string]*pkgSummary, []slowTest, error) {
+	pkgs := make(map[string]*pkgSummary)
+	var slow []slowTest
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			fmt.Fprintf(os.Stderr, "%s\n", line)
+			continue
+		}
+		if ev.Package == "" {
+			continue
+		}
+		p := pkgs[ev.Package]
+		if p == nil {
+			p = &pkgSummary{name: ev.Package, coverage: -1}
+			pkgs[ev.Package] = p
+		}
+		switch ev.Action {
+		case "output":
+			if m := coverageRe.FindStringSubmatch(ev.Output); m != nil {
+				fmt.Sscanf(m[1], "%f", &p.coverage)
+			}
+		case "pass", "fail", "skip":
+			if ev.Test == "" {
+				p.elapsed = ev.Elapsed
+				p.status = ev.Action
+				break
+			}
+			// Count top-level tests only: subtests are part of their
+			// parent's timing and would double-count.
+			if !strings.Contains(ev.Test, "/") {
+				switch ev.Action {
+				case "pass":
+					p.passed++
+				case "fail":
+					p.failed++
+				case "skip":
+					p.skipped++
+				}
+				slow = append(slow, slowTest{ev.Package, ev.Test, ev.Elapsed})
+			}
+		}
+	}
+	return pkgs, slow, sc.Err()
+}
+
+func render(pkgs map[string]*pkgSummary, slow []slowTest, topN int) string {
+	ordered := make([]*pkgSummary, 0, len(pkgs))
+	for _, p := range pkgs {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].elapsed > ordered[j].elapsed })
+
+	var b strings.Builder
+	b.WriteString("Per-package test timings and coverage\n")
+	b.WriteString("=====================================\n\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "PACKAGE\tSTATUS\tTIME\tTESTS\tCOVERAGE\n")
+	var total float64
+	for _, p := range ordered {
+		cov := "-"
+		if p.coverage >= 0 {
+			cov = fmt.Sprintf("%.1f%%", p.coverage)
+		}
+		counts := fmt.Sprintf("%d", p.passed)
+		if p.failed > 0 {
+			counts += fmt.Sprintf(" (+%d FAILED)", p.failed)
+		}
+		if p.skipped > 0 {
+			counts += fmt.Sprintf(" (+%d skipped)", p.skipped)
+		}
+		status := p.status
+		if status == "" {
+			status = "?"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2fs\t%s\t%s\n", p.name, status, p.elapsed, counts, cov)
+		total += p.elapsed
+	}
+	tw.Flush()
+	fmt.Fprintf(&b, "\nTotal package time (sum, parallel in practice): %.2fs\n", total)
+
+	sort.Slice(slow, func(i, j int) bool { return slow[i].elapsed > slow[j].elapsed })
+	if topN > len(slow) {
+		topN = len(slow)
+	}
+	if topN > 0 {
+		fmt.Fprintf(&b, "\nSlowest %d tests\n---------------\n", topN)
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		for _, s := range slow[:topN] {
+			fmt.Fprintf(tw, "%.2fs\t%s\t%s\n", s.elapsed, shortPkg(s.pkg), s.name)
+		}
+		tw.Flush()
+	}
+	return b.String()
+}
+
+// shortPkg trims the module prefix for readability: repro/internal/active
+// reads better as internal/active in a fixed-width table.
+func shortPkg(pkg string) string {
+	return strings.TrimPrefix(pkg, "repro/")
+}

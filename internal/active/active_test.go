@@ -121,7 +121,7 @@ func TestHandleKeepsActivityAlive(t *testing.T) {
 	e := testEnv(t)
 	n := e.NewNode()
 	h := n.NewActive("pinned", relay{})
-	time.Sleep(100 * time.Millisecond) // many TTA periods
+	dgcSettle(t, e, n) // a full reclamation cycle passes; the handle pins
 	if e.LiveActivities() != 1 {
 		t.Fatalf("live = %d, want 1 (handle is a root)", e.LiveActivities())
 	}
@@ -130,8 +130,8 @@ func TestHandleKeepsActivityAlive(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := e.Stats()
-	if st.Collected[core.ReasonAcyclic] != 1 {
-		t.Fatalf("collected = %+v, want one acyclic", st.Collected)
+	if st.Collected[core.ReasonAcyclic] != 2 { // the pinned activity + the settle canary
+		t.Fatalf("collected = %+v, want two acyclic", st.Collected)
 	}
 }
 
@@ -172,7 +172,7 @@ func TestDistributedCycleCollected(t *testing.T) {
 	}
 
 	// While the handles exist, nothing is collected.
-	time.Sleep(100 * time.Millisecond)
+	dgcSettle(t, e, n1)
 	if e.LiveActivities() != 3 {
 		t.Fatalf("live = %d, want 3", e.LiveActivities())
 	}
@@ -199,7 +199,16 @@ func TestDistributedCycleCollected(t *testing.T) {
 func TestBusyCycleNotCollected(t *testing.T) {
 	e := testEnv(t)
 	n := e.NewNode()
-	ha := n.NewActive("a", relay{})
+	gate := make(chan struct{})
+	// a is a relay that can additionally park on a gate, so the test
+	// controls exactly when its busy phase ends.
+	ha := n.NewActive("a", BehaviorFunc(func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+		if method == "park" {
+			<-gate
+			return wire.Null(), nil
+		}
+		return relay{}.Serve(ctx, method, args)
+	}))
 	hb := n.NewActive("b", relay{})
 	if _, err := ha.CallSync("set:peer", hb.Ref(), 5*time.Second); err != nil {
 		t.Fatal(err)
@@ -207,17 +216,18 @@ func TestBusyCycleNotCollected(t *testing.T) {
 	if _, err := hb.CallSync("set:peer", ha.Ref(), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	// Keep a busy with a long sleep, release both handles.
-	if err := ha.Send("sleep", wire.Int(300)); err != nil {
+	// Keep a busy on the gate, release both handles.
+	if err := ha.Send("park", wire.Null()); err != nil {
 		t.Fatal(err)
 	}
 	ha.Release()
 	hb.Release()
-	time.Sleep(150 * time.Millisecond) // many TTAs, but a is still busy
+	dgcSettle(t, e, n) // many TTAs pass, but a is still busy
 	if e.LiveActivities() != 2 {
 		t.Fatalf("live = %d during busy phase, want 2", e.LiveActivities())
 	}
-	// After the sleep ends the cycle is idle garbage.
+	// After the busy phase ends the cycle is idle garbage.
+	close(gate)
 	if _, err := e.WaitCollected(0, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +241,7 @@ func TestRegistryPinsAndUnregisterFrees(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.Release() // the registry is now the only root
-	time.Sleep(100 * time.Millisecond)
+	dgcSettle(t, e, n)
 	if e.LiveActivities() != 1 {
 		t.Fatalf("registered activity collected: live = %d", e.LiveActivities())
 	}
@@ -382,13 +392,9 @@ func TestDroppedStateEdgeRemovesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The next sweeps remove the stub tag and then the edge.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if len(aoA.Collector().Referenced()) == 0 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitUntil(t, func() bool {
+		return len(aoA.Collector().Referenced()) == 0
+	}, 5*time.Second)
 	if got := aoA.Collector().Referenced(); len(got) != 0 {
 		t.Fatalf("edge survived state deletion: %v", got)
 	}
@@ -409,7 +415,16 @@ func TestDisableDGCNothingCollected(t *testing.T) {
 	n := e.NewNode()
 	h := n.NewActive("a", relay{})
 	h.Release()
-	time.Sleep(100 * time.Millisecond) // many TTAs
+	// A control env with the collector ON and identical timings provides
+	// the clock: once it reaps the same garbage shape, the disabled env
+	// has outlived many TTAs with its leak intact.
+	ctrl := NewEnv(Config{TTB: 5 * time.Millisecond, TTA: 12 * time.Millisecond})
+	defer ctrl.Close()
+	ch := ctrl.NewNode().NewActive("control", relay{})
+	ch.Release()
+	if _, err := ctrl.WaitCollected(0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
 	if e.LiveActivities() != 1 {
 		t.Fatalf("live = %d with DGC disabled, want 1 (leak is expected)", e.LiveActivities())
 	}
@@ -449,7 +464,7 @@ func TestSpawnFromBehavior(t *testing.T) {
 	if _, ok := childRef.AsRef(); !ok {
 		t.Fatalf("spawn returned %v", childRef)
 	}
-	time.Sleep(100 * time.Millisecond)
+	dgcSettle(t, e, n)
 	if e.LiveActivities() != 2 {
 		t.Fatalf("live = %d, want parent+child", e.LiveActivities())
 	}
@@ -521,13 +536,19 @@ func TestFutureTimeoutAndDiscard(t *testing.T) {
 func TestEnvCloseIsIdempotentAndFailsFutures(t *testing.T) {
 	e := NewEnv(Config{TTB: 10 * time.Millisecond, TTA: 25 * time.Millisecond})
 	n := e.NewNode()
-	h := n.NewActive("a", relay{})
-	fut, err := h.Call("sleep", wire.Int(10_000))
+	started := make(chan struct{})
+	h := n.NewActive("a", BehaviorFunc(func(ctx *Context, _ string, _ wire.Value) (wire.Value, error) {
+		close(started)
+		// Park until shutdown begins: the serve goroutine must still be
+		// mid-request when Close runs, and Close must be able to finish.
+		<-ctx.ao.node.stop
+		return wire.Null(), nil
+	}))
+	fut, err := h.Call("park", wire.Null())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Give the request a moment to start being served.
-	time.Sleep(20 * time.Millisecond)
+	<-started // the request is being served when the env closes
 	e.Close()
 	e.Close()
 	if _, err := fut.Wait(time.Second); err == nil {

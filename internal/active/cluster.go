@@ -214,6 +214,7 @@ func (a *clusterAgent) noteNodeLeft(id ids.NodeID) {
 	delete(a.members, id)
 	targets := a.remoteAddrsLocked("")
 	a.mu.Unlock()
+	a.env.refreshRing()
 	a.gossip(cluster.EncodeNodeEvent(cluster.MsgNodeLeft, cluster.NodeEvent{Node: id}), targets)
 }
 
@@ -485,6 +486,7 @@ func (a *clusterAgent) handleEvent(payload []byte) {
 			a.pc.AddPeer(ev.Node, ev.Addr)
 		}
 		a.health.Add(ev.Node, a.env.cfg.Clock.Now())
+		a.env.refreshRing()
 		a.gossip(payload, targets)
 	case cluster.MsgNodeDead:
 		if a.health.MarkDead(ev.Node) {
@@ -501,6 +503,7 @@ func (a *clusterAgent) handleEvent(payload []byte) {
 		if a.pc != nil {
 			a.pc.RemovePeer(ev.Node)
 		}
+		a.env.refreshRing()
 		a.gossip(payload, targets)
 	}
 }
@@ -589,6 +592,7 @@ func (e *Env) isDeadNode(p ids.NodeID) bool {
 // tags effectively treated as dropped roots.
 func (e *Env) failDeadNode(p ids.NodeID) {
 	e.markDeadNode(p)
+	e.refreshRing()
 	err := fmt.Errorf("%w: node-%d", ErrNodeDead, p)
 	e.mu.Lock()
 	nodes := make([]*Node, 0, len(e.nodes))
@@ -599,6 +603,7 @@ func (e *Env) failDeadNode(p ids.NodeID) {
 	for _, n := range nodes {
 		n.futures.failNodeDead(p, err)
 		n.purgeRebindsTo(p)
+		n.failRelaysVia(p)
 	}
 }
 
@@ -692,18 +697,12 @@ func (n *Node) routeCheck(dst ids.NodeID) error {
 	return fmt.Errorf("%w: node-%d", ErrNodeDead, dst)
 }
 
-// purgeRebindsTo drops rebind entries whose target lives on a dead node:
-// resolving a stale reference onto a dead destination would only trade a
-// hang for a slower failure. Entries *through* identities of the dead
-// node (key on the dead node, value alive elsewhere) are kept — they are
-// exactly what lets a late call through a dead forwarder still reach the
-// migrated activity.
+// purgeRebindsTo drops location entries whose target lives on a dead
+// node: resolving a stale reference onto a dead destination would only
+// trade a hang for a slower failure. Entries *through* identities of
+// the dead node (key on the dead node, value alive elsewhere) are kept —
+// they are exactly what lets a late call through a dead forwarder still
+// reach the migrated activity.
 func (n *Node) purgeRebindsTo(p ids.NodeID) {
-	n.rebindMu.Lock()
-	defer n.rebindMu.Unlock()
-	for k, v := range n.rebinds {
-		if v.Node == p {
-			delete(n.rebinds, k)
-		}
-	}
+	n.purgeLocationsTo(p)
 }

@@ -33,10 +33,15 @@ func echoBehavior() Behavior {
 	})
 }
 
-// blockingBehavior parks every call until release is closed: the
-// in-flight request whose future must fail with ErrNodeDead, not hang.
-func blockingBehavior(release <-chan struct{}) Behavior {
+// blockingBehavior parks every call until release is closed — the
+// in-flight request whose future must fail with ErrNodeDead, not hang —
+// and signals started (non-blocking) when a park begins.
+func blockingBehavior(started chan<- struct{}, release <-chan struct{}) Behavior {
 	return BehaviorFunc(func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
 		<-release
 		return wire.Null(), nil
 	})
@@ -45,33 +50,23 @@ func blockingBehavior(release <-chan struct{}) Behavior {
 // waitState polls until the member's health state matches want.
 func waitState(t *testing.T, e *Env, node ids.NodeID, want cluster.State, timeout time.Duration) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		if got := e.NodeHealth(node); got == want {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("node %v health = %v, want %v after %v", node, e.NodeHealth(node), want, timeout)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitUntil(t, func() bool { return e.NodeHealth(node) == want }, timeout)
 }
 
 // callUntilOK retries a call until it succeeds (cross-process routing
 // may need a gossip round to land) and returns the final result.
 func callUntilOK(t *testing.T, h *Handle, method string, args wire.Value, timeout time.Duration) wire.Value {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		v, err := h.CallSync(method, args, timeout)
-		if err == nil {
-			return v
+	var v wire.Value
+	waitUntil(t, func() bool {
+		got, err := h.CallSync(method, args, timeout)
+		if err != nil {
+			return false
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("call %q never succeeded: %v", method, err)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		v = got
+		return true
+	}, timeout)
+	return v
 }
 
 // TestConformanceClusterKillSim is the single-environment chaos
@@ -89,8 +84,9 @@ func TestConformanceClusterKillSim(t *testing.T) {
 	n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
 
 	// Serve calls across the cluster first: a live baseline.
+	started := make(chan struct{}, 4)
 	release := make(chan struct{})
-	victim := n2.NewActive("victim", blockingBehavior(release))
+	victim := n2.NewActive("victim", blockingBehavior(started, release))
 	echo3 := n3.NewActive("echo3", echoBehavior())
 	caller, err := n1.HandleFor(victim.Ref())
 	if err != nil {
@@ -113,7 +109,7 @@ func TestConformanceClusterKillSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	<-started
 
 	// ...then the machine dies mid-traffic: network first (both
 	// directions go dark), then the victim's runtime is reaped.
@@ -219,6 +215,7 @@ func TestConformanceClusterKillTCP(t *testing.T) {
 	// Cross-process traffic in both directions. The seed learns the
 	// joiner's node address from node-up gossip, so the first call may
 	// need a retry while that lands.
+	started := make(chan struct{}, 4)
 	release := make(chan struct{})
 	released := false
 	defer func() {
@@ -226,7 +223,7 @@ func TestConformanceClusterKillTCP(t *testing.T) {
 			close(release)
 		}
 	}()
-	victim := nB.NewActive("victim", blockingBehavior(release))
+	victim := nB.NewActive("victim", blockingBehavior(started, release))
 	echoB := nB.NewActive("echoB", echoBehavior())
 	echoA := nA.NewActive("echoA", echoBehavior())
 
@@ -256,7 +253,7 @@ func TestConformanceClusterKillTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	<-started
 
 	// Hard-kill the joiner: its listener and connections vanish, its
 	// runtime never says goodbye.
@@ -337,13 +334,9 @@ func TestClusterDeadForwarderRebind(t *testing.T) {
 	if v, errC := caller.CallSync("add", wire.Int(1), 5*time.Second); errC != nil || v.AsInt() != 6 {
 		t.Fatalf("post-migration call = %v, %v", v, errC)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for n1.resolveRebind(mustRef(t, oldRef)).Node != n3.ID() {
-		if time.Now().After(deadline) {
-			t.Fatalf("n1 never learned the rebind for %v", oldRef)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitUntil(t, func() bool {
+		return n1.resolveRebind(mustRef(t, oldRef)).Node == n3.ID()
+	}, 5*time.Second)
 
 	// Kill the forwarder's node.
 	e.Network().(*simnet.Network).KillNode(n2.ID())
@@ -356,20 +349,30 @@ func TestClusterDeadForwarderRebind(t *testing.T) {
 		t.Fatalf("post-death rebind call = %v, %v", v, errC)
 	}
 
-	// A fresh node that only knows the stale identity fails fast with
-	// the sentinel — no rebind knowledge, no hang.
+	// A fresh node that only knows the stale identity reaches the live
+	// activity through the sharded directory (WIRE.md §9): the dead home
+	// triggers a shard query instead of a blind fail. Right after the
+	// death the shard may itself still be repopulating (its previous
+	// owner could have been n2), so the call is retried for a few beats —
+	// but it must never hang, and it must converge to the live counter.
 	n4 := e.NewNode()
 	stale, err := n4.HandleFor(oldRef)
 	if err != nil {
 		t.Fatal(err)
 	}
-	start := time.Now()
-	if _, err := stale.CallSync("add", wire.Int(1), 5*time.Second); !errors.Is(err, ErrNodeDead) {
-		t.Fatalf("stale-identity call error = %v, want ErrNodeDead", err)
-	}
-	if since := time.Since(start); since > time.Second {
-		t.Fatalf("stale-identity call took %v, want fast refusal", since)
-	}
+	waitUntil(t, func() bool {
+		v, errC := stale.CallSync("add", wire.Int(1), 5*time.Second)
+		if errC == nil {
+			if v.AsInt() < 9 {
+				t.Fatalf("directory-relayed call = %v, want counter ≥ 9", v)
+			}
+			return true
+		}
+		if !errors.Is(errC, ErrNodeDead) {
+			t.Fatalf("stale-identity call error = %v, want nil or ErrNodeDead while the shard repopulates", errC)
+		}
+		return false
+	}, 5*time.Second)
 	stale.Release()
 	caller.Release()
 	h.Release()
@@ -452,23 +455,19 @@ func TestClusterLeaveDrains(t *testing.T) {
 
 	// The drained activity serves on, state intact, reachable through
 	// the caller's rebinding (retry while the redirect settles).
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	waitUntil(t, func() bool {
 		v, errC := caller.CallSync("total", wire.Null(), 5*time.Second)
 		if errC == nil {
 			if v.AsInt() != 10 {
 				t.Fatalf("total after drain = %d, want 10", v.AsInt())
 			}
-			break
+			return true
 		}
 		if errors.Is(errC, ErrNodeDead) {
 			t.Fatalf("graceful Leave produced ErrNodeDead: %v", errC)
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("drained activity unreachable: %v", errC)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return false
+	}, 5*time.Second)
 	caller.Release()
 	h.Release()
 }

@@ -148,14 +148,15 @@ func mustFuture(ctx *Context, v wire.Value) *Future {
 // awaitResult polls the sink's report until it reports a terminal state.
 func awaitResult(t *testing.T, result *atomic.Value, deadline time.Duration) string {
 	t.Helper()
-	for start := time.Now(); time.Since(start) < deadline; {
-		if got, ok := result.Load().(string); ok {
-			return got
+	var got string
+	waitUntil(t, func() bool {
+		v, ok := result.Load().(string)
+		if ok {
+			got = v
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatal("sink never resolved")
-	return ""
+		return ok
+	}, deadline)
+	return got
 }
 
 func TestConformanceForwardedFutureChain(t *testing.T) {
@@ -166,11 +167,11 @@ func TestConformanceForwardedFutureChain(t *testing.T) {
 			t.Fatalf("start = %q, %v", got, err)
 		}
 		// The future has traveled head → relay → sink while the producer
-		// is still blocked: nothing may have resolved yet.
-		time.Sleep(100 * time.Millisecond)
-		if v, ok := result.Load().(string); ok {
-			t.Fatalf("future resolved before the producer finished: %q", v)
-		}
+		// is still blocked: nothing may resolve until the gate opens.
+		holdsFor(t, func() bool {
+			_, ok := result.Load().(string)
+			return !ok
+		}, 100*time.Millisecond)
 		closeGate()
 		if got := awaitResult(t, result, 10*time.Second); got != "42" {
 			t.Fatalf("final holder saw %q, want 42", got)

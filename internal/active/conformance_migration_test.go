@@ -10,6 +10,7 @@ package active
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -93,6 +94,7 @@ func TestConformanceMigrateWithCallsInFlight(t *testing.T) {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		callErr := make(chan error, 1)
+		var done atomic.Int64
 		go func() {
 			defer wg.Done()
 			for i := 0; i < total; i++ {
@@ -100,12 +102,14 @@ func TestConformanceMigrateWithCallsInFlight(t *testing.T) {
 					callErr <- err
 					return
 				}
+				done.Add(1)
 			}
 		}()
 
-		// Migrate mid-hammer; the returned future resolves with the new
+		// Migrate mid-hammer — at least one call has completed, the rest
+		// cross the move; the returned future resolves with the new
 		// reference on n2.
-		time.Sleep(5 * time.Millisecond)
+		waitUntil(t, func() bool { return done.Load() >= 1 }, 10*time.Second)
 		mfut, err := h.Migrate(n2.ID())
 		if err != nil {
 			t.Fatal(err)
@@ -146,8 +150,12 @@ func TestConformanceMigrateWithCallsInFlight(t *testing.T) {
 func TestConformanceMigrateUnresolvedFuture(t *testing.T) {
 	forEachSubstrate(t, func(t *testing.T, e *Env) {
 		n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
+		// The producer parks on a gate the test closes only after the
+		// migration completes, so the future is unresolved throughout the
+		// move by construction.
+		gate := make(chan struct{})
 		slow := n3.NewActive("slow", BehaviorFunc(func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
-			ctx.ao.node.env.cfg.Clock.Sleep(250 * time.Millisecond)
+			<-gate
 			return wire.Int(42), nil
 		}))
 		defer slow.Release()
@@ -166,6 +174,7 @@ func TestConformanceMigrateUnresolvedFuture(t *testing.T) {
 		if _, err := mfut.Wait(10 * time.Second); err != nil {
 			t.Fatal(err)
 		}
+		close(gate)
 		got, err := h.CallSync("finish", wire.Null(), 10*time.Second)
 		if err != nil {
 			t.Fatal(err)

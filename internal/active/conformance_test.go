@@ -263,7 +263,7 @@ func TestConformanceTwoEnvsOverTCP(t *testing.T) {
 	// referencer, heartbeating across processes. Still alive after many
 	// TTA periods.
 	sh.Release()
-	time.Sleep(200 * time.Millisecond)
+	dgcSettle(t, serverEnv, serverNode)
 	if serverEnv.LiveActivities() != 1 {
 		t.Fatalf("server live = %d, want 1 (remote handle pins it)", serverEnv.LiveActivities())
 	}

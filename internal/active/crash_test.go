@@ -22,7 +22,7 @@ func TestCrashOrphansAreCollected(t *testing.T) {
 		t.Fatal(err)
 	}
 	hb.Release() // now only a (via its state) and ha pin anything
-	time.Sleep(100 * time.Millisecond)
+	dgcSettle(t, e, n2)
 	if e.LiveActivities() != 2 {
 		t.Fatalf("setup: live = %d, want 2", e.LiveActivities())
 	}
@@ -32,13 +32,7 @@ func TestCrashOrphansAreCollected(t *testing.T) {
 
 	// b hears nothing for TTA and self-destructs; the env no longer
 	// counts the crashed node's activities.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if e.LiveActivities() == 0 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitUntil(t, func() bool { return e.LiveActivities() == 0 }, 10*time.Second)
 	if got := e.LiveActivities(); got != 0 {
 		t.Fatalf("live = %d after crash + TTA, want 0", got)
 	}
@@ -63,7 +57,9 @@ func TestCrashSurvivorsKeepWorking(t *testing.T) {
 		t.Fatal(err)
 	}
 	n1.Crash()
-	time.Sleep(100 * time.Millisecond)
+	// A full canary collection cycle passes: the survivor's heartbeats
+	// toward the void have demonstrably fired several times, harmlessly.
+	dgcSettle(t, e, n3)
 
 	// Still serving requests from a third node.
 	h3, err := n3.HandleFor(survivor.Ref())
@@ -100,7 +96,7 @@ func TestCrashDoesNotCollectLiveRemotes(t *testing.T) {
 		t.Fatal(err)
 	}
 	n1.Crash()
-	time.Sleep(150 * time.Millisecond) // several TTAs
+	dgcSettle(t, e, n2) // several TTAs pass on the surviving node
 	if e.LiveActivities() != 1 {
 		t.Fatalf("live = %d, want the pinned activity to survive", e.LiveActivities())
 	}

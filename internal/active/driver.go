@@ -25,6 +25,8 @@ func (n *Node) runDriver() {
 			case <-n.env.cfg.Clock.After(n.env.cfg.TTB):
 				n.heap.Collect()
 				n.futures.sweep(n.heap, n.env.cfg.Clock.Now(), n.env.cfg.TTA)
+				n.locationBeat(nil)
+				n.expireRelays()
 				if ag := n.env.cluster; ag != nil {
 					// No heartbeats to piggyback on in baseline mode, so the
 					// driver still advances the failure detector (silence
@@ -72,6 +74,7 @@ func (n *Node) beat() {
 
 	var broadcasts sync.WaitGroup
 	var byDst map[ids.NodeID][]dgcOut
+	var beatDsts map[ids.NodeID]struct{}
 	batch := n.flusher != nil
 	for _, ao := range n.snapshotActivities() {
 		if ao.nextBeat.After(now) {
@@ -101,6 +104,12 @@ func (n *Node) beat() {
 				// side is gone and the send would only fail fast anyway.
 				continue
 			}
+			if ob.To.Node != n.id {
+				if beatDsts == nil {
+					beatDsts = make(map[ids.NodeID]struct{})
+				}
+				beatDsts[ob.To.Node] = struct{}{}
+			}
 			if batch {
 				if byDst == nil {
 					byDst = make(map[ids.NodeID][]dgcOut)
@@ -123,6 +132,13 @@ func (n *Node) beat() {
 		}(dst, outs)
 	}
 	broadcasts.Wait()
+	// Directory upkeep rides the beat: gossip fresh rebinds to nodes this
+	// beat already exchanged traffic with (with batching on they share
+	// the frame the DGC exchange opened), and re-announce a rotating
+	// slice of origin entries to the current shard owners.
+	n.locationBeat(beatDsts)
+	// Partially flush and expire tree fan-out relay records (WIRE.md §10).
+	n.expireRelays()
 	if ag := n.env.cluster; ag != nil {
 		// The beat doubles as the failure detector's clock: advance it at
 		// most once per TTB across all local drivers.

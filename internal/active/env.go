@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/location"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -103,6 +104,19 @@ type Config struct {
 	Adaptive core.Adaptive
 	// MinHeightTree enables the §7.2 shallow-spanning-tree extension.
 	MinHeightTree bool
+	// LocationCacheSize bounds each node's learned-location LRU cache
+	// (WIRE.md §9). Zero means location.DefaultCacheSize.
+	LocationCacheSize int
+	// FanOutDegree is the branching factor of tree-structured group
+	// fan-out (WIRE.md §10): a group scatter whose distinct remote
+	// destination nodes exceed the degree is shipped as a tree of relay
+	// nodes, each forwarding at most FanOutDegree subtrees and
+	// aggregating replies hop-by-hop. Zero means 4.
+	FanOutDegree int
+	// DisableTreeFanOut forces every group scatter onto the flat
+	// one-message-per-member path (the pre-tree baseline, used for
+	// comparison benchmarks).
+	DisableTreeFanOut bool
 	// OnEvent receives DGC trace events from every collector.
 	OnEvent func(core.Event)
 }
@@ -119,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchWindow > 0 && c.BatchBytes == 0 {
 		c.BatchBytes = 64 << 10
+	}
+	if c.FanOutDegree <= 0 {
+		c.FanOutDegree = 4
 	}
 	return c
 }
@@ -147,6 +164,11 @@ type Env struct {
 	// fail-fast check (isDeadNode) is a single atomic load.
 	deadMu    sync.Mutex
 	deadNodes atomic.Pointer[map[ids.NodeID]struct{}]
+
+	// ring is the consistent-hash ring of the sharded location directory
+	// (WIRE.md §9): rebuilt on every topology change, read lock-free on
+	// the directory paths.
+	ring atomic.Pointer[location.Ring]
 
 	mu      sync.Mutex
 	nodes   map[ids.NodeID]*Node
@@ -223,6 +245,7 @@ func (e *Env) NewNode() *Node {
 	if e.cluster != nil {
 		e.cluster.noteNodeUp(id)
 	}
+	e.refreshRing()
 	return n
 }
 

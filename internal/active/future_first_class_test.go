@@ -69,9 +69,12 @@ func TestForwardedFutureFlattening(t *testing.T) {
 	e := testEnv(t)
 	n1, n2, n3 := e.NewNode(), e.NewNode(), e.NewNode()
 
+	// The worker parks until the test has proven the forward happened, so
+	// the future the front desk returns is unresolved by construction.
+	gate := make(chan struct{})
 	worker := n3.NewActive("worker", NewService(
 		Method("slow", func(_ *Context, x int64) (int64, error) {
-			time.Sleep(20 * time.Millisecond)
+			<-gate
 			return x * 2, nil
 		})))
 	defer worker.Release()
@@ -96,9 +99,24 @@ func TestForwardedFutureFlattening(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Release()
-	got, err := NewStub[int64, int64](client, "order").CallSync(21, 10*time.Second)
-	if err != nil {
-		t.Fatal(err)
+	done := make(chan struct{})
+	var got int64
+	var callErr error
+	go func() {
+		got, callErr = NewStub[int64, int64](client, "order").CallSync(21, 10*time.Second)
+		close(done)
+	}()
+	// The worker serving "slow" proves the front desk forwarded the call
+	// and returned the unresolved future; only then may it resolve.
+	workerAO, ok := n3.activity(mustRef(t, worker.Ref()))
+	if !ok {
+		t.Fatal("worker activity not found")
+	}
+	waitUntil(t, func() bool { return !workerAO.isIdle() }, 5*time.Second)
+	close(gate)
+	<-done
+	if callErr != nil {
+		t.Fatal(callErr)
 	}
 	if got != 42 {
 		t.Fatalf("flattened result = %d, want 42", got)
@@ -165,7 +183,15 @@ func TestForwardedFutureLocalHop(t *testing.T) {
 		got, err = stub.CallSync(struct{}{}, 10*time.Second)
 		close(done)
 	}()
-	time.Sleep(50 * time.Millisecond)
+	// The sink mid-service (parked in its lifted Wait) proves both
+	// forwardings happened before the producer resolves.
+	sinkAO, ok := n.activity(mustRef(t, sink.Ref()))
+	if !ok {
+		t.Fatal("sink activity not found")
+	}
+	waitUntil(t, func() bool {
+		return !sinkAO.isIdle() && sinkAO.queue.pendingCount() == 0
+	}, 5*time.Second)
 	close(gate)
 	<-done
 	if err != nil || got != "local" {
@@ -191,18 +217,11 @@ func TestFutureTableSweep(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	waitUntil(t, func() bool {
 		n1.CollectNow()
 		n2.CollectNow()
-		if n1.futures.size() == 0 && n2.futures.size() == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("future tables not drained: n1=%d n2=%d", n1.futures.size(), n2.futures.size())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return n1.futures.size() == 0 && n2.futures.size() == 0
+	}, 10*time.Second)
 }
 
 // TestFutureUnavailable: lifting a future value nobody here knows yields

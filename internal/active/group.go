@@ -140,6 +140,12 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 		// payloads on the wire.
 		staged []sentArgs
 	)
+	// Tree fan-out engagement (WIRE.md §10): an anchor node whose members
+	// spread over more distinct remote nodes than the branching degree
+	// ships one relay-tree scatter instead of per-member envelopes — the
+	// root sends O(degree) envelopes and receives O(degree) aggregated
+	// replies, however large the group.
+	trees := g.planTrees()
 	for i, h := range g.members {
 		if h.released.Load() {
 			return abort(i, fmt.Errorf("call %q: %w", g.method, ErrHandleReleased))
@@ -160,6 +166,17 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 		switch {
 		case target.Node == node.id:
 			node.deliverLocalRequest(req)
+		case trees[node] != nil:
+			if err := node.routeCheck(target.Node); err != nil {
+				// Tree sends bypass transportSend until after the loop, so
+				// the dead-node fail-fast guard runs here, like the batch
+				// path's.
+				if futs[i].fut != nil {
+					node.futures.remove(futs[i].fut.ID())
+				}
+				return abort(i, err)
+			}
+			trees[node].add(target, req, sharedArgs, futs[i].fut)
 		case node.flusher != nil:
 			if err := node.routeCheck(target.Node); err != nil {
 				// The batch path bypasses transportSend, so the dead-node
@@ -215,7 +232,141 @@ func (g *Group[Req, Resp]) fanOut(argsFor func(int) wire.Value, sharedArgs bool,
 		}
 		s.src.noteFutureValuesSent(s.dst, s.args)
 	}
+	for _, ts := range trees {
+		ts.send(g.method, sharedArgs, !o.noReply)
+	}
 	return &FutureGroup[Resp]{futs: futs}, nil
+}
+
+// planTrees decides, per anchor node, whether this fan-out goes through
+// the relay tree (WIRE.md §10): engaged when the group's members spread
+// over more distinct remote destination nodes than the node's branching
+// degree, unless DisableTreeFanOut pins the flat baseline. Anchors below
+// the threshold are simply absent from the map.
+func (g *Group[Req, Resp]) planTrees() map[*Node]*groupTree {
+	var counts map[*Node]map[ids.NodeID]struct{}
+	for _, h := range g.members {
+		node := h.dummy.node
+		if node.env.cfg.DisableTreeFanOut {
+			continue
+		}
+		target, ok := h.target.AsRef()
+		if !ok || target.Node == node.id {
+			continue
+		}
+		if counts == nil {
+			counts = make(map[*Node]map[ids.NodeID]struct{})
+		}
+		set := counts[node]
+		if set == nil {
+			set = make(map[ids.NodeID]struct{})
+			counts[node] = set
+		}
+		set[target.Node] = struct{}{}
+	}
+	var trees map[*Node]*groupTree
+	for node, set := range counts {
+		if len(set) <= node.env.cfg.FanOutDegree {
+			continue
+		}
+		if trees == nil {
+			trees = make(map[*Node]*groupTree)
+		}
+		trees[node] = &groupTree{node: node, dstIdx: make(map[ids.NodeID]int, len(set))}
+	}
+	return trees
+}
+
+// groupTree accumulates one anchor node's tree-scatter during fanOut:
+// the per-destination bundles plus the member bookkeeping the root
+// performs once the envelopes are on the wire.
+type groupTree struct {
+	node    *Node
+	dstIdx  map[ids.NodeID]int
+	bundles []fanBundle
+	shared  wire.Value
+	members []groupTreeMember
+}
+
+type groupTreeMember struct {
+	fut  *Future // nil for one-way members
+	dst  ids.NodeID
+	args wire.Value
+}
+
+func (t *groupTree) add(target ids.ActivityID, req request, sharedArgs bool, fut *Future) {
+	bi, ok := t.dstIdx[target.Node]
+	if !ok {
+		bi = len(t.bundles)
+		t.dstIdx[target.Node] = bi
+		t.bundles = append(t.bundles, fanBundle{Dst: target.Node})
+	}
+	en := fanEntry{Target: target, Sender: req.Sender, Future: req.Future}
+	if sharedArgs {
+		t.shared = req.Args
+	} else {
+		en.Args = req.Args
+	}
+	t.bundles[bi].Entries = append(t.bundles[bi].Entries, en)
+	t.members = append(t.members, groupTreeMember{fut: fut, dst: target.Node, args: req.Args})
+}
+
+// send ships the accumulated bundles as at most FanOutDegree subtree
+// envelopes (the first bundle's destination doubles as the subtree's
+// relay) and finishes the root-side bookkeeping: members whose subtree
+// could not leave fail immediately; the rest register their first-hop
+// relay as the awaited node — a confirmed death of the relay fails them
+// instead of hanging the waiter — and their destination node as holder
+// of any futures forwarded in the arguments.
+func (t *groupTree) send(method string, sharedArgs, urgent bool) {
+	n := t.node
+	degree := n.env.cfg.FanOutDegree
+	if degree <= 0 {
+		degree = 4
+	}
+	groups := degree
+	if len(t.bundles) < groups {
+		groups = len(t.bundles)
+	}
+	per := (len(t.bundles) + groups - 1) / groups
+	relayOf := make(map[ids.NodeID]ids.NodeID, len(t.bundles))
+	var failed map[ids.NodeID]bool
+	for i := 0; i < len(t.bundles); i += per {
+		end := i + per
+		if end > len(t.bundles) {
+			end = len(t.bundles)
+		}
+		group := t.bundles[i:end]
+		env := fanOutEnv{
+			Root:   n.id,
+			Method: method,
+			Shared: sharedArgs,
+			Args:   t.shared,
+			Bundle: group,
+		}
+		if err := n.transportSend(group[0].Dst, transport.ClassApp, encodeFanOut(env), urgent); err != nil {
+			n.failFanBundles(group, 0, n.id, err)
+			if failed == nil {
+				failed = make(map[ids.NodeID]bool)
+			}
+			for _, b := range group {
+				failed[b.Dst] = true
+			}
+			continue
+		}
+		for _, b := range group {
+			relayOf[b.Dst] = group[0].Dst
+		}
+	}
+	for _, m := range t.members {
+		if failed[m.dst] {
+			continue
+		}
+		if m.fut != nil && n.env.cluster != nil {
+			m.fut.awaitNode.Store(uint32(relayOf[m.dst]))
+		}
+		n.noteFutureValuesSent(m.dst, m.args)
+	}
 }
 
 // Release releases every member handle (idempotent). The members become

@@ -1,0 +1,321 @@
+package active
+
+// Sharded location directory (WIRE.md §9). The flat per-node rebind
+// table is replaced by three tiers:
+//
+//   - a bounded LRU cache of *learned* locations on every node
+//     (location.Cache, path compression included) — the fast path every
+//     outgoing send consults, fed by redirect envelopes and gossip;
+//   - an *origin* table of the mappings this node created by taking
+//     part in a migration (source and destination both record it) —
+//     the ground truth that outlives forwarder collapse and directory
+//     shard loss;
+//   - a *shard* slice of the directory: every activity ID
+//     consistent-hashes to a home shard on some cluster member, and
+//     migration announcements are pushed to the owning shard, which
+//     answers location queries for it.
+//
+// The directory is soft state on top of the migration protocol's
+// forwarders: a cache miss falls back to the forwarder hop; a dead
+// forwarder falls back to a shard query; a dead shard is repopulated by
+// the origin nodes re-announcing a few entries per DGC beat to the
+// ring's new owner. Fresh mappings also ride as gossip on the beat's
+// envelope traffic (with batching on they share the frame the DGC
+// exchange already opened), so steady-state lookups rarely need the
+// query at all.
+
+import (
+	"repro/internal/ids"
+	"repro/internal/location"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+const (
+	// locRecentCap bounds the pending-gossip queue; overflow is dropped
+	// (the owner shard was told synchronously, gossip is opportunistic).
+	locRecentCap = 256
+	// locReannouncePerBeat is how many origin entries a node re-pushes
+	// to their current shard owner per DGC beat — the shard handoff
+	// mechanism after an owner death.
+	locReannouncePerBeat = 8
+	// locGossipFanout caps how many beat destinations receive the
+	// recent-rebinds gossip each beat.
+	locGossipFanout = 4
+)
+
+// refreshRing rebuilds the environment's consistent-hash ring from the
+// current member view: every local node plus (with the cluster runtime
+// on) every known remote member, minus declared-dead nodes. Called on
+// every topology change; lookups are a single atomic load.
+func (e *Env) refreshRing() {
+	e.mu.Lock()
+	members := make([]ids.NodeID, 0, len(e.nodes))
+	for id := range e.nodes {
+		members = append(members, id)
+	}
+	e.mu.Unlock()
+	if ag := e.cluster; ag != nil {
+		ag.mu.Lock()
+		for id := range ag.members {
+			members = append(members, id)
+		}
+		ag.mu.Unlock()
+	}
+	alive := members[:0]
+	for _, m := range members {
+		if !e.isDeadNode(m) {
+			alive = append(alive, m)
+		}
+	}
+	e.ring.Store(location.NewRing(alive, 0))
+}
+
+// announceLocation records a migration this node took part in (old →
+// new) in its origin table and pushes it to the mapping's home shard.
+// Both ends of a migration announce, so the directory survives either
+// of them dying.
+func (n *Node) announceLocation(old, new ids.ActivityID) {
+	if old.IsNil() || new.IsNil() || old == new {
+		return
+	}
+	n.locMu.Lock()
+	if n.locOrigin == nil {
+		n.locOrigin = make(map[ids.ActivityID]ids.ActivityID)
+	}
+	if _, seen := n.locOrigin[old]; !seen {
+		n.locOriginKeys = append(n.locOriginKeys, old)
+	}
+	storeCompressed(n.locOrigin, old, new)
+	if len(n.locRecent) < locRecentCap {
+		n.locRecent = append(n.locRecent, location.Rebind{Old: old, New: new})
+	}
+	n.locMu.Unlock()
+	n.directoryAnnounce([]location.Rebind{{Old: old, New: new}})
+}
+
+// directoryAnnounce routes rebinds to their home shards: stored
+// directly when this node owns the shard, shipped as a TagAnnounce
+// envelope otherwise (non-urgent: it may share a batch frame with
+// whatever else is heading there).
+func (n *Node) directoryAnnounce(rebinds []location.Rebind) {
+	ring := n.env.ring.Load()
+	var byOwner map[ids.NodeID][]location.Rebind
+	for _, rb := range rebinds {
+		owner, ok := ring.Owner(rb.Old)
+		if !ok {
+			continue
+		}
+		if owner == n.id {
+			n.storeShard(rb.Old, rb.New)
+			continue
+		}
+		if byOwner == nil {
+			byOwner = make(map[ids.NodeID][]location.Rebind)
+		}
+		byOwner[owner] = append(byOwner[owner], rb)
+	}
+	for owner, batch := range byOwner {
+		// A dead or unreachable owner drops the announce; the per-beat
+		// re-announce repairs the shard once the ring reflects the death.
+		_ = n.transportSend(owner, transport.ClassApp, location.AppendAnnounce(nil, batch), false)
+	}
+}
+
+// storeShard records an authoritative directory entry on this node's
+// shard slice.
+func (n *Node) storeShard(old, new ids.ActivityID) {
+	n.locMu.Lock()
+	if n.locShard == nil {
+		n.locShard = make(map[ids.ActivityID]ids.ActivityID)
+	}
+	storeCompressed(n.locShard, old, new)
+	n.locMu.Unlock()
+}
+
+// storeCompressed inserts old → new with the same two-sided path
+// compression the rebind table used: new is chased through existing
+// entries first, entries pointing at old are re-pointed, and a mapping
+// that collapses to identity is dropped.
+func storeCompressed(m map[ids.ActivityID]ids.ActivityID, old, new ids.ActivityID) {
+	new = resolveChain(m, new)
+	if old == new {
+		delete(m, old)
+		return
+	}
+	m[old] = new
+	for k, v := range m {
+		if v == old {
+			m[k] = new
+		}
+	}
+}
+
+// handleLocAnnounce applies an inbound TagAnnounce: entries whose shard
+// this node owns go into the shard slice; every entry doubles as a
+// redirect (gossip), rebinding local stale stubs and feeding the cache.
+func (n *Node) handleLocAnnounce(payload []byte) {
+	rebinds, err := location.DecodeAnnounce(payload)
+	if err != nil {
+		return
+	}
+	ring := n.env.ring.Load()
+	for _, rb := range rebinds {
+		if owner, ok := ring.Owner(rb.Old); ok && owner == n.id {
+			n.storeShard(rb.Old, rb.New)
+		}
+		n.applyRedirect(rb.Old, rb.New)
+	}
+}
+
+// handleLocQuery answers a TagQuery exchange from this node's
+// authority: hosted activities (live or forwarding), the shard slice,
+// the origin table, then the learned cache as a last resort.
+func (n *Node) handleLocQuery(payload []byte) []byte {
+	id, err := location.DecodeQuery(payload)
+	if err != nil {
+		return nil
+	}
+	if new, ok := n.resolveLocation(id); ok {
+		return location.AppendReply(nil, new, true)
+	}
+	return location.AppendReply(nil, ids.Nil, false)
+}
+
+// resolveLocation is the node's full location knowledge for one ID.
+func (n *Node) resolveLocation(id ids.ActivityID) (ids.ActivityID, bool) {
+	if ao, ok := n.activity(id); ok {
+		if newID := ao.forwardTarget(); !newID.IsNil() {
+			return newID, true
+		}
+		return id, true
+	}
+	n.locMu.Lock()
+	if new, ok := n.locShard[id]; ok {
+		new = resolveChain(n.locShard, new)
+		n.locMu.Unlock()
+		return new, true
+	}
+	if new, ok := n.locOrigin[id]; ok {
+		new = resolveChain(n.locOrigin, new)
+		n.locMu.Unlock()
+		return new, true
+	}
+	n.locMu.Unlock()
+	if new := n.resolveRebind(id); new != id {
+		return new, true
+	}
+	return ids.Nil, false
+}
+
+// tryDirectoryRelay is the unknown-target slow path: the request named
+// an activity this node does not host and has no cached location for —
+// before failing the caller, ask the ID's home shard. The exchange runs
+// on its own goroutine (a transport handler must not block on a nested
+// call); decode produces the request arguments on that goroutine. When
+// the shard does not know the ID either, the caller's future fails with
+// failErr — ErrUnknownActivity on the delivery paths, ErrNodeDead on
+// the dead-home send path, preserving each path's sentinel contract. It
+// reports whether the directory took responsibility for the request.
+func (n *Node) tryDirectoryRelay(req request, failErr error, decode func() (wire.Value, bool)) bool {
+	owner, ok := n.env.ring.Load().Owner(req.Target)
+	if !ok || owner == n.id || n.env.isDeadNode(owner) {
+		// No shard to ask (or this node *is* the shard and already
+		// answered from resolveLocation via the caller's rebind check).
+		return false
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return false
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		resp, err := n.transportCall(owner, transport.ClassApp, location.AppendQuery(nil, req.Target))
+		if err == nil {
+			if newID, known, derr := location.DecodeReply(resp); derr == nil && known && newID != req.Target {
+				n.applyRedirect(req.Target, newID)
+				if args, okArgs := decode(); okArgs {
+					old := req.Target
+					req.Args = wire.Rebind(args, old, newID)
+					req.Target = newID
+					_ = n.sendRequest(req)
+					n.sendRedirect(req.Sender.Node, old, newID)
+				}
+				return
+			}
+		}
+		// The shard does not know it either (never announced, or truly
+		// collected): fail the caller like the pre-directory path did.
+		if !req.Future.IsZero() {
+			n.replyTo(req, futureUpdate{
+				Future: req.Future,
+				Failed: true,
+				Err:    failErr.Error(),
+			})
+		}
+	}()
+	return true
+}
+
+// locationBeat runs the directory's per-beat work: gossip fresh
+// rebinds to a few nodes this beat already exchanged traffic with, and
+// re-announce a rotating slice of the origin table to the current
+// shard owners (which repopulates a shard within a handful of beats of
+// its previous owner dying).
+func (n *Node) locationBeat(beatDsts map[ids.NodeID]struct{}) {
+	n.locMu.Lock()
+	recent := n.locRecent
+	n.locRecent = nil
+	var reannounce []location.Rebind
+	for i := 0; i < locReannouncePerBeat && len(n.locOriginKeys) > 0; i++ {
+		if n.locCursor >= len(n.locOriginKeys) {
+			n.locCursor = 0
+		}
+		k := n.locOriginKeys[n.locCursor]
+		n.locCursor++
+		if v, ok := n.locOrigin[k]; ok {
+			reannounce = append(reannounce, location.Rebind{Old: k, New: v})
+		}
+	}
+	n.locMu.Unlock()
+	if len(recent) > 0 && len(beatDsts) > 0 {
+		payload := location.AppendAnnounce(nil, recent)
+		sent := 0
+		for dst := range beatDsts {
+			if dst == n.id || n.env.isDeadNode(dst) {
+				continue
+			}
+			_ = n.transportSend(dst, transport.ClassApp, payload, false)
+			if sent++; sent >= locGossipFanout {
+				break
+			}
+		}
+	}
+	if len(reannounce) > 0 {
+		n.directoryAnnounce(reannounce)
+	}
+}
+
+// purgeLocationsTo drops every directory tier's entries that point at a
+// node declared dead: a location on a dead node is a lie, and failing
+// over to the forwarder/shard path beats routing into the void. Keys
+// *through* dead identities survive — a key names an identity, not a
+// host.
+func (n *Node) purgeLocationsTo(p ids.NodeID) {
+	n.locCache.PurgeTargets(p)
+	n.locMu.Lock()
+	for k, v := range n.locShard {
+		if v.Node == p {
+			delete(n.locShard, k)
+		}
+	}
+	for k, v := range n.locOrigin {
+		if v.Node == p {
+			delete(n.locOrigin, k)
+		}
+	}
+	n.locMu.Unlock()
+}

@@ -154,7 +154,7 @@ func (ao *ActiveObject) serveMigrate(item *queuedRequest, nested bool) bool {
 		} else {
 			u.Value = v
 		}
-		ao.node.sendFutureUpdate(item.req.Future, u)
+		ao.node.replyTo(item.req, u)
 	}
 	defer ao.node.heap.RemoveRoot(item.argsRoot)
 	if nested {
@@ -172,7 +172,10 @@ func (ao *ActiveObject) serveMigrate(item *queuedRequest, nested bool) bool {
 		return false
 	}
 	reply(wire.Ref(newID), nil)
-	return true
+	// A migration to the node the activity already lives on is a no-op
+	// resolved with the unchanged identity: the serve loop must keep
+	// running — nothing moved and no forwarder was installed.
+	return newID != ao.id
 }
 
 // migrateOut performs the source side of a migration on the activity's
@@ -220,6 +223,10 @@ func (n *Node) migrateOut(ao *ActiveObject, dst ids.NodeID) (ids.ActivityID, err
 		if err == nil {
 			for _, it := range drained {
 				n.heap.RemoveRoot(it.argsRoot)
+				// The item now lives on the destination and its reply will
+				// reach the root directly: detach it from any tree fan-out
+				// relay record it arrived through.
+				n.relayDetach(it.req.Via, it.req.Future)
 			}
 			n.installForwarder(ao, newID)
 			return newID, nil
@@ -233,7 +240,7 @@ func (n *Node) migrateOut(ao *ActiveObject, dst ids.NodeID) (ids.ActivityID, err
 		for _, it := range drained {
 			n.heap.RemoveRoot(it.argsRoot)
 			if !it.req.Future.IsZero() {
-				n.sendFutureUpdate(it.req.Future, futureUpdate{
+				n.replyTo(it.req, futureUpdate{
 					Future: it.req.Future,
 					Failed: true,
 					Err:    ErrUnknownActivity.Error(),
@@ -291,6 +298,10 @@ func (n *Node) installForwarder(ao *ActiveObject, newID ids.ActivityID) {
 	if ao.registered.Load() {
 		n.env.rebindRegistered(ao.id, newID)
 	}
+	// Tell the directory: the source is an origin of this mapping, so it
+	// re-announces to the shard as owners change, long after the
+	// forwarder itself has collapsed.
+	n.announceLocation(ao.id, newID)
 }
 
 // releaseStateRoots drops only the state pins (installForwarder keeps the
@@ -358,8 +369,10 @@ func (n *Node) handleMigrateIn(payload []byte) []byte {
 	}
 	// The destination knows the mapping too: local senders still holding
 	// the old reference route directly instead of round-tripping through
-	// the forwarder.
+	// the forwarder — and as the mapping's second origin it keeps the
+	// directory shard populated even if the source node dies.
 	n.addRebind(m.Old, ao.id)
+	n.announceLocation(m.Old, ao.id)
 	return encodeMigrateResponse(ao.id, nil)
 }
 
@@ -433,27 +446,11 @@ func (n *Node) applyRedirect(old, new ids.ActivityID) {
 	}
 }
 
-// addRebind records old → new in the node's rebind table with path
-// compression on both sides: existing chains through old are collapsed,
-// and new is resolved through the table first so entries always point at
-// the freshest known identity.
+// addRebind records old → new in the node's learned-location cache
+// (the bounded LRU that replaced the lifetime rebind table; path
+// compression on both sides lives in the cache layer now).
 func (n *Node) addRebind(old, new ids.ActivityID) {
-	n.rebindMu.Lock()
-	defer n.rebindMu.Unlock()
-	if n.rebinds == nil {
-		n.rebinds = make(map[ids.ActivityID]ids.ActivityID)
-	}
-	new = resolveChain(n.rebinds, new)
-	if old == new {
-		delete(n.rebinds, old)
-		return
-	}
-	n.rebinds[old] = new
-	for k, v := range n.rebinds {
-		if v == old {
-			n.rebinds[k] = new
-		}
-	}
+	n.locCache.Add(old, new)
 }
 
 // resolveChain follows the rebind chain from id to its freshest identity.
@@ -468,16 +465,10 @@ func resolveChain(rebinds map[ids.ActivityID]ids.ActivityID, id ids.ActivityID) 
 	return id
 }
 
-// resolveRebind rewrites a send target through the node's rebind table
-// (identity when the table has no entry — the overwhelmingly common
-// case pays one read-locked nil check).
+// resolveRebind rewrites a send target through the node's location
+// cache (identity on a miss — the overwhelmingly common case).
 func (n *Node) resolveRebind(id ids.ActivityID) ids.ActivityID {
-	n.rebindMu.RLock()
-	defer n.rebindMu.RUnlock()
-	if n.rebinds == nil {
-		return id
-	}
-	return resolveChain(n.rebinds, id)
+	return n.locCache.Resolve(id)
 }
 
 // forwardTarget returns the new identity an activity forwards to (Nil for

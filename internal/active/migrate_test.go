@@ -95,12 +95,15 @@ func TestRebindTablePathCompression(t *testing.T) {
 	if got := n.resolveRebind(a); got != c {
 		t.Fatalf("resolve(a) = %v, want %v (chain collapse)", got, c)
 	}
-	// The table itself is compressed: one hop, not a walk.
-	n.rebindMu.RLock()
-	direct := n.rebinds[a]
-	n.rebindMu.RUnlock()
+	// The cache itself is compressed: one hop, not a walk.
+	direct := ids.Nil
+	for _, rb := range n.locCache.Snapshot() {
+		if rb.Old == a {
+			direct = rb.New
+		}
+	}
 	if direct != c {
-		t.Fatalf("rebinds[a] = %v, want %v (path compression)", direct, c)
+		t.Fatalf("cache[a] = %v, want %v (path compression)", direct, c)
 	}
 	// A cycle-shaped rebind (a → ... → a) degenerates to identity removal,
 	// not an infinite chain.
@@ -156,10 +159,7 @@ func TestForwarderReclamation(t *testing.T) {
 		t.Fatal("forwarder still alive after collapse")
 	}
 	// ...and every root it held — relay stub, state pins — swept.
-	deadline := time.Now().Add(5 * time.Second)
-	for n1.Heap().NumRoots() != rootsBefore && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitUntil(t, func() bool { return n1.Heap().NumRoots() == rootsBefore }, 5*time.Second)
 	if got := n1.Heap().NumRoots(); got != rootsBefore {
 		t.Fatalf("n1 roots = %d after collapse, want %d (forwarder leaked a pin)", got, rootsBefore)
 	}
@@ -262,6 +262,41 @@ func TestMigrateNotMigratable(t *testing.T) {
 	}
 }
 
+// TestMigrateToSelfKeepsServing: migrating an activity to the node it
+// already lives on resolves as a no-op with the unchanged identity —
+// and the activity must keep serving afterwards. Regression: the serve
+// loop used to exit as if the queue had moved (no forwarder installed,
+// nothing moved), leaving a live activity permanently mute and every
+// later call timing out.
+func TestMigrateToSelfKeepsServing(t *testing.T) {
+	RegisterBehavior("test/self-counter", func() Behavior { return migCounter{} })
+	e := NewEnv(Config{TTB: 10 * time.Millisecond})
+	defer e.Close()
+	n1 := e.NewNode()
+	h, err := n1.SpawnKind("c", "test/self-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if _, err := h.CallSync("add", wire.Int(3), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mfut, err := h.Migrate(n1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mfut.Wait(5 * time.Second)
+	if err != nil {
+		t.Fatalf("self-migration = %v, want no-op success", err)
+	}
+	if id, _ := v.AsRef(); id != mustRefID(t, h.Ref()) {
+		t.Fatalf("self-migration resolved with %v, want unchanged identity %v", id, h.Ref())
+	}
+	if got, err := h.CallSync("total", wire.Null(), 5*time.Second); err != nil || got.AsInt() != 3 {
+		t.Fatalf("post-self-migration total = %v, %v; want 3, nil", got, err)
+	}
+}
+
 // migSharer calls a slow peer and hands the unresolved future to a
 // co-located sink activity, then migrates away: the sink (a local holder
 // of the emigrated home entry) must keep its resolution pin.
@@ -292,8 +327,11 @@ func TestMigratedOwnerKeepsLocalHolderPins(t *testing.T) {
 
 	// C: the activity whose liveness depends on B's value pin.
 	hc := n3.NewActive("c", relay{})
+	// The slow peer parks on a gate so the shared future stays unresolved
+	// across the migration by construction.
+	slowGate := make(chan struct{})
 	slow := n3.NewActive("slow", BehaviorFunc(func(ctx *Context, method string, args wire.Value) (wire.Value, error) {
-		ctx.ao.node.env.cfg.Clock.Sleep(120 * time.Millisecond)
+		<-slowGate
 		return args, nil
 	}))
 	defer slow.Release()
@@ -333,12 +371,15 @@ func TestMigratedOwnerKeepsLocalHolderPins(t *testing.T) {
 	if _, err := mfut.Wait(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	// Let the slow call resolve (value = Ref(C) binds to the sink's pin at
-	// n1), then drop C's only root and wait out several TTAs: only the
-	// sink's unconsumed-value pin keeps C alive now.
-	time.Sleep(200 * time.Millisecond)
+	// Let the slow call resolve: the value (= Ref(C)) lands at n1 and
+	// binds to the sink's pin, observable as a new heap root there. Then
+	// drop C's only root and wait out several TTAs: only the sink's
+	// unconsumed-value pin keeps C alive now.
+	rootsBefore := n1.Heap().NumRoots()
+	close(slowGate)
+	waitUntil(t, func() bool { return n1.Heap().NumRoots() > rootsBefore }, 10*time.Second)
 	hc.Release()
-	time.Sleep(150 * time.Millisecond)
+	dgcSettle(t, e, n3)
 	if _, alive := e.activity(mustRefID(t, hc.Ref())); !alive {
 		t.Fatal("C collected while a local holder's future value still pins it")
 	}

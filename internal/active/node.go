@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/localgc"
+	"repro/internal/location"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -29,16 +30,27 @@ type Node struct {
 	aos    map[ids.ActivityID]*ActiveObject
 	closed bool
 
-	// rebinds maps migrated-away activity identities to their freshest
-	// known identity (WIRE.md §7): populated by redirect envelopes and by
-	// local migrations, consulted on every outgoing send so stale
-	// references route directly once the node has heard of the move. The
-	// table is path-compressed (chains of migrations collapse to one
-	// entry) and lives for the node's lifetime — one entry per migration
-	// ever heard of, a deliberate trade of a few bytes for never paying a
-	// forwarder hop twice.
-	rebindMu sync.RWMutex
-	rebinds  map[ids.ActivityID]ids.ActivityID
+	// Sharded location directory state (WIRE.md §9). locCache is the
+	// bounded LRU of *learned* locations every outgoing send consults —
+	// the old unbounded rebind table demoted to a cache, path
+	// compression included. locOrigin holds the mappings this node
+	// created by participating in a migration (ground truth, re-announced
+	// to shard owners for handoff); locShard is this node's authoritative
+	// slice of the directory; locRecent queues fresh rebinds for gossip.
+	locCache      *location.Cache
+	locMu         sync.Mutex
+	locOrigin     map[ids.ActivityID]ids.ActivityID
+	locOriginKeys []ids.ActivityID
+	locCursor     int
+	locShard      map[ids.ActivityID]ids.ActivityID
+	locRecent     []location.Rebind
+
+	// Tree fan-out relay records (WIRE.md §10): in-flight subtrees whose
+	// replies this node aggregates before forwarding one hop up. Keys
+	// start at 1; 0 always means "no record" (direct reply).
+	relayMu   sync.Mutex
+	relays    map[uint64]*relayRecord
+	relayNext uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -48,12 +60,13 @@ var _ transport.Handler = (*Node)(nil)
 
 func newNode(e *Env, id ids.NodeID) *Node {
 	n := &Node{
-		env:     e,
-		id:      id,
-		gen:     ids.NewGenerator(id),
-		futures: newFutureTable(),
-		aos:     make(map[ids.ActivityID]*ActiveObject),
-		stop:    make(chan struct{}),
+		env:      e,
+		id:       id,
+		gen:      ids.NewGenerator(id),
+		futures:  newFutureTable(),
+		aos:      make(map[ids.ActivityID]*ActiveObject),
+		locCache: location.NewCache(e.cfg.LocationCacheSize),
+		stop:     make(chan struct{}),
 	}
 	n.heap = localgc.New(n.onTagDeath)
 	n.endpoint = e.net.Register(id, n)
@@ -186,6 +199,12 @@ func (n *Node) HandleOneWay(from ids.NodeID, class transport.Class, payload []by
 		if old, new, err := decodeRedirect(payload); err == nil {
 			n.applyRedirect(old, new)
 		}
+	case envFanOut:
+		n.deliverFanOut(from, payload)
+	case envFanAgg:
+		n.deliverFanAgg(payload)
+	case location.TagAnnounce:
+		n.handleLocAnnounce(payload)
 	default:
 		// Malformed traffic is dropped, as a real transport would.
 	}
@@ -225,10 +244,16 @@ func (n *Node) HandleCall(from ids.NodeID, class transport.Class, payload []byte
 		}
 	}
 	if class == transport.ClassApp {
-		// The only application-class exchange is the migration envelope
-		// (WIRE.md §7); everything else application-level is one-way.
-		if len(payload) > 0 && payload[0] == envMigrate {
-			return n.handleMigrateIn(payload)
+		// Application-class exchanges: the migration envelope (WIRE.md §7)
+		// and the location-directory query (§9); everything else
+		// application-level is one-way.
+		if len(payload) > 0 {
+			switch payload[0] {
+			case envMigrate:
+				return n.handleMigrateIn(payload)
+			case location.TagQuery:
+				return n.handleLocQuery(payload)
+			}
 		}
 		return nil
 	}
@@ -291,9 +316,22 @@ func (n *Node) deliverRequest(payload []byte) {
 	} else {
 		// The callee is gone — but if it is known to have migrated (the
 		// forwarder already collapsed), a late call still reaches it via
-		// the retained rebind table.
-		if newID := n.resolveRebind(req.Target); newID != req.Target {
+		// the node's location knowledge: cache, origin table or shard.
+		if newID, okLoc := n.resolveLocation(req.Target); okLoc && newID != req.Target {
 			n.forwardRaw(req.Target, newID, req, rawArgs)
+			return
+		}
+		// Nothing known locally: ask the ID's home shard before giving
+		// up (the slow path a cache eviction or collapsed forwarder
+		// falls back to). The raw args must be copied — the payload
+		// buffer is the transport's and is dead once this handler
+		// returns, while the query runs on its own goroutine.
+		raw := append([]byte(nil), rawArgs...)
+		if n.tryDirectoryRelay(req, ErrUnknownActivity, func() (wire.Value, bool) {
+			var dec wire.Decoder
+			args, decErr := dec.Decode(raw)
+			return args, decErr == nil
+		}) {
 			return
 		}
 		// Collected or explicitly terminated. If the caller expects a
@@ -360,14 +398,18 @@ func (n *Node) deliverLocalRequest(req request) {
 			return
 		}
 	} else {
-		if newID := n.resolveRebind(req.Target); newID != req.Target {
+		if newID, okLoc := n.resolveLocation(req.Target); okLoc && newID != req.Target {
 			req.Args = wire.Rebind(req.Args, req.Target, newID)
 			req.Target = newID
 			_ = n.sendRequest(req)
 			return
 		}
+		args := req.Args
+		if n.tryDirectoryRelay(req, ErrUnknownActivity, func() (wire.Value, bool) { return args, true }) {
+			return
+		}
 		if !req.Future.IsZero() {
-			n.sendFutureUpdate(req.Future, futureUpdate{
+			n.replyTo(req, futureUpdate{
 				Future: req.Future,
 				Failed: true,
 				Err:    ErrUnknownActivity.Error(),
@@ -645,6 +687,28 @@ func (n *Node) sendRequest(req request) error {
 		n.deliverLocalRequest(req)
 		return nil
 	}
+	if req.Via != 0 {
+		// The request leaves the node, so its reply can no longer pass
+		// through the local relay record (Via never serializes): detach,
+		// and let the reply travel straight to the root.
+		n.relayDetach(req.Via, req.Future)
+		req.Via = 0
+	}
+	if n.env.isDeadNode(req.Target.Node) {
+		// The identity's home is confirmed dead, but the activity may have
+		// migrated away before the crash: local location knowledge first,
+		// then the ID's home shard (WIRE.md §9). Only when the directory
+		// cannot help either does the send fail fast with the sentinel.
+		if newID, ok := n.resolveLocation(req.Target); ok && newID != req.Target && !n.env.isDeadNode(newID.Node) {
+			req.Args = wire.Rebind(req.Args, req.Target, newID)
+			req.Target = newID
+			return n.sendRequest(req)
+		}
+		args := req.Args
+		if n.tryDirectoryRelay(req, ErrNodeDead, func() (wire.Value, bool) { return args, true }) {
+			return nil
+		}
+	}
 	err := n.transportSend(req.Target.Node, transport.ClassApp, encodeRequest(req), !req.Future.IsZero())
 	if err == nil {
 		if n.env.cluster != nil && !req.Future.IsZero() {
@@ -708,7 +772,7 @@ func (n *Node) destroy(ao *ActiveObject, reason core.Reason) {
 		// caller's future now instead of leaving it to time out — the same
 		// answer an enqueue after close gets.
 		if !it.req.Future.IsZero() {
-			n.sendFutureUpdate(it.req.Future, futureUpdate{
+			n.replyTo(it.req, futureUpdate{
 				Future: it.req.Future,
 				Failed: true,
 				Err:    ErrUnknownActivity.Error(),
@@ -734,6 +798,7 @@ func (n *Node) Crash() {
 	delete(n.env.nodes, n.id)
 	n.env.mu.Unlock()
 	n.env.net.Deregister(n.id)
+	n.env.refreshRing()
 	n.shutdown()
 }
 

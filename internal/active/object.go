@@ -37,7 +37,7 @@ func (f BehaviorFunc) Serve(ctx *Context, method string, args wire.Value) (wire.
 // ErrMigrationFailed/ErrNotMigratable, wherever the caller runs, and a
 // future failed by a confirmed node death matches ErrNodeDead on every
 // holder it fans out to.
-var wireSentinels = []error{ErrFutureUnavailable, ErrMigrationFailed, ErrNotMigratable, ErrUnknownBehaviorKind, ErrNodeDead}
+var wireSentinels = []error{ErrFutureUnavailable, ErrMigrationFailed, ErrNotMigratable, ErrUnknownBehaviorKind, ErrNodeDead, ErrUnknownActivity}
 
 func newRemoteFailure(msg string) error {
 	for _, s := range wireSentinels {
@@ -362,7 +362,7 @@ func (ao *ActiveObject) enqueue(item *queuedRequest) {
 			return
 		}
 		if !item.req.Future.IsZero() {
-			ao.node.sendFutureUpdate(item.req.Future, futureUpdate{
+			ao.node.replyTo(item.req, futureUpdate{
 				Future: item.req.Future,
 				Failed: true,
 				Err:    ErrUnknownActivity.Error(),
@@ -424,7 +424,7 @@ func (ao *ActiveObject) serveOne(item *queuedRequest, nested bool) bool {
 	} else {
 		u.Value = result
 	}
-	ao.node.sendFutureUpdate(item.req.Future, u)
+	ao.node.replyTo(item.req, u)
 	return false
 }
 

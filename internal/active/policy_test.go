@@ -10,16 +10,25 @@ import (
 
 // orderRecorder is a behavior that records the order its "item" requests
 // are served in; "block" parks the serve loop on a gate so the test can
-// queue requests behind it.
+// queue requests behind it, signalling blocked when the park begins.
 type orderRecorder struct {
-	mu    sync.Mutex
-	order []int64
-	gate  chan struct{}
+	mu      sync.Mutex
+	order   []int64
+	gate    chan struct{}
+	blocked chan struct{}
+}
+
+func newOrderRecorder() *orderRecorder {
+	return &orderRecorder{gate: make(chan struct{}), blocked: make(chan struct{}, 1)}
 }
 
 func (r *orderRecorder) service() *Service {
 	return NewService(
 		Method("block", func(_ *Context, _ struct{}) (struct{}, error) {
+			select {
+			case r.blocked <- struct{}{}:
+			default:
+			}
 			<-r.gate
 			return struct{}{}, nil
 		}),
@@ -52,13 +61,21 @@ func queueAndDrain(t *testing.T, h *Handle, r *orderRecorder, reqs func(send fun
 	}
 	// Make sure "block" is being served before queueing, so the queued
 	// requests all sit pending together.
-	time.Sleep(20 * time.Millisecond)
+	<-r.blocked
+	sent := 0
 	reqs(func(method string, x int64) {
 		if err := h.Send(method, wire.Int(x)); err != nil {
 			t.Fatal(err)
 		}
+		sent++
 	})
-	time.Sleep(20 * time.Millisecond)
+	// Every queued request must be pending before the gate opens, so the
+	// policy ranks the full set.
+	ao, ok := h.dummy.node.activity(mustRef(t, h.Ref()))
+	if !ok {
+		t.Fatal("activity not found")
+	}
+	waitUntil(t, func() bool { return ao.queue.pendingCount() == sent }, 5*time.Second)
 	close(r.gate)
 	if _, err := blockFut.Wait(5 * time.Second); err != nil {
 		t.Fatal(err)
@@ -89,7 +106,7 @@ func eqOrder(a, b []int64) bool {
 
 func TestPolicyLIFO(t *testing.T) {
 	e := testEnv(t)
-	r := &orderRecorder{gate: make(chan struct{})}
+	r := newOrderRecorder()
 	h := e.NewNode().NewActive("lifo", r.service(), WithPolicy(LIFO()))
 	defer h.Release()
 	got := queueAndDrain(t, h, r, func(send func(string, int64)) {
@@ -104,7 +121,7 @@ func TestPolicyLIFO(t *testing.T) {
 
 func TestPolicyPriorityByMethod(t *testing.T) {
 	e := testEnv(t)
-	r := &orderRecorder{gate: make(chan struct{})}
+	r := newOrderRecorder()
 	h := e.NewNode().NewActive("prio", r.service(),
 		WithPolicy(PriorityByMethod(map[string]int{"urgent": 10})))
 	defer h.Release()
@@ -128,7 +145,7 @@ func TestPolicyConfigDefault(t *testing.T) {
 		ServicePolicy: LIFO(),
 	})
 	t.Cleanup(e.Close)
-	r := &orderRecorder{gate: make(chan struct{})}
+	r := newOrderRecorder()
 	h := e.NewNode().NewActive("default-lifo", r.service())
 	defer h.Release()
 	got := queueAndDrain(t, h, r, func(send func(string, int64)) {
@@ -180,7 +197,13 @@ func TestServeNextSelective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond) // batch is now blocked in ServeNext
+	// batch must be running (blocked in ServeNext) before noise is sent,
+	// so noise demonstrably sits pending across the gathering.
+	waitUntil(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) > 0 && order[0] == "batch-start"
+	}, 5*time.Second)
 	if err := h.Send("noise", wire.Null()); err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +241,7 @@ func TestServeNextSelective(t *testing.T) {
 func TestPolicyHeldRequestsNeverIdle(t *testing.T) {
 	e := testEnv(t)
 	n := e.NewNode()
-	r := &orderRecorder{gate: make(chan struct{})}
+	r := newOrderRecorder()
 	defer close(r.gate)
 	// ServeOldest("item") as a standing policy: "block" requests are held
 	// forever (never selected).
@@ -230,14 +253,11 @@ func TestPolicyHeldRequestsNeverIdle(t *testing.T) {
 	if err := h.Send("block", wire.Null()); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
-	if ao.queue.pendingCount() != 1 {
-		t.Fatalf("pending = %d, want the held request", ao.queue.pendingCount())
-	}
+	waitUntil(t, func() bool { return ao.queue.pendingCount() == 1 }, 5*time.Second)
 	// Drop the only reference: with the idle bug this would let the DGC
 	// collect an activity that still owes a service.
 	h.Release()
-	time.Sleep(8 * e.cfg.TTA) // many TimeToAlone periods
+	dgcSettle(t, e, n) // many TimeToAlone periods pass
 	if ao.isIdle() {
 		t.Fatal("activity with policy-held requests reported idle")
 	}

@@ -33,6 +33,14 @@ const (
 	// (payload, pending queue), shipped source → destination as a
 	// request/response exchange whose response carries the new identity.
 	envMigrate
+	// envFanOut carries a tree-structured group scatter (WIRE.md §10): a
+	// set of per-destination request bundles a relay node delivers
+	// locally and/or splits among at most FanOutDegree child relays.
+	envFanOut
+	// envFanAgg carries aggregated group replies one tree hop toward the
+	// root: embedded future-update envelopes plus the parent relay
+	// record they belong to (key 0 = the receiver is the root).
+	envFanAgg
 )
 
 // FutureID identifies a future on its home node (the node that created
@@ -53,6 +61,12 @@ type request struct {
 	Method string
 	// Args is the deep-copied argument value.
 	Args wire.Value
+	// Via is the node-local relay-record key a tree fan-out delivery
+	// carries (WIRE.md §10): the reply is intercepted and aggregated
+	// hop-by-hop instead of traveling straight to the future's home.
+	// Zero — the ordinary case — replies directly. Never serialized: a
+	// request leaving the node detaches from its record first.
+	Via uint64
 }
 
 // errBadEnvelope reports a malformed node-to-node payload.

@@ -1,0 +1,71 @@
+package active
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tcpnet"
+)
+
+// TestTCPTreeBroadcastConcurrent runs concurrent 1024-member tree
+// broadcasts over the real TCP substrate. Regression test: relay
+// records used to buffer aggregate-reply slices that aliased tcpnet's
+// reused read buffer, so under concurrent traffic a whole child
+// bundle's replies would decode as garbage after the flush and every
+// future in it timed out.
+func TestTCPTreeBroadcastConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp substrate in -short mode")
+	}
+	tr, err := tcpnet.New(tcpnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(Config{Transport: tr, TTB: 100 * time.Millisecond, TTA: time.Second})
+	defer env.Close()
+	root := env.NewNode()
+	svc := NewService(Method("double", func(_ *Context, v int64) (int64, error) {
+		return v * 2, nil
+	}))
+	var anchored []*Handle
+	for n := 0; n < 16; n++ {
+		node := env.NewNode()
+		for a := 0; a < 64; a++ {
+			h := node.NewActive(fmt.Sprintf("m-%d-%d", n, a), svc)
+			r, err := root.HandleFor(h.Ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			anchored = append(anchored, r)
+		}
+	}
+	g := NewGroup[int64, int64]("double", anchored...)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				fg, err := g.Broadcast(21)
+				if err != nil {
+					t.Errorf("w%d i%d Broadcast: %v", w, i, err)
+					return
+				}
+				vals, err := fg.WaitAll(10 * time.Second)
+				if err != nil {
+					t.Errorf("w%d i%d WaitAll: %v", w, i, err)
+					return
+				}
+				for m, v := range vals {
+					if v != 42 {
+						t.Errorf("w%d i%d member %d: got %d, want 42", w, i, m, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package active
+
+// Shared synchronization helpers for this package's tests. No test here
+// may synchronize with a bare time.Sleep: a guessed duration is either
+// too short on a loaded single-CPU CI runner (flaky) or too long
+// everywhere else (slow). Positive conditions poll with waitUntil,
+// negative windows observe with holdsFor, and "the DGC must not collect
+// X" assertions ride a canary collection cycle via dgcSettle.
+
+import (
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond once a millisecond until it holds, failing t when
+// timeout passes first. The bound is generous — the common case returns
+// after a few polls — and a timeout fails at the call site naming what
+// never happened.
+func waitUntil(t testing.TB, cond func() bool, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("waitUntil: condition still false after %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// holdsFor asserts cond stays true for the whole window, polling once a
+// millisecond. Negative properties ("this must NOT have happened") have
+// no event to wait for, so a bounded observation window is the honest
+// check — and polling fails fast the moment the property breaks, where a
+// sleep-then-assert would idle through the violation. Prefer dgcSettle
+// when the negation is about the collector, which has a progress proxy.
+func holdsFor(t testing.TB, cond func() bool, window time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		if !cond() {
+			t.Fatalf("holdsFor: condition violated within %v", window)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// dgcSettle proves a full DGC reclamation cycle elapsed: it spawns a
+// throwaway activity on n, drops its only root, and waits for the
+// collector to reap it. "X must not be collected" assertions follow it
+// instead of sleeping a guessed number of TTAs — once the canary is
+// gone, anything collectable demonstrably had the time and the beats to
+// be collected too. It bumps the env's created and acyclic-collected
+// counters by one each; tests asserting exact totals must account for
+// the canary.
+func dgcSettle(t testing.TB, e *Env, n *Node) {
+	t.Helper()
+	h := n.NewActive("dgc-canary", relay{})
+	id, ok := h.Ref().AsRef()
+	if !ok {
+		t.Fatal("dgcSettle: canary handle has no ref")
+	}
+	h.Release()
+	waitUntil(t, func() bool {
+		_, alive := e.activity(id)
+		return !alive
+	}, 10*time.Second)
+}

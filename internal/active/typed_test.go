@@ -152,13 +152,7 @@ func TestCallOptionNoReply(t *testing.T) {
 		t.Fatalf("no-reply Wait = %d, %v (want zero Resp)", got, err)
 	}
 	// The send did happen.
-	deadline := time.Now().Add(5 * time.Second)
-	for served.Load() != 5 {
-		if time.Now().After(deadline) {
-			t.Fatalf("one-way call never served (counter %d)", served.Load())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitUntil(t, func() bool { return served.Load() == 5 }, 5*time.Second)
 }
 
 // TestHandleLifecycle is the hardening satellite: double Release is an

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -29,10 +30,15 @@ type Mix struct {
 	// downstream future instead of waiting (WIRE.md §6), resolved only at
 	// the caller.
 	Pipeline int `json:"pipeline"`
+	// Migrate is the weight of live-migration lifecycles: spawn a
+	// migratable activity, call it, migrate it to another node, and call
+	// it again through the now-stale handle — the forwarder, redirect and
+	// sharded-directory paths all under load (WIRE.md §7, §9).
+	Migrate int `json:"migrate,omitempty"`
 }
 
 func (m Mix) normalized() Mix {
-	if m.Call <= 0 && m.Broadcast <= 0 && m.Churn <= 0 && m.Pipeline <= 0 {
+	if m.Call <= 0 && m.Broadcast <= 0 && m.Churn <= 0 && m.Pipeline <= 0 && m.Migrate <= 0 {
 		return Mix{Call: 1}
 	}
 	return m
@@ -40,6 +46,9 @@ func (m Mix) normalized() Mix {
 
 // Config parameterizes one load-generation run.
 type Config struct {
+	// Name labels the scenario in suite documents; the perf comparator
+	// matches named scenarios by name instead of (backend, batching).
+	Name string `json:"name,omitempty"`
 	// Backend selects the substrate: "sim" (in-memory) or "tcp" (real
 	// loopback TCP). Defaults to "sim".
 	Backend string `json:"backend"`
@@ -78,6 +87,28 @@ type Config struct {
 	// every established connection at that period — the soak harness's
 	// transient-failure chaos.
 	DropConnsEvery time.Duration `json:"-"`
+	// ChurnBurst is the number of activities one churn operation spawns
+	// before calling one of them and releasing the lot. Defaults to 1;
+	// the scale scenario raises it to reach its activity floor quickly.
+	ChurnBurst int `json:"churn_burst,omitempty"`
+	// MinActivities, when positive, keeps the closed loop running past
+	// Duration until at least this many activities have been created
+	// (base population + churn + migration + chaos lifecycles). The
+	// 10^5-activity scale scenario is gated on this floor.
+	MinActivities uint64 `json:"min_activities,omitempty"`
+	// DisableTreeFanOut forces group broadcasts onto the flat
+	// root-sends-all path (active.Config.DisableTreeFanOut): the control
+	// arm of the tree-vs-flat comparison.
+	DisableTreeFanOut bool `json:"disable_tree_fanout,omitempty"`
+	// NetPerMessage models fixed per-message interface overhead on the
+	// sim backend (simnet.Config.PerMessage): messages serialize at each
+	// node's tx and rx interface, the packet-rate bottleneck a real
+	// deployment has. Zero leaves interfaces infinitely fast. Ignored on
+	// tcp, whose overhead is real.
+	NetPerMessage time.Duration `json:"net_per_message,omitempty"`
+	// NetPerByte models finite interface bandwidth on the sim backend
+	// (simnet.Config.PerByte).
+	NetPerByte time.Duration `json:"net_per_byte,omitempty"`
 	// Cluster enables the elastic cluster runtime (membership, failure
 	// detection) for the run. Implied by NodeKillEvery.
 	Cluster bool `json:"cluster,omitempty"`
@@ -123,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpTimeout <= 0 {
 		c.OpTimeout = 30 * time.Second
+	}
+	if c.ChurnBurst <= 0 {
+		c.ChurnBurst = 1
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -170,12 +204,22 @@ type Result struct {
 	Throughput float64 `json:"throughput_ops_per_s"`
 	// MessagesPerSec is accounted transport messages per second.
 	MessagesPerSec float64 `json:"messages_per_s"`
-	// Calls, Broadcasts, Churns and Pipelines digest the per-class
-	// measurements.
+	// Calls, Broadcasts, Churns, Pipelines and Migrates digest the
+	// per-class measurements.
 	Calls      OpStats `json:"calls"`
 	Broadcasts OpStats `json:"broadcasts"`
 	Churns     OpStats `json:"churns"`
 	Pipelines  OpStats `json:"pipelines"`
+	Migrates   OpStats `json:"migrates"`
+	// LostReplies counts operations whose reply never arrived (the wait
+	// hit OpTimeout): the zero-lost-replies invariant the scale scenario
+	// is gated on. Fast failures (e.g. ErrNodeDead) are ordinary errors,
+	// not lost replies.
+	LostReplies uint64 `json:"lost_replies"`
+	// ActivitiesCreated is the total number of activities this run
+	// brought to life: base population, churn spawns, migration subjects
+	// and chaos-lifecycle victims.
+	ActivitiesCreated uint64 `json:"activities_created"`
 	// Traffic maps transport class names to accounted totals.
 	Traffic map[string]ClassTraffic `json:"traffic"`
 	// LiveActivities is the live count at the end (churn backlog the DGC
@@ -206,6 +250,7 @@ const (
 	opBroadcast
 	opChurn
 	opPipeline
+	opMigrate
 	numOps
 )
 
@@ -214,21 +259,57 @@ type workerStats struct {
 	hist   [numOps]histogram
 	ops    [numOps]uint64
 	errors [numOps]uint64
+	lost   [numOps]uint64
 }
+
+// echoKind is the registered behavior kind behind the migrate workload:
+// migration re-instantiates the behavior from the process-global registry
+// at the destination, so the kind registers once per process.
+const echoKind = "loadgen/echo"
+
+var registerEchoKind = sync.OnceFunc(func() {
+	active.RegisterBehavior(echoKind, func() active.Behavior {
+		return active.NewService(active.Method("echo", func(_ *active.Context, req echoReq) (echoResp, error) {
+			return echoResp{Seq: req.Seq, Echo: int64(len(req.Payload))}, nil
+		}))
+	})
+})
 
 // Run executes one load-generation run and returns its measurements.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 
+	registerEchoKind()
+	// The closed loop saturates every core, so liveness timing must not
+	// sit at the runtime's low-latency defaults (TTB 30ms, TTA ~100ms,
+	// death after ~165ms of silence): a driver goroutine starved for one
+	// scheduling hiccup would stop heartbeating long enough for its
+	// referenced actors to self-collect, or for the failure detector to
+	// declare a live node dead and purge its reference edges. Pace the
+	// beats and windows for a loaded deployment; explicit release-edge
+	// removal (the churn reclamation path) is unaffected by TTA.
 	envCfg := active.Config{
-		DisableDGC:  cfg.DisableDGC,
-		BatchWindow: cfg.BatchWindow,
-		BatchBytes:  cfg.BatchBytes,
-		Cluster:     active.ClusterConfig{Enabled: cfg.Cluster},
+		TTB:               100 * time.Millisecond,
+		TTA:               time.Second,
+		DisableDGC:        cfg.DisableDGC,
+		BatchWindow:       cfg.BatchWindow,
+		BatchBytes:        cfg.BatchBytes,
+		DisableTreeFanOut: cfg.DisableTreeFanOut,
+		Cluster: active.ClusterConfig{
+			Enabled:      cfg.Cluster,
+			SuspectAfter: 500 * time.Millisecond,
+			DeadAfter:    500 * time.Millisecond,
+		},
 	}
 	var dropper interface{ DropConnections() }
 	switch cfg.Backend {
 	case "sim":
+		if cfg.NetPerMessage > 0 || cfg.NetPerByte > 0 {
+			envCfg.Transport = simnet.New(simnet.Config{
+				PerMessage: cfg.NetPerMessage,
+				PerByte:    cfg.NetPerByte,
+			})
+		}
 	case "tcp":
 		tr, err := tcpnet.New(tcpnet.Config{})
 		if err != nil {
@@ -319,7 +400,13 @@ func Run(cfg Config) (Result, error) {
 		payload[i] = byte(i)
 	}
 	mix := cfg.Mix
-	weightTotal := mix.Call + mix.Broadcast + mix.Churn + mix.Pipeline
+	weightTotal := mix.Call + mix.Broadcast + mix.Churn + mix.Pipeline + mix.Migrate
+
+	// created counts every activity this run brings to life; the scale
+	// scenario's closed loop keeps running until it crosses
+	// cfg.MinActivities.
+	var created atomic.Uint64
+	created.Add(uint64(len(handles) + pipeStages))
 
 	var seq atomic.Int64
 	churnNode := func(rng *rand.Rand) *active.Node {
@@ -334,8 +421,10 @@ func Run(cfg Config) (Result, error) {
 			k = opBroadcast
 		case w < mix.Call+mix.Broadcast+mix.Churn:
 			k = opChurn
-		default:
+		case w < mix.Call+mix.Broadcast+mix.Churn+mix.Pipeline:
 			k = opPipeline
+		default:
+			k = opMigrate
 		}
 		req := echoReq{Seq: seq.Add(1), Payload: payload}
 		start := time.Now()
@@ -349,15 +438,22 @@ func Run(cfg Config) (Result, error) {
 				_, err = fg.WaitAll(cfg.OpTimeout)
 			}
 		case opChurn:
-			// Spawn, reference, call, release: the lifecycle that feeds
-			// the DGC a steady diet of fresh edges and fresh garbage.
-			h := churnNode(rng).NewActive("churn", svc)
+			// Spawn a burst, reference one, call it, release the lot: the
+			// lifecycle that feeds the DGC a steady diet of fresh edges
+			// and fresh garbage.
+			hs := make([]*active.Handle, cfg.ChurnBurst)
+			for i := range hs {
+				hs[i] = churnNode(rng).NewActive("churn", svc)
+			}
+			created.Add(uint64(len(hs)))
 			var hc *active.Handle
-			if hc, err = caller.HandleFor(h.Ref()); err == nil {
+			if hc, err = caller.HandleFor(hs[rng.Intn(len(hs))].Ref()); err == nil {
 				_, err = active.NewStub[echoReq, echoResp](hc, "echo").CallSync(req, cfg.OpTimeout)
 				hc.Release()
 			}
-			h.Release()
+			for _, h := range hs {
+				h.Release()
+			}
 		case opPipeline:
 			// One item through the 4-stage forwarded-future chain: the
 			// caller's single wait resolves through the flattening
@@ -366,12 +462,46 @@ func Run(cfg Config) (Result, error) {
 			if resp, err = pipeStub.CallSync(req, cfg.OpTimeout); err == nil && resp.Seq != req.Seq {
 				err = fmt.Errorf("loadgen: pipeline echoed seq %d, want %d", resp.Seq, req.Seq)
 			}
+		case opMigrate:
+			// One live-migration lifecycle: spawn a migratable activity,
+			// call it, move it to another node, then call it again through
+			// the stale handle — the forwarder, redirect and
+			// sharded-directory machinery under load.
+			src := workerNodes[rng.Intn(len(workerNodes))]
+			dst := workerNodes[rng.Intn(len(workerNodes))]
+			var h *active.Handle
+			if h, err = src.SpawnKind("mig", echoKind); err == nil {
+				created.Add(1)
+				var hc *active.Handle
+				if hc, err = caller.HandleFor(h.Ref()); err == nil {
+					stub := active.NewStub[echoReq, echoResp](hc, "echo")
+					if _, err = stub.CallSync(req, cfg.OpTimeout); err != nil {
+						err = fmt.Errorf("pre-call: %w", err)
+					} else {
+						var mfut *active.Future
+						if mfut, err = h.Migrate(dst.ID()); err != nil {
+							err = fmt.Errorf("migrate: %w", err)
+						} else if _, err = mfut.Wait(cfg.OpTimeout); err != nil {
+							err = fmt.Errorf("mfut: %w", err)
+						} else if _, err = stub.CallSync(req, cfg.OpTimeout); err != nil {
+							err = fmt.Errorf("post-call: %w", err)
+						}
+					}
+					hc.Release()
+				}
+				h.Release()
+			}
 		}
 		if err != nil {
 			// Failed operations count separately and stay out of the
 			// latency digest: a timed-out call would otherwise both
-			// inflate throughput and poison the tail percentiles.
+			// inflate throughput and poison the tail percentiles. A
+			// timeout specifically is a *lost reply* — the invariant the
+			// scale scenario is gated on.
 			st.errors[k]++
+			if errors.Is(err, active.ErrFutureTimeout) {
+				st.lost[k]++
+			}
 			return
 		}
 		st.hist[k].record(time.Since(start))
@@ -404,6 +534,7 @@ func Run(cfg Config) (Result, error) {
 					// activity, serve one call across the transport, die.
 					victim := env.NewNode()
 					h := victim.NewActive("chaos-victim", svc)
+					created.Add(1)
 					if hc, err := caller.HandleFor(h.Ref()); err == nil {
 						req := echoReq{Seq: seq.Add(1), Payload: payload}
 						_, _ = active.NewStub[echoReq, echoResp](hc, "echo").CallSync(req, cfg.OpTimeout)
@@ -439,12 +570,18 @@ func Run(cfg Config) (Result, error) {
 		}()
 	}
 
+	// The scale scenario's activity floor: the closed loop keeps issuing
+	// operations past the duration until enough activities existed.
+	more := func() bool {
+		return cfg.MinActivities > 0 && created.Load() < cfg.MinActivities
+	}
+
 	start := time.Now()
 	var statsList []*workerStats
 	if cfg.RatePerSec > 0 {
 		statsList = runOpenLoop(cfg, stop, runOp)
 	} else {
-		statsList = runClosedLoop(cfg, stop, runOp)
+		statsList = runClosedLoop(cfg, stop, more, runOp)
 	}
 	elapsed := time.Since(start)
 	close(stop)
@@ -452,11 +589,13 @@ func Run(cfg Config) (Result, error) {
 
 	// Merge the per-worker tallies.
 	var merged workerStats
+	var lostTotal uint64
 	for _, st := range statsList {
 		for k := opKind(0); k < numOps; k++ {
 			merged.hist[k].merge(&st.hist[k])
 			merged.ops[k] += st.ops[k]
 			merged.errors[k] += st.errors[k]
+			lostTotal += st.lost[k]
 		}
 	}
 	snap := env.Network().Snapshot()
@@ -478,7 +617,11 @@ func Run(cfg Config) (Result, error) {
 	res.Broadcasts = opStats(opBroadcast)
 	res.Churns = opStats(opChurn)
 	res.Pipelines = opStats(opPipeline)
-	res.TotalOps = merged.ops[opCall] + merged.ops[opBroadcast] + merged.ops[opChurn] + merged.ops[opPipeline]
+	res.Migrates = opStats(opMigrate)
+	res.LostReplies = lostTotal
+	res.ActivitiesCreated = created.Load()
+	res.TotalOps = merged.ops[opCall] + merged.ops[opBroadcast] + merged.ops[opChurn] +
+		merged.ops[opPipeline] + merged.ops[opMigrate]
 	if elapsed > 0 {
 		res.Throughput = float64(res.TotalOps) / elapsed.Seconds()
 	}
@@ -500,8 +643,12 @@ func Run(cfg Config) (Result, error) {
 
 // runClosedLoop drives Workers goroutines that each issue operations
 // back-to-back until the duration elapses: the throughput-probe shape.
-func runClosedLoop(cfg Config, stop <-chan struct{}, runOp func(*rand.Rand, *workerStats)) []*workerStats {
+// When more reports outstanding work (the scale scenario's activity
+// floor), workers keep going past the deadline — bounded by a hard stop
+// so a wedged run fails the gate instead of hanging CI.
+func runClosedLoop(cfg Config, stop <-chan struct{}, more func() bool, runOp func(*rand.Rand, *workerStats)) []*workerStats {
 	deadline := time.Now().Add(cfg.Duration)
+	hardStop := deadline.Add(2 * time.Minute)
 	stats := make([]*workerStats, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -511,7 +658,7 @@ func runClosedLoop(cfg Config, stop <-chan struct{}, runOp func(*rand.Rand, *wor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for time.Now().Before(deadline) {
+			for now := time.Now(); now.Before(deadline) || (more() && now.Before(hardStop)); now = time.Now() {
 				runOp(rng, st)
 			}
 		}()

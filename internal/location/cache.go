@@ -1,0 +1,143 @@
+package location
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// DefaultCacheSize bounds the per-node learned-location cache. Each
+// entry is two activity IDs plus list overhead (~64 bytes), so the
+// default costs a node well under a megabyte.
+const DefaultCacheSize = 4096
+
+type centry struct {
+	key, val ids.ActivityID
+}
+
+// Cache is a bounded LRU map from stale activity identities to their
+// freshest known identity. It carries the rebind-chain path
+// compression that used to live in the node's unbounded rebind table:
+// adding old→new first resolves new through existing entries and then
+// re-points entries that named old, so lookups stay O(1) amortized and
+// chains collapse as they are learned.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[ids.ActivityID]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+// NewCache returns a cache bounded to capacity entries (DefaultCacheSize
+// when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		cap: capacity,
+		m:   make(map[ids.ActivityID]*list.Element),
+		ll:  list.New(),
+	}
+}
+
+// Add records old→new, compressing through any chain already cached.
+// A mapping that collapses to identity erases the entry instead.
+func (c *Cache) Add(old, new ids.ActivityID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	new = c.chase(new)
+	if e, ok := c.m[old]; ok && old == new {
+		c.ll.Remove(e)
+		delete(c.m, old)
+		return
+	}
+	if old == new {
+		return
+	}
+	if e, ok := c.m[old]; ok {
+		e.Value.(*centry).val = new
+		c.ll.MoveToFront(e)
+	} else {
+		c.m[old] = c.ll.PushFront(&centry{key: old, val: new})
+	}
+	// Re-point entries that resolved to old, so every cached chain
+	// stays one hop long.
+	for _, e := range c.m {
+		ce := e.Value.(*centry)
+		if ce.val == old {
+			ce.val = new
+		}
+	}
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*centry).key)
+	}
+}
+
+// Resolve follows id through the cache, returning id itself when
+// nothing fresher is known. A hit refreshes the entry's LRU position.
+func (c *Cache) Resolve(id ids.ActivityID) ids.ActivityID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) == 0 {
+		return id
+	}
+	e, ok := c.m[id]
+	if !ok {
+		return id
+	}
+	c.ll.MoveToFront(e)
+	return c.chase(e.Value.(*centry).val)
+}
+
+// chase follows a chain without touching LRU order. Entries are kept
+// one hop long by Add, but eviction between Add calls can briefly
+// expose multi-hop chains; the step bound keeps malformed cycles from
+// spinning.
+func (c *Cache) chase(id ids.ActivityID) ids.ActivityID {
+	for i := 0; i < len(c.m); i++ {
+		e, ok := c.m[id]
+		if !ok {
+			return id
+		}
+		id = e.Value.(*centry).val
+	}
+	return id
+}
+
+// PurgeTargets drops every entry whose resolved value lives on node p
+// (used when p is declared dead: those locations are now lies). Keys
+// that merely pass *through* p stay: the key names an identity, not a
+// host.
+func (c *Cache) PurgeTargets(p ids.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.m {
+		if e.Value.(*centry).val.Node == p {
+			c.ll.Remove(e)
+			delete(c.m, k)
+		}
+	}
+}
+
+// Len returns the number of cached mappings.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Snapshot returns all mappings, for tests and shard handoff.
+func (c *Cache) Snapshot() []Rebind {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Rebind, 0, len(c.m))
+	for _, e := range c.m {
+		ce := e.Value.(*centry)
+		out = append(out, Rebind{Old: ce.key, New: ce.val})
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package location
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func aid(node, seq uint32) ids.ActivityID {
+	return ids.ActivityID{Node: ids.NodeID(node), Seq: seq}
+}
+
+func members(n int) []ids.NodeID {
+	out := make([]ids.NodeID, n)
+	for i := range out {
+		out[i] = ids.NodeID(i + 1)
+	}
+	return out
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if _, ok := NewRing(nil, 0).Owner(aid(1, 1)); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	r := NewRing([]ids.NodeID{7}, 0)
+	for seq := uint32(0); seq < 100; seq++ {
+		if o, ok := r.Owner(aid(3, seq)); !ok || o != 7 {
+			t.Fatalf("single-member ring: owner = %v, %v", o, ok)
+		}
+	}
+	if !r.Has(7) || r.Has(8) {
+		t.Fatal("Has misreported membership")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(members(8), 0)
+	b := NewRing([]ids.NodeID{8, 7, 6, 5, 4, 3, 2, 1}, 0) // order must not matter
+	for i := 0; i < 1000; i++ {
+		id := aid(uint32(i%16), uint32(i))
+		oa, _ := a.Owner(id)
+		ob, _ := b.Owner(id)
+		if oa != ob {
+			t.Fatalf("owner of %v differs by construction order: %v vs %v", id, oa, ob)
+		}
+	}
+}
+
+// TestRingBalance is the balance property from the issue: shard
+// assignment over a realistic member count keeps max/min ≤ 2×.
+func TestRingBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{4, 8, 16, 32} {
+		r := NewRing(members(n), 0)
+		counts := make(map[ids.NodeID]int, n)
+		const keys = 100_000
+		for i := 0; i < keys; i++ {
+			id := aid(rng.Uint32()%64, rng.Uint32())
+			o, ok := r.Owner(id)
+			if !ok {
+				t.Fatal("no owner")
+			}
+			counts[o]++
+		}
+		min, max := keys, 0
+		for _, m := range r.Members() {
+			c := counts[m]
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 || float64(max)/float64(min) > 2.0 {
+			t.Fatalf("%d members: shard load max/min = %d/%d exceeds 2x", n, max, min)
+		}
+	}
+}
+
+// TestRingMinimalDisturbance: a single join only pulls keys to the new
+// member; a single leave only moves the dead member's keys.
+func TestRingMinimalDisturbance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 12
+	base := NewRing(members(n), 0)
+	keys := make([]ids.ActivityID, 20_000)
+	for i := range keys {
+		keys[i] = aid(rng.Uint32()%64, rng.Uint32())
+	}
+
+	joined := NewRing(append(members(n), ids.NodeID(99)), 0)
+	moved := 0
+	for _, k := range keys {
+		ob, _ := base.Owner(k)
+		oj, _ := joined.Owner(k)
+		if ob != oj {
+			if oj != 99 {
+				t.Fatalf("join moved %v from %v to %v (not the new member)", k, ob, oj)
+			}
+			moved++
+		}
+	}
+	// The new member should take roughly 1/(n+1) of the keyspace;
+	// allow generous slack but catch wholesale reshuffles.
+	if frac := float64(moved) / float64(len(keys)); frac > 2.0/float64(n+1) {
+		t.Fatalf("join disturbed %.1f%% of keys, want ≲ %.1f%%", frac*100, 100*2.0/float64(n+1))
+	}
+
+	left := NewRing(members(n-1), 0) // member n leaves
+	for _, k := range keys {
+		ob, _ := base.Owner(k)
+		ol, _ := left.Owner(k)
+		if ob != ol && ob != ids.NodeID(n) {
+			t.Fatalf("leave of member %d moved %v owned by %v to %v", n, k, ob, ol)
+		}
+	}
+}
+
+func TestCacheAddResolveCompress(t *testing.T) {
+	c := NewCache(16)
+	a, b, d := aid(1, 1), aid(2, 1), aid(3, 1)
+	c.Add(a, b)
+	if got := c.Resolve(a); got != b {
+		t.Fatalf("Resolve(a) = %v, want %v", got, b)
+	}
+	// Learning b→d must compress the existing a→b entry to a→d.
+	c.Add(b, d)
+	if got := c.Resolve(a); got != d {
+		t.Fatalf("after chain add, Resolve(a) = %v, want %v", got, d)
+	}
+	// Adding d→a would complete a cycle a→d→a; Add resolves through
+	// the chain, sees identity, and must not loop or store it.
+	c.Add(d, a)
+	if got := c.Resolve(a); got != d && got != a {
+		t.Fatalf("cycle add produced %v", got)
+	}
+	if got := c.Resolve(aid(9, 9)); got != aid(9, 9) {
+		t.Fatal("miss must return the id unchanged")
+	}
+}
+
+func TestCacheBoundedLRU(t *testing.T) {
+	c := NewCache(8)
+	for i := uint32(0); i < 64; i++ {
+		c.Add(aid(10, i), aid(11, i))
+	}
+	if c.Len() != 8 {
+		t.Fatalf("cache size %d, want 8", c.Len())
+	}
+	// The most recently added entries survive.
+	if got := c.Resolve(aid(10, 63)); got != aid(11, 63) {
+		t.Fatalf("newest entry evicted: %v", got)
+	}
+	if got := c.Resolve(aid(10, 0)); got != aid(10, 0) {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	// Touching an entry protects it from eviction.
+	c.Resolve(aid(10, 56))
+	for i := uint32(100); i < 107; i++ {
+		c.Add(aid(10, i), aid(11, i))
+	}
+	if got := c.Resolve(aid(10, 56)); got != aid(11, 56) {
+		t.Fatal("recently touched entry was evicted before older ones")
+	}
+}
+
+func TestCachePurgeTargets(t *testing.T) {
+	c := NewCache(16)
+	c.Add(aid(1, 1), aid(5, 1))
+	c.Add(aid(2, 1), aid(6, 1))
+	c.Add(aid(3, 1), aid(5, 2))
+	c.PurgeTargets(5)
+	if got := c.Resolve(aid(1, 1)); got != aid(1, 1) {
+		t.Fatalf("entry targeting dead node survived: %v", got)
+	}
+	if got := c.Resolve(aid(3, 1)); got != aid(3, 1) {
+		t.Fatalf("entry targeting dead node survived: %v", got)
+	}
+	if got := c.Resolve(aid(2, 1)); got != aid(6, 1) {
+		t.Fatalf("unrelated entry purged: %v", got)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	rebinds := []Rebind{
+		{Old: aid(1, 2), New: aid(3, 4)},
+		{Old: aid(0xffffffff, 0), New: aid(0, 0xffffffff)},
+	}
+	got, err := DecodeAnnounce(AppendAnnounce(nil, rebinds))
+	if err != nil || len(got) != 2 || got[0] != rebinds[0] || got[1] != rebinds[1] {
+		t.Fatalf("announce round-trip: %v, %v", got, err)
+	}
+	if got, err := DecodeAnnounce(AppendAnnounce(nil, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty announce round-trip: %v, %v", got, err)
+	}
+
+	id, err := DecodeQuery(AppendQuery(nil, aid(7, 9)))
+	if err != nil || id != aid(7, 9) {
+		t.Fatalf("query round-trip: %v, %v", id, err)
+	}
+
+	nw, known, err := DecodeReply(AppendReply(nil, aid(8, 8), true))
+	if err != nil || !known || nw != aid(8, 8) {
+		t.Fatalf("reply round-trip: %v %v %v", nw, known, err)
+	}
+	nw, known, err = DecodeReply(AppendReply(nil, aid(8, 8), false))
+	if err != nil || known || nw != ids.Nil {
+		t.Fatalf("unknown reply round-trip: %v %v %v", nw, known, err)
+	}
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{TagAnnounce},
+		{TagAnnounce, 2, 0, 0}, // count says 2, body truncated
+		{TagQuery},
+		{TagQuery, 1, 2, 3},
+		{TagReply, 2, 0, 0, 0, 0, 0, 0, 0, 0}, // known flag out of range
+		{0x00, 1, 2},
+	}
+	for _, p := range bad {
+		if _, err := DecodeAnnounce(p); err == nil && (len(p) == 0 || p[0] == TagAnnounce) {
+			t.Fatalf("DecodeAnnounce accepted %x", p)
+		}
+		if _, err := DecodeQuery(p); err == nil && (len(p) == 0 || p[0] == TagQuery) {
+			t.Fatalf("DecodeQuery accepted %x", p)
+		}
+		if _, _, err := DecodeReply(p); err == nil && (len(p) == 0 || p[0] == TagReply) {
+			t.Fatalf("DecodeReply accepted %x", p)
+		}
+	}
+}

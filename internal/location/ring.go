@@ -1,0 +1,125 @@
+// Package location implements the sharded location directory: a
+// consistent-hash ring mapping activity IDs to their home shard (the
+// cluster member that records the activity's freshest identity), a
+// bounded LRU cache of learned locations with rebind-chain path
+// compression, and the wire codec for directory envelopes.
+//
+// The directory is soft state. Every mapping it holds can be
+// reconstructed from the forwarders the migration protocol already
+// leaves behind; the directory only shortcuts the forwarding chain and
+// survives the chain's links dying. Shards therefore need no
+// replication protocol: when a shard owner dies the ring reassigns its
+// range and the nodes that originated each mapping re-announce it to
+// the new owner on their next beat.
+package location
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// DefaultVnodes is the virtual-node count per member used when callers
+// pass vnodes <= 0. High enough that an 8..64-member ring keeps the
+// max/min shard-load ratio comfortably under 2.
+const DefaultVnodes = 128
+
+type point struct {
+	hash  uint64
+	owner ids.NodeID
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build a
+// new Ring on every membership change; lookups are lock-free.
+type Ring struct {
+	points  []point
+	members []ids.NodeID
+}
+
+// NewRing builds a ring over members (duplicates ignored) with the
+// given virtual-node count per member. A nil/empty member set yields a
+// ring whose Owner always reports ok=false.
+func NewRing(members []ids.NodeID, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	uniq := make([]ids.NodeID, 0, len(members))
+	seen := make(map[ids.NodeID]struct{}, len(members))
+	for _, m := range members {
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		uniq = append(uniq, m)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	r := &Ring{
+		points:  make([]point, 0, len(uniq)*vnodes),
+		members: uniq,
+	}
+	for _, m := range uniq {
+		base := mix64(uint64(m) + 0x9e3779b97f4a7c15)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:  mix64(base ^ uint64(v)*0xbf58476d1ce4e5b9),
+				owner: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].owner < r.points[j].owner
+	})
+	return r
+}
+
+// Owner returns the member whose shard the activity ID hashes into.
+// ok is false only for an empty ring.
+func (r *Ring) Owner(id ids.ActivityID) (ids.NodeID, bool) {
+	if r == nil || len(r.points) == 0 {
+		return 0, false
+	}
+	h := KeyHash(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].owner, true
+}
+
+// Members returns the ring's member set, sorted. Callers must not
+// mutate the returned slice.
+func (r *Ring) Members() []ids.NodeID {
+	if r == nil {
+		return nil
+	}
+	return r.members
+}
+
+// Has reports whether m is a ring member.
+func (r *Ring) Has(m ids.NodeID) bool {
+	if r == nil {
+		return false
+	}
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i] >= m })
+	return i < len(r.members) && r.members[i] == m
+}
+
+// KeyHash is the placement hash for an activity ID. Exported so tests
+// can reason about the ring directly.
+func KeyHash(id ids.ActivityID) uint64 {
+	return mix64(uint64(id.Node)<<32 | uint64(id.Seq))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche mixer, so
+// consecutive node/seq pairs land uniformly on the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

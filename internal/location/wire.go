@@ -1,0 +1,123 @@
+package location
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/ids"
+)
+
+// Directory envelope tags. They ride the application transport class
+// next to the request/future envelopes (kinds 1..7), so they sit in a
+// disjoint byte range.
+const (
+	TagAnnounce = 0xA1 // one-way: batch of rebinds for the receiving shard / cache
+	TagQuery    = 0xA2 // call: where does this activity live now?
+	TagReply    = 0xA3 // call response to TagQuery
+)
+
+// ErrMalformed reports a directory envelope that failed to decode.
+var ErrMalformed = errors.New("location: malformed directory envelope")
+
+// maxAnnounce bounds the rebind count a decoder will accept; an
+// announce batch is built from per-beat gossip and handoff slices, far
+// below this.
+const maxAnnounce = 1 << 16
+
+// Rebind maps a stale activity identity to a fresher one.
+type Rebind struct {
+	Old, New ids.ActivityID
+}
+
+// AppendAnnounce encodes a TagAnnounce envelope:
+//
+//	tag(1) | count(uvarint) | count × (old node,seq | new node,seq) as LE uint32s
+func AppendAnnounce(buf []byte, rebinds []Rebind) []byte {
+	buf = append(buf, TagAnnounce)
+	buf = binary.AppendUvarint(buf, uint64(len(rebinds)))
+	for _, rb := range rebinds {
+		buf = appendID(buf, rb.Old)
+		buf = appendID(buf, rb.New)
+	}
+	return buf
+}
+
+// DecodeAnnounce parses a TagAnnounce envelope.
+func DecodeAnnounce(p []byte) ([]Rebind, error) {
+	if len(p) == 0 || p[0] != TagAnnounce {
+		return nil, ErrMalformed
+	}
+	p = p[1:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > maxAnnounce {
+		return nil, ErrMalformed
+	}
+	if n > 1 && p[n-1] == 0 { // non-minimal varint: codec is canonical
+		return nil, ErrMalformed
+	}
+	p = p[n:]
+	if uint64(len(p)) != count*16 {
+		return nil, ErrMalformed
+	}
+	out := make([]Rebind, count)
+	for i := range out {
+		out[i].Old, p = readID(p)
+		out[i].New, p = readID(p)
+	}
+	return out, nil
+}
+
+// AppendQuery encodes a TagQuery envelope: tag(1) | id node,seq.
+func AppendQuery(buf []byte, id ids.ActivityID) []byte {
+	buf = append(buf, TagQuery)
+	return appendID(buf, id)
+}
+
+// DecodeQuery parses a TagQuery envelope.
+func DecodeQuery(p []byte) (ids.ActivityID, error) {
+	if len(p) != 9 || p[0] != TagQuery {
+		return ids.Nil, ErrMalformed
+	}
+	id, _ := readID(p[1:])
+	return id, nil
+}
+
+// AppendReply encodes a TagReply envelope: tag(1) | known(1) | id.
+// When known is false the id is ignored by decoders (encoded as Nil).
+func AppendReply(buf []byte, new ids.ActivityID, known bool) []byte {
+	buf = append(buf, TagReply)
+	if known {
+		buf = append(buf, 1)
+		return appendID(buf, new)
+	}
+	buf = append(buf, 0)
+	return appendID(buf, ids.Nil)
+}
+
+// DecodeReply parses a TagReply envelope.
+func DecodeReply(p []byte) (new ids.ActivityID, known bool, err error) {
+	if len(p) != 10 || p[0] != TagReply || p[1] > 1 {
+		return ids.Nil, false, ErrMalformed
+	}
+	id, _ := readID(p[2:])
+	if p[1] == 0 {
+		if id != ids.Nil { // canonical form zeroes the ignored id
+			return ids.Nil, false, ErrMalformed
+		}
+		return ids.Nil, false, nil
+	}
+	return id, true, nil
+}
+
+func appendID(buf []byte, id ids.ActivityID) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id.Node))
+	return binary.LittleEndian.AppendUint32(buf, id.Seq)
+}
+
+func readID(p []byte) (ids.ActivityID, []byte) {
+	id := ids.ActivityID{
+		Node: ids.NodeID(binary.LittleEndian.Uint32(p)),
+		Seq:  binary.LittleEndian.Uint32(p[4:]),
+	}
+	return id, p[8:]
+}

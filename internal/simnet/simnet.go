@@ -14,7 +14,11 @@
 //     (§5.1) with an explicit MaxComm upper bound for the TTA formula;
 //   - payload byte accounting per traffic class, the stand-in for the
 //     paper's instrumented SOCKS proxy (§5): intra-process messages are
-//     delivered directly and not accounted, as in the paper.
+//     delivered directly and not accounted, as in the paper;
+//   - optional interface serialization (PerMessage/PerByte): messages
+//     occupy their sender's and receiver's interface in turn, modeling
+//     the per-packet overhead and finite bandwidth real deployments
+//     have — the regime where fan-out topology matters.
 //
 // The sibling internal/tcpnet implements the same contract over real TCP
 // connections; internal/active runs over either.
@@ -74,6 +78,17 @@ type Config struct {
 	// DGC deadline formula. If zero, it is taken as the maximum of Latency
 	// over registered node pairs at the time MaxComm() is called.
 	MaxComm time.Duration
+	// PerMessage is the fixed interface cost of one message: every message
+	// occupies its sender's and its receiver's network interface for this
+	// long (plus PerByte × size), and messages serialize at both
+	// interfaces — the store-and-forward model of real per-packet overhead
+	// (syscall, interrupt, protocol processing). Zero, the default, models
+	// infinitely fast interfaces. A SendBatch pays the fixed cost once per
+	// batch: exactly the frame coalescing batching exists to buy.
+	PerMessage time.Duration
+	// PerByte extends the interface occupancy per payload byte — the
+	// bandwidth stand-in. Zero means unlimited bandwidth.
+	PerByte time.Duration
 }
 
 // Counters is a snapshot of accounted traffic; see transport.Counters.
@@ -108,6 +123,13 @@ type Network struct {
 	killMu sync.Mutex
 	killed atomic.Pointer[map[ids.NodeID]struct{}]
 
+	// linkMu guards the interface-serialization state (PerMessage /
+	// PerByte): the next instant each node's outbound and inbound
+	// interface is free again.
+	linkMu sync.Mutex
+	txFree map[ids.NodeID]time.Time
+	rxFree map[ids.NodeID]time.Time
+
 	counters transport.CounterSet
 }
 
@@ -130,6 +152,10 @@ func New(cfg Config) *Network {
 		cfg.Reachable = func(_, _ ids.NodeID) bool { return true }
 	}
 	n := &Network{cfg: cfg}
+	if cfg.PerMessage > 0 || cfg.PerByte > 0 {
+		n.txFree = make(map[ids.NodeID]time.Time)
+		n.rxFree = make(map[ids.NodeID]time.Time)
+	}
 	for i := range n.shards {
 		n.shards[i].nodes = make(map[ids.NodeID]Handler)
 		n.shards[i].queues = make(map[pairKey]*pairQueue)
@@ -299,6 +325,36 @@ func (n *Network) route(src, dst ids.NodeID) (Handler, *pairQueue, error) {
 	return h, q, nil
 }
 
+// linkSchedule computes when a message of the given size, sent now,
+// reaches dst's handler: it claims the next free slot on src's outbound
+// interface, travels the pair latency, then claims the next free slot
+// on dst's inbound interface (store-and-forward). With no interface
+// costs configured this degenerates to now + latency. Per-interface
+// times are monotone, so FIFO order within a pair is preserved.
+func (n *Network) linkSchedule(src, dst ids.NodeID, bytes int) time.Time {
+	now := n.cfg.Clock.Now()
+	if n.txFree == nil {
+		return now.Add(n.cfg.Latency(src, dst))
+	}
+	occ := n.cfg.PerMessage + time.Duration(bytes)*n.cfg.PerByte
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	tx := n.txFree[src]
+	if tx.Before(now) {
+		tx = now
+	}
+	tx = tx.Add(occ)
+	n.txFree[src] = tx
+	arrive := tx.Add(n.cfg.Latency(src, dst))
+	rx := n.rxFree[dst]
+	if rx.Before(arrive) {
+		rx = arrive
+	}
+	rx = rx.Add(occ)
+	n.rxFree[dst] = rx
+	return rx
+}
+
 // Endpoint is a node's attachment point to the network. It implements
 // transport.Endpoint.
 type Endpoint struct {
@@ -341,9 +397,8 @@ func (e *Endpoint) Send(dst ids.NodeID, class Class, payload []byte) error {
 		return err
 	}
 	e.net.account(class, len(payload))
-	deliverAt := e.net.cfg.Clock.Now().Add(e.net.cfg.Latency(e.node, dst))
 	return q.push(item{
-		deliverAt: deliverAt,
+		deliverAt: e.net.linkSchedule(e.node, dst, len(payload)),
 		fn:        func() { h.HandleOneWay(e.node, class, payload) },
 	})
 }
@@ -380,13 +435,16 @@ func (e *Endpoint) SendBatch(dst ids.NodeID, items []transport.BatchItem) error 
 	if err != nil {
 		return err
 	}
+	total := 0
 	for _, it := range items {
 		e.net.account(it.Class, len(it.Payload))
+		total += len(it.Payload)
 	}
 	batch := items[:len(items):len(items)]
-	deliverAt := e.net.cfg.Clock.Now().Add(e.net.cfg.Latency(e.node, dst))
+	// One frame on the wire: the batch pays the fixed interface cost
+	// once, plus bandwidth for every byte in it.
 	return q.push(item{
-		deliverAt: deliverAt,
+		deliverAt: e.net.linkSchedule(e.node, dst, total),
 		fn: func() {
 			for _, it := range batch {
 				h.HandleOneWay(e.node, it.Class, it.Payload)
@@ -426,9 +484,8 @@ func (e *Endpoint) Call(dst ids.NodeID, class Class, payload []byte) ([]byte, er
 		resp []byte
 	}
 	done := make(chan result, 1)
-	deliverAt := e.net.cfg.Clock.Now().Add(e.net.cfg.Latency(e.node, dst))
 	err = q.push(item{
-		deliverAt: deliverAt,
+		deliverAt: e.net.linkSchedule(e.node, dst, len(payload)),
 		fn: func() {
 			resp := h.HandleCall(e.node, class, payload)
 			done <- result{resp: resp}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 )
 
 // recorder is a test handler recording deliveries.
@@ -358,5 +359,72 @@ func TestKillNodeIsBidirectional(t *testing.T) {
 	}
 	if got := rec2.received(); len(got) != 0 {
 		t.Fatalf("sends toward killed node were delivered: %v", got)
+	}
+}
+
+func TestLinkScheduleSerializesInterfaces(t *testing.T) {
+	base := time.Unix(1000, 0)
+	clk := vclock.NewManual(base)
+	n := New(Config{Clock: clk, PerMessage: 10 * time.Millisecond})
+	defer n.Close()
+
+	// Three messages from the same source to the same destination: each
+	// claims the next tx slot (10ms apart), then the next rx slot — the
+	// k-th delivery lands at base + (k+1)×10ms.
+	for k, want := range []time.Duration{20, 30, 40} {
+		got := n.linkSchedule(1, 2, 0)
+		if got.Sub(base) != want*time.Millisecond {
+			t.Fatalf("msg %d deliverAt = +%v, want +%vms", k, got.Sub(base), want)
+		}
+	}
+
+	// Distinct sources contend only at the shared receiver.
+	n2 := New(Config{Clock: clk, PerMessage: 10 * time.Millisecond})
+	defer n2.Close()
+	if got := n2.linkSchedule(1, 3, 0); got.Sub(base) != 20*time.Millisecond {
+		t.Fatalf("src1 deliverAt = +%v, want +20ms", got.Sub(base))
+	}
+	if got := n2.linkSchedule(2, 3, 0); got.Sub(base) != 30*time.Millisecond {
+		t.Fatalf("src2 deliverAt = +%v, want +30ms", got.Sub(base))
+	}
+
+	// PerByte extends the occupancy with payload size.
+	n3 := New(Config{Clock: clk, PerByte: time.Millisecond})
+	defer n3.Close()
+	if got := n3.linkSchedule(1, 2, 5); got.Sub(base) != 10*time.Millisecond {
+		t.Fatalf("5-byte deliverAt = +%v, want +10ms", got.Sub(base))
+	}
+
+	// Without interface costs the schedule degenerates to now + latency.
+	n4 := New(Config{Clock: clk, Latency: func(_, _ ids.NodeID) time.Duration { return 7 * time.Millisecond }})
+	defer n4.Close()
+	if got := n4.linkSchedule(1, 2, 99); got.Sub(base) != 7*time.Millisecond {
+		t.Fatalf("latency-only deliverAt = +%v, want +7ms", got.Sub(base))
+	}
+}
+
+func TestPerMessageDeliveryEndToEnd(t *testing.T) {
+	n := New(Config{PerMessage: 3 * time.Millisecond})
+	defer n.Close()
+	var rec recorder
+	n.Register(2, &rec)
+	ep := n.Register(1, &recorder{})
+	start := time.Now()
+	const k = 5
+	for i := 0; i < k; i++ {
+		if err := ep.Send(2, ClassApp, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(rec.received()) == k })
+	// tx slots at 3,6,..,15ms; the last rx slot opens at 18ms.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("%d messages delivered in %v, want ≥ 15ms of interface serialization", k, elapsed)
+	}
+	got := rec.received()
+	for i := 0; i < k; i++ {
+		if got[i] != string([]byte{byte(i)}) {
+			t.Fatalf("out-of-order delivery at %d", i)
+		}
 	}
 }
