@@ -53,6 +53,17 @@ func compareSuites(baselinePath, candidatePath string, maxRegressPct float64) er
 		}
 		matched++
 		name := scenarioName(b)
+		if b.Config.Mix.Send > 0 {
+			// Send scenarios are gated on an absolute throughput floor:
+			// the one-way lane must sustain ≥10^6 served ops/s aggregate
+			// (every windowed barrier proves its window was drained), with
+			// no lost barrier replies. An absolute floor, not a relative
+			// gate: the number is the scenario's reason to exist.
+			violations = append(violations, checkSendFloor(name, c)...)
+			fmt.Printf("%-24s send throughput %11.0f ops/s (floor %.0f)\n",
+				name, c.Throughput, sendFloorOpsPerSec)
+			continue
+		}
 		if b.Config.MinActivities > 0 {
 			// Scale scenarios run under node-kill chaos, so their latency
 			// is gated elsewhere; what they must prove is correctness at
@@ -132,6 +143,25 @@ func scenarioName(r loadgen.Result) string {
 		mode = "batched"
 	}
 	return r.Config.Backend + "/" + mode
+}
+
+// sendFloorOpsPerSec is the absolute gate on the one-way send scenario:
+// a million served messages per second, aggregate, on the sim backend.
+const sendFloorOpsPerSec = 1e6
+
+// checkSendFloor gates a send scenario on its throughput floor and on
+// every windowed barrier reply arriving.
+func checkSendFloor(name string, c loadgen.Result) []string {
+	var violations []string
+	if c.Throughput < sendFloorOpsPerSec {
+		violations = append(violations, fmt.Sprintf(
+			"%s: %.0f ops/s, floor %.0f", name, c.Throughput, sendFloorOpsPerSec))
+	}
+	if c.LostReplies != 0 {
+		violations = append(violations, fmt.Sprintf(
+			"%s: %d lost replies, want 0", name, c.LostReplies))
+	}
+	return violations
 }
 
 // checkScale gates a scale scenario: the candidate must have created at

@@ -56,7 +56,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "closed-loop concurrency (0 = 2×GOMAXPROCS)")
 		rate      = flag.Float64("rate", 0, "open-loop arrivals/sec (0 = closed loop)")
 		duration  = flag.Duration("duration", 2*time.Second, "measured run length")
-		mix       = flag.String("mix", "1:0:0:0", "call:broadcast:churn[:pipeline[:migrate]] weights")
+		mix       = flag.String("mix", "1:0:0:0", "call:broadcast:churn[:pipeline[:migrate[:send]]] weights")
+		colocate  = flag.Bool("colocate", false, "anchor the send lane on the actor-owning nodes (intra-node direct path)")
 		payload   = flag.Int("payload", 64, "payload bytes per request")
 		batch     = flag.Duration("batch", 0, "batch window (0 = batching off)")
 		dgcOff    = flag.Bool("no-dgc", false, "disable the DGC")
@@ -105,6 +106,7 @@ func main() {
 		PayloadBytes:      *payload,
 		BatchWindow:       *batch,
 		DisableDGC:        *dgcOff,
+		Colocate:          *colocate,
 		DisableTreeFanOut: *flatGroup,
 		NetPerMessage:     *netCost,
 		DropConnsEvery:    *dropEvery,
@@ -172,7 +174,7 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 	var doc suiteDoc
 	doc.Meta.GoVersion = runtime.Version()
 	doc.Meta.NumCPU = runtime.NumCPU()
-	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn:pipeline = 6:2:1:2; pipeline = 4-stage forwarded-future chain) plus bcast1024 tree/flat and scale-churn scenarios, regenerate with: make bench"
+	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn:pipeline = 6:2:1:2; pipeline = 4-stage forwarded-future chain) plus bcast1024 tree/flat, sends-1m-local and scale-churn scenarios, regenerate with: make bench"
 
 	for _, backend := range []string{"sim", "tcp"} {
 		for _, window := range []time.Duration{0, 200 * time.Microsecond} {
@@ -218,6 +220,30 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 		doc.Scenarios = append(doc.Scenarios, res)
 	}
 
+	// The asynchronous-messaging floor: a send-only lane of colocated
+	// one-way pings with a sync barrier every 256th op, gated by the
+	// comparator on sustaining ≥10^6 served ops/s aggregate. Colocated
+	// because this scenario measures the runtime's own hot path — typed
+	// marshal, queue push, affinity serve — not the substrate hop (the
+	// matrix scenarios above cover that); the windowed barrier makes the
+	// figure honest by proving the serve side drained each window.
+	{
+		cfg := base
+		cfg.Name = "sends-1m-local"
+		cfg.Backend = "sim"
+		cfg.Nodes = 2
+		cfg.ActorsPerNode = 2
+		cfg.Workers = 4
+		cfg.Mix = loadgen.Mix{Send: 1}
+		cfg.Colocate = true
+		cfg.DisableDGC = true
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return doc, fmt.Errorf("suite %s: %w", cfg.Name, err)
+		}
+		doc.Scenarios = append(doc.Scenarios, res)
+	}
+
 	// The 10^5-activity scale proof: 8 worker nodes in an elastic
 	// cluster, burst churn + live migration + a node hard-killed every
 	// 300ms, running until at least 100k activities existed. The
@@ -243,14 +269,14 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 
 func parseMix(s string) (loadgen.Mix, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) < 3 || len(parts) > 5 {
-		return loadgen.Mix{}, fmt.Errorf("loadgen: -mix wants call:broadcast:churn[:pipeline[:migrate]], got %q", s)
+	if len(parts) < 3 || len(parts) > 6 {
+		return loadgen.Mix{}, fmt.Errorf("loadgen: -mix wants call:broadcast:churn[:pipeline[:migrate[:send]]], got %q", s)
 	}
-	var vals [5]int
+	var vals [6]int
 	for i, p := range parts {
 		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &vals[i]); err != nil {
 			return loadgen.Mix{}, fmt.Errorf("loadgen: bad mix component %q", p)
 		}
 	}
-	return loadgen.Mix{Call: vals[0], Broadcast: vals[1], Churn: vals[2], Pipeline: vals[3], Migrate: vals[4]}, nil
+	return loadgen.Mix{Call: vals[0], Broadcast: vals[1], Churn: vals[2], Pipeline: vals[3], Migrate: vals[4], Send: vals[5]}, nil
 }

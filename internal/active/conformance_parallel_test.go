@@ -1,0 +1,301 @@
+package active
+
+// Race coverage for the parallel-serve worker pool and the sharded hot
+// tables (futureTable, localgc heap). Every scenario runs on both
+// substrates and is written to be meaningful under `go test -race
+// -shuffle=on`: many goroutines hammer one activity (worker-pool
+// affinity and future-shard locks), churn activities concurrently (heap
+// shard locks), migrate under parallel load, and drive Context.ServeNext
+// while the pool is scheduling around it.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestConformanceHotActivityManyCallers pins the parallel-serve
+// invariants under contention: one activity called from many nodes at
+// once must serve every request exactly once (per-activity affinity: no
+// two workers drain it concurrently) and preserve FIFO per sender.
+func TestConformanceHotActivityManyCallers(t *testing.T) {
+	forEachSubstrate(t, func(t *testing.T, e *Env) {
+		const (
+			callers = 4
+			perNode = 3 // goroutines per caller node
+			calls   = 40
+		)
+		var inService atomic.Int32
+		var overlap atomic.Bool
+		// lastSeen tracks FIFO per sender key; only the serving
+		// goroutine touches it, so any data race the detector finds here
+		// is a real affinity violation.
+		lastSeen := map[string]int64{}
+		var served atomic.Int64
+		host := e.NewNode()
+		h := host.NewActive("hot", NewService(
+			Method("mark", func(_ *Context, req struct {
+				Who string `wire:"who"`
+				Seq int64  `wire:"seq"`
+			}) (int64, error) {
+				if inService.Add(1) != 1 {
+					overlap.Store(true)
+				}
+				if last, ok := lastSeen[req.Who]; ok && req.Seq != last+1 {
+					return 0, fmt.Errorf("sender %s: seq %d after %d (FIFO per sender violated)", req.Who, req.Seq, last)
+				}
+				lastSeen[req.Who] = req.Seq
+				inService.Add(-1)
+				return served.Add(1), nil
+			})))
+		defer h.Release()
+
+		var wg sync.WaitGroup
+		errs := make(chan error, callers*perNode)
+		for c := 0; c < callers; c++ {
+			caller := e.NewNode()
+			hc, err := caller.HandleFor(h.Ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hc.Release()
+			for g := 0; g < perNode; g++ {
+				// One stub per goroutine: FIFO is guaranteed per sending
+				// activity, and each goroutine keys its own lane.
+				who := fmt.Sprintf("c%d-g%d", c, g)
+				stub := NewStub[struct {
+					Who string `wire:"who"`
+					Seq int64  `wire:"seq"`
+				}, int64](hc, "mark")
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 1; i <= calls; i++ {
+						if _, err := stub.CallSync(struct {
+							Who string `wire:"who"`
+							Seq int64  `wire:"seq"`
+						}{Who: who, Seq: int64(i)}, 30*time.Second); err != nil {
+							errs <- fmt.Errorf("%s call %d: %w", who, i, err)
+							return
+						}
+					}
+				}()
+			}
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if overlap.Load() {
+			t.Error("two workers served the same activity concurrently")
+		}
+		if got, want := served.Load(), int64(callers*perNode*calls); got != want {
+			t.Errorf("served %d requests, want %d", got, want)
+		}
+	})
+}
+
+// TestConformanceChurnStormShardedHeap hammers the sharded localgc heap
+// and future table from many goroutines at once: concurrent spawn, call,
+// release across every heap shard, with the DGC live.
+func TestConformanceChurnStormShardedHeap(t *testing.T) {
+	forEachSubstrate(t, func(t *testing.T, e *Env) {
+		const (
+			spawners = 8
+			rounds   = 25
+		)
+		host := e.NewNode()
+		caller := e.NewNode()
+		var wg sync.WaitGroup
+		errs := make(chan error, spawners)
+		for s := 0; s < spawners; s++ {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					h := host.NewActive(fmt.Sprintf("churn-%d-%d", s, i), relay{})
+					hc, err := caller.HandleFor(h.Ref())
+					if err != nil {
+						errs <- err
+						return
+					}
+					got, err := hc.CallSync("echo", wire.Int(int64(i)), 30*time.Second)
+					if err == nil && got.AsInt() != int64(i) {
+						err = fmt.Errorf("echo = %v, want %d", got, i)
+					}
+					hc.Release()
+					h.Release()
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	})
+}
+
+// TestConformanceMigrateUnderParallelLoad migrates an activity back and
+// forth while callers on several nodes keep hammering it: every call
+// must complete correctly through whatever mix of direct delivery,
+// forwarding and redirects the moves produce.
+func TestConformanceMigrateUnderParallelLoad(t *testing.T) {
+	forEachSubstrate(t, func(t *testing.T, e *Env) {
+		RegisterBehavior("parallel/relay", func() Behavior { return relay{} })
+		nodeA, nodeB := e.NewNode(), e.NewNode()
+		h, err := nodeA.SpawnKind("mover", "parallel/relay")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Release()
+
+		const (
+			callers = 3
+			calls   = 30
+			moves   = 6
+		)
+		var wg sync.WaitGroup
+		errs := make(chan error, callers+1)
+		stop := make(chan struct{})
+		for c := 0; c < callers; c++ {
+			caller := e.NewNode()
+			hc, err := caller.HandleFor(h.Ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hc.Release()
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < calls; i++ {
+					want := int64(c*1000 + i)
+					got, err := hc.CallSync("echo", wire.Int(want), 30*time.Second)
+					if err != nil {
+						errs <- fmt.Errorf("caller %d call %d: %w", c, i, err)
+						return
+					}
+					if got.AsInt() != want {
+						errs <- fmt.Errorf("caller %d: echo = %v, want %d", c, got, want)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(stop)
+			targets := []*Node{nodeB, nodeA}
+			for m := 0; m < moves; m++ {
+				fut, err := h.Migrate(targets[m%2].ID())
+				if err != nil {
+					// A move can race a concurrent move or land on the
+					// current host; both are defined refusals, not failures.
+					continue
+				}
+				if _, err := fut.Wait(30 * time.Second); err != nil {
+					errs <- fmt.Errorf("move %d: %w", m, err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	})
+}
+
+// TestConformanceServeNextUnderPool drives the selective-serve primitive
+// while the worker pool is scheduling the activity: a service blocks in
+// Context.ServeNext waiting for an "unblock" request that arrives later
+// from another node, with unrelated requests queued around it. The
+// pool's affinity must keep the nested serve on the same drain, and the
+// selective pop must not lose or double-serve the queued work.
+func TestConformanceServeNextUnderPool(t *testing.T) {
+	forEachSubstrate(t, func(t *testing.T, e *Env) {
+		host := e.NewNode()
+		var order []string
+		h := host.NewActive("selective", NewService(
+			Method("gate", func(ctx *Context, _ struct{}) (struct{}, error) {
+				order = append(order, "gate")
+				// Serve exactly one "unblock" before returning, whatever
+				// else is queued.
+				if err := ctx.ServeNext(ServeOldest("unblock")); err != nil {
+					return struct{}{}, err
+				}
+				order = append(order, "gate-done")
+				return struct{}{}, nil
+			}),
+			Method("unblock", func(_ *Context, _ struct{}) (struct{}, error) {
+				order = append(order, "unblock")
+				return struct{}{}, nil
+			}),
+			Method("noise", func(_ *Context, _ struct{}) (struct{}, error) {
+				order = append(order, "noise")
+				return struct{}{}, nil
+			})))
+		defer h.Release()
+
+		caller := e.NewNode()
+		hc, err := caller.HandleFor(h.Ref())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hc.Release()
+
+		gate := NewStub[struct{}, struct{}](hc, "gate")
+		noise := NewStub[struct{}, struct{}](hc, "noise")
+		unblock := NewStub[struct{}, struct{}](hc, "unblock")
+
+		gateFut, err := gate.Call(struct{}{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Queue noise behind the blocked gate, then the unblock it waits
+		// for; FIFO per sender makes this ordering deterministic.
+		var noiseFuts []*TypedFuture[struct{}]
+		for i := 0; i < 3; i++ {
+			nf, err := noise.Call(struct{}{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			noiseFuts = append(noiseFuts, nf)
+		}
+		if _, err := unblock.CallSync(struct{}{}, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gateFut.Wait(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for i, nf := range noiseFuts {
+			if _, err := nf.Wait(30 * time.Second); err != nil {
+				t.Fatalf("noise %d: %v", i, err)
+			}
+		}
+		// The gate must have consumed the unblock inside ServeNext:
+		// gate, unblock, gate-done, then the noise backlog.
+		want := []string{"gate", "unblock", "gate-done", "noise", "noise", "noise"}
+		if len(order) != len(want) {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order[%d] = %s, want %s (full: %v)", i, order[i], want[i], order)
+			}
+		}
+	})
+}

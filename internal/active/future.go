@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/localgc"
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -321,9 +322,33 @@ func (f *Future) TryGet() (wire.Value, error, bool) {
 // the value releases the heap pin that was keeping the value's references
 // alive on behalf of this future.
 func (f *Future) Wait(timeout time.Duration) (wire.Value, error) {
+	// Already resolved: skip the timeout machinery entirely.
+	select {
+	case <-f.done:
+		return f.consume()
+	default:
+	}
 	if timeout <= 0 {
 		<-f.done
 		return f.consume()
+	}
+	if _, real := f.node.env.cfg.Clock.(vclock.Real); real {
+		// Wall clock: a pooled timer instead of a fresh runtime timer per
+		// wait (Clock.After cannot be reclaimed before it fires; a 30s
+		// default budget would pin one timer per call for 30 seconds).
+		// Reset/Stop recycling is sound with Go 1.23+ timer channels: no
+		// stale tick can linger in t.C after Stop.
+		t := realTimers.Get().(*time.Timer)
+		t.Reset(timeout)
+		select {
+		case <-f.done:
+			t.Stop()
+			realTimers.Put(t)
+			return f.consume()
+		case <-t.C:
+			realTimers.Put(t)
+			return wire.Null(), fmt.Errorf("%w after %v", ErrFutureTimeout, timeout)
+		}
 	}
 	select {
 	case <-f.done:
@@ -332,6 +357,9 @@ func (f *Future) Wait(timeout time.Duration) (wire.Value, error) {
 		return wire.Null(), fmt.Errorf("%w after %v", ErrFutureTimeout, timeout)
 	}
 }
+
+// realTimers pools the wall-clock timers of Wait's timeout path.
+var realTimers = sync.Pool{New: func() any { return time.NewTimer(time.Hour) }}
 
 func (f *Future) consume() (wire.Value, error) {
 	f.mu.Lock()
@@ -393,22 +421,46 @@ func (f *Future) sweepable(heap *localgc.Heap, now time.Time, grace time.Duratio
 // of local calls (home entries) and the proxies adopted for futures that
 // were forwarded here. Entries are keyed by full FutureID because a
 // first-class future travels across nodes under its home identity.
+//
+// The table is sharded 32 ways (the same shape as simnet's routing
+// shards): every per-entry operation — create, adopt, lookup, the
+// takeForUpdate on the reply path — locks only the shard its identity
+// hashes to, so concurrent calls through one hot node stop serializing
+// on a single table mutex. Whole-table operations (sweep, shutdown
+// failure fan-outs) walk the shards one at a time.
 type futureTable struct {
+	nextSeq atomic.Uint32
+	shards  [futureShards]futureShard
+}
+
+type futureShard struct {
 	mu      sync.Mutex
-	nextSeq uint32
 	pending map[ids.FutureID]*Future
 }
 
+// futureShards is a power of two so the shard pick is a mask. Locally
+// created futures carry consecutive sequence numbers and round-robin
+// across all shards.
+const futureShards = 32
+
 func newFutureTable() *futureTable {
-	return &futureTable{pending: make(map[ids.FutureID]*Future)}
+	t := &futureTable{}
+	for i := range t.shards {
+		t.shards[i].pending = make(map[ids.FutureID]*Future)
+	}
+	return t
+}
+
+func (t *futureTable) shard(fid ids.FutureID) *futureShard {
+	return &t.shards[(fid.Seq+uint32(fid.Node))%futureShards]
 }
 
 func (t *futureTable) create(node *Node, owner ids.ActivityID) *Future {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.nextSeq++
-	f := newFuture(node, FutureID{Node: node.id, Seq: t.nextSeq}, owner)
-	t.pending[f.id] = f
+	f := newFuture(node, FutureID{Node: node.id, Seq: t.nextSeq.Add(1)}, owner)
+	s := t.shard(f.id)
+	s.mu.Lock()
+	s.pending[f.id] = f
+	s.mu.Unlock()
 	return f
 }
 
@@ -420,17 +472,18 @@ func (t *futureTable) create(node *Node, owner ids.ActivityID) *Future {
 // ErrFutureUnavailable rather than left to wait for an update that will
 // never come.
 func (t *futureTable) adopt(node *Node, fr wire.FutureRef) (f *Future, created bool) {
-	t.mu.Lock()
-	if f, ok := t.pending[fr.ID]; ok {
-		t.mu.Unlock()
+	s := t.shard(fr.ID)
+	s.mu.Lock()
+	if f, ok := s.pending[fr.ID]; ok {
+		s.mu.Unlock()
 		f.shared.Store(true)
 		return f, false
 	}
 	f = newFuture(node, fr.ID, fr.Owner)
 	f.proxy = fr.ID.Node != node.id
 	f.shared.Store(true)
-	t.pending[fr.ID] = f
-	t.mu.Unlock()
+	s.pending[fr.ID] = f
+	s.mu.Unlock()
 	if !f.proxy {
 		f.fail(ErrFutureUnavailable)
 	}
@@ -442,18 +495,20 @@ func (t *futureTable) adopt(node *Node, fr wire.FutureRef) (f *Future, created b
 // future whose entry was removed — fast-path take or sweep — becomes
 // forwardable again for as long as application code holds the handle.
 func (t *futureTable) reinstate(f *Future) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.pending[f.id]; !ok {
-		t.pending[f.id] = f
+	s := t.shard(f.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pending[f.id]; !ok {
+		s.pending[f.id] = f
 	}
 }
 
 // lookup returns the live entry for fid.
 func (t *futureTable) lookup(fid ids.FutureID) (*Future, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	f, ok := t.pending[fid]
+	s := t.shard(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.pending[fid]
 	return f, ok
 }
 
@@ -466,55 +521,69 @@ func (t *futureTable) lookup(fid ids.FutureID) (*Future, bool) {
 // happens before the send-side walk looks the entry up, so an entry
 // removed here was provably never forwarded.
 func (t *futureTable) takeForUpdate(fid ids.FutureID) (*Future, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	f, ok := t.pending[fid]
+	s := t.shard(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.pending[fid]
 	if ok && !f.proxy && !f.shared.Load() {
-		delete(t.pending, fid)
+		delete(s.pending, fid)
 	}
 	return f, ok
 }
 
 // remove drops an entry (an unwound call whose request was never sent).
 func (t *futureTable) remove(fid ids.FutureID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.pending, fid)
+	s := t.shard(fid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, fid)
 }
 
 // sweep reclaims entries whose lifecycle is over (see Future.sweepable).
 // The driver runs it right after each local heap collection, so the
-// future-tag liveness it consults is fresh.
+// future-tag liveness it consults is fresh. Shards are swept one at a
+// time: the hot paths never see more than one shard held.
 func (t *futureTable) sweep(heap *localgc.Heap, now time.Time, grace time.Duration) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for fid, f := range t.pending {
-		if f.sweepable(heap, now, grace) {
-			delete(t.pending, fid)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for fid, f := range s.pending {
+			if f.sweepable(heap, now, grace) {
+				delete(s.pending, fid)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
 // size returns the number of live entries (tests and metrics).
 func (t *futureTable) size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.pending)
+	total := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		total += len(s.pending)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // failOwned resolves with err every pending future owned by owner
 // (called when an activity terminates). The failure propagates to every
 // holder the future was forwarded to.
 func (t *futureTable) failOwned(owner ids.ActivityID, err error) {
-	t.mu.Lock()
 	var owned []*Future
-	for fid, f := range t.pending {
-		if f.owner == owner && !f.proxy && !f.emigrated.Load() {
-			owned = append(owned, f)
-			delete(t.pending, fid)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for fid, f := range s.pending {
+			if f.owner == owner && !f.proxy && !f.emigrated.Load() {
+				owned = append(owned, f)
+				delete(s.pending, fid)
+			}
 		}
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 	for _, f := range owned {
 		f.fail(err)
 	}
@@ -523,9 +592,10 @@ func (t *futureTable) failOwned(owner ids.ActivityID, err error) {
 // noteAwait records dst as the node fid's result is awaited from (see
 // Future.awaitNode); a no-op for identities without a live entry.
 func (t *futureTable) noteAwait(fid ids.FutureID, dst ids.NodeID) {
-	t.mu.Lock()
-	f, ok := t.pending[fid]
-	t.mu.Unlock()
+	s := t.shard(fid)
+	s.mu.Lock()
+	f, ok := s.pending[fid]
+	s.mu.Unlock()
 	if ok {
 		f.awaitNode.Store(uint32(dst))
 	}
@@ -538,17 +608,20 @@ func (t *futureTable) noteAwait(fid ids.FutureID, dst ids.NodeID) {
 // and the dead node is purged from the holder lists of everything else,
 // so later resolutions stop trying to reach it.
 func (t *futureTable) failNodeDead(p ids.NodeID, err error) {
-	t.mu.Lock()
 	var doomed, rest []*Future
-	for fid, f := range t.pending {
-		if fid.Node == p || ids.NodeID(f.awaitNode.Load()) == p {
-			doomed = append(doomed, f)
-			delete(t.pending, fid)
-			continue
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for fid, f := range s.pending {
+			if fid.Node == p || ids.NodeID(f.awaitNode.Load()) == p {
+				doomed = append(doomed, f)
+				delete(s.pending, fid)
+				continue
+			}
+			rest = append(rest, f)
 		}
-		rest = append(rest, f)
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 	for _, f := range rest {
 		f.removeHolder(p)
 	}
@@ -559,13 +632,16 @@ func (t *futureTable) failNodeDead(p ids.NodeID, err error) {
 
 // failAll resolves every pending future with err (node shutdown).
 func (t *futureTable) failAll(err error) {
-	t.mu.Lock()
-	all := make([]*Future, 0, len(t.pending))
-	for fid, f := range t.pending {
-		all = append(all, f)
-		delete(t.pending, fid)
+	var all []*Future
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for fid, f := range s.pending {
+			all = append(all, f)
+			delete(s.pending, fid)
+		}
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 	for _, f := range all {
 		f.fail(err)
 	}

@@ -236,7 +236,11 @@ func (n *Node) migrateOut(ao *ActiveObject, dst ids.NodeID) (ids.ActivityID, err
 	// drained requests back so the activity keeps serving them here. If
 	// the activity was destroyed during the exchange, dispose of them the
 	// way its close would have: release the pins, fail the futures.
-	if !ao.queue.requeue(drained) {
+	ok, schedule := ao.queue.requeue(drained)
+	if schedule && !ao.dummy {
+		n.pool.schedule(ao)
+	}
+	if !ok {
 		for _, it := range drained {
 			n.heap.RemoveRoot(it.argsRoot)
 			if !it.req.Future.IsZero() {
@@ -357,7 +361,7 @@ func (n *Node) handleMigrateIn(payload []byte) []byte {
 			Method: q.Method,
 			Args:   wire.Rebind(q.Args, m.Old, ao.id),
 		}
-		item := &queuedRequest{req: req}
+		item := getQueued(req)
 		if refs := req.Args.Refs(scratch[:0]); len(refs) > 0 {
 			for _, t := range refs {
 				ao.collector.AddReferenced(t, now)
@@ -490,14 +494,17 @@ func (ao *ActiveObject) forwardTarget() ids.ActivityID {
 // co-located *holders* of such a future are untouched: those activities
 // still consume the value here and keep their pins until they do.
 func (t *futureTable) migrateOwned(owner ids.ActivityID) {
-	t.mu.Lock()
 	var owned []*Future
-	for _, f := range t.pending {
-		if f.owner == owner && !f.proxy {
-			owned = append(owned, f)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, f := range s.pending {
+			if f.owner == owner && !f.proxy {
+				owned = append(owned, f)
+			}
 		}
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 	for _, f := range owned {
 		f.emigrated.Store(true)
 		f.shared.Store(true)

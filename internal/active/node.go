@@ -25,6 +25,9 @@ type Node struct {
 	// endpoint; nil unless Config.BatchWindow enables batching.
 	flusher *transport.Flusher
 	futures *futureTable
+	// pool serves the node's activities: a shared, elastically sized set
+	// of worker goroutines with per-activity affinity (see pool.go).
+	pool *workerPool
 
 	mu     sync.Mutex
 	aos    map[ids.ActivityID]*ActiveObject
@@ -69,6 +72,7 @@ func newNode(e *Env, id ids.NodeID) *Node {
 		stop:     make(chan struct{}),
 	}
 	n.heap = localgc.New(n.onTagDeath)
+	n.pool = newWorkerPool(n)
 	n.endpoint = e.net.Register(id, n)
 	if e.cfg.BatchWindow > 0 {
 		n.flusher = transport.NewFlusher(n.endpoint, transport.FlusherConfig{
@@ -370,7 +374,7 @@ func (n *Node) deliverRequest(payload []byte) {
 		return
 	}
 	req.Args = args
-	item := &queuedRequest{req: req}
+	item := getQueued(req)
 	if refs > 0 {
 		// Root the arguments in the recipient's heap for the lifetime of
 		// the request: stubs inside them keep the remote references alive
@@ -419,7 +423,7 @@ func (n *Node) deliverLocalRequest(req request) {
 	}
 	args := wire.DeepCopy(req.Args)
 	req.Args = args
-	item := &queuedRequest{req: req}
+	item := getQueued(req)
 	var scratch [8]ids.ActivityID
 	if refs := args.Refs(scratch[:0]); len(refs) > 0 {
 		now := n.env.cfg.Clock.Now()
@@ -508,7 +512,8 @@ func (n *Node) deliverLocalFutureUpdate(u futureUpdate) {
 // value, and resolves the entry (which fans the value out to downstream
 // holder nodes and chained futures).
 func (n *Node) bindValueToFuture(f *Future, value wire.Value, subscribeNew bool) {
-	var consumers []*ActiveObject
+	var cscratch [4]*ActiveObject
+	consumers := cscratch[:0]
 	if !f.proxy && !f.emigrated.Load() {
 		owner, ok := n.activity(f.owner)
 		if !ok {
@@ -827,6 +832,10 @@ func (n *Node) shutdown() {
 		ao.queue.close(n.heap)
 	}
 	n.futures.failAll(ErrEnvClosed)
+	// Stop the pool after the queues close and the futures fail: workers
+	// blocked mid-service in Future.Wait have been unblocked above, finish
+	// their drain against a closed queue, and exit.
+	n.pool.close()
 	n.flushOutbound()
 	n.wg.Wait()
 }

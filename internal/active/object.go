@@ -59,19 +59,44 @@ type queuedRequest struct {
 	argsRoot localgc.RootID
 }
 
+// qreqPool recycles queuedRequest boxes between delivery and the end of
+// the service (the only point where the box is provably unreachable:
+// serveOne returns it after replying). Boxes that leave the serve path —
+// migration envelopes, queue-close disposal — are simply dropped for the
+// GC; the pool is an optimization, not an invariant.
+var qreqPool = sync.Pool{New: func() any { return new(queuedRequest) }}
+
+func getQueued(req request) *queuedRequest {
+	it := qreqPool.Get().(*queuedRequest)
+	it.req = req
+	it.argsRoot = 0
+	return it
+}
+
+func putQueued(it *queuedRequest) {
+	*it = queuedRequest{}
+	qreqPool.Put(it)
+}
+
 // requestQueue is the activity's unbounded request queue, drained through
 // its ServicePolicy (FIFO unless configured otherwise). It also owns the
 // idleness flag: the transitions "queue became non-empty ⇒ busy" and
 // "queue drained after service ⇒ idle" are made under the queue lock so
 // the DGC never observes an activity idle while work is pending — and
 // pending means *queued*, not selected: a policy that holds requests back
-// keeps the activity busy (see markIdleIfEmpty).
+// keeps the activity busy (see take's takeHeld outcome).
 type requestQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []*queuedRequest
 	closed bool
 	idle   *atomic.Bool
+	// running marks a pool worker as assigned to (or draining) this
+	// queue's activity. The busy→idle edge is owned by the drainer (take
+	// clears it), the idle→busy edge by push (which reports "schedule
+	// me"); both under mu, so exactly one worker ever drains an activity —
+	// the affinity that keeps the active-object model single-threaded.
+	running bool
 	// policy is the standing selection discipline; nil means FIFO and
 	// takes the allocation-free fast path.
 	policy ServicePolicy
@@ -90,22 +115,69 @@ func newRequestQueue(idle *atomic.Bool, policy ServicePolicy) *requestQueue {
 	return q
 }
 
-func (q *requestQueue) push(item *queuedRequest) bool {
+// push appends a request. schedule reports that the activity just went
+// ready with no worker assigned: the caller must hand it to the pool
+// (exactly one push per idle→busy transition sees it).
+func (q *requestQueue) push(item *queuedRequest) (ok, schedule bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return false
+		return false, false
 	}
 	q.items = append(q.items, item)
 	q.idle.Store(false)
 	q.cond.Broadcast()
-	return true
+	if q.running {
+		return true, false
+	}
+	q.running = true
+	return true, true
 }
 
-// pop blocks for the next request under the standing policy; ok is false
-// when the queue is closed.
-func (q *requestQueue) pop() (*queuedRequest, bool) {
-	return q.popWith(q.policy)
+// takeResult is the outcome of a worker's non-blocking take.
+type takeResult uint8
+
+const (
+	// takeItem: a request was selected; keep draining.
+	takeItem takeResult = iota
+	// takeClosed: the queue closed; the worker detaches.
+	takeClosed
+	// takeIdle: the queue is empty; the worker detaches after reporting
+	// idleness to the DGC (the flag itself is already set, under mu).
+	takeIdle
+	// takeHeld: requests pend but the policy holds them all back; the
+	// worker detaches without idling (pending means busy, §4.1) and the
+	// next push reschedules the activity for re-evaluation.
+	takeHeld
+)
+
+// take is the pool worker's non-blocking pop: it either selects a request
+// or clears the running flag and reports why the drain ends, atomically
+// under mu so a concurrent push cannot slip between "saw empty" and
+// "detached" without rescheduling the activity.
+func (q *requestQueue) take() (*queuedRequest, takeResult) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.running = false
+		return nil, takeClosed
+	}
+	if len(q.items) == 0 {
+		q.running = false
+		q.idle.Store(true)
+		return nil, takeIdle
+	}
+	idx := 0
+	if q.policy != nil {
+		idx = q.selectLocked(q.policy)
+	}
+	if idx < 0 {
+		q.running = false
+		return nil, takeHeld
+	}
+	item := q.items[idx]
+	q.items = append(q.items[:idx], q.items[idx+1:]...)
+	return item, takeItem
 }
 
 // popWith blocks until p selects a pending request (or the queue closes).
@@ -172,22 +244,6 @@ func (q *requestQueue) idleWhilePending() bool {
 	return len(q.items) > 0 && q.idle.Load()
 }
 
-// markIdleIfEmpty flips the idleness flag when no request is pending;
-// returns whether the activity just became idle. The check is on the raw
-// queue length, not on what the policy would select: an activity with
-// pending-but-unselected requests is busy (it still owes those callers a
-// service), so the DGC can never collect it while a selective policy
-// holds requests back.
-func (q *requestQueue) markIdleIfEmpty() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.items) == 0 && !q.closed {
-		q.idle.Store(true)
-		return true
-	}
-	return false
-}
-
 // drainAll removes every pending request without closing the queue: the
 // migration snapshot. Requests arriving after the drain queue normally
 // and are dealt with when the forwarder is installed (or requeued if the
@@ -202,21 +258,28 @@ func (q *requestQueue) drainAll() []*queuedRequest {
 
 // requeue puts drained requests back at the front of the queue, ahead of
 // anything that arrived since the drain (a failed migration must not
-// reorder the queue). It reports false when the queue closed in the
+// reorder the queue). It reports ok=false when the queue closed in the
 // meantime — the caller then disposes of the items as a close would.
-func (q *requestQueue) requeue(items []*queuedRequest) bool {
+// schedule mirrors push: true when the activity needs a pool worker (it
+// cannot happen on today's call path, where the drainer itself requeues,
+// but the flag keeps the idle→busy edge correct regardless of caller).
+func (q *requestQueue) requeue(items []*queuedRequest) (ok, schedule bool) {
 	if len(items) == 0 {
-		return true
+		return true, false
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return false
+		return false, false
 	}
 	q.items = append(items, q.items...)
 	q.idle.Store(false)
 	q.cond.Broadcast()
-	return true
+	if q.running {
+		return true, false
+	}
+	q.running = true
+	return true, true
 }
 
 // close drains the queue, releasing pinned argument roots, and wakes the
@@ -280,6 +343,12 @@ type ActiveObject struct {
 	rootsMu    sync.Mutex
 	stateRoots map[string]stateEntry
 	extraRoots map[localgc.RootID]struct{}
+
+	// svcCtx is the reusable Context of top-level services. Exactly one
+	// worker drains an activity at a time (the queue's running flag), so
+	// the only concurrent serveOne on one activity is the nested
+	// ServeNext case, which builds its own Context.
+	svcCtx Context
 }
 
 // stateEntry is one pinned state value: the heap cell and its root.
@@ -326,8 +395,8 @@ func (n *Node) newActivity(name string, b Behavior, dummy bool, opts ...SpawnOpt
 
 	if !dummy {
 		n.env.noteCreated()
-		n.wg.Add(1)
-		go ao.serveLoop()
+		// No resident goroutine: the activity is served by the node's
+		// worker pool, scheduled when its queue first goes non-empty.
 	}
 	return ao
 }
@@ -350,41 +419,54 @@ func (ao *ActiveObject) isIdle() bool {
 	return ao.idleFlag.Load()
 }
 
-// enqueue delivers a request to the activity.
+// enqueue delivers a request to the activity, scheduling it on the node's
+// worker pool when the push flips it ready. Dummy activities (referencer
+// stand-ins) hold a queue nothing ever drains — matching the old
+// loop-less behavior — so they are never scheduled.
 func (ao *ActiveObject) enqueue(item *queuedRequest) {
-	if !ao.queue.push(item) {
-		// Queue closed: the activity migrated away or died between lookup
-		// and delivery. A forwarder relays the request to the new home; a
-		// dead activity fails the caller's future.
-		ao.node.heap.RemoveRoot(item.argsRoot)
-		if !ao.forwardTarget().IsNil() {
-			ao.node.forwardQueued(ao, item.req)
-			return
+	ok, schedule := ao.queue.push(item)
+	if ok {
+		if schedule && !ao.dummy {
+			ao.node.pool.schedule(ao)
 		}
-		if !item.req.Future.IsZero() {
-			ao.node.replyTo(item.req, futureUpdate{
-				Future: item.req.Future,
-				Failed: true,
-				Err:    ErrUnknownActivity.Error(),
-			})
-		}
+		return
+	}
+	// Queue closed: the activity migrated away or died between lookup
+	// and delivery. A forwarder relays the request to the new home; a
+	// dead activity fails the caller's future.
+	ao.node.heap.RemoveRoot(item.argsRoot)
+	if !ao.forwardTarget().IsNil() {
+		ao.node.forwardQueued(ao, item.req)
+		return
+	}
+	if !item.req.Future.IsZero() {
+		ao.node.replyTo(item.req, futureUpdate{
+			Future: item.req.Future,
+			Failed: true,
+			Err:    ErrUnknownActivity.Error(),
+		})
 	}
 }
 
-// serveLoop is the activity's thread: serve requests one at a time; after
-// draining the queue, report idleness to the DGC (clock increment occasion
-// #1). A served migration request (or a Context.MigrateTo from inside a
-// service) ends the loop: the queue has moved to the destination and the
-// object lives on only as a forwarder.
-func (ao *ActiveObject) serveLoop() {
-	defer ao.node.wg.Done()
+// drain is one pool worker's tenure on the activity: serve requests one at
+// a time until the queue runs dry (report idleness to the DGC — clock
+// increment occasion #1 — and detach), the policy holds everything back
+// (detach busy; the next push re-presents the queue), or the activity
+// leaves — migration turns it into a forwarder, TerminateSelf destroys it.
+// The queue's running flag guarantees no other worker touches this
+// activity until it is rescheduled.
+func (ao *ActiveObject) drain() {
 	for {
-		item, ok := ao.queue.pop()
-		if !ok {
+		item, res := ao.queue.take()
+		switch res {
+		case takeClosed, takeHeld:
+			return
+		case takeIdle:
+			ao.collector.BecomeIdle(ao.node.env.cfg.Clock.Now())
 			return
 		}
 		if ao.serveOne(item, false) {
-			return // migrated
+			return // migrated; the queue is closed
 		}
 		if ao.wantStop.Load() {
 			ao.node.destroy(ao, core.ReasonNone)
@@ -395,9 +477,6 @@ func (ao *ActiveObject) serveLoop() {
 				return
 			}
 			// A failed MigrateTo leaves the activity serving here.
-		}
-		if ao.queue.markIdleIfEmpty() {
-			ao.collector.BecomeIdle(ao.node.env.cfg.Clock.Now())
 		}
 	}
 }
@@ -410,11 +489,18 @@ func (ao *ActiveObject) serveOne(item *queuedRequest, nested bool) bool {
 	if item.req.Method == migrateMethod {
 		return ao.serveMigrate(item, nested)
 	}
-	ctx := &Context{ao: ao}
+	ctx := &ao.svcCtx
+	if nested {
+		ctx = &Context{ao: ao}
+	} else {
+		ctx.ao = ao
+		ctx.transientRoots = ctx.transientRoots[:0]
+	}
 	result, err := ao.behavior.Serve(ctx, item.req.Method, item.req.Args)
 	ctx.releaseTransients()
 	ao.node.heap.RemoveRoot(item.argsRoot)
 	if item.req.Future.IsZero() {
+		putQueued(item)
 		return false
 	}
 	u := futureUpdate{Future: item.req.Future}
@@ -425,6 +511,7 @@ func (ao *ActiveObject) serveOne(item *queuedRequest, nested bool) bool {
 		u.Value = result
 	}
 	ao.node.replyTo(item.req, u)
+	putQueued(item)
 	return false
 }
 
@@ -465,7 +552,7 @@ func (c *Context) releaseTransients() {
 	for _, r := range c.transientRoots {
 		c.ao.node.heap.RemoveRoot(r)
 	}
-	c.transientRoots = nil
+	c.transientRoots = c.transientRoots[:0]
 }
 
 // Call performs an asynchronous method call on target (a reference value)

@@ -1,0 +1,112 @@
+package active
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool serves a node's activities on a shared set of goroutines
+// instead of one resident goroutine per activity. An activity is handed to
+// the pool when its queue goes non-empty (requestQueue.push flips the
+// running flag exactly once) and a worker drains it to quiescence; the
+// running flag guarantees at most one worker ever drains a given activity,
+// so the single-threaded active-object model — and per-sender FIFO — is
+// preserved while distinct activities serve in parallel.
+//
+// The pool grows on demand: whenever an activity becomes ready and no
+// worker is idle, a fresh worker is spawned. A fixed-size pool would
+// deadlock here — a behavior may block mid-service in Future.Wait or
+// Context.ServeNext, and the service that unblocks it may be the one
+// sitting in the pool's backlog. Dynamic spawning bounds workers by
+// blocked-services + runnable-activities, which is exactly the goroutine
+// count of the old thread-per-activity scheme in the worst case, and a
+// handful of resident spares in the common one.
+type workerPool struct {
+	node *Node
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// ready is the FIFO backlog of activities with work pending and no
+	// worker assigned yet; head indexes the next entry out, so the
+	// drained prefix is reclaimed by resetting in place and the backing
+	// array is reused instead of reallocated on every push (the schedule
+	// call is on the per-request hot path).
+	ready []*ActiveObject
+	head  int
+	// idle is the number of workers blocked in cond.Wait; count is the
+	// number of live workers. Workers above spares retire when the backlog
+	// is empty.
+	idle   int
+	count  int
+	spares int
+	closed bool
+}
+
+func newWorkerPool(n *Node) *workerPool {
+	p := &workerPool{node: n, spares: runtime.GOMAXPROCS(0)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// schedule hands an activity with pending work to the pool. Called exactly
+// once per idle→busy transition (the queue's running flag dedupes); no-op
+// after close — shutdown closes every queue, which disposes of the work.
+func (p *workerPool) schedule(ao *ActiveObject) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if p.head > 0 && p.head == len(p.ready) {
+		p.ready = p.ready[:0]
+		p.head = 0
+	}
+	p.ready = append(p.ready, ao)
+	// Wake an idle worker if one can take it; otherwise grow. idle is only
+	// decremented under mu by the waking worker, so comparing it against
+	// the backlog length never double-books a worker.
+	if p.idle >= len(p.ready)-p.head {
+		p.cond.Signal()
+		p.mu.Unlock()
+		return
+	}
+	p.count++
+	p.node.wg.Add(1)
+	go p.worker()
+	p.mu.Unlock()
+}
+
+// close stops the pool: the backlog is dropped (every activity queue is
+// closed by node shutdown, which disposes of pending requests) and all
+// workers exit once their current drain returns.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.ready = nil
+	p.head = 0
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *workerPool) worker() {
+	defer p.node.wg.Done()
+	p.mu.Lock()
+	for {
+		for p.head == len(p.ready) {
+			if p.closed || p.count > p.spares {
+				p.count--
+				p.mu.Unlock()
+				return
+			}
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+		}
+		ao := p.ready[p.head]
+		p.ready[p.head] = nil
+		p.head++
+		p.mu.Unlock()
+		ao.drain()
+		p.mu.Lock()
+	}
+}

@@ -32,6 +32,10 @@ func Method[Req, Resp any](name string, fn func(ctx *Context, req Req) (Resp, er
 	if name == "" {
 		panic("active: Method with empty name")
 	}
+	// Compile the cached marshal/unmarshal plans for the method's types
+	// once, at registration, so every call walks the flat fast path.
+	wire.RegisterType(*new(Req))
+	wire.RegisterType(*new(Resp))
 	return ServiceMethod{
 		name: name,
 		handler: func(ctx *Context, args wire.Value) (wire.Value, error) {

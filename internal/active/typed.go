@@ -145,6 +145,11 @@ type Stub[Req, Resp any] struct {
 
 // NewStub types the given handle's method.
 func NewStub[Req, Resp any](h *Handle, method string) Stub[Req, Resp] {
+	// Stub construction is the caller-side registration point for the
+	// cached-plan codec: compile the Req/Resp plans once so every call
+	// through the stub marshals along the flat fast path.
+	wire.RegisterType(*new(Req))
+	wire.RegisterType(*new(Resp))
 	return Stub[Req, Resp]{h: h, method: method}
 }
 

@@ -35,10 +35,17 @@ type Mix struct {
 	// it again through the now-stale handle — the forwarder, redirect and
 	// sharded-directory paths all under load (WIRE.md §7, §9).
 	Migrate int `json:"migrate,omitempty"`
+	// Send is the weight of one-way pings: fire-and-forget typed sends
+	// with a synchronous barrier every SendWindow-th operation, so the
+	// serve side provably keeps pace with the enqueue side. This is the
+	// asynchronous-messaging floor of the runtime — the rate one core can
+	// push requests through marshal, queue and serve without waiting for
+	// replies.
+	Send int `json:"send,omitempty"`
 }
 
 func (m Mix) normalized() Mix {
-	if m.Call <= 0 && m.Broadcast <= 0 && m.Churn <= 0 && m.Pipeline <= 0 && m.Migrate <= 0 {
+	if m.Call <= 0 && m.Broadcast <= 0 && m.Churn <= 0 && m.Pipeline <= 0 && m.Migrate <= 0 && m.Send <= 0 {
 		return Mix{Call: 1}
 	}
 	return m
@@ -118,6 +125,18 @@ type Config struct {
 	// (exercising failure detection and ErrNodeDead cleanup), crashed on
 	// tcp. The steady-state workload must ride through undisturbed.
 	NodeKillEvery time.Duration `json:"-"`
+	// SendWindow bounds the one-way send lane's outstanding window: each
+	// worker fires SendWindow-1 fire-and-forget pings at its designated
+	// actor and then makes one synchronous ping, which cannot complete
+	// until the actor has served everything queued before it (FIFO per
+	// sender). Defaults to 256.
+	SendWindow int `json:"send_window,omitempty"`
+	// Colocate anchors the send lane's stubs on the actor-owning nodes, so
+	// one-way pings take the intra-node direct path instead of crossing
+	// the transport: the scenario that measures the runtime's messaging
+	// floor rather than the substrate's. Other lanes always cross the
+	// transport.
+	Colocate bool `json:"colocate,omitempty"`
 	// OpTimeout bounds one operation's wait (a lost future update, e.g.
 	// under connection chaos, then counts as an error instead of wedging a
 	// worker). Defaults to 30s.
@@ -157,6 +176,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ChurnBurst <= 0 {
 		c.ChurnBurst = 1
+	}
+	if c.SendWindow <= 0 {
+		c.SendWindow = 256
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -204,13 +226,14 @@ type Result struct {
 	Throughput float64 `json:"throughput_ops_per_s"`
 	// MessagesPerSec is accounted transport messages per second.
 	MessagesPerSec float64 `json:"messages_per_s"`
-	// Calls, Broadcasts, Churns, Pipelines and Migrates digest the
+	// Calls, Broadcasts, Churns, Pipelines, Migrates and Sends digest the
 	// per-class measurements.
 	Calls      OpStats `json:"calls"`
 	Broadcasts OpStats `json:"broadcasts"`
 	Churns     OpStats `json:"churns"`
 	Pipelines  OpStats `json:"pipelines"`
 	Migrates   OpStats `json:"migrates"`
+	Sends      OpStats `json:"sends"`
 	// LostReplies counts operations whose reply never arrived (the wait
 	// hit OpTimeout): the zero-lost-replies invariant the scale scenario
 	// is gated on. Fast failures (e.g. ErrNodeDead) are ordinary errors,
@@ -251,6 +274,7 @@ const (
 	opChurn
 	opPipeline
 	opMigrate
+	opSend
 	numOps
 )
 
@@ -260,6 +284,11 @@ type workerStats struct {
 	ops    [numOps]uint64
 	errors [numOps]uint64
 	lost   [numOps]uint64
+	// The send lane's per-worker state: the designated ping stub (each
+	// worker hammers one actor so the windowed barrier truly bounds that
+	// actor's backlog) and the one-way sends since the last barrier.
+	sendStub *active.Stub[int64, int64]
+	pending  int
 }
 
 // echoKind is the registered behavior kind behind the migrate workload:
@@ -269,11 +298,21 @@ const echoKind = "loadgen/echo"
 
 var registerEchoKind = sync.OnceFunc(func() {
 	active.RegisterBehavior(echoKind, func() active.Behavior {
-		return active.NewService(active.Method("echo", func(_ *active.Context, req echoReq) (echoResp, error) {
-			return echoResp{Seq: req.Seq, Echo: int64(len(req.Payload))}, nil
-		}))
+		return echoService()
 	})
 })
+
+// echoService is the workload behavior: the struct echo the call lanes
+// round-trip, plus the scalar ping the one-way send lane fires.
+func echoService() *active.Service {
+	return active.NewService(
+		active.Method("echo", func(_ *active.Context, req echoReq) (echoResp, error) {
+			return echoResp{Seq: req.Seq, Echo: int64(len(req.Payload))}, nil
+		}),
+		active.Method("ping", func(_ *active.Context, v int64) (int64, error) {
+			return v, nil
+		}))
+}
 
 // Run executes one load-generation run and returns its measurements.
 func Run(cfg Config) (Result, error) {
@@ -327,14 +366,13 @@ func Run(cfg Config) (Result, error) {
 	// the caller re-anchors a handle per actor so every operation crosses
 	// the transport.
 	caller := env.NewNode()
-	svc := active.NewService(active.Method("echo", func(_ *active.Context, req echoReq) (echoResp, error) {
-		return echoResp{Seq: req.Seq, Echo: int64(len(req.Payload))}, nil
-	}))
+	svc := echoService()
 	workerNodes := make([]*active.Node, cfg.Nodes)
 	for i := range workerNodes {
 		workerNodes[i] = env.NewNode()
 	}
 	var stubs []active.Stub[echoReq, echoResp]
+	var pingStubs []active.Stub[int64, int64]
 	var handles []*active.Handle
 	for ni, n := range workerNodes {
 		for a := 0; a < cfg.ActorsPerNode; a++ {
@@ -347,6 +385,14 @@ func Run(cfg Config) (Result, error) {
 			defer remote.Release()
 			handles = append(handles, remote)
 			stubs = append(stubs, active.NewStub[echoReq, echoResp](remote, "echo"))
+			// The send lane optionally stays on the owning node: colocated
+			// pings take the intra-node direct path, measuring the
+			// runtime's own messaging floor.
+			pingHandle := remote
+			if cfg.Colocate {
+				pingHandle = local
+			}
+			pingStubs = append(pingStubs, active.NewStub[int64, int64](pingHandle, "ping"))
 		}
 	}
 	group := active.NewGroup[echoReq, echoResp]("echo", handles[:cfg.GroupSize]...)
@@ -400,7 +446,7 @@ func Run(cfg Config) (Result, error) {
 		payload[i] = byte(i)
 	}
 	mix := cfg.Mix
-	weightTotal := mix.Call + mix.Broadcast + mix.Churn + mix.Pipeline + mix.Migrate
+	weightTotal := mix.Call + mix.Broadcast + mix.Churn + mix.Pipeline + mix.Migrate + mix.Send
 
 	// created counts every activity this run brings to life; the scale
 	// scenario's closed loop keeps running until it crosses
@@ -423,8 +469,41 @@ func Run(cfg Config) (Result, error) {
 			k = opChurn
 		case w < mix.Call+mix.Broadcast+mix.Churn+mix.Pipeline:
 			k = opPipeline
-		default:
+		case w < mix.Call+mix.Broadcast+mix.Churn+mix.Pipeline+mix.Migrate:
 			k = opMigrate
+		default:
+			k = opSend
+		}
+		if k == opSend {
+			// The asynchronous-messaging lane: SendWindow-1 fire-and-forget
+			// pings at this worker's designated actor, then one synchronous
+			// ping. FIFO per sender means the barrier's reply proves every
+			// one-way before it was served, so a throughput figure from this
+			// lane counts messages the serve side actually kept up with —
+			// while bounding the actor's queue to one window.
+			if st.sendStub == nil {
+				s := pingStubs[rng.Intn(len(pingStubs))]
+				st.sendStub = &s
+			}
+			start := time.Now()
+			var err error
+			if st.pending+1 >= cfg.SendWindow {
+				_, err = st.sendStub.CallSync(int64(st.pending), cfg.OpTimeout)
+				st.pending = 0
+			} else {
+				err = st.sendStub.Send(int64(st.pending))
+				st.pending++
+			}
+			if err != nil {
+				st.errors[opSend]++
+				if errors.Is(err, active.ErrFutureTimeout) {
+					st.lost[opSend]++
+				}
+				return
+			}
+			st.hist[opSend].record(time.Since(start))
+			st.ops[opSend]++
+			return
 		}
 		req := echoReq{Seq: seq.Add(1), Payload: payload}
 		start := time.Now()
@@ -618,10 +697,11 @@ func Run(cfg Config) (Result, error) {
 	res.Churns = opStats(opChurn)
 	res.Pipelines = opStats(opPipeline)
 	res.Migrates = opStats(opMigrate)
+	res.Sends = opStats(opSend)
 	res.LostReplies = lostTotal
 	res.ActivitiesCreated = created.Load()
 	res.TotalOps = merged.ops[opCall] + merged.ops[opBroadcast] + merged.ops[opChurn] +
-		merged.ops[opPipeline] + merged.ops[opMigrate]
+		merged.ops[opPipeline] + merged.ops[opMigrate] + merged.ops[opSend]
 	if elapsed > 0 {
 		res.Throughput = float64(res.TotalOps) / elapsed.Seconds()
 	}

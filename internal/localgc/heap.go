@@ -14,6 +14,16 @@
 // The no-sharing property (§2.1) is enforced at interning time: every cell
 // records its owning activity and values are deep-copied across activity
 // boundaries by the wire codec before they ever reach the heap.
+//
+// The heap is sharded 32 ways by owning activity (the same shape as
+// simnet's routing shards): one activity's object graph never references
+// another activity's cells — no sharing, enforced above — so each shard
+// is an independent heap with its own lock, allocator, tag table and
+// mark-sweep. Hot-path interning and root flips from many concurrent
+// activities stop serializing on a single mutex. The shard index rides
+// in the low 5 bits of every ObjRef and RootID, so ref-addressed
+// operations (Materialize, AddRoot/RemoveRoot, NewWeak) find their shard
+// without consulting the owner.
 package localgc
 
 import (
@@ -29,6 +39,13 @@ type ObjRef uint64
 
 // RootID names a GC root registration.
 type RootID uint64
+
+// numShards is a power of two so shard picks compile to masks; shardBits
+// is the width of the shard index carried in ObjRef/RootID low bits.
+const (
+	numShards = 32
+	shardBits = 5
+)
 
 // cellKind discriminates the heap cell variants.
 type cellKind uint8
@@ -77,8 +94,8 @@ type Stats struct {
 	Freed int
 	// TagDeaths lists the (owner, target) stub tags that died.
 	TagDeaths []TagDeath
-	// FutureDeaths lists the futures for which no activity on this node
-	// holds a future stub anymore (the runtime's future-table sweep
+	// FutureDeaths lists the futures for which no activity in the swept
+	// shard holds a future stub anymore (the runtime's future-table sweep
 	// polls HasFutureTag instead of consuming these; they are reported
 	// for tests and metrics).
 	FutureDeaths []ids.FutureID
@@ -89,16 +106,25 @@ type tagKey struct {
 	target ids.ActivityID
 }
 
-// Heap is the object heap of one process. It is safe for concurrent use.
-type Heap struct {
+// heapShard is one independent heap: cells owned by the activities that
+// hash here, with a private allocator, root set, tag tables and weak
+// registry. An object graph never spans shards (interning passes one
+// owner down the whole graph), so each shard marks and sweeps alone.
+type heapShard struct {
+	idx      uint64
 	mu       sync.Mutex
 	cells    map[ObjRef]*cell
-	nextObj  ObjRef
+	nextObj  uint64
 	roots    map[RootID]ObjRef
-	nextRoot RootID
+	nextRoot uint64
 	tags     map[tagKey]ObjRef
 	futTags  map[ids.FutureID]ObjRef
 	weaks    map[ObjRef][]*Weak
+}
+
+// Heap is the object heap of one process. It is safe for concurrent use.
+type Heap struct {
+	shards [numShards]heapShard
 
 	// onTagDeath, if set, is invoked (outside the heap lock) once per tag
 	// death at the end of each collection. The DGC driver subscribes here.
@@ -107,20 +133,33 @@ type Heap struct {
 
 // New returns an empty heap. onTagDeath may be nil.
 func New(onTagDeath func(TagDeath)) *Heap {
-	return &Heap{
-		cells:      make(map[ObjRef]*cell),
-		roots:      make(map[RootID]ObjRef),
-		tags:       make(map[tagKey]ObjRef),
-		futTags:    make(map[ids.FutureID]ObjRef),
-		weaks:      make(map[ObjRef][]*Weak),
-		onTagDeath: onTagDeath,
+	h := &Heap{onTagDeath: onTagDeath}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.idx = uint64(i)
+		s.cells = make(map[ObjRef]*cell)
+		s.roots = make(map[RootID]ObjRef)
+		s.tags = make(map[tagKey]ObjRef)
+		s.futTags = make(map[ids.FutureID]ObjRef)
+		s.weaks = make(map[ObjRef][]*Weak)
 	}
+	return h
 }
 
-func (h *Heap) alloc(c *cell) ObjRef {
-	h.nextObj++
-	ref := h.nextObj
-	h.cells[ref] = c
+// shardOf picks the shard owning an activity's object graph.
+func (h *Heap) shardOf(owner ids.ActivityID) *heapShard {
+	return &h.shards[(uint32(owner.Node)*31+owner.Seq)%numShards]
+}
+
+// shardFor picks the shard a ref- or root-handle encodes.
+func (h *Heap) shardFor(bits uint64) *heapShard {
+	return &h.shards[bits&(numShards-1)]
+}
+
+func (s *heapShard) alloc(c *cell) ObjRef {
+	s.nextObj++
+	ref := ObjRef(s.nextObj<<shardBits | s.idx)
+	s.cells[ref] = c
 	return ref
 }
 
@@ -128,59 +167,61 @@ func (h *Heap) alloc(c *cell) ObjRef {
 // returns the root cell. Every wire.Ref in v becomes a stub cell whose tag
 // is shared with all other stubs of the same (owner, target) pair.
 func (h *Heap) Intern(owner ids.ActivityID, v wire.Value) ObjRef {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.intern(owner, v)
+	s := h.shardOf(owner)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.intern(owner, v)
 }
 
-func (h *Heap) intern(owner ids.ActivityID, v wire.Value) ObjRef {
+func (s *heapShard) intern(owner ids.ActivityID, v wire.Value) ObjRef {
 	switch v.Kind() {
 	case wire.KindList:
 		children := make([]ObjRef, v.Len())
 		for i := 0; i < v.Len(); i++ {
-			children[i] = h.intern(owner, v.At(i))
+			children[i] = s.intern(owner, v.At(i))
 		}
-		return h.alloc(&cell{kind: kindList, owner: owner, children: children})
+		return s.alloc(&cell{kind: kindList, owner: owner, children: children})
 	case wire.KindDict:
 		keys := v.Keys()
 		children := make([]ObjRef, len(keys))
 		for i, k := range keys {
-			children[i] = h.intern(owner, v.Get(k))
+			children[i] = s.intern(owner, v.Get(k))
 		}
-		return h.alloc(&cell{kind: kindDict, owner: owner, keys: keys, children: children})
+		return s.alloc(&cell{kind: kindDict, owner: owner, keys: keys, children: children})
 	case wire.KindRef:
 		target, _ := v.AsRef()
-		return h.internStub(owner, target)
+		return s.internStub(owner, target)
 	case wire.KindFuture:
-		return h.internFutureStub(owner, v)
+		return s.internFutureStub(owner, v)
 	default:
-		return h.alloc(&cell{kind: kindScalar, owner: owner, scalar: v})
+		return s.alloc(&cell{kind: kindScalar, owner: owner, scalar: v})
 	}
 }
 
-func (h *Heap) internStub(owner, target ids.ActivityID) ObjRef {
-	return h.alloc(&cell{
+func (s *heapShard) internStub(owner, target ids.ActivityID) ObjRef {
+	return s.alloc(&cell{
 		kind:     kindStub,
 		owner:    owner,
 		target:   target,
-		children: []ObjRef{h.tagForLocked(owner, target)},
+		children: []ObjRef{s.tagForLocked(owner, target)},
 	})
 }
 
 // internFutureStub allocates a stub for a first-class future value. It
 // pins two tags: the (owner, future-owner) activity tag — holding a
 // future references the activity the result belongs to, exactly like
-// holding a plain stub — and the node-wide future tag, whose death tells
-// the runtime no local activity can name the future anymore.
-func (h *Heap) internFutureStub(owner ids.ActivityID, v wire.Value) ObjRef {
+// holding a plain stub — and the shard's future tag, whose death tells
+// the runtime no activity in this shard can name the future anymore
+// (HasFutureTag asks every shard, preserving the node-wide answer).
+func (s *heapShard) internFutureStub(owner ids.ActivityID, v wire.Value) ObjRef {
 	fr, _ := v.AsFutureRef()
-	tag := h.tagForLocked(owner, fr.Owner)
-	ftag, ok := h.futTags[fr.ID]
+	tag := s.tagForLocked(owner, fr.Owner)
+	ftag, ok := s.futTags[fr.ID]
 	if !ok {
-		ftag = h.alloc(&cell{kind: kindFutureTag, future: fr.ID})
-		h.futTags[fr.ID] = ftag
+		ftag = s.alloc(&cell{kind: kindFutureTag, future: fr.ID})
+		s.futTags[fr.ID] = ftag
 	}
-	return h.alloc(&cell{
+	return s.alloc(&cell{
 		kind:     kindFutureStub,
 		owner:    owner,
 		target:   fr.Owner,
@@ -194,44 +235,51 @@ func (h *Heap) internFutureStub(owner ids.ActivityID, v wire.Value) ObjRef {
 // the (owner, target) tag. The runtime uses it for stubs that exist outside
 // any interned value (e.g. a reference held by the service loop itself).
 func (h *Heap) NewStub(owner, target ids.ActivityID) ObjRef {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.internStub(owner, target)
+	s := h.shardOf(owner)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.internStub(owner, target)
 }
 
 // InternRooted interns v (like Intern) and registers the resulting cell as
 // a root in the same critical section, so a concurrent Collect can never
 // observe the cell unrooted.
 func (h *Heap) InternRooted(owner ids.ActivityID, v wire.Value) (ObjRef, RootID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	ref := h.intern(owner, v)
-	h.nextRoot++
-	h.roots[h.nextRoot] = ref
-	return ref, h.nextRoot
+	s := h.shardOf(owner)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref := s.intern(owner, v)
+	return ref, s.addRootLocked(ref)
 }
 
 // NewStubRooted allocates a stub (like NewStub) and roots it atomically.
 func (h *Heap) NewStubRooted(owner, target ids.ActivityID) (ObjRef, RootID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	ref := h.internStub(owner, target)
-	h.nextRoot++
-	h.roots[h.nextRoot] = ref
-	return ref, h.nextRoot
+	s := h.shardOf(owner)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref := s.internStub(owner, target)
+	return ref, s.addRootLocked(ref)
+}
+
+func (s *heapShard) addRootLocked(ref ObjRef) RootID {
+	s.nextRoot++
+	id := RootID(s.nextRoot<<shardBits | s.idx)
+	s.roots[id] = ref
+	return id
 }
 
 // Materialize rebuilds the wire value stored at ref. Stubs materialize as
 // wire.Ref values. Materializing the zero ObjRef or a freed cell yields
 // null.
 func (h *Heap) Materialize(ref ObjRef) wire.Value {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.materialize(ref)
+	s := h.shardFor(uint64(ref))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materialize(ref)
 }
 
-func (h *Heap) materialize(ref ObjRef) wire.Value {
-	c, ok := h.cells[ref]
+func (s *heapShard) materialize(ref ObjRef) wire.Value {
+	c, ok := s.cells[ref]
 	if !ok {
 		return wire.Null()
 	}
@@ -241,13 +289,13 @@ func (h *Heap) materialize(ref ObjRef) wire.Value {
 	case kindList:
 		elems := make([]wire.Value, len(c.children))
 		for i, ch := range c.children {
-			elems[i] = h.materialize(ch)
+			elems[i] = s.materialize(ch)
 		}
 		return wire.List(elems...)
 	case kindDict:
 		m := make(map[string]wire.Value, len(c.keys))
 		for i, k := range c.keys {
-			m[k] = h.materialize(c.children[i])
+			m[k] = s.materialize(c.children[i])
 		}
 		return wire.Dict(m)
 	case kindStub:
@@ -261,20 +309,19 @@ func (h *Heap) materialize(ref ObjRef) wire.Value {
 
 // AddRoot registers ref as a GC root and returns a handle to remove it.
 func (h *Heap) AddRoot(ref ObjRef) RootID {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.nextRoot++
-	id := h.nextRoot
-	h.roots[id] = ref
-	return id
+	s := h.shardFor(uint64(ref))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addRootLocked(ref)
 }
 
 // RemoveRoot drops a root registration. Removing an unknown root is a
 // no-op.
 func (h *Heap) RemoveRoot(id RootID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	delete(h.roots, id)
+	s := h.shardFor(uint64(id))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.roots, id)
 }
 
 // Weak is a weak reference to a heap cell: it does not keep the cell alive
@@ -301,23 +348,25 @@ func (w *Weak) kill() {
 // NewWeak returns a weak reference to ref. If ref does not exist the weak
 // reference is born dead.
 func (h *Heap) NewWeak(ref ObjRef) *Weak {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	s := h.shardFor(uint64(ref))
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w := &Weak{}
-	if _, ok := h.cells[ref]; !ok {
+	if _, ok := s.cells[ref]; !ok {
 		return w
 	}
 	w.alive = true
-	h.weaks[ref] = append(h.weaks[ref], w)
+	s.weaks[ref] = append(s.weaks[ref], w)
 	return w
 }
 
 // TagFor returns the tag cell shared by owner's stubs of target, creating
 // it if needed. The DGC driver takes a weak reference to it.
 func (h *Heap) TagFor(owner, target ids.ActivityID) ObjRef {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.tagForLocked(owner, target)
+	s := h.shardOf(owner)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tagForLocked(owner, target)
 }
 
 // RebindStubs rewrites every stub (and future stub) designating old so it
@@ -332,30 +381,33 @@ func (h *Heap) RebindStubs(old, new ids.ActivityID) []ids.ActivityID {
 	if old == new || old.IsNil() || new.IsNil() {
 		return nil
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	ownerSet := make(map[ids.ActivityID]struct{})
-	for _, c := range h.cells {
-		switch c.kind {
-		case kindStub:
-			if c.target != old {
-				continue
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for _, c := range s.cells {
+			switch c.kind {
+			case kindStub:
+				if c.target != old {
+					continue
+				}
+				c.target = new
+				c.children[0] = s.tagForLocked(c.owner, new)
+				ownerSet[c.owner] = struct{}{}
+			case kindFutureStub:
+				if c.target != old {
+					continue
+				}
+				c.target = new
+				c.children[0] = s.tagForLocked(c.owner, new)
+				if fr, ok := c.scalar.AsFutureRef(); ok && fr.Owner == old {
+					fr.Owner = new
+					c.scalar = wire.FutureVal(fr)
+				}
+				ownerSet[c.owner] = struct{}{}
 			}
-			c.target = new
-			c.children[0] = h.tagForLocked(c.owner, new)
-			ownerSet[c.owner] = struct{}{}
-		case kindFutureStub:
-			if c.target != old {
-				continue
-			}
-			c.target = new
-			c.children[0] = h.tagForLocked(c.owner, new)
-			if fr, ok := c.scalar.AsFutureRef(); ok && fr.Owner == old {
-				fr.Owner = new
-				c.scalar = wire.FutureVal(fr)
-			}
-			ownerSet[c.owner] = struct{}{}
 		}
+		s.mu.Unlock()
 	}
 	if len(ownerSet) == 0 {
 		return nil
@@ -368,34 +420,55 @@ func (h *Heap) RebindStubs(old, new ids.ActivityID) []ids.ActivityID {
 }
 
 // tagForLocked returns (creating if needed) the shared (owner, target)
-// tag cell; the caller holds h.mu.
-func (h *Heap) tagForLocked(owner, target ids.ActivityID) ObjRef {
+// tag cell; the caller holds s.mu.
+func (s *heapShard) tagForLocked(owner, target ids.ActivityID) ObjRef {
 	key := tagKey{owner: owner, target: target}
-	tag, ok := h.tags[key]
+	tag, ok := s.tags[key]
 	if !ok {
-		tag = h.alloc(&cell{kind: kindTag, owner: owner, target: target})
-		h.tags[key] = tag
+		tag = s.alloc(&cell{kind: kindTag, owner: owner, target: target})
+		s.tags[key] = tag
 	}
 	return tag
 }
 
-// Collect runs a stop-the-world mark-and-sweep and returns its statistics.
-// Tag-death callbacks fire after the sweep, outside the heap lock.
+// Collect runs a mark-and-sweep and returns aggregate statistics. Each
+// shard is collected independently under its own lock (object graphs
+// never span shards), so the stop-the-world window is per shard, not per
+// heap. Tag-death callbacks fire after each shard's sweep, outside the
+// locks.
 func (h *Heap) Collect() Stats {
-	h.mu.Lock()
+	var st Stats
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		shardStats := s.collectLocked()
+		s.mu.Unlock()
+		st.Live += shardStats.Live
+		st.Freed += shardStats.Freed
+		st.TagDeaths = append(st.TagDeaths, shardStats.TagDeaths...)
+		st.FutureDeaths = append(st.FutureDeaths, shardStats.FutureDeaths...)
+		if h.onTagDeath != nil {
+			for _, d := range shardStats.TagDeaths {
+				h.onTagDeath(d)
+			}
+		}
+	}
+	return st
+}
 
+func (s *heapShard) collectLocked() Stats {
 	// Mark.
-	for _, c := range h.cells {
+	for _, c := range s.cells {
 		c.marked = false
 	}
-	stack := make([]ObjRef, 0, len(h.roots))
-	for _, ref := range h.roots {
+	stack := make([]ObjRef, 0, len(s.roots))
+	for _, ref := range s.roots {
 		stack = append(stack, ref)
 	}
 	for len(stack) > 0 {
 		ref := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		c, ok := h.cells[ref]
+		c, ok := s.cells[ref]
 		if !ok || c.marked {
 			continue
 		}
@@ -405,33 +478,25 @@ func (h *Heap) Collect() Stats {
 
 	// Sweep.
 	var st Stats
-	for ref, c := range h.cells {
+	for ref, c := range s.cells {
 		if c.marked {
 			st.Live++
 			continue
 		}
 		st.Freed++
-		delete(h.cells, ref)
-		for _, w := range h.weaks[ref] {
+		delete(s.cells, ref)
+		for _, w := range s.weaks[ref] {
 			w.kill()
 		}
-		delete(h.weaks, ref)
+		delete(s.weaks, ref)
 		switch c.kind {
 		case kindTag:
 			key := tagKey{owner: c.owner, target: c.target}
-			delete(h.tags, key)
+			delete(s.tags, key)
 			st.TagDeaths = append(st.TagDeaths, TagDeath{Owner: c.owner, Target: c.target})
 		case kindFutureTag:
-			delete(h.futTags, c.future)
+			delete(s.futTags, c.future)
 			st.FutureDeaths = append(st.FutureDeaths, c.future)
-		}
-	}
-	cb := h.onTagDeath
-	h.mu.Unlock()
-
-	if cb != nil {
-		for _, d := range st.TagDeaths {
-			cb(d)
 		}
 	}
 	return st
@@ -439,43 +504,62 @@ func (h *Heap) Collect() Stats {
 
 // NumCells returns the current number of cells (for tests and metrics).
 func (h *Heap) NumCells() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.cells)
+	total := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		total += len(s.cells)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // NumRoots returns the current number of registered roots.
 func (h *Heap) NumRoots() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.roots)
+	total := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		total += len(s.roots)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // HasTag reports whether owner currently holds a live tag for target, i.e.
 // whether at least one stub (owner → target) existed at the last sweep.
 func (h *Heap) HasTag(owner, target ids.ActivityID) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	_, ok := h.tags[tagKey{owner: owner, target: target}]
+	s := h.shardOf(owner)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.tags[tagKey{owner: owner, target: target}]
 	return ok
 }
 
 // HasFutureTag reports whether any activity on this node still holds a
 // future stub for fid (as of the last sweep).
 func (h *Heap) HasFutureTag(fid ids.FutureID) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	_, ok := h.futTags[fid]
-	return ok
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		_, ok := s.futTags[fid]
+		s.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // StubTargets returns the distinct remote targets for which owner holds at
-// least one live tag, in unspecified order.
+// least one live tag, in unspecified order. Tags live in their owner's
+// shard, so only that shard is consulted.
 func (h *Heap) StubTargets(owner ids.ActivityID) []ids.ActivityID {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	s := h.shardOf(owner)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []ids.ActivityID
-	for key := range h.tags {
+	for key := range s.tags {
 		if key.owner == owner {
 			out = append(out, key.target)
 		}
@@ -485,7 +569,14 @@ func (h *Heap) StubTargets(owner ids.ActivityID) []ids.ActivityID {
 
 // String implements fmt.Stringer with a summary for debugging.
 func (h *Heap) String() string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return fmt.Sprintf("heap{cells=%d roots=%d tags=%d}", len(h.cells), len(h.roots), len(h.tags))
+	cells, roots, tags := 0, 0, 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		cells += len(s.cells)
+		roots += len(s.roots)
+		tags += len(s.tags)
+		s.mu.Unlock()
+	}
+	return fmt.Sprintf("heap{cells=%d roots=%d tags=%d}", cells, roots, tags)
 }

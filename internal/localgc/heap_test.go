@@ -155,10 +155,11 @@ func TestCycleInHeapIsCollected(t *testing.T) {
 	h := New(nil)
 	a := h.Intern(owner, wire.List())
 	b := h.Intern(owner, wire.List())
-	h.mu.Lock()
-	h.cells[a].children = append(h.cells[a].children, b)
-	h.cells[b].children = append(h.cells[b].children, a)
-	h.mu.Unlock()
+	s := h.shardOf(owner) // same owner: a and b live in one shard
+	s.mu.Lock()
+	s.cells[a].children = append(s.cells[a].children, b)
+	s.cells[b].children = append(s.cells[b].children, a)
+	s.mu.Unlock()
 	st := h.Collect()
 	if st.Freed != 2 {
 		t.Fatalf("freed = %d, want 2 (cycle must be collected)", st.Freed)

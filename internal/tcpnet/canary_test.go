@@ -1,0 +1,125 @@
+package tcpnet
+
+// Payload-retention canary for the writev batch path. The send-side
+// mirror of the transport.Handler ownership contract: SendBatch borrows
+// the payload slices only until it returns — writeBatch hands them to
+// writev without copying, so any retention past the call would let a
+// sender's buffer reuse corrupt frames already "sent". Each payload here
+// is self-describing (a seq header plus a fill pattern); senders scribble
+// over their buffers the moment SendBatch returns and then reuse them
+// for the next batch, while the receiver verifies every delivery's
+// pattern at handling time.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// patternVerifier checks each delivered payload against its embedded
+// pattern synchronously in the handler (the only window the payload is
+// valid, per the Handler contract).
+type patternVerifier struct {
+	delivered atomic.Int64
+	mu        sync.Mutex
+	bad       []string
+}
+
+func (v *patternVerifier) HandleOneWay(_ ids.NodeID, _ transport.Class, payload []byte) {
+	v.delivered.Add(1)
+	if len(payload) < 9 {
+		v.fail(fmt.Sprintf("short payload: %d bytes", len(payload)))
+		return
+	}
+	seq := binary.LittleEndian.Uint64(payload)
+	fill := payload[8]
+	for i, b := range payload[9:] {
+		if b != fill {
+			v.fail(fmt.Sprintf("seq %d: byte %d = %#x, want %#x (buffer reused before write)", seq, i, b, fill))
+			return
+		}
+	}
+}
+
+func (v *patternVerifier) HandleCall(_ ids.NodeID, _ transport.Class, _ []byte) []byte { return nil }
+
+func (v *patternVerifier) fail(msg string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.bad) < 10 {
+		v.bad = append(v.bad, msg)
+	}
+}
+
+func (v *patternVerifier) failures() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.bad...)
+}
+
+func TestSendBatchPayloadReuseCanary(t *testing.T) {
+	n := newNet(t, Config{})
+	ver := &patternVerifier{}
+	n.Register(2, ver)
+	ep := n.Register(1, &recorder{})
+	bs, ok := ep.(transport.BatchSender)
+	if !ok {
+		t.Fatal("tcpnet endpoint does not implement transport.BatchSender")
+	}
+
+	const (
+		senders = 4
+		batches = 150
+		perBat  = 8
+	)
+	var seq atomic.Uint64
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One reusable buffer set per sender: the same backing arrays
+			// carry every batch, so retention past SendBatch would see the
+			// next batch's bytes (or the scribble) under a sent frame.
+			bufs := make([][]byte, perBat)
+			for i := range bufs {
+				bufs[i] = make([]byte, 9+16*(i+1))
+			}
+			items := make([]transport.BatchItem, perBat)
+			for b := 0; b < batches; b++ {
+				for i := range items {
+					p := bufs[i]
+					binary.LittleEndian.PutUint64(p, seq.Add(1))
+					fill := byte(s<<6) | byte(b+i)&0x3f
+					p[8] = fill
+					for j := 9; j < len(p); j++ {
+						p[j] = fill
+					}
+					items[i] = transport.BatchItem{Class: transport.ClassApp, Payload: p}
+				}
+				if err := bs.SendBatch(2, items); err != nil {
+					t.Errorf("sender %d batch %d: %v", s, b, err)
+					return
+				}
+				// The borrow ended with the return: scribbling now must not
+				// affect anything already sent.
+				for i := range bufs {
+					for j := range bufs[i] {
+						bufs[i][j] = 0xDB
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return ver.delivered.Load() == int64(senders*batches*perBat) })
+	if bad := ver.failures(); len(bad) > 0 {
+		t.Fatalf("corrupted deliveries: %v", bad)
+	}
+}

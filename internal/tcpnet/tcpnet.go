@@ -571,21 +571,66 @@ func (cc *clientConn) writeFrame(f frame) error {
 	return err
 }
 
-// writeBatch sends items as one batch frame (one syscall for the whole
-// group). Encoding happens directly into a pooled buffer: no intermediate
-// envelope allocation.
+// writeBatch sends items as one batch frame through vectored I/O: only
+// the frame header and the per-item batch headers are materialized (into
+// one pooled buffer); the payload bytes go to the kernel straight from the
+// caller's slices via writev. A batch frame therefore costs one syscall
+// and zero payload copies, no matter how many messages or bytes it
+// carries. Payloads are borrowed only until the write returns — the
+// transport retains nothing — which is the send-side mirror of the
+// transport.Handler payload-ownership contract.
 func (cc *clientConn) writeBatch(src, dst ids.NodeID, items []transport.BatchItem) error {
 	bp := getBuf()
-	enc := (*bp)[:0]
-	enc = binary.BigEndian.AppendUint32(enc, uint32(frameHeaderLen+transport.BatchSize(items)))
-	enc = append(enc, frameBatch, 0, 0)
-	enc = binary.BigEndian.AppendUint32(enc, uint32(src))
-	enc = binary.BigEndian.AppendUint32(enc, uint32(dst))
-	enc = binary.BigEndian.AppendUint64(enc, 0)
-	enc = transport.AppendBatch(enc, items)
-	err := cc.writeBytes(enc)
-	*bp = enc[:0]
+	hdr := (*bp)[:0]
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(frameHeaderLen+transport.BatchSize(items)))
+	hdr = append(hdr, frameBatch, 0, 0)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(src))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(dst))
+	hdr = binary.BigEndian.AppendUint64(hdr, 0)
+	hdr = binary.AppendUvarint(hdr, uint64(len(items)))
+	// cuts[i] is where the header bytes preceding item i's payload end.
+	// The header segments are sliced out only after hdr is fully built:
+	// append may move the backing array, which would invalidate any
+	// subslice taken earlier.
+	cuts := make([]int, len(items))
+	for i, it := range items {
+		hdr = append(hdr, byte(it.Class))
+		hdr = binary.AppendUvarint(hdr, uint64(len(it.Payload)))
+		cuts[i] = len(hdr)
+	}
+	bufs := make(net.Buffers, 0, 2*len(items))
+	prev := 0
+	for i := range items {
+		bufs = append(bufs, hdr[prev:cuts[i]])
+		prev = cuts[i]
+		if len(items[i].Payload) > 0 {
+			bufs = append(bufs, items[i].Payload)
+		}
+	}
+	err := cc.writeVectored(bufs)
+	*bp = hdr[:0]
 	putBuf(bp)
+	return err
+}
+
+// writeVectored writes the segments with one vectored write, serialized
+// against the pair's other senders. The connection's bufio writer is
+// flushed first so batch frames cannot overtake frames buffered by
+// writeBytes, preserving the pair's FIFO order.
+func (cc *clientConn) writeVectored(bufs net.Buffers) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.err
+		cc.mu.Unlock()
+		return err
+	}
+	cc.mu.Unlock()
+	if err := cc.buf.Flush(); err != nil {
+		return err
+	}
+	_, err := bufs.WriteTo(cc.c)
 	return err
 }
 

@@ -1,0 +1,42 @@
+//go:build !race
+
+// Alloc-regression gate for the flusher's enqueue side. Excluded under
+// the race detector, whose instrumentation changes allocation behavior.
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestAllocsFlusherLanePush gates the steady-state lane push: with the
+// drainer parked on an unexpired linger window, Send is a map lookup
+// plus an append into the lane's pending slice — amortized below one
+// allocation per push (the only allocations are the slice's geometric
+// growth).
+func TestAllocsFlusherLanePush(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	ep := &recordingEndpoint{}
+	fl := NewFlusher(ep, FlusherConfig{Window: time.Hour, Clock: clock})
+	payload := []byte("ping")
+	// Warm the lane: the first push creates it and parks its drainer on
+	// the hour-long window; a growth round sizes the pending slice.
+	for i := 0; i < 300; i++ {
+		if err := fl.Send(2, ClassApp, payload, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := fl.Send(2, ClassApp, payload, false); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("lane push: %.2f allocs/op, budget 1", got)
+	}
+	// Release the parked drainer so Close does not wait out its grace
+	// period: advancing past the window flushes the backlog.
+	clock.Advance(2 * time.Hour)
+	fl.Close()
+}

@@ -1,0 +1,111 @@
+//go:build !race
+
+// Alloc-regression gates for the codec's steady-state hot paths. These
+// run as ordinary tests (make test / CI), so allocation creep on the
+// wire path fails the build exactly like a correctness regression. The
+// budgets are exact current counts, not aspirations: when an
+// optimization lowers one, lower the budget with it. Excluded under the
+// race detector, whose instrumentation changes allocation behavior.
+package wire
+
+import (
+	"testing"
+)
+
+// allocMsg mirrors the shape of a typical request struct on the typed
+// call path: scalar fields plus a string, all plan-fast-path kinds.
+type allocMsg struct {
+	A   int64   `wire:"a"`
+	B   int64   `wire:"b"`
+	F   float64 `wire:"f"`
+	On  bool    `wire:"on"`
+	Tag string  `wire:"tag"`
+}
+
+func init() { RegisterType(allocMsg{}) }
+
+// assertAllocs runs f and fails the test when its average allocation
+// count exceeds budget.
+func assertAllocs(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(200, f); got > budget {
+		t.Errorf("%s: %.2f allocs/op, budget %.2f", name, got, budget)
+	}
+}
+
+// TestAllocsPlanMarshal gates the registered-struct marshal: one []Value
+// slab for the dict plus the interface boxing of the sample itself.
+func TestAllocsPlanMarshal(t *testing.T) {
+	msg := allocMsg{A: 7, B: 9, F: 2.5, On: true, Tag: "alloc"}
+	var sink Value
+	assertAllocs(t, "plan marshal", 2, func() {
+		v, err := Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = v
+	})
+	if sink.Get("a").AsInt() != 7 {
+		t.Fatalf("bad marshal: %v", sink)
+	}
+}
+
+// TestAllocsEncode gates canonical encoding into a reused buffer: zero
+// allocations once the buffer has grown to size.
+func TestAllocsEncode(t *testing.T) {
+	msg := allocMsg{A: 7, B: 9, F: 2.5, On: true, Tag: "alloc"}
+	v, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 256)
+	assertAllocs(t, "encode", 0, func() {
+		buf = Encode(buf[:0], v)
+	})
+	if len(buf) == 0 {
+		t.Fatal("empty encoding")
+	}
+}
+
+// TestAllocsPlanUnmarshal gates the registered-struct decode of a
+// canonical (sorted-pairs) dict: the merge walk itself allocates nothing
+// for plan-fast-path fields.
+func TestAllocsPlanUnmarshal(t *testing.T) {
+	msg := allocMsg{A: 7, B: 9, F: 2.5, On: true, Tag: "alloc"}
+	v, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := Encode(nil, v)
+	var dec Decoder
+	decoded, err := dec.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(allocMsg)
+	assertAllocs(t, "plan unmarshal", 0, func() {
+		if err := Unmarshal(decoded, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if *out != msg {
+		t.Fatalf("round trip: got %+v, want %+v", *out, msg)
+	}
+}
+
+// TestAllocsDeepCopy gates the intra-node isolation copy of a canonical
+// pairs-form dict with scalar fields: exactly the one []Value slab.
+func TestAllocsDeepCopy(t *testing.T) {
+	msg := allocMsg{A: 7, B: 9, F: 2.5, On: true, Tag: "alloc"}
+	v, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink Value
+	assertAllocs(t, "deep copy", 1, func() {
+		sink = DeepCopy(v)
+	})
+	if !sink.Equal(v) {
+		t.Fatalf("deep copy diverged: %v != %v", sink, v)
+	}
+}

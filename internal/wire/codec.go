@@ -130,6 +130,9 @@ func marshalValue(rv reflect.Value) (Value, error) {
 		}
 		return Value{kind: KindDict, dict: m}, nil
 	case reflect.Struct:
+		if p := planFor(rv.Type()); p != nil {
+			return p.marshal(rv)
+		}
 		fields := fieldsOf(rv.Type())
 		m := make(map[string]Value, len(fields))
 		for _, f := range fields {
@@ -163,7 +166,7 @@ func marshalList(rv reflect.Value) (Value, error) {
 		}
 		elems[i] = ev
 	}
-	return Value{kind: KindList, list: elems}, nil
+	return Value{kind: KindList, elems: elems}, nil
 }
 
 // Unmarshal maps a Value back onto the Go value out points to. out must be
@@ -280,12 +283,15 @@ func unmarshalValue(v Value, rv reflect.Value) error {
 		if v.Kind() != KindDict {
 			return mismatch(v, rv.Type())
 		}
+		if p := planFor(rv.Type()); p != nil {
+			return p.unmarshal(v, rv)
+		}
 		for _, f := range fieldsOf(rv.Type()) {
-			fv := v.Get(f.name)
-			if fv.IsNull() && v.dict != nil {
-				if _, present := v.dict[f.name]; !present {
-					continue
-				}
+			fv, present := v.getOK(f.name)
+			if !present {
+				// Absent key: leave the field untouched (an explicit Null
+				// entry, by contrast, zeroes it).
+				continue
 			}
 			if err := unmarshalValue(fv, rv.Field(f.index)); err != nil {
 				return fmt.Errorf("field %s: %w", f.name, err)

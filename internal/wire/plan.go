@@ -1,0 +1,354 @@
+// Cached-plan codec: the allocation-lean fast path of the struct codec.
+//
+// RegisterType compiles a per-struct-type plan once — the sorted wire
+// names, the field indices and a small kind tag per field — so hot-path
+// Marshal/Unmarshal walk a flat field table instead of re-deriving the
+// mapping reflectively on every call. A plan marshal emits the
+// sorted-pairs dict representation with the plan's shared key slice, so
+// the steady-state cost of marshaling a registered struct is one []Value
+// allocation; a plan unmarshal of a canonically ordered dict is a single
+// merge walk over two sorted key lists and allocates nothing for scalar
+// fields.
+//
+// Wire bytes are unchanged: both dict representations encode to the same
+// canonical sorted-key bytes, and field kinds replicate the reflection
+// codec's semantics exactly (FuzzPlanCodecParity holds the two paths
+// byte-identical). Reflection survives in the plan compiler, in the
+// fallback for unregistered types, and per-field for the rare field
+// types the flat table does not special-case.
+package wire
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// planKind tags the fast-path treatment of one struct field. pkFallback
+// routes the field through the generic reflection codec, so a plan never
+// changes what lands on the wire — only how fast it gets there.
+type planKind uint8
+
+const (
+	pkFallback planKind = iota
+	pkBool
+	pkInt
+	pkUint
+	pkFloat
+	pkString
+	pkBytes
+	pkFloats
+	pkValue
+	pkActivityID
+	pkFutureRef
+)
+
+// planField is one entry of the flat encode/decode table.
+type planField struct {
+	key       string // wire name (tag-renamed, sorted)
+	index     int    // struct field index
+	omitEmpty bool
+	kind      planKind
+}
+
+// plan is the compiled codec of one registered struct type.
+type plan struct {
+	typ reflect.Type
+	// keys holds the wire names in canonical (sorted) order. Every
+	// marshal without omitted fields shares this one slice as the dict's
+	// dkeys, so repeated marshals of the same type allocate no key
+	// storage at all.
+	keys   []string
+	fields []planField // aligned with keys
+}
+
+// planCache maps reflect.Type → *plan for every registered struct type.
+var planCache sync.Map
+
+// planFor returns the compiled plan for t, or nil when t was never
+// registered.
+func planFor(t reflect.Type) *plan {
+	if p, ok := planCache.Load(t); ok {
+		return p.(*plan)
+	}
+	return nil
+}
+
+// RegisterType compiles and caches the encode/decode plan for the type
+// of sample, walking through pointers, slices, arrays and map values to
+// the underlying struct and recursing into nested struct field types.
+// Non-struct types are ignored, so generic call sites can register their
+// Req/Resp parameters unconditionally. Registration is idempotent and
+// safe for concurrent use; unregistered types keep working through the
+// reflection fallback.
+func RegisterType(sample any) {
+	if sample == nil {
+		return
+	}
+	registerType(reflect.TypeOf(sample), 0)
+}
+
+func registerType(t reflect.Type, depth int) {
+	if depth > maxDepth {
+		return
+	}
+	for {
+		switch t.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array, reflect.Map:
+			t = t.Elem()
+			continue
+		}
+		break
+	}
+	if t.Kind() != reflect.Struct {
+		return
+	}
+	switch t {
+	case valueType, activityIDType, futureRefType:
+		return
+	}
+	if t.Implements(futureSourceType) {
+		// Marshaled as a future identity, never as a field dict.
+		return
+	}
+	if _, ok := planCache.Load(t); ok {
+		return
+	}
+	planCache.Store(t, compilePlan(t))
+	for i := 0; i < t.NumField(); i++ {
+		if f := t.Field(i); f.IsExported() {
+			registerType(f.Type, depth+1)
+		}
+	}
+}
+
+// compilePlan builds the flat field table: fieldsOf order re-sorted by
+// wire name (the canonical dict order) with a fast-path kind per field.
+func compilePlan(t reflect.Type) *plan {
+	fields := fieldsOf(t)
+	p := &plan{
+		typ:    t,
+		keys:   make([]string, 0, len(fields)),
+		fields: make([]planField, 0, len(fields)),
+	}
+	for _, f := range fields {
+		p.fields = append(p.fields, planField{
+			key:       f.name,
+			index:     f.index,
+			omitEmpty: f.omitEmpty,
+			kind:      classifyField(t.Field(f.index).Type),
+		})
+	}
+	sort.Slice(p.fields, func(i, j int) bool { return p.fields[i].key < p.fields[j].key })
+	for _, f := range p.fields {
+		p.keys = append(p.keys, f.key)
+	}
+	return p
+}
+
+// classifyField picks the fast-path treatment for a field type,
+// mirroring marshalValue's dispatch order: the special wire types first,
+// FutureSource implementors to the fallback, then the kind switch.
+// Anything without an exact fast-path twin (slices of structs, maps,
+// pointers, interfaces, nested structs) stays on the reflection codec.
+func classifyField(t reflect.Type) planKind {
+	switch t {
+	case valueType:
+		return pkValue
+	case activityIDType:
+		return pkActivityID
+	case futureRefType:
+		return pkFutureRef
+	}
+	if t.Implements(futureSourceType) {
+		return pkFallback
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return pkBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return pkInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return pkUint
+	case reflect.Float32, reflect.Float64:
+		return pkFloat
+	case reflect.String:
+		return pkString
+	case reflect.Slice:
+		switch t.Elem().Kind() {
+		case reflect.Uint8:
+			return pkBytes
+		case reflect.Float64:
+			return pkFloats
+		}
+	}
+	return pkFallback
+}
+
+// marshal encodes one struct value along the plan. The produced dict is
+// in sorted-pairs form; with no omitted fields its key slice is the
+// plan's shared keys, so the only allocation is the value slice.
+func (p *plan) marshal(rv reflect.Value) (Value, error) {
+	n := len(p.fields)
+	vals := make([]Value, n)
+	cnt := 0
+	var keys []string // nil until a field is omitted; then a private copy
+	for i := range p.fields {
+		f := &p.fields[i]
+		fv := rv.Field(f.index)
+		if f.omitEmpty && fv.IsZero() {
+			if keys == nil {
+				keys = append(make([]string, 0, n-1), p.keys[:cnt]...)
+			}
+			continue
+		}
+		// encodeInto writes the field's value straight into its slot;
+		// passing Values through return slots would copy the full struct
+		// once per field (runtime.duffcopy, visible in the call profile).
+		if err := f.encodeInto(&vals[cnt], fv); err != nil {
+			return Null(), fmt.Errorf("field %s: %w", f.key, err)
+		}
+		cnt++
+		if keys != nil {
+			keys = append(keys, f.key)
+		}
+	}
+	if keys == nil {
+		keys = p.keys
+	}
+	return Value{kind: KindDict, dkeys: keys, elems: vals[:cnt]}, nil
+}
+
+func (f *planField) encodeInto(dst *Value, fv reflect.Value) error {
+	switch f.kind {
+	case pkBool:
+		*dst = Bool(fv.Bool())
+	case pkInt:
+		*dst = Int(fv.Int())
+	case pkUint:
+		u := fv.Uint()
+		if u > math.MaxInt64 {
+			return fmt.Errorf("%w: %d overflows int64", ErrMarshal, u)
+		}
+		*dst = Int(int64(u))
+	case pkFloat:
+		*dst = Float(fv.Float())
+	case pkString:
+		*dst = String(fv.String())
+	case pkBytes:
+		*dst = Bytes(fv.Bytes())
+	case pkFloats:
+		*dst = Floats(fv.Convert(floatsType).Interface().([]float64))
+	case pkValue:
+		*dst = fv.Interface().(Value)
+	case pkActivityID:
+		*dst = Ref(fv.Interface().(ids.ActivityID))
+	case pkFutureRef:
+		*dst = FutureVal(fv.Interface().(FutureRef))
+	default:
+		ev, err := marshalValue(fv)
+		if err != nil {
+			return err
+		}
+		*dst = ev
+	}
+	return nil
+}
+
+var floatsType = reflect.TypeOf([]float64(nil))
+
+// unmarshal decodes a dict into one struct value along the plan. The
+// caller (unmarshalValue) has already established v.Kind() == KindDict.
+// Absent keys leave their fields untouched; unknown keys are ignored —
+// exactly the reflection codec's contract.
+func (p *plan) unmarshal(v Value, rv reflect.Value) error {
+	if v.dict != nil {
+		for i := range p.fields {
+			f := &p.fields[i]
+			fv, present := v.getOK(f.key)
+			if !present {
+				continue
+			}
+			if err := f.decode(&fv, rv.Field(f.index)); err != nil {
+				return fmt.Errorf("field %s: %w", f.key, err)
+			}
+		}
+		return nil
+	}
+	// Pairs form: both key lists are sorted, so one merge walk pairs
+	// every present field with its value — no map, no per-key search.
+	j := 0
+	for i := range p.fields {
+		f := &p.fields[i]
+		for j < len(v.dkeys) && v.dkeys[j] < f.key {
+			j++
+		}
+		if j < len(v.dkeys) && v.dkeys[j] == f.key {
+			if err := f.decode(&v.elems[j], rv.Field(f.index)); err != nil {
+				return fmt.Errorf("field %s: %w", f.key, err)
+			}
+			j++
+		}
+	}
+	return nil
+}
+
+// decode takes its value by pointer (into the pairs slice or a local) so
+// the per-field fast paths never copy a full Value; only the reflection
+// fallback pays the copy.
+func (f *planField) decode(v *Value, rv reflect.Value) error {
+	if v.IsNull() {
+		// Null is the universal zero (see unmarshalValue).
+		rv.SetZero()
+		return nil
+	}
+	switch f.kind {
+	case pkBool:
+		if v.Kind() != KindBool {
+			return mismatch(*v, rv.Type())
+		}
+		rv.SetBool(v.AsBool())
+		return nil
+	case pkInt:
+		if v.Kind() != KindInt {
+			return mismatch(*v, rv.Type())
+		}
+		if rv.OverflowInt(v.AsInt()) {
+			return fmt.Errorf("%w: %d overflows %s", ErrUnmarshal, v.AsInt(), rv.Type())
+		}
+		rv.SetInt(v.AsInt())
+		return nil
+	case pkUint:
+		if v.Kind() != KindInt {
+			return mismatch(*v, rv.Type())
+		}
+		i := v.AsInt()
+		if i < 0 || rv.OverflowUint(uint64(i)) {
+			return fmt.Errorf("%w: %d overflows %s", ErrUnmarshal, i, rv.Type())
+		}
+		rv.SetUint(uint64(i))
+		return nil
+	case pkFloat:
+		switch v.Kind() {
+		case KindFloat:
+			rv.SetFloat(v.AsFloat())
+		case KindInt:
+			rv.SetFloat(float64(v.AsInt()))
+		default:
+			return mismatch(*v, rv.Type())
+		}
+		return nil
+	case pkString:
+		if v.Kind() != KindString {
+			return mismatch(*v, rv.Type())
+		}
+		rv.SetString(v.AsString())
+		return nil
+	default:
+		return unmarshalValue(*v, rv)
+	}
+}

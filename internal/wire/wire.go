@@ -105,17 +105,36 @@ type FutureSource interface {
 // Value is a node of the closed value model. Exactly the fields relevant to
 // Kind are meaningful. Construct values with the helper constructors; the
 // zero Value is the null value.
+// Mutually exclusive kinds share fields to keep the struct small: Value is
+// copied on every queue push, serve and marshal, so its size is directly
+// visible in the hot-path profile (runtime.duffcopy).
 type Value struct {
-	kind  Kind
-	b     bool
-	i     int64
-	f     float64
-	s     string
+	kind Kind
+	b    bool
+	// num carries the integer payload of KindInt (int64 bit pattern) and
+	// the IEEE-754 bits of KindFloat.
+	num uint64
+	s   string
+	// bytes is the KindBytes payload.
 	bytes []byte
-	list  []Value
+	// elems holds the elements of a list (KindList) and the values of a
+	// pairs-form dict (KindDict with dkeys set).
+	elems []Value
 	dict  map[string]Value
-	ref   ids.ActivityID
-	fut   FutureRef
+	// A dict carries exactly one of two representations: the map form
+	// (dict), built by the Dict constructor and by decodes of
+	// non-canonical inputs, or the sorted-pairs form (dkeys/elems,
+	// strictly increasing keys), produced by the plan codec and by
+	// decodes of canonically ordered inputs. The pairs form encodes,
+	// walks and deep-copies in key order without sorting or map
+	// iteration — that is what makes the cached-plan marshal path
+	// allocation-lean — and both forms encode to identical bytes. All
+	// accessors handle both.
+	dkeys []string
+	// ref is the target of KindRef and the owner activity of KindFuture;
+	// fid is the future's home identity (together they form a FutureRef).
+	ref ids.ActivityID
+	fid ids.FutureID
 }
 
 // Null returns the null value.
@@ -125,10 +144,10 @@ func Null() Value { return Value{kind: KindNull} }
 func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
 
 // Int returns an integer value.
-func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+func Int(v int64) Value { return Value{kind: KindInt, num: uint64(v)} }
 
 // Float returns a floating-point value.
-func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+func Float(v float64) Value { return Value{kind: KindFloat, num: math.Float64bits(v)} }
 
 // String returns a string value.
 func String(v string) Value { return Value{kind: KindString, s: v} }
@@ -155,7 +174,7 @@ func Floats(v []float64) Value {
 func List(elems ...Value) Value {
 	cp := make([]Value, len(elems))
 	copy(cp, elems)
-	return Value{kind: KindList, list: cp}
+	return Value{kind: KindList, elems: cp}
 }
 
 // Dict returns a dictionary value. The map is copied.
@@ -176,7 +195,7 @@ func Ref(target ids.ActivityID) Value {
 // result that may not exist yet. The runtime resolves it to the concrete
 // value at whichever activity finally touches it (wait-by-necessity).
 func FutureVal(fr FutureRef) Value {
-	return Value{kind: KindFuture, fut: fr}
+	return Value{kind: KindFuture, fid: fr.ID, ref: fr.Owner}
 }
 
 // Kind returns the value's kind. The zero Value reports KindNull.
@@ -198,7 +217,7 @@ func (v Value) AsInt() int64 {
 	if v.kind != KindInt {
 		return 0
 	}
-	return v.i
+	return int64(v.num)
 }
 
 // AsFloat returns the float payload (0 if not a float).
@@ -206,7 +225,7 @@ func (v Value) AsFloat() float64 {
 	if v.kind != KindFloat {
 		return 0
 	}
-	return v.f
+	return math.Float64frombits(v.num)
 }
 
 // AsString returns the string payload ("" if not a string).
@@ -244,9 +263,12 @@ func (v Value) AsFloats() []float64 {
 func (v Value) Len() int {
 	switch v.kind {
 	case KindList:
-		return len(v.list)
+		return len(v.elems)
 	case KindDict:
-		return len(v.dict)
+		if v.dict != nil {
+			return len(v.dict)
+		}
+		return len(v.dkeys)
 	case KindBytes:
 		return len(v.bytes)
 	case KindString:
@@ -259,24 +281,49 @@ func (v Value) Len() int {
 // At returns the i-th element of a list (null if out of range or not a
 // list).
 func (v Value) At(i int) Value {
-	if v.kind != KindList || i < 0 || i >= len(v.list) {
+	if v.kind != KindList || i < 0 || i >= len(v.elems) {
 		return Null()
 	}
-	return v.list[i]
+	return v.elems[i]
 }
 
 // Get returns the dict entry for key (null if absent or not a dict).
 func (v Value) Get(key string) Value {
+	e, _ := v.getOK(key)
+	return e
+}
+
+// getOK returns the dict entry for key and whether it is present,
+// distinguishing an explicit Null entry from an absent key.
+func (v Value) getOK(key string) (Value, bool) {
 	if v.kind != KindDict {
-		return Null()
+		return Null(), false
 	}
-	return v.dict[key]
+	if v.dict != nil {
+		e, ok := v.dict[key]
+		if !ok {
+			return Null(), false
+		}
+		return e, true
+	}
+	// Pairs form: registered structs carry a handful of fields, so a
+	// linear scan beats binary-search bookkeeping.
+	for i, k := range v.dkeys {
+		if k == key {
+			return v.elems[i], true
+		}
+	}
+	return Null(), false
 }
 
 // Keys returns the sorted keys of a dict (nil otherwise).
 func (v Value) Keys() []string {
 	if v.kind != KindDict {
 		return nil
+	}
+	if v.dict == nil {
+		// Pairs form is already sorted; copy so callers may keep it.
+		return append([]string(nil), v.dkeys...)
 	}
 	keys := make([]string, 0, len(v.dict))
 	for k := range v.dict {
@@ -301,7 +348,7 @@ func (v Value) AsFutureRef() (FutureRef, bool) {
 	if v.kind != KindFuture {
 		return FutureRef{}, false
 	}
-	return v.fut, true
+	return FutureRef{ID: v.fid, Owner: v.ref}, true
 }
 
 // Refs appends to dst the targets of every reference reachable from v
@@ -314,13 +361,19 @@ func (v Value) Refs(dst []ids.ActivityID) []ids.ActivityID {
 	case KindRef:
 		return append(dst, v.ref)
 	case KindFuture:
-		return append(dst, v.fut.Owner)
+		return append(dst, v.ref)
 	case KindList:
-		for _, e := range v.list {
+		for _, e := range v.elems {
 			dst = e.Refs(dst)
 		}
 		return dst
 	case KindDict:
+		if v.dict == nil {
+			for _, e := range v.elems {
+				dst = e.Refs(dst)
+			}
+			return dst
+		}
 		for _, k := range v.Keys() {
 			dst = v.dict[k].Refs(dst)
 		}
@@ -341,7 +394,7 @@ func (v Value) HasFutures() bool {
 	case KindFuture:
 		return true
 	case KindList:
-		for _, e := range v.list {
+		for _, e := range v.elems {
 			if e.HasFutures() {
 				return true
 			}
@@ -349,6 +402,11 @@ func (v Value) HasFutures() bool {
 		return false
 	case KindDict:
 		for _, e := range v.dict {
+			if e.HasFutures() {
+				return true
+			}
+		}
+		for _, e := range v.elems {
 			if e.HasFutures() {
 				return true
 			}
@@ -366,13 +424,19 @@ func (v Value) HasFutures() bool {
 func (v Value) FutureRefs(dst []FutureRef) []FutureRef {
 	switch v.kind {
 	case KindFuture:
-		return append(dst, v.fut)
+		return append(dst, FutureRef{ID: v.fid, Owner: v.ref})
 	case KindList:
-		for _, e := range v.list {
+		for _, e := range v.elems {
 			dst = e.FutureRefs(dst)
 		}
 		return dst
 	case KindDict:
+		if v.dict == nil {
+			for _, e := range v.elems {
+				dst = e.FutureRefs(dst)
+			}
+			return dst
+		}
 		for _, k := range v.Keys() {
 			dst = v.dict[k].FutureRefs(dst)
 		}
@@ -393,9 +457,10 @@ func (v Value) Equal(o Value) bool {
 	case KindBool:
 		return v.b == o.b
 	case KindInt:
-		return v.i == o.i
+		return v.num == o.num
 	case KindFloat:
-		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+		vf, of := math.Float64frombits(v.num), math.Float64frombits(o.num)
+		return vf == of || (math.IsNaN(vf) && math.IsNaN(of))
 	case KindString:
 		return v.s == o.s
 	case KindBytes:
@@ -409,22 +474,44 @@ func (v Value) Equal(o Value) bool {
 		}
 		return true
 	case KindList:
-		if len(v.list) != len(o.list) {
+		if len(v.elems) != len(o.elems) {
 			return false
 		}
-		for i := range v.list {
-			if !v.list[i].Equal(o.list[i]) {
+		for i := range v.elems {
+			if !v.elems[i].Equal(o.elems[i]) {
 				return false
 			}
 		}
 		return true
 	case KindDict:
-		if len(v.dict) != len(o.dict) {
+		if v.Len() != o.Len() {
 			return false
 		}
-		for k, e := range v.dict {
-			oe, ok := o.dict[k]
-			if !ok || !e.Equal(oe) {
+		if v.dict == nil && o.dict == nil {
+			for i, k := range v.dkeys {
+				if k != o.dkeys[i] || !v.elems[i].Equal(o.elems[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		// At least one side has the map form; index through it.
+		p, m := v, o
+		if p.dict != nil {
+			p, m = o, v
+		}
+		if p.dict != nil {
+			for k, e := range p.dict {
+				oe, ok := m.dict[k]
+				if !ok || !e.Equal(oe) {
+					return false
+				}
+			}
+			return true
+		}
+		for i, k := range p.dkeys {
+			me, ok := m.dict[k]
+			if !ok || !p.elems[i].Equal(me) {
 				return false
 			}
 		}
@@ -432,7 +519,7 @@ func (v Value) Equal(o Value) bool {
 	case KindRef:
 		return v.ref == o.ref
 	case KindFuture:
-		return v.fut == o.fut
+		return v.fid == o.fid && v.ref == o.ref
 	default:
 		return false
 	}
@@ -446,21 +533,21 @@ func (v Value) String() string {
 	case KindBool:
 		return fmt.Sprintf("%t", v.b)
 	case KindInt:
-		return fmt.Sprintf("%d", v.i)
+		return fmt.Sprintf("%d", int64(v.num))
 	case KindFloat:
-		return fmt.Sprintf("%g", v.f)
+		return fmt.Sprintf("%g", math.Float64frombits(v.num))
 	case KindString:
 		return fmt.Sprintf("%q", v.s)
 	case KindBytes:
 		return fmt.Sprintf("bytes[%d]", len(v.bytes))
 	case KindList:
-		return fmt.Sprintf("list[%d]", len(v.list))
+		return fmt.Sprintf("list[%d]", len(v.elems))
 	case KindDict:
-		return fmt.Sprintf("dict[%d]", len(v.dict))
+		return fmt.Sprintf("dict[%d]", v.Len())
 	case KindRef:
 		return fmt.Sprintf("ref(%s)", v.ref)
 	case KindFuture:
-		return v.fut.String()
+		return FutureRef{ID: v.fid, Owner: v.ref}.String()
 	default:
 		return "invalid"
 	}
@@ -485,6 +572,12 @@ const maxDepth = 64
 // Encode appends the serialized form of v to dst and returns the extended
 // slice.
 func Encode(dst []byte, v Value) []byte {
+	return encodeTo(dst, &v)
+}
+
+// encodeTo recurses by pointer so nested lists and pairs-form dicts do not
+// copy each element Value per level.
+func encodeTo(dst []byte, v *Value) []byte {
 	dst = append(dst, byte(v.Kind()))
 	switch v.Kind() {
 	case KindNull:
@@ -495,9 +588,9 @@ func Encode(dst []byte, v Value) []byte {
 			dst = append(dst, 0)
 		}
 	case KindInt:
-		dst = binary.AppendVarint(dst, v.i)
+		dst = binary.AppendVarint(dst, int64(v.num))
 	case KindFloat:
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		dst = binary.LittleEndian.AppendUint64(dst, v.num)
 	case KindString:
 		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
 		dst = append(dst, v.s...)
@@ -505,11 +598,22 @@ func Encode(dst []byte, v Value) []byte {
 		dst = binary.AppendUvarint(dst, uint64(len(v.bytes)))
 		dst = append(dst, v.bytes...)
 	case KindList:
-		dst = binary.AppendUvarint(dst, uint64(len(v.list)))
-		for _, e := range v.list {
-			dst = Encode(dst, e)
+		dst = binary.AppendUvarint(dst, uint64(len(v.elems)))
+		for i := range v.elems {
+			dst = encodeTo(dst, &v.elems[i])
 		}
 	case KindDict:
+		if v.dict == nil {
+			// Pairs form: already in canonical key order, no sort and no
+			// key-slice allocation on the way out.
+			dst = binary.AppendUvarint(dst, uint64(len(v.dkeys)))
+			for i, k := range v.dkeys {
+				dst = binary.AppendUvarint(dst, uint64(len(k)))
+				dst = append(dst, k...)
+				dst = encodeTo(dst, &v.elems[i])
+			}
+			break
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(v.dict)))
 		for _, k := range v.Keys() {
 			dst = binary.AppendUvarint(dst, uint64(len(k)))
@@ -520,10 +624,10 @@ func Encode(dst []byte, v Value) []byte {
 		dst = binary.AppendUvarint(dst, uint64(v.ref.Node))
 		dst = binary.AppendUvarint(dst, uint64(v.ref.Seq))
 	case KindFuture:
-		dst = binary.AppendUvarint(dst, uint64(v.fut.ID.Node))
-		dst = binary.AppendUvarint(dst, uint64(v.fut.ID.Seq))
-		dst = binary.AppendUvarint(dst, uint64(v.fut.Owner.Node))
-		dst = binary.AppendUvarint(dst, uint64(v.fut.Owner.Seq))
+		dst = binary.AppendUvarint(dst, uint64(v.fid.Node))
+		dst = binary.AppendUvarint(dst, uint64(v.fid.Seq))
+		dst = binary.AppendUvarint(dst, uint64(v.ref.Node))
+		dst = binary.AppendUvarint(dst, uint64(v.ref.Seq))
 	}
 	return dst
 }
@@ -651,7 +755,7 @@ func (d *Decoder) decode(buf []byte, depth int) (Value, []byte, error) {
 			}
 			elems = append(elems, e)
 		}
-		return Value{kind: KindList, list: elems}, buf, nil
+		return Value{kind: KindList, elems: elems}, buf, nil
 	case KindDict:
 		n, sz := binary.Uvarint(buf)
 		if sz <= 0 {
@@ -661,7 +765,14 @@ func (d *Decoder) decode(buf []byte, depth int) (Value, []byte, error) {
 		if n > uint64(len(buf)) {
 			return Null(), nil, ErrTruncated
 		}
-		m := make(map[string]Value, n)
+		// Decode into the sorted-pairs form as long as keys arrive in
+		// canonical (strictly increasing) order — every encoder in this
+		// package emits that order, so map construction only happens for
+		// foreign or hand-crafted inputs (including duplicate keys, where
+		// the map keeps last-wins semantics).
+		keys := make([]string, 0, n)
+		vals := make([]Value, 0, n)
+		sorted := true
 		for i := uint64(0); i < n; i++ {
 			k, rest, err := decodeLenPrefixed(buf)
 			if err != nil {
@@ -673,7 +784,19 @@ func (d *Decoder) decode(buf []byte, depth int) (Value, []byte, error) {
 			if err != nil {
 				return Null(), nil, err
 			}
-			m[string(k)] = e
+			ks := string(k)
+			if sorted && len(keys) > 0 && ks <= keys[len(keys)-1] {
+				sorted = false
+			}
+			keys = append(keys, ks)
+			vals = append(vals, e)
+		}
+		if sorted {
+			return Value{kind: KindDict, dkeys: keys, elems: vals}, buf, nil
+		}
+		m := make(map[string]Value, n)
+		for i, k := range keys {
+			m[k] = vals[i]
 		}
 		return Value{kind: KindDict, dict: m}, buf, nil
 	case KindRef:
@@ -753,30 +876,47 @@ func rebind(v Value, from, to ids.ActivityID) (Value, bool) {
 		}
 		return v, false
 	case KindFuture:
-		if v.fut.Owner == from {
-			fr := v.fut
-			fr.Owner = to
-			return FutureVal(fr), true
+		if v.ref == from {
+			return FutureVal(FutureRef{ID: v.fid, Owner: to}), true
 		}
 		return v, false
 	case KindList:
 		var cp []Value
-		for i, e := range v.list {
+		for i, e := range v.elems {
 			r, changed := rebind(e, from, to)
 			if cp == nil {
 				if !changed {
 					continue
 				}
-				cp = make([]Value, len(v.list))
-				copy(cp, v.list)
+				cp = make([]Value, len(v.elems))
+				copy(cp, v.elems)
 			}
 			cp[i] = r
 		}
 		if cp == nil {
 			return v, false
 		}
-		return Value{kind: KindList, list: cp}, true
+		return Value{kind: KindList, elems: cp}, true
 	case KindDict:
+		if v.dict == nil {
+			var cp []Value
+			for i, e := range v.elems {
+				r, changed := rebind(e, from, to)
+				if cp == nil {
+					if !changed {
+						continue
+					}
+					cp = make([]Value, len(v.elems))
+					copy(cp, v.elems)
+				}
+				cp[i] = r
+			}
+			if cp == nil {
+				return v, false
+			}
+			// Keys are immutable; the copy shares them.
+			return Value{kind: KindDict, dkeys: v.dkeys, elems: cp}, true
+		}
 		var cp map[string]Value
 		for k, e := range v.dict {
 			r, changed := rebind(e, from, to)
@@ -811,12 +951,17 @@ func DeepCopy(v Value) Value {
 	case KindBytes:
 		return Bytes(v.bytes)
 	case KindList:
-		cp := make([]Value, len(v.list))
-		for i, e := range v.list {
-			cp[i] = DeepCopy(e)
-		}
-		return Value{kind: KindList, list: cp}
+		return Value{kind: KindList, elems: deepCopyElems(v.elems)}
 	case KindDict:
+		if v.dict == nil {
+			if v.elems == nil {
+				return v
+			}
+			// Keys are immutable strings; sharing the slice keeps the copy
+			// cheap and preserves the plan codec's key-identity fast path
+			// across the intra-node DeepCopy boundary.
+			return Value{kind: KindDict, dkeys: v.dkeys, elems: deepCopyElems(v.elems)}
+		}
 		cp := make(map[string]Value, len(v.dict))
 		for k, e := range v.dict {
 			cp[k] = DeepCopy(e)
@@ -826,4 +971,47 @@ func DeepCopy(v Value) Value {
 		// Scalars and refs are immutable value types.
 		return v
 	}
+}
+
+// deepCopyElems copies an element slice wholesale and deepens each copied
+// slot in place. Addresses are only ever taken of the fresh heap slice's
+// elements — never of a parameter or local — so the recursion moves
+// pointers instead of full Values (runtime.duffcopy) without forcing any
+// stack Value to escape.
+func deepCopyElems(elems []Value) []Value {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	for i := range cp {
+		deepenInPlace(&cp[i])
+	}
+	return cp
+}
+
+// deepenInPlace replaces every shared mutable container reachable from v
+// with a private copy, mutating v's own fields directly. v must point into
+// a heap slice owned by the caller.
+func deepenInPlace(v *Value) {
+	switch v.Kind() {
+	case KindBytes:
+		cp := make([]byte, len(v.bytes))
+		copy(cp, v.bytes)
+		v.bytes = cp
+	case KindList:
+		v.elems = deepCopyElems(v.elems)
+	case KindDict:
+		if v.dict == nil {
+			if v.elems != nil {
+				v.elems = deepCopyElems(v.elems)
+			}
+			return
+		}
+		// Map form recurses by value: map entries are not addressable, and
+		// a pointer to the loop variable would escape to the heap per entry.
+		cp := make(map[string]Value, len(v.dict))
+		for k, e := range v.dict {
+			cp[k] = DeepCopy(e)
+		}
+		v.dict = cp
+	}
+	// Scalars and refs are immutable value types: nothing to deepen.
 }
