@@ -77,19 +77,24 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzMigrationEnvelope -fuzztime $(FUZZTIME) ./internal/active/
 	$(GO) test -run xxx -fuzz FuzzFanOutEnvelope -fuzztime $(FUZZTIME) ./internal/active/
 	$(GO) test -run xxx -fuzz FuzzLocationEnvelope -fuzztime $(FUZZTIME) ./internal/location/
+	$(GO) test -run xxx -fuzz FuzzCheckpointRecord -fuzztime $(FUZZTIME) ./internal/store/
 
 # Cluster chaos pass, exactly as the CI chaos job runs it: the
 # node-kill + join/leave conformance scenarios under the race detector
 # on both backends (the Kill tests exist in Sim and TCP variants), the
-# internal/cluster building blocks, and a loadgen churn + node-kill
-# smoke that hard-kills a node every 300ms under a live call/churn mix.
+# kill-and-restart / kill-and-failover recovery scenarios, the
+# internal/cluster and internal/store building blocks, a loadgen churn +
+# node-kill smoke that hard-kills a node every 300ms under a live
+# call/churn mix, and a crash-restart smoke that kills and recovers the
+# durable node every 300ms (gated on zero lost registered identities).
 CHAOS_DURATION ?= 3s
 .PHONY: chaos
 chaos:
-	$(GO) test -race -run 'TestConformanceClusterKill|TestCluster' ./internal/active/
-	$(GO) test -race ./internal/cluster/
-	$(GO) test -race -run 'TestRunNodeKillChaos' ./internal/loadgen/
+	$(GO) test -race -run 'TestConformanceClusterKill|TestCluster|TestConformanceRecover|TestConformanceFailover' ./internal/active/
+	$(GO) test -race ./internal/cluster/ ./internal/store/
+	$(GO) test -race -run 'TestRunNodeKillChaos|TestRunRestartChaos' ./internal/loadgen/
 	$(GO) run ./cmd/loadgen -duration $(CHAOS_DURATION) -mix 4:0:2 -kill-every 300ms
+	$(GO) run ./cmd/loadgen -duration $(CHAOS_DURATION) -mix 4:0:2 -restart-every 300ms
 
 # CI perf gate, runnable locally: measure a fresh suite and compare it
 # against the checked-in trajectory (fails on >20% p50/call-rate regress,

@@ -64,6 +64,15 @@ func compareSuites(baselinePath, candidatePath string, maxRegressPct float64) er
 				name, c.Throughput, sendFloorOpsPerSec)
 			continue
 		}
+		if b.Restarts > 0 {
+			// Crash-restart scenarios are gated on durability correctness,
+			// not latency: cycles must actually run and every registered
+			// identity must survive every one of them.
+			violations = append(violations, checkRestart(name, c)...)
+			fmt.Printf("%-24s restarts %4d      lost identities %d\n",
+				name, c.Restarts, c.LostIdentities)
+			continue
+		}
 		if b.Config.MinActivities > 0 {
 			// Scale scenarios run under node-kill chaos, so their latency
 			// is gated elsewhere; what they must prove is correctness at
@@ -175,6 +184,22 @@ func checkScale(name string, b, c loadgen.Result) []string {
 	if c.LostReplies != 0 {
 		violations = append(violations, fmt.Sprintf(
 			"%s: %d lost replies, want 0", name, c.LostReplies))
+	}
+	return violations
+}
+
+// checkRestart gates a crash-restart scenario: the chaos arm must have
+// completed at least one kill-and-recover cycle, and zero registered
+// durable identities may have been lost across all of them.
+func checkRestart(name string, c loadgen.Result) []string {
+	var violations []string
+	if c.Restarts == 0 {
+		violations = append(violations, fmt.Sprintf(
+			"%s: no restart cycles ran", name))
+	}
+	if c.LostIdentities != 0 {
+		violations = append(violations, fmt.Sprintf(
+			"%s: %d lost registered identities, want 0", name, c.LostIdentities))
 	}
 	return violations
 }

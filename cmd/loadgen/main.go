@@ -49,26 +49,27 @@ import (
 
 func main() {
 	var (
-		backend   = flag.String("backend", "sim", `substrate: "sim" or "tcp"`)
-		nodes     = flag.Int("nodes", 4, "worker nodes")
-		actors    = flag.Int("actors", 4, "echo activities per node")
-		group     = flag.Int("group", 0, "broadcast fan-out width (0 = auto)")
-		workers   = flag.Int("workers", 0, "closed-loop concurrency (0 = 2×GOMAXPROCS)")
-		rate      = flag.Float64("rate", 0, "open-loop arrivals/sec (0 = closed loop)")
-		duration  = flag.Duration("duration", 2*time.Second, "measured run length")
-		mix       = flag.String("mix", "1:0:0:0", "call:broadcast:churn[:pipeline[:migrate[:send]]] weights")
-		colocate  = flag.Bool("colocate", false, "anchor the send lane on the actor-owning nodes (intra-node direct path)")
-		payload   = flag.Int("payload", 64, "payload bytes per request")
-		batch     = flag.Duration("batch", 0, "batch window (0 = batching off)")
-		dgcOff    = flag.Bool("no-dgc", false, "disable the DGC")
-		flatGroup = flag.Bool("flat-group", false, "force flat (non-tree) group fan-out")
-		netCost   = flag.Duration("net-cost", 0, "sim backend: per-message interface overhead (simnet PerMessage)")
-		dropEvery = flag.Duration("drop-every", 0, "chaos: drop all TCP connections at this period")
-		killEvery = flag.Duration("kill-every", 0, "chaos: run a join-serve-die node lifecycle at this period (implies -cluster)")
-		clusterOn = flag.Bool("cluster", false, "enable the elastic cluster runtime")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		out       = flag.String("out", "", "write JSON here instead of stdout")
-		suite     = flag.Bool("suite", false, "run the standard benchmark suite (ignores -backend/-batch)")
+		backend      = flag.String("backend", "sim", `substrate: "sim" or "tcp"`)
+		nodes        = flag.Int("nodes", 4, "worker nodes")
+		actors       = flag.Int("actors", 4, "echo activities per node")
+		group        = flag.Int("group", 0, "broadcast fan-out width (0 = auto)")
+		workers      = flag.Int("workers", 0, "closed-loop concurrency (0 = 2×GOMAXPROCS)")
+		rate         = flag.Float64("rate", 0, "open-loop arrivals/sec (0 = closed loop)")
+		duration     = flag.Duration("duration", 2*time.Second, "measured run length")
+		mix          = flag.String("mix", "1:0:0:0", "call:broadcast:churn[:pipeline[:migrate[:send]]] weights")
+		colocate     = flag.Bool("colocate", false, "anchor the send lane on the actor-owning nodes (intra-node direct path)")
+		payload      = flag.Int("payload", 64, "payload bytes per request")
+		batch        = flag.Duration("batch", 0, "batch window (0 = batching off)")
+		dgcOff       = flag.Bool("no-dgc", false, "disable the DGC")
+		flatGroup    = flag.Bool("flat-group", false, "force flat (non-tree) group fan-out")
+		netCost      = flag.Duration("net-cost", 0, "sim backend: per-message interface overhead (simnet PerMessage)")
+		dropEvery    = flag.Duration("drop-every", 0, "chaos: drop all TCP connections at this period")
+		killEvery    = flag.Duration("kill-every", 0, "chaos: run a join-serve-die node lifecycle at this period (implies -cluster)")
+		restartEvery = flag.Duration("restart-every", 0, "chaos: crash and recover the durable node at this period (sim backend)")
+		clusterOn    = flag.Bool("cluster", false, "enable the elastic cluster runtime")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		out          = flag.String("out", "", "write JSON here instead of stdout")
+		suite        = flag.Bool("suite", false, "run the standard benchmark suite (ignores -backend/-batch)")
 
 		compare    = flag.Bool("compare", false, "perf gate: compare -candidate against -baseline instead of running a workload")
 		baseline   = flag.String("baseline", "BENCH_messaging.json", "compare: the checked-in suite JSON")
@@ -112,6 +113,7 @@ func main() {
 		DropConnsEvery:    *dropEvery,
 		Cluster:           *clusterOn,
 		NodeKillEvery:     *killEvery,
+		RestartEvery:      *restartEvery,
 		Seed:              *seed,
 	}
 
@@ -174,7 +176,7 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 	var doc suiteDoc
 	doc.Meta.GoVersion = runtime.Version()
 	doc.Meta.NumCPU = runtime.NumCPU()
-	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn:pipeline = 6:2:1:2; pipeline = 4-stage forwarded-future chain) plus bcast1024 tree/flat, sends-1m-local and scale-churn scenarios, regenerate with: make bench"
+	doc.Meta.Note = "closed-loop mixed workload (call:broadcast:churn:pipeline = 6:2:1:2; pipeline = 4-stage forwarded-future chain) plus bcast1024 tree/flat, sends-1m-local, scale-churn and churn-restart scenarios, regenerate with: make bench"
 
 	for _, backend := range []string{"sim", "tcp"} {
 		for _, window := range []time.Duration{0, 200 * time.Microsecond} {
@@ -258,6 +260,25 @@ func runSuite(base loadgen.Config) (suiteDoc, error) {
 		cfg.ChurnBurst = 32
 		cfg.MinActivities = 100_000
 		cfg.NodeKillEvery = 300 * time.Millisecond
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return doc, fmt.Errorf("suite %s: %w", cfg.Name, err)
+		}
+		doc.Scenarios = append(doc.Scenarios, res)
+	}
+
+	// Durability under crash-restart chaos: a durable node of registered,
+	// checkpointed actors is hard-killed and recovered every 300ms while
+	// the steady workload rides through. The comparator gates it on every
+	// restart cycle preserving every registered identity.
+	{
+		cfg := base
+		cfg.Name = "churn-restart"
+		cfg.Backend = "sim"
+		cfg.Nodes = 4
+		cfg.ActorsPerNode = 4
+		cfg.Mix = loadgen.Mix{Call: 4, Churn: 2}
+		cfg.RestartEvery = 300 * time.Millisecond
 		res, err := loadgen.Run(cfg)
 		if err != nil {
 			return doc, fmt.Errorf("suite %s: %w", cfg.Name, err)

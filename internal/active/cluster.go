@@ -46,6 +46,14 @@ type ClusterConfig struct {
 	// LeaseBlock is how many node IDs a process leases from the seed at
 	// once. Defaults to 64.
 	LeaseBlock int
+	// Failover lets a surviving member adopt a confirmed-dead member's
+	// checkpointed activities (Config.Store must be set): the lowest-ID
+	// alive node restores them under fresh identities and the old→new
+	// rebinds gossip through the same channel a graceful Leave uses.
+	// Holders of the dead identities rebind transparently; requests that
+	// were in flight at the crash fail with ErrRecovered (at-most-once,
+	// DESIGN.md §9).
+	Failover bool
 }
 
 // Member is one entry of the cluster membership view.
@@ -308,6 +316,14 @@ func (a *clusterAgent) maybeTick(n *Node) {
 	}
 	a.lastTick = now
 	a.mu.Unlock()
+	// A process vouches for its own nodes: they share its fate, so
+	// silence must never walk them down the suspect path (an idle local
+	// node would oscillate alive↔suspect on probe timing — and a
+	// transiently-suspect local node would lose a failover-survivor
+	// election it is running in).
+	for _, id := range a.env.localNodeIDs() {
+		a.health.Observe(id, now)
+	}
 	probe, dead := a.health.Tick(now)
 	for _, p := range dead {
 		a.onDeath(p)
@@ -360,6 +376,32 @@ func (a *clusterAgent) onDeath(p ids.NodeID) {
 		a.pc.RemovePeer(p)
 	}
 	a.gossip(cluster.EncodeNodeEvent(cluster.MsgNodeDead, cluster.NodeEvent{Node: p}), targets)
+	// With failover on, the designated survivor adopts the dead node's
+	// checkpointed activities now that every in-flight obligation toward
+	// the dead node has been failed fast.
+	a.env.adoptDeadNode(p)
+}
+
+// skipLeases advances this process's node-ID allocation past first:
+// recovery re-created nodes with pre-crash identifiers, and a later
+// NewNode must not collide with them. On the founding seed the leaser
+// itself advances; the local lease block is clamped on every process.
+func (a *clusterAgent) skipLeases(first ids.NodeID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.leaser != nil {
+		a.leaser.SkipTo(first)
+	}
+	switch {
+	case a.leaseNext >= uint32(first):
+		// Already past it.
+	case uint32(first) <= a.leaseEnd:
+		a.leaseNext = uint32(first)
+	default:
+		// The whole remaining block sits below first: burn it and grant a
+		// fresh one on the next NewNode.
+		a.leaseNext = a.leaseEnd + 1
+	}
 }
 
 // ---------------------------------------------------------------------------

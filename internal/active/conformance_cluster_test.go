@@ -471,3 +471,27 @@ func TestClusterLeaveDrains(t *testing.T) {
 	caller.Release()
 	h.Release()
 }
+
+// TestClusterLocalNodesNeverSuspect pins the self-vouching rule: a
+// process's own nodes generate no observable peer traffic, so without
+// the detector tick refreshing them they would walk alive → suspect from
+// mere silence — and a transiently-suspect local node would lose a
+// failover-survivor election it is running in (the bug the durability
+// example exposed). Idle well past SuspectAfter and DeadAfter, every
+// locally hosted member must stay alive.
+func TestClusterLocalNodesNeverSuspect(t *testing.T) {
+	t.Parallel()
+	e := NewEnv(Config{
+		TTB: 5 * time.Millisecond, TTA: 20 * time.Millisecond,
+		Cluster: ClusterConfig{Enabled: true},
+	})
+	defer e.Close()
+	n1, n2 := e.NewNode(), e.NewNode()
+
+	// No application traffic at all: the only thing keeping the local
+	// members alive is the detector's own vouching.
+	holdsFor(t, func() bool {
+		return e.NodeHealth(n1.ID()) == cluster.StateAlive &&
+			e.NodeHealth(n2.ID()) == cluster.StateAlive
+	}, 150*time.Millisecond)
+}

@@ -27,6 +27,7 @@ func (n *Node) runDriver() {
 				n.futures.sweep(n.heap, n.env.cfg.Clock.Now(), n.env.cfg.TTA)
 				n.locationBeat(nil)
 				n.expireRelays()
+				n.checkpointBeat(n.env.cfg.Clock.Now())
 				if ag := n.env.cluster; ag != nil {
 					// No heartbeats to piggyback on in baseline mode, so the
 					// driver still advances the failure detector (silence
@@ -139,6 +140,10 @@ func (n *Node) beat() {
 	n.locationBeat(beatDsts)
 	// Partially flush and expire tree fan-out relay records (WIRE.md §10).
 	n.expireRelays()
+	// Durable activities whose checkpoint is due get a reserved-method
+	// request: the snapshot then happens on the activity's own goroutine,
+	// between two services, without stalling the pool.
+	n.checkpointBeat(now)
 	if ag := n.env.cluster; ag != nil {
 		// The beat doubles as the failure detector's clock: advance it at
 		// most once per TTB across all local drivers.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/location"
 	"repro/internal/simnet"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/wire"
@@ -119,6 +120,19 @@ type Config struct {
 	DisableTreeFanOut bool
 	// OnEvent receives DGC trace events from every collector.
 	OnEvent func(core.Event)
+	// Store enables durable activity checkpoints: activities created from
+	// a registered behavior kind are snapshotted into it — on the
+	// CheckpointEvery cadence, at Handle.Checkpoint/Context.Checkpoint,
+	// and at failover adoption — and Env.Recover restores them after a
+	// crash. The caller owns the store (it outlives the environment:
+	// that is the point) and closes it after the last environment using
+	// it. nil disables checkpointing at zero hot-path cost.
+	Store store.Store
+	// CheckpointEvery is the automatic checkpoint cadence the driver
+	// applies to every dirty durable activity. Zero disables automatic
+	// checkpoints; explicit Handle.Checkpoint/Context.Checkpoint still
+	// work whenever Store is set.
+	CheckpointEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -257,6 +271,28 @@ func (e *Env) node(id ids.NodeID) (*Node, bool) {
 	return n, ok
 }
 
+// localNodeIDs lists the node IDs hosted by this environment.
+func (e *Env) localNodeIDs() []ids.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ids.NodeID, 0, len(e.nodes))
+	for id := range e.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Node returns the live node with the given ID, or nil if this
+// environment hosts no such node (it may live in another process of a
+// TCP deployment, or be dead).
+func (e *Env) Node(id ids.NodeID) *Node {
+	n, ok := e.node(id)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
 // activity resolves an activity ID to its live object.
 func (e *Env) activity(id ids.ActivityID) (*ActiveObject, bool) {
 	n, ok := e.node(id.Node)
@@ -282,6 +318,11 @@ func (e *Env) RegisterName(name string, ref wire.Value) error {
 	e.names[name] = target
 	e.mu.Unlock()
 	ao.registered.Store(true)
+	if ao.kind != "" && e.cfg.Store != nil {
+		// Registration is part of the durable image (Recover re-registers
+		// names): make sure the next checkpoint beat picks it up.
+		ao.ckptDirty.Store(true)
+	}
 	return nil
 }
 

@@ -197,25 +197,12 @@ func (n *Node) migrateOut(ao *ActiveObject, dst ids.NodeID) (ids.ActivityID, err
 			return ids.Nil, fmt.Errorf("%w: registered activity cannot leave its environment", ErrMigrationFailed)
 		}
 	}
-	m := migration{Old: ao.id, Name: ao.name, Kind: ao.kind}
-	ao.rootsMu.Lock()
-	for key, e := range ao.stateRoots {
-		m.State = append(m.State, migrationState{Key: key, Value: n.heap.Materialize(e.obj)})
-	}
-	ao.rootsMu.Unlock()
 	// Drain the pending queue into the envelope. The queue stays open:
 	// requests arriving during the exchange are forwarded right after the
 	// forwarder is installed, preserving per-sender FIFO (they are younger
 	// than everything in the envelope).
 	drained := ao.queue.drainAll()
-	for _, it := range drained {
-		m.Queue = append(m.Queue, migrationRequest{
-			Sender: it.req.Sender,
-			Future: it.req.Future,
-			Method: it.req.Method,
-			Args:   it.req.Args,
-		})
-	}
+	m := n.captureEnvelope(ao, drained)
 	respBytes, err := n.transportCall(dst, transport.ClassApp, encodeMigration(m))
 	if err == nil {
 		var newID ids.ActivityID
@@ -253,6 +240,104 @@ func (n *Node) migrateOut(ao *ActiveObject, dst ids.NodeID) (ids.ActivityID, err
 		}
 	}
 	return ids.Nil, err
+}
+
+// captureEnvelope snapshots an activity's wire-expressible half — name,
+// kind, persistent state, and the given queue items — into a migration
+// envelope. Migration calls it with the drained queue; checkpointing
+// calls it with a non-destructive snapshot. Must run on the activity's
+// own goroutine with no service in flight, so the state is quiescent.
+func (n *Node) captureEnvelope(ao *ActiveObject, items []*queuedRequest) migration {
+	m := migration{Old: ao.id, Name: ao.name, Kind: ao.kind}
+	ao.rootsMu.Lock()
+	for key, e := range ao.stateRoots {
+		m.State = append(m.State, migrationState{Key: key, Value: n.heap.Materialize(e.obj)})
+	}
+	ao.rootsMu.Unlock()
+	for _, it := range items {
+		m.Queue = append(m.Queue, migrationRequest{
+			Sender: it.req.Sender,
+			Future: it.req.Future,
+			Method: it.req.Method,
+			Args:   it.req.Args,
+		})
+	}
+	return m
+}
+
+// restoreFromEnvelope re-instantiates an activity from a migration
+// envelope: behavior from the kind registry, state interned under the
+// (possibly new) identity with every reference and future re-bound, and
+// the envelope's queue either replayed in order (failQueue nil — the
+// migration path) or failed with failQueue (the recovery and failover
+// paths, where replaying a request that may already have executed would
+// break at-most-once delivery). keepID restores under the envelope's
+// own identity — crash recovery, where holders elsewhere still route by
+// it — instead of minting a fresh one.
+func (n *Node) restoreFromEnvelope(m migration, keepID bool, failQueue error) (*ActiveObject, error) {
+	rk, ok := lookupBehaviorKind(m.Kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBehaviorKind, m.Kind)
+	}
+	opts := append(append([]SpawnOption(nil), rk.opts...), WithKind(m.Kind))
+	if keepID {
+		opts = append(opts, withForcedID(m.Old))
+	}
+	ao := n.newActivity(m.Name, rk.factory(), false, opts...)
+	now := n.env.cfg.Clock.Now()
+	var scratch [8]ids.ActivityID
+	// State first: by the time the first replayed request is served, every
+	// Load must see the restored state.
+	for _, e := range m.State {
+		v := e.Value
+		if m.Old != ao.id {
+			v = wire.Rebind(v, m.Old, ao.id)
+		}
+		for _, t := range v.Refs(scratch[:0]) {
+			ao.collector.AddReferenced(t, now)
+		}
+		// Futures stored in state adopt local proxies and re-subscribe at
+		// their home node: the sender-side holder registration of a normal
+		// payload delivery never happened for an envelope.
+		n.adoptFutures(v, ao.id, true)
+		obj, root := n.heap.InternRooted(ao.id, v)
+		ao.rootsMu.Lock()
+		ao.stateRoots[e.Key] = stateEntry{obj: obj, root: root}
+		ao.rootsMu.Unlock()
+	}
+	for _, q := range m.Queue {
+		if failQueue != nil {
+			// A checkpointed in-flight request may already have executed
+			// between the checkpoint and the crash: fail it rather than
+			// risk running it twice. The update is dropped harmlessly if
+			// the future's home node died with the sender.
+			if !q.Future.IsZero() {
+				n.sendFutureUpdate(q.Future, futureUpdate{
+					Future: q.Future,
+					Failed: true,
+					Err:    failQueue.Error(),
+				})
+			}
+			continue
+		}
+		req := request{
+			Target: ao.id,
+			Sender: q.Sender,
+			Future: q.Future,
+			Method: q.Method,
+			Args:   wire.Rebind(q.Args, m.Old, ao.id),
+		}
+		item := getQueued(req)
+		if refs := req.Args.Refs(scratch[:0]); len(refs) > 0 {
+			for _, t := range refs {
+				ao.collector.AddReferenced(t, now)
+			}
+			_, item.argsRoot = n.heap.InternRooted(ao.id, req.Args)
+			n.adoptFutures(req.Args, ao.id, true)
+		}
+		ao.enqueue(item)
+	}
+	return ao, nil
 }
 
 // installForwarder turns ao into the forwarder for its migrated self:
@@ -302,6 +387,12 @@ func (n *Node) installForwarder(ao *ActiveObject, newID ids.ActivityID) {
 	if ao.registered.Load() {
 		n.env.rebindRegistered(ao.id, newID)
 	}
+	// The activity lives under its new identity now; its checkpoints do
+	// too. Erase the old-identity checkpoint so a later Recover cannot
+	// resurrect the pre-migration ghost alongside the migrated activity.
+	if ao.kind != "" && n.env.cfg.Store != nil {
+		_ = n.env.cfg.Store.Delete(ao.id)
+	}
 	// Tell the directory: the source is an origin of this mapping, so it
 	// re-announces to the shard as owners change, long after the
 	// forwarder itself has collapsed.
@@ -329,47 +420,9 @@ func (n *Node) handleMigrateIn(payload []byte) []byte {
 	if err != nil {
 		return encodeMigrateResponse(ids.Nil, err)
 	}
-	rk, ok := lookupBehaviorKind(m.Kind)
-	if !ok {
-		return encodeMigrateResponse(ids.Nil, fmt.Errorf("%w: %q", ErrUnknownBehaviorKind, m.Kind))
-	}
-	opts := append(append([]SpawnOption(nil), rk.opts...), WithKind(m.Kind))
-	ao := n.newActivity(m.Name, rk.factory(), false, opts...)
-	now := n.env.cfg.Clock.Now()
-	var scratch [8]ids.ActivityID
-	// State first: by the time the first replayed request is served, every
-	// Load must see the migrated state.
-	for _, e := range m.State {
-		v := wire.Rebind(e.Value, m.Old, ao.id)
-		for _, t := range v.Refs(scratch[:0]) {
-			ao.collector.AddReferenced(t, now)
-		}
-		// Futures stored in state adopt local proxies and re-subscribe at
-		// their home node: the sender-side holder registration of a normal
-		// payload delivery never happened for a migration envelope.
-		n.adoptFutures(v, ao.id, true)
-		obj, root := n.heap.InternRooted(ao.id, v)
-		ao.rootsMu.Lock()
-		ao.stateRoots[e.Key] = stateEntry{obj: obj, root: root}
-		ao.rootsMu.Unlock()
-	}
-	for _, q := range m.Queue {
-		req := request{
-			Target: ao.id,
-			Sender: q.Sender,
-			Future: q.Future,
-			Method: q.Method,
-			Args:   wire.Rebind(q.Args, m.Old, ao.id),
-		}
-		item := getQueued(req)
-		if refs := req.Args.Refs(scratch[:0]); len(refs) > 0 {
-			for _, t := range refs {
-				ao.collector.AddReferenced(t, now)
-			}
-			_, item.argsRoot = n.heap.InternRooted(ao.id, req.Args)
-			n.adoptFutures(req.Args, ao.id, true)
-		}
-		ao.enqueue(item)
+	ao, err := n.restoreFromEnvelope(m, false, nil)
+	if err != nil {
+		return encodeMigrateResponse(ids.Nil, err)
 	}
 	// The destination knows the mapping too: local senders still holding
 	// the old reference route directly instead of round-tripping through

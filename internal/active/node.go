@@ -786,6 +786,13 @@ func (n *Node) destroy(ao *ActiveObject, reason core.Reason) {
 	}
 	ao.releaseAllRoots(n.heap)
 	n.futures.failOwned(ao.id, ErrOwnerTerminated)
+	// A graceful termination erases the activity's checkpoint: there is
+	// nothing left to recover. Crash/shutdown never reach here, so their
+	// checkpoints survive — that is the durability contract. Forwarders
+	// keep no checkpoint under the old identity (migration deleted it).
+	if ao.kind != "" && !ao.dummy && n.env.cfg.Store != nil && ao.forwardTarget().IsNil() {
+		_ = n.env.cfg.Store.Delete(ao.id)
+	}
 	if !ao.dummy {
 		n.env.noteCollected(reason)
 	}

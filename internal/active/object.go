@@ -37,7 +37,7 @@ func (f BehaviorFunc) Serve(ctx *Context, method string, args wire.Value) (wire.
 // ErrMigrationFailed/ErrNotMigratable, wherever the caller runs, and a
 // future failed by a confirmed node death matches ErrNodeDead on every
 // holder it fans out to.
-var wireSentinels = []error{ErrFutureUnavailable, ErrMigrationFailed, ErrNotMigratable, ErrUnknownBehaviorKind, ErrNodeDead, ErrUnknownActivity}
+var wireSentinels = []error{ErrFutureUnavailable, ErrMigrationFailed, ErrNotMigratable, ErrUnknownBehaviorKind, ErrNodeDead, ErrUnknownActivity, ErrRecovered, ErrNotDurable, ErrNoStore}
 
 func newRemoteFailure(msg string) error {
 	for _, s := range wireSentinels {
@@ -256,6 +256,17 @@ func (q *requestQueue) drainAll() []*queuedRequest {
 	return items
 }
 
+// snapshotItems returns the pending items without removing them: the
+// checkpoint capture. Safe to hand to captureEnvelope because the
+// caller is the draining worker itself (the queue's running flag keeps
+// every other worker out), so no item in the copy can be served or
+// recycled while the envelope is built.
+func (q *requestQueue) snapshotItems() []*queuedRequest {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]*queuedRequest(nil), q.items...)
+}
+
 // requeue puts drained requests back at the front of the queue, ahead of
 // anything that arrived since the drain (a failed migration must not
 // reorder the queue). It reports ok=false when the queue closed in the
@@ -324,6 +335,15 @@ type ActiveObject struct {
 	// migrateDst, when non-zero, asks the serve loop to migrate the
 	// activity to that node after the current service (Context.MigrateTo).
 	migrateDst atomic.Uint64
+	// ckptWanted asks the serve loop to checkpoint the activity after the
+	// current service (Context.Checkpoint).
+	ckptWanted atomic.Bool
+	// ckptDirty is set whenever the activity's durable image may have
+	// drifted from its last checkpoint (a served request, a fresh restore,
+	// a registration) and cleared by each checkpoint; the driver's
+	// checkpoint beat skips clean activities, so an idle activity costs
+	// nothing.
+	ckptDirty atomic.Bool
 
 	collector *core.Collector
 	queue     *requestQueue
@@ -338,6 +358,10 @@ type ActiveObject struct {
 	// nextBeat is when the driver should tick this activity next; it is
 	// only touched by the node's driver goroutine.
 	nextBeat time.Time
+	// nextCkpt is when the driver's checkpoint beat considers this
+	// activity again (Config.CheckpointEvery cadence); driver-owned like
+	// nextBeat.
+	nextCkpt time.Time
 
 	// rootsMu guards the heap roots owned by this activity.
 	rootsMu    sync.Mutex
@@ -375,7 +399,19 @@ func (n *Node) newActivity(name string, b Behavior, dummy bool, opts ...SpawnOpt
 		stateRoots: make(map[string]stateEntry),
 		extraRoots: make(map[localgc.RootID]struct{}),
 	}
-	ao.id = n.gen.Next()
+	if !so.id.IsNil() {
+		// Restoring under a pre-crash identity (Env.Recover): advance the
+		// generator past it so fresh spawns on this node cannot collide.
+		ao.id = so.id
+		n.gen.SkipTo(so.id.Seq + 1)
+	} else {
+		ao.id = n.gen.Next()
+	}
+	if so.kind != "" && n.env.cfg.Store != nil {
+		// A durable activity is born dirty: its very existence (and any
+		// restored state) is not on disk yet under this identity.
+		ao.ckptDirty.Store(true)
+	}
 	ao.queue = newRequestQueue(&ao.idleFlag, so.policy)
 	// A fresh activity is idle until its first request.
 	ao.idleFlag.Store(true)
@@ -478,6 +514,10 @@ func (ao *ActiveObject) drain() {
 			}
 			// A failed MigrateTo leaves the activity serving here.
 		}
+		if ao.ckptWanted.Swap(false) {
+			// Context.Checkpoint: between services, state quiescent.
+			_ = ao.node.checkpointNow(ao)
+		}
 	}
 }
 
@@ -489,6 +529,9 @@ func (ao *ActiveObject) serveOne(item *queuedRequest, nested bool) bool {
 	if item.req.Method == migrateMethod {
 		return ao.serveMigrate(item, nested)
 	}
+	if item.req.Method == checkpointMethod {
+		return ao.serveCheckpoint(item, nested)
+	}
 	ctx := &ao.svcCtx
 	if nested {
 		ctx = &Context{ao: ao}
@@ -498,6 +541,12 @@ func (ao *ActiveObject) serveOne(item *queuedRequest, nested bool) bool {
 	}
 	result, err := ao.behavior.Serve(ctx, item.req.Method, item.req.Args)
 	ctx.releaseTransients()
+	if ao.kind != "" && ao.node.env.cfg.Store != nil {
+		// The service may have mutated state: the next checkpoint beat
+		// must not skip this activity. Behind the Store nil-check so the
+		// non-durable hot path pays nothing but the kind comparison.
+		ao.ckptDirty.Store(true)
+	}
 	ao.node.heap.RemoveRoot(item.argsRoot)
 	if item.req.Future.IsZero() {
 		putQueued(item)

@@ -131,6 +131,11 @@ func ServeOldest(methods ...string) ServicePolicy {
 type spawnOptions struct {
 	policy ServicePolicy
 	kind   string
+	// id forces the new activity's identity instead of minting one —
+	// crash recovery restoring a checkpointed activity under the identity
+	// its holders still route by. Internal only; the node's ID generator
+	// is advanced past it so later spawns cannot collide.
+	id ids.ActivityID
 }
 
 // SpawnOption configures one activity at creation (Node.NewActive,
@@ -149,4 +154,10 @@ func WithPolicy(p ServicePolicy) SpawnOption {
 // same kind. Node.SpawnKind applies it automatically.
 func WithKind(kind string) SpawnOption {
 	return func(o *spawnOptions) { o.kind = kind }
+}
+
+// withForcedID restores an activity under a pre-existing identity
+// (Env.Recover). Unexported: user code must never pick identities.
+func withForcedID(id ids.ActivityID) SpawnOption {
+	return func(o *spawnOptions) { o.id = id }
 }

@@ -234,6 +234,18 @@ func NewLeaser(first ids.NodeID) *Leaser {
 	return &Leaser{next: uint32(first)}
 }
 
+// SkipTo advances the leaser so the next grant starts at least at first.
+// A restarted seed calls this after recovery so fresh grants never
+// collide with node identifiers embedded in recovered activity IDs.
+// SkipTo never moves the leaser backwards.
+func (l *Leaser) SkipTo(first ids.NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if uint32(first) > l.next {
+		l.next = uint32(first)
+	}
+}
+
 // Grant leases a block of n consecutive node IDs and returns its first
 // identifier. n is clamped to at least 1.
 func (l *Leaser) Grant(n int) (ids.NodeID, int) {

@@ -91,6 +91,24 @@ func (g *Generator) Next() ActivityID {
 	return ActivityID{Node: g.node, Seq: g.next.Add(1)}
 }
 
+// SkipTo advances the generator so the next identifier returned by Next
+// has Seq at least first. Recovery re-creates activities under their
+// original identifiers; skipping past the highest restored sequence
+// keeps fresh spawns on the same node from colliding with them. SkipTo
+// never moves the generator backwards.
+func (g *Generator) SkipTo(first uint32) {
+	if first == 0 {
+		return
+	}
+	want := first - 1
+	for {
+		cur := g.next.Load()
+		if cur >= want || g.next.CompareAndSwap(cur, want) {
+			return
+		}
+	}
+}
+
 // NodeGenerator hands out fresh node identifiers. It is safe for concurrent
 // use.
 type NodeGenerator struct {

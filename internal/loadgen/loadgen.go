@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/active"
 	"repro/internal/simnet"
+	"repro/internal/store"
 	"repro/internal/tcpnet"
 	"repro/internal/wire"
 )
@@ -119,6 +120,14 @@ type Config struct {
 	// Cluster enables the elastic cluster runtime (membership, failure
 	// detection) for the run. Implied by NodeKillEvery.
 	Cluster bool `json:"cluster,omitempty"`
+	// RestartEvery, when positive on the sim backend, runs crash-restart
+	// chaos at that period: a dedicated durable node hosting registered,
+	// checkpointed actors is hard-killed (network blackholed, runtime
+	// reaped mid-traffic) and brought back through Env.Recover, after
+	// which every registered identity must answer again — the
+	// zero-lost-registered-identities invariant the churn-restart
+	// scenario is gated on. Implies a checkpoint store for the run.
+	RestartEvery time.Duration `json:"-"`
 	// NodeKillEvery, when positive, runs node churn chaos at that period:
 	// a fresh node joins the cluster, hosts an activity, serves one call,
 	// and then dies — hard-killed at the network level on the sim backend
@@ -250,6 +259,13 @@ type Result struct {
 	LiveActivities int `json:"live_activities"`
 	// NodeKills is how many chaos node lifecycles (join, serve, die) ran.
 	NodeKills uint64 `json:"node_kills,omitempty"`
+	// Restarts is how many crash-restart chaos cycles (kill the durable
+	// node, recover it from its checkpoints) completed.
+	Restarts uint64 `json:"restarts,omitempty"`
+	// LostIdentities counts registered durable identities that failed to
+	// answer after a crash-restart cycle — the churn-restart scenario is
+	// gated on this staying zero.
+	LostIdentities uint64 `json:"lost_identities,omitempty"`
 	// CollectedActivities is how many the DGC reclaimed during the run.
 	CollectedActivities int `json:"collected_activities"`
 }
@@ -339,6 +355,15 @@ func Run(cfg Config) (Result, error) {
 			SuspectAfter: 500 * time.Millisecond,
 			DeadAfter:    500 * time.Millisecond,
 		},
+	}
+	if cfg.RestartEvery > 0 {
+		if cfg.Backend != "sim" {
+			return Result{}, fmt.Errorf("loadgen: restart chaos needs the sim backend (KillNode/ReviveNode hooks)")
+		}
+		// The restart arm needs somewhere durable to recover from; the
+		// cadence keeps the actors freshly checkpointed between kills.
+		envCfg.Store = store.NewMemStore()
+		envCfg.CheckpointEvery = 25 * time.Millisecond
 	}
 	var dropper interface{ DropConnections() }
 	switch cfg.Backend {
@@ -594,40 +619,134 @@ func Run(cfg Config) (Result, error) {
 		collectedBeforeTotal += c
 	}
 
+	// The crash-restart arm's population: a dedicated node of registered,
+	// checkpointed actors, each pinned by a caller-side stub that must
+	// keep answering across every kill-and-recover cycle. The node is
+	// dedicated so the steady-state lanes above never route through the
+	// blackhole window.
+	var durableNode *active.Node
+	var durablePings []active.Stub[int64, int64]
+	if cfg.RestartEvery > 0 {
+		const durableActors = 8
+		durableNode = env.NewNode()
+		for i := 0; i < durableActors; i++ {
+			h, err := durableNode.SpawnKind(fmt.Sprintf("durable-%d", i), echoKind)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := env.RegisterName(fmt.Sprintf("durable-%d", i), h.Ref()); err != nil {
+				return Result{}, err
+			}
+			// One acknowledged checkpoint up front: the first kill may land
+			// before the cadence's first beat.
+			fut, err := h.Checkpoint()
+			if err != nil {
+				return Result{}, err
+			}
+			if _, err := fut.Wait(cfg.OpTimeout); err != nil {
+				return Result{}, err
+			}
+			hc, err := caller.HandleFor(h.Ref())
+			if err != nil {
+				return Result{}, err
+			}
+			defer hc.Release()
+			durablePings = append(durablePings, active.NewStub[int64, int64](hc, "ping"))
+			h.Release()
+		}
+		created.Add(durableActors)
+	}
+
 	stop := make(chan struct{})
 	var chaosWG sync.WaitGroup
 	var nodeKills atomic.Uint64
-	if cfg.NodeKillEvery > 0 {
+	var restarts, lostIdentities atomic.Uint64
+	if cfg.RestartEvery > 0 {
+		killer, ok := env.Network().(*simnet.Network)
+		if !ok {
+			return Result{}, fmt.Errorf("loadgen: restart chaos needs the simnet transport")
+		}
+		durID := durableNode.ID()
 		chaosWG.Add(1)
 		go func() {
 			defer chaosWG.Done()
-			t := time.NewTicker(cfg.NodeKillEvery)
+			t := time.NewTicker(cfg.RestartEvery)
 			defer t.Stop()
-			killer, _ := env.Network().(*simnet.Network)
 			for {
 				select {
 				case <-stop:
 					return
 				case <-t.C:
-					// One full elastic lifecycle: join a node, host an
-					// activity, serve one call across the transport, die.
-					victim := env.NewNode()
-					h := victim.NewActive("chaos-victim", svc)
-					created.Add(1)
-					if hc, err := caller.HandleFor(h.Ref()); err == nil {
-						req := echoReq{Seq: seq.Add(1), Payload: payload}
-						_, _ = active.NewStub[echoReq, echoResp](hc, "echo").CallSync(req, cfg.OpTimeout)
-						hc.Release()
+					// Machine failure: blackhole the node, reap its runtime,
+					// then restart and recover from the checkpoint store.
+					killer.KillNode(durID)
+					durableNode.Crash()
+					killer.ReviveNode(durID)
+					// A partial recovery (decode error on one entry) still
+					// restores the rest; the per-identity verification below
+					// is the gate either way.
+					_, _ = env.Recover()
+					if n := env.Node(durID); n != nil {
+						durableNode = n
 					}
-					h.Release()
-					if killer != nil {
-						// Hard kill first: the survivors' heartbeats toward
-						// the victim now fail, driving the suspect→dead path
-						// and the ErrNodeDead cleanup fan-out.
-						killer.KillNode(victim.ID())
+					// Every registered identity must answer again through the
+					// stubs that predate the crash.
+					deadline := time.Now().Add(10 * time.Second)
+					for _, stub := range durablePings {
+						ok := false
+						for time.Now().Before(deadline) {
+							if _, err := stub.CallSync(1, 250*time.Millisecond); err == nil {
+								ok = true
+								break
+							}
+						}
+						if !ok {
+							lostIdentities.Add(1)
+						}
 					}
-					victim.Crash()
-					nodeKills.Add(1)
+					restarts.Add(1)
+				}
+			}
+		}()
+	}
+	if cfg.NodeKillEvery > 0 {
+		nodeKiller, _ := env.Network().(*simnet.Network)
+		killCycle := func() {
+			// One full elastic lifecycle: join a node, host an
+			// activity, serve one call across the transport, die.
+			victim := env.NewNode()
+			h := victim.NewActive("chaos-victim", svc)
+			created.Add(1)
+			if hc, err := caller.HandleFor(h.Ref()); err == nil {
+				req := echoReq{Seq: seq.Add(1), Payload: payload}
+				_, _ = active.NewStub[echoReq, echoResp](hc, "echo").CallSync(req, cfg.OpTimeout)
+				hc.Release()
+			}
+			h.Release()
+			if nodeKiller != nil {
+				// Hard kill first: the survivors' heartbeats toward
+				// the victim now fail, driving the suspect→dead path
+				// and the ErrNodeDead cleanup fan-out.
+				nodeKiller.KillNode(victim.ID())
+			}
+			victim.Crash()
+			nodeKills.Add(1)
+		}
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			// One cycle up front: a short run on a starved single-CPU
+			// scheduler may never see the first tick, and a chaos arm
+			// that did nothing reads as a pass.
+			killCycle()
+			t := time.NewTicker(cfg.NodeKillEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					killCycle()
 				}
 			}
 		}()
@@ -688,6 +807,8 @@ func Run(cfg Config) (Result, error) {
 		Traffic:           make(map[string]ClassTraffic),
 		LiveActivities:    env.LiveActivities(),
 		NodeKills:         nodeKills.Load(),
+		Restarts:          restarts.Load(),
+		LostIdentities:    lostIdentities.Load(),
 	}
 	opStats := func(k opKind) OpStats {
 		return OpStats{Ops: merged.ops[k], Errors: merged.errors[k], Latency: merged.hist[k].summary()}

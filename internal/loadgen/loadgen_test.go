@@ -177,3 +177,36 @@ func TestRunTCPWithChaos(t *testing.T) {
 		t.Fatalf("chaos drowned the run: %d errors of %d ops", res.Calls.Errors, res.Calls.Ops)
 	}
 }
+
+// TestRunRestartChaos smoke-tests the crash-restart arm: the durable
+// node dies and recovers on a short period while the steady-state lanes
+// keep running, and no registered identity may be lost — the invariant
+// the churn-restart suite scenario is gated on.
+func TestRunRestartChaos(t *testing.T) {
+	res, err := Run(Config{
+		Backend:       "sim",
+		Nodes:         2,
+		ActorsPerNode: 2,
+		Workers:       4,
+		Duration:      600 * time.Millisecond,
+		Mix:           Mix{Call: 3, Churn: 1},
+		RestartEvery:  150 * time.Millisecond,
+		OpTimeout:     5 * time.Second,
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("chaos ran no restart cycles")
+	}
+	if res.LostIdentities != 0 {
+		t.Fatalf("crash-restart lost %d registered identities", res.LostIdentities)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	if _, err := Run(Config{Backend: "tcp", RestartEvery: time.Second}); err == nil {
+		t.Fatal("restart chaos on tcp should be refused")
+	}
+}

@@ -243,7 +243,8 @@ func (n *Network) Close() {
 // Unlike
 // Deregister the victim never reports ErrUnknownNode — to senders it is
 // indistinguishable from a live-but-silent peer, which is exactly what a
-// failure detector must cope with (§4.2). Kills are permanent for the
+// failure detector must cope with (§4.2). A kill lasts until ReviveNode
+// (the restart chaos hook); without one it is permanent for the
 // network's lifetime.
 func (n *Network) KillNode(node ids.NodeID) {
 	n.killMu.Lock()
@@ -255,6 +256,29 @@ func (n *Network) KillNode(node ids.NodeID) {
 		}
 	}
 	next[node] = struct{}{}
+	n.killed.Store(&next)
+}
+
+// ReviveNode lifts a KillNode blackhole: the restart chaos hook for
+// crash-recovery tests, modelling the machine coming back up under the
+// same identity. The revived node's handler registration is untouched —
+// a restarting runtime re-registers itself anyway.
+func (n *Network) ReviveNode(node ids.NodeID) {
+	n.killMu.Lock()
+	defer n.killMu.Unlock()
+	old := n.killed.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := (*old)[node]; !ok {
+		return
+	}
+	next := make(map[ids.NodeID]struct{}, len(*old)-1)
+	for k := range *old {
+		if k != node {
+			next[k] = struct{}{}
+		}
+	}
 	n.killed.Store(&next)
 }
 

@@ -1,0 +1,302 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// FileStore is the production backend: one append-only checkpoint log
+// per birth node (ckpt-<node>.log under the store directory). Every Put
+// and Delete appends one framed record and fsyncs, so an acknowledged
+// checkpoint survives a crash at any later instant. Opening the store
+// replays each log front to back, truncates any torn tail back to the
+// longest valid record prefix, and keeps the surviving payloads in
+// memory — Load serves from that write-through map, and compaction
+// rewrites a log from it.
+//
+// Compaction: superseded checkpoints and tombstoned entries are dead
+// bytes. When a log's dead bytes exceed both its live bytes and
+// CompactThreshold, the live records are written to a fresh temporary
+// segment, fsynced, and atomically renamed over the old log — a reader
+// (or a crash) sees either the old segment or the new one, never a mix.
+type FileStore struct {
+	dir string
+	// CompactThreshold is the dead-byte floor below which a log is never
+	// compacted (so small logs do not churn). Zero means 64 KiB. Set it
+	// before the first Put/Delete; it is read under the store lock.
+	CompactThreshold int64
+
+	mu     sync.Mutex
+	files  map[ids.NodeID]*logFile
+	live   map[ids.ActivityID][]byte
+	closed bool
+}
+
+// logFile is one per-node segment: its append handle, current length,
+// and the framed size of each live record in it (dead bytes = size − Σ
+// live sizes).
+type logFile struct {
+	path    string
+	f       *os.File
+	size    int64
+	recSize map[ids.ActivityID]int64
+}
+
+// NewFileStore opens (creating if needed) a checkpoint store rooted at
+// dir, replaying every existing log. A log with a torn or corrupt tail
+// is truncated back to its longest valid record prefix — the state as of
+// the last acknowledged write before the crash.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &FileStore{
+		dir:   dir,
+		files: make(map[ids.NodeID]*logFile),
+		live:  make(map[ids.ActivityID][]byte),
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "ckpt-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		var node uint32
+		if _, err := fmt.Sscanf(filepath.Base(path), "ckpt-%d.log", &node); err != nil {
+			continue // not one of ours
+		}
+		if err := s.replay(ids.NodeID(node), path); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replay loads one log into the live map, truncating past the longest
+// valid record prefix, and opens it for appending.
+func (s *FileStore) replay(node ids.NodeID, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: replay %s: %w", path, err)
+	}
+	lf := &logFile{path: path, recSize: make(map[ids.ActivityID]int64)}
+	valid := 0
+	for valid < len(data) {
+		rec, n, decErr := DecodeRecord(data[valid:])
+		if decErr != nil {
+			break // torn or corrupt tail: keep the valid prefix
+		}
+		s.applyToLive(lf, rec)
+		valid += n
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return fmt.Errorf("store: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	lf.size = int64(valid)
+	lf.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen %s: %w", path, err)
+	}
+	s.files[node] = lf
+	return nil
+}
+
+// applyToLive folds one replayed or freshly written record into the live
+// map and the segment's record-size accounting.
+func (s *FileStore) applyToLive(lf *logFile, rec Record) {
+	switch rec.Kind {
+	case KindCheckpoint:
+		s.live[rec.ID] = rec.Payload
+		lf.recSize[rec.ID] = int64(rec.framedSize())
+	case KindTombstone:
+		delete(s.live, rec.ID)
+		delete(lf.recSize, rec.ID)
+	}
+}
+
+// logFor returns (creating if needed) the append segment of a node.
+// Caller holds s.mu.
+func (s *FileStore) logFor(node ids.NodeID) (*logFile, error) {
+	if lf, ok := s.files[node]; ok {
+		return lf, nil
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("ckpt-%d.log", uint32(node)))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	lf := &logFile{path: path, f: f, recSize: make(map[ids.ActivityID]int64)}
+	s.files[node] = lf
+	return lf, nil
+}
+
+// append writes one framed record durably to the segment.
+func (lf *logFile) append(frame []byte) error {
+	if _, err := lf.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append %s: %w", lf.path, err)
+	}
+	if err := lf.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", lf.path, err)
+	}
+	lf.size += int64(len(frame))
+	return nil
+}
+
+// Put implements Store.
+func (s *FileStore) Put(id ids.ActivityID, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	lf, err := s.logFor(id.Node)
+	if err != nil {
+		return err
+	}
+	rec := Record{Kind: KindCheckpoint, ID: id, Payload: append([]byte(nil), payload...)}
+	if err := lf.append(AppendRecord(nil, rec)); err != nil {
+		return err
+	}
+	s.applyToLive(lf, rec)
+	return s.maybeCompactLocked(lf)
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id ids.ActivityID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.live[id]; !ok {
+		return nil // nothing durable to erase; skip the tombstone write
+	}
+	lf, err := s.logFor(id.Node)
+	if err != nil {
+		return err
+	}
+	rec := Record{Kind: KindTombstone, ID: id}
+	if err := lf.append(AppendRecord(nil, rec)); err != nil {
+		return err
+	}
+	s.applyToLive(lf, rec)
+	return s.maybeCompactLocked(lf)
+}
+
+// Load implements Store.
+func (s *FileStore) Load() (map[ids.ActivityID][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make(map[ids.ActivityID][]byte, len(s.live))
+	for id, payload := range s.live {
+		out[id] = append([]byte(nil), payload...)
+	}
+	return out, nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, lf := range s.files {
+		if lf.f == nil {
+			continue
+		}
+		if err := lf.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// maybeCompactLocked rewrites a segment from its live records when the
+// dead bytes dominate: superseded checkpoints and tombstones carry no
+// information once a newer record exists, so the fresh segment holds one
+// checkpoint per surviving activity. The rewrite goes to <log>.tmp,
+// fsyncs, and renames over the old segment — atomic on every POSIX
+// filesystem, so a crash anywhere leaves either the old or the new
+// segment intact. Caller holds s.mu.
+func (s *FileStore) maybeCompactLocked(lf *logFile) error {
+	min := s.CompactThreshold
+	if min <= 0 {
+		min = 64 << 10
+	}
+	var liveBytes int64
+	for _, sz := range lf.recSize {
+		liveBytes += sz
+	}
+	dead := lf.size - liveBytes
+	if dead < min || dead <= liveBytes {
+		return nil
+	}
+	// Deterministic record order keeps compacted segments reproducible.
+	keys := make([]ids.ActivityID, 0, len(lf.recSize))
+	for id := range lf.recSize {
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	var buf []byte
+	for _, id := range keys {
+		buf = AppendRecord(buf, Record{Kind: KindCheckpoint, ID: id, Payload: s.live[id]})
+	}
+	tmpPath := lf.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact %s: %w", lf.path, err)
+	}
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact %s: %w", lf.path, err)
+	}
+	if err := os.Rename(tmpPath, lf.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact %s: %w", lf.path, err)
+	}
+	syncDir(s.dir) // make the rename itself durable (best effort)
+	old := lf.f
+	lf.f, err = os.OpenFile(lf.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		lf.f = old // keep appending to the (renamed-over) handle rather than fail
+		return fmt.Errorf("store: reopen compacted %s: %w", lf.path, err)
+	}
+	old.Close()
+	lf.size = int64(len(buf))
+	for _, id := range keys {
+		lf.recSize[id] = int64(Record{Kind: KindCheckpoint, ID: id, Payload: s.live[id]}.framedSize())
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power
+// loss. Some platforms refuse to sync directories; that only weakens the
+// guarantee to what those platforms can give.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}

@@ -1,0 +1,50 @@
+// Package store is the durable checkpoint layer of the active-object
+// runtime: a pluggable Store interface with a production append-only
+// file backend (FileStore) and an in-memory backend for tests
+// (MemStore).
+//
+// A checkpoint is an opaque payload keyed by activity identifier — the
+// runtime serializes an activity with the same envelope codec live
+// migration uses (WIRE.md §7) and hands the bytes here. The store's only
+// contract is last-write-wins durability per key: Put replaces, Delete
+// tombstones, Load returns the surviving set. Records are framed with a
+// length prefix and a CRC (WIRE.md §11) so a torn write at any byte
+// boundary is detected and the log recovers to the longest valid prefix.
+package store
+
+import (
+	"errors"
+
+	"repro/internal/ids"
+)
+
+// Store errors.
+var (
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrCorrupt reports a record whose shape or CRC does not check out.
+	ErrCorrupt = errors.New("store: corrupt checkpoint record")
+	// ErrShort reports a record cut off mid-frame — the torn tail a crash
+	// during an append leaves behind. Recovery treats everything before
+	// it as valid and discards the tail.
+	ErrShort = errors.New("store: truncated checkpoint record")
+)
+
+// Store persists one checkpoint payload per activity. Implementations
+// must be safe for concurrent use: every node of an environment
+// checkpoints into the same store.
+type Store interface {
+	// Put durably saves the latest checkpoint of id, replacing any
+	// previous one.
+	Put(id ids.ActivityID, payload []byte) error
+	// Delete tombstones id's checkpoint (graceful termination, migration
+	// to a new identity, failover adoption). Deleting an absent key is a
+	// no-op.
+	Delete(id ids.ActivityID) error
+	// Load returns the latest surviving checkpoint of every activity.
+	// The returned map and payloads are the caller's to keep.
+	Load() (map[ids.ActivityID][]byte, error)
+	// Close releases the backend's resources. A closed store refuses
+	// further operations with ErrClosed.
+	Close() error
+}

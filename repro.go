@@ -90,6 +90,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/ids"
+	"repro/internal/store"
 	"repro/internal/tcpnet"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -183,6 +184,19 @@ type (
 	// NodeState is a member's health as seen from this process: alive,
 	// suspect, dead (tombstone) or left (graceful tombstone).
 	NodeState = cluster.State
+	// Store is the pluggable checkpoint store contract (Config.Store):
+	// a durable map from activity identity to its latest checkpoint
+	// payload. NewFileStore gives the crash-tolerant file backend,
+	// NewMemStore the in-memory one for tests.
+	Store = store.Store
+	// FileStore is the file-backed Store: per-node append-only logs with
+	// CRC-protected record framing (WIRE.md §11), atomic segment rotation
+	// and background compaction. Replay after a crash keeps the longest
+	// valid prefix of each log.
+	FileStore = store.FileStore
+	// MemStore is the in-memory Store used by tests and the restart
+	// chaos arm of the load generator.
+	MemStore = store.MemStore
 )
 
 // Generic aliases of the typed calling surface.
@@ -229,6 +243,18 @@ var (
 	// failed: new sends toward it fail fast and the futures it owed
 	// results resolve to this error instead of hanging.
 	ErrNodeDead = active.ErrNodeDead
+	// ErrRecovered resolves the futures of requests that were pending
+	// inside a checkpoint when the activity was recovered: the runtime
+	// never replays checkpointed requests (at-most-once, DESIGN.md §9),
+	// it fails them so callers can retry idempotently.
+	ErrRecovered = active.ErrRecovered
+	// ErrNoStore reports a checkpoint or recovery attempt on an
+	// environment whose Config.Store is nil.
+	ErrNoStore = active.ErrNoStore
+	// ErrNotDurable reports a checkpoint attempt on an activity without a
+	// registered behavior kind; like migration, durability rides on the
+	// kind registry to re-instantiate behaviors after a crash.
+	ErrNotDurable = active.ErrNotDurable
 )
 
 // Method declares a typed service operation; see active.Method.
@@ -320,6 +346,30 @@ func RegisterBehavior(kind string, factory func() Behavior, opts ...SpawnOption)
 // WithKind tags an activity with a registered behavior kind at creation,
 // making it migratable (Node.SpawnKind applies it automatically).
 func WithKind(kind string) SpawnOption { return active.WithKind(kind) }
+
+// Durable activities (WIRE.md §11, DESIGN.md §9). An activity created
+// from a registered behavior kind can be checkpointed to a Store
+// (Config.Store): its state, registered names and pending request queue
+// are captured between services and persisted under its identity.
+// Checkpoints are taken explicitly (Handle.Checkpoint, Context.Checkpoint)
+// or on a cadence (Config.CheckpointEvery). After a crash, Env.Recover
+// re-instantiates every checkpointed activity under its old identity,
+// re-registers its names, and fails the checkpointed in-flight requests
+// with ErrRecovered — requests are never replayed (at-most-once). With
+// Config.Cluster.Failover enabled, the lowest-ID surviving member adopts a
+// dead node's checkpoints under new identities and gossips the rebinds,
+// so names and old references keep resolving. See examples/durability.
+
+// NewFileStore opens the file-backed checkpoint store rooted at dir:
+// per-node append-only logs with CRC-protected records, atomic segment
+// rotation and compaction. Replaying an existing dir restores the longest
+// valid prefix of each log, so a torn final write costs at most the last
+// checkpoint, never the log.
+func NewFileStore(dir string) (*FileStore, error) { return store.NewFileStore(dir) }
+
+// NewMemStore returns an in-memory checkpoint store for tests and
+// single-process experiments.
+func NewMemStore() *MemStore { return store.NewMemStore() }
 
 // Marshal maps a Go value onto the closed wire value model.
 func Marshal(v any) (Value, error) { return wire.Marshal(v) }
